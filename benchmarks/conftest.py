@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one paper table/figure through
+``pytest-benchmark`` (one timed round — these are experiment harnesses, not
+micro-benchmarks) and prints the resulting table; run with ``-s`` to stream
+the tables to the console (pytest captures stdout of passing tests
+otherwise).  EXPERIMENTS.md records a full set of outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def run_and_print(benchmark, exp_id: str, **kwargs):
+    """Benchmark one experiment runner and print its table."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result)
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture exposing the run-and-print helper."""
+
+    def runner(exp_id: str, **kwargs):
+        return run_and_print(benchmark, exp_id, **kwargs)
+
+    return runner

@@ -1,0 +1,18 @@
+"""Section IV-C: the parameter-knee ablations behind Table II."""
+
+
+def test_parameter_knees(experiment):
+    result = experiment("ablation", quick=True)
+    by_change = {row["change"]: row for row in result.rows}
+
+    d2 = by_change["d2: 1 -> 2"]
+    assert 0.0 <= d2["dqsnr_db"] <= 1.5          # paper: +0.5 dB
+    assert d2["dcost_pct"] > 5.0                  # paper: +30-50%
+
+    k2_fine = by_change["k2: 8 -> 2"]
+    assert k2_fine["dqsnr_db"] > 0.8              # paper: +~2 dB
+    assert k2_fine["dcost_pct"] < 15.0            # paper: +~3%
+
+    k2_one = by_change["k2: 2 -> 1"]
+    assert 0.0 <= k2_one["dqsnr_db"] <= 2.0       # paper: +0.7 dB
+    assert k2_one["dcost_pct"] > k2_fine["dcost_pct"]

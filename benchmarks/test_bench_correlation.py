@@ -1,0 +1,12 @@
+"""Section IV-A: QSNR predicts end-to-end LM loss (Pearson validation)."""
+
+
+def test_qsnr_loss_correlation(experiment):
+    result = experiment("correlation", quick=True)
+    # losses must be ordered consistently with QSNR at the extremes
+    by_fmt = {row["format"]: row for row in result.rows}
+    assert by_fmt["mx9"]["final_lm_loss"] <= by_fmt["mx4"]["final_lm_loss"]
+    # the Pearson note records a strong positive correlation
+    note = next(n for n in result.notes if "Pearson" in n)
+    r_value = float(note.split("=")[1].split("(")[0])
+    assert r_value > 0.5

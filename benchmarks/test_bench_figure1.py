@@ -1,0 +1,9 @@
+"""Figures 1-2: the worked scaling example (exact paper QSNR values)."""
+
+
+def test_figure1_scaling_examples(experiment):
+    result = experiment("figure1")
+    by_strategy = {row["strategy"]: row["measured_qsnr_db"] for row in result.rows}
+    assert by_strategy["pow2"] == 10.1
+    assert by_strategy["real"] == 15.2
+    assert by_strategy["two_level"] > by_strategy["real"]

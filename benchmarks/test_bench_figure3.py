@@ -1,0 +1,8 @@
+"""Figure 3: coarse SW INT scaling vs fine HW BFP scaling."""
+
+
+def test_figure3_int_vs_bfp(experiment):
+    result = experiment("figure3", quick=True)
+    bfp16 = next(r for r in result.rows if r["family"].startswith("BFP") and r["k"] == 16)
+    int1k = next(r for r in result.rows if r["family"].startswith("INT") and r["k"] == 1024)
+    assert bfp16["qsnr_db"] > int1k["qsnr_db"]

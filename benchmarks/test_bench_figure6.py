@@ -1,0 +1,7 @@
+"""Figure 6: dot-product pipeline area accounting."""
+
+
+def test_figure6_pipeline_breakdown(experiment):
+    result = experiment("figure6")
+    total = next(r for r in result.rows if r["stage"] == "TOTAL")
+    assert total["mx4"] < total["mx6"] < total["mx9"]

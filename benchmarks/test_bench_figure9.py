@@ -1,0 +1,13 @@
+"""Figure 9: LM loss vs normalized training cost, MX9 vs MX6."""
+
+
+def test_figure9_mx6_cheaper_to_quality(experiment):
+    result = experiment("figure9", quick=True)
+    by_model = {}
+    for row in result.rows:
+        by_model.setdefault(row["model"], {})[row["format"]] = row
+    for name, formats in by_model.items():
+        mx9, mx6 = formats["MX9"], formats["MX6"]
+        # MX6 reaches (near) the MX9 loss at lower total cost
+        assert mx6["lm_loss"] <= mx9["lm_loss"] + 0.05, name
+        assert mx6["total_cost"] < mx9["total_cost"], name

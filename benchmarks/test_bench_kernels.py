@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the quantization kernels themselves.
+
+These time the emulation throughput (elements/second) of each format
+family — the practical cost of using this library as an MX emulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bdr import BDRConfig
+from repro.core.quantize import bdr_quantize
+from repro.formats.registry import get_format
+from repro.nn.quantized import QuantSpec, quantized_matmul
+from repro.nn.tensor import Tensor
+
+SHAPE = (256, 1024)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(0).normal(size=SHAPE)
+
+
+@pytest.mark.parametrize("name", ["mx9", "mx6", "mx4", "msfp16", "int8", "vsq6", "fp8_e4m3"])
+def test_quantize_kernel(benchmark, data, name):
+    fmt = get_format(name)
+    result = benchmark(lambda: fmt.quantize(data, axis=-1))
+    assert result.shape == SHAPE
+
+
+def test_raw_engine_mx9(benchmark, data):
+    config = BDRConfig.mx(m=7)
+    benchmark(lambda: bdr_quantize(data, config, axis=-1))
+
+
+def test_quantized_matmul_forward_backward(benchmark):
+    rng = np.random.default_rng(1)
+    a_data = rng.normal(size=(64, 256))
+    w_data = rng.normal(size=(256, 64))
+    spec = QuantSpec.uniform("mx9")
+
+    def step():
+        a = Tensor(a_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        quantized_matmul(a, w, spec).sum().backward()
+        return w.grad
+
+    assert benchmark(step) is not None

@@ -1,0 +1,14 @@
+"""Sparsity affinity: the intro's small-block claim under 2:4 pruning."""
+
+
+def test_sparsity_block_size_affinity(experiment):
+    result = experiment("sparsity", quick=True)
+    by_k1 = {}
+    for row in result.rows:
+        if row["config"].startswith("BFP"):
+            by_k1[row["k1"]] = row["qsnr_vs_pruned_db"]
+    # fidelity after pruning degrades monotonically with block size
+    assert by_k1[16] > by_k1[64] > by_k1[256]
+    # the MX point (with microexponents) tops the plain BFP point
+    mx_row = next(r for r in result.rows if r["config"].startswith("MX6"))
+    assert mx_row["qsnr_vs_pruned_db"] > by_k1[16]

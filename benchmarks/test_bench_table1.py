@@ -1,0 +1,8 @@
+"""Table I: the two-level-scaling taxonomy."""
+
+
+def test_table1_taxonomy(experiment):
+    result = experiment("table1")
+    assert [row["format"] for row in result.rows] == [
+        "INT", "MSFP/BFP", "FP8", "VSQ", "MX",
+    ]

@@ -1,0 +1,9 @@
+"""Table II: MX format definitions, measured QSNR and the Theorem 1 bound."""
+
+
+def test_table2_mx_definitions(experiment):
+    result = experiment("table2", quick=True)
+    bits = [row["bits_per_element"] for row in result.rows]
+    assert bits == [9.0, 6.0, 4.0]
+    for row in result.rows:
+        assert row["qsnr_db"] >= row["theorem1_bound_db"]

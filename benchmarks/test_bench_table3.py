@@ -1,0 +1,36 @@
+"""Table III: the full training + inferencing matrix.
+
+This is the long benchmark (~5-8 minutes): every model family trains twice
+(FP32 and MX9 from identical initialization), is direct-cast to MX9/MX6,
+and is quantization-aware fine-tuned at MX6.
+"""
+
+import math
+
+
+def test_table3_training_and_inference(experiment):
+    result = experiment("table3", quick=True)
+    by_model = {}
+    for row in result.rows:
+        by_model.setdefault(row["model"], []).append(row)
+
+    # every row family produced all five columns
+    for rows in by_model.values():
+        for row in rows:
+            for column in (
+                "baseline_fp32", "mx9_train", "direct_cast_mx9",
+                "direct_cast_mx6", "finetune_mx6",
+            ):
+                assert row[column] is not None
+                assert math.isfinite(row[column])
+
+    # MX9 training tracks FP32 on the classification rows (paper: within
+    # run-to-run variation)
+    for name in ("DeiT-Tiny", "ResNet-18"):
+        row = by_model[name][0]
+        assert abs(row["mx9_train"] - row["baseline_fp32"]) <= 15.0
+
+    # MX9 direct cast is a drop-in on BLEU/accuracy rows
+    for name in ("GNMT (LSTM)", "ResNet-18", "DeiT-Tiny"):
+        row = by_model[name][0]
+        assert abs(row["direct_cast_mx9"] - row["baseline_fp32"]) <= 10.0

@@ -1,0 +1,12 @@
+"""Table IV: zero/few-shot direct-cast accuracy by (weight, activation)."""
+
+
+def test_table4_few_shot_direct_cast(experiment):
+    result = experiment("table4", quick=True)
+    # expected shape: (MX9, MX9) tracks FP32 closely on every task
+    for row in result.rows:
+        assert abs(row["(MX9, MX9)"] - row["FP32"]) <= 10.0
+    # the adversarial family sits near chance (like ANLI-r2)
+    adversarial = [r for r in result.rows if r["task"] == "adversarial"]
+    for row in adversarial:
+        assert 30.0 <= row["FP32"] <= 70.0

@@ -1,0 +1,10 @@
+"""Table V: BERT QA under direct cast (no fine-tuning)."""
+
+
+def test_table5_bert_qa_direct_cast(experiment):
+    result = experiment("table5", quick=True)
+    by_column = {row["column"]: row for row in result.rows if row["model"] == "Bert-Base"}
+    baseline = by_column["FP32"]
+    # the paper's claim: direct casting costs almost nothing on QA
+    assert by_column["Direct Cast (MX9)"]["f1"] >= baseline["f1"] - 3.0
+    assert by_column["Direct Cast (MX6)"]["f1"] >= baseline["f1"] - 5.0

@@ -1,0 +1,11 @@
+"""Table VI: recommendation-model NE deltas under MX9 / mixed precision."""
+
+
+def test_table6_recommendation_ne(experiment):
+    result = experiment("table6", quick=True)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        # NE itself must be meaningful (below the base-rate 1.0)
+        assert row["ne_fp32"] < 1.0
+        # the MX9 delta stays small in both directions (percent scale)
+        assert abs(row["mx9_delta_pct"]) < 2.5

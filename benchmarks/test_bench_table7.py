@@ -1,0 +1,8 @@
+"""Table VII: GPT / MoE generative training, MX9 vs FP32."""
+
+
+def test_table7_mx9_matches_fp32(experiment):
+    result = experiment("table7", quick=True)
+    for row in result.rows:
+        # the paper's claim: identical LM loss with no recipe change
+        assert abs(row["delta"]) <= 0.02, row

@@ -1,0 +1,6 @@
+"""Theorem 1: the QSNR lower bound across formats and distributions."""
+
+
+def test_theorem1_bound(experiment):
+    result = experiment("theorem1", quick=True)
+    assert all(row["holds"] == "yes" for row in result.rows)

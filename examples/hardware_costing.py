@@ -1,0 +1,38 @@
+"""Inspect the Figure 6 dot-product pipeline cost model.
+
+Prints the per-stage area account for several formats, showing where each
+design spends its silicon — the paper's "a little shifting goes a long way"
+argument made concrete: scalar FP pays for per-element alignment shifters,
+MX replaces them with 1-2-bit conditional shifts plus per-block alignment.
+
+Run:  python examples/hardware_costing.py
+"""
+
+from repro.formats import get_format
+from repro.hardware import (
+    fp8_baseline_area,
+    hardware_cost,
+    lines_needed,
+    pipeline_area,
+    storage_spec,
+)
+
+
+def main():
+    print(f"FP8 (E4M3+E5M2) baseline unit: {fp8_baseline_area():,.0f} GE\n")
+
+    for name in ("fp8_e4m3", "mx9", "mx6", "mx4"):
+        fmt = get_format(name)
+        breakdown = pipeline_area(fmt)
+        print(breakdown.summary())
+        hc = hardware_cost(fmt)
+        spec = storage_spec(fmt)
+        print(
+            f"  -> normalized area {hc.normalized_area:.2f}, "
+            f"{lines_needed(spec)} interface lines / 256-elem tile, "
+            f"area-memory product {hc.area_memory_product:.2f}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

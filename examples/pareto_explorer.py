@@ -1,0 +1,50 @@
+"""Explore the BDR design space and reproduce the Figure 7 Pareto frontier.
+
+Run:  python examples/pareto_explorer.py [--full]
+
+--full sweeps the complete BDR grid (several hundred configurations, a few
+minutes); the default sweeps a reduced grid plus every named format.
+"""
+
+import argparse
+
+from repro.core.bdr import BDRConfig
+from repro.fidelity import run_sweep
+from repro.fidelity.sweep import bdr_design_space, sweep_frontier
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="sweep the full BDR grid")
+    parser.add_argument("--vectors", type=int, default=1000, help="QSNR ensemble size")
+    args = parser.parse_args()
+
+    if args.full:
+        configs = bdr_design_space()
+    else:
+        configs = bdr_design_space(
+            mantissa_bits=(2, 4, 7), k1_values=(16, 32), k2_values=(1, 2, 4),
+        )
+    print(f"sweeping {len(configs)} BDR grid points + named formats ...")
+    points = run_sweep(configs=configs, include_named=True, n_vectors=args.vectors)
+
+    frontier = sweep_frontier(points)
+    frontier_labels = {p.label for p in frontier}
+
+    print(f"\n{'design point':34s} {'bits':>5s} {'cost':>6s} {'QSNR':>7s}  frontier")
+    for p in sorted(points, key=lambda p: p.cost):
+        marker = "  <-- Pareto" if p.label in frontier_labels else ""
+        named = not p.label.startswith("bdr(")
+        if named or marker:
+            print(f"{p.label:34s} {p.bits_per_element:5.2f} {p.cost:6.3f} "
+                  f"{p.qsnr_db:7.2f}{marker}")
+
+    mx_points = {p.label: p for p in points if p.label in ("MX4", "MX6", "MX9")}
+    print(f"\n{len(frontier)} frontier points out of {len(points)} evaluated")
+    print("MX family positions:",
+          ", ".join(f"{n} (cost {p.cost:.2f}, {p.qsnr_db:.1f} dB)"
+                    for n, p in sorted(mx_points.items())))
+
+
+if __name__ == "__main__":
+    main()

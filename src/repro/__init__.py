@@ -1,0 +1,40 @@
+"""repro: a from-scratch reproduction of "With Shared Microexponents,
+A Little Shifting Goes a Long Way" (ISCA 2023).
+
+Public API highlights:
+
+* :class:`repro.core.BDRConfig` — the Block Data Representations design space.
+* :func:`repro.core.mx_quantize` / :data:`repro.core.MX9` — the MX formats.
+* :func:`repro.formats.get_format` — every format family from Figure 7.
+* :func:`repro.fidelity.measure_qsnr` — the paper's statistical methodology.
+* :mod:`repro.hardware` — the dot-product area and memory cost models.
+* :mod:`repro.nn` / :mod:`repro.flow` — quantized training and inference.
+* :mod:`repro.experiments` — one runner per table and figure.
+"""
+
+from .core import (
+    MX4,
+    MX6,
+    MX9,
+    BDRConfig,
+    bdr_quantize,
+    mx_quantize,
+    qsnr_lower_bound,
+)
+from .formats import Format, get_format, list_formats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDRConfig",
+    "MX4",
+    "MX6",
+    "MX9",
+    "bdr_quantize",
+    "mx_quantize",
+    "qsnr_lower_bound",
+    "Format",
+    "get_format",
+    "list_formats",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure7
+    python -m repro table3 --full --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    from .experiments import list_experiments, run_experiment
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures from the MX shared-microexponents paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. figure7, table3) or 'list' to enumerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-scale run (default is the faster quick mode)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for exp_id in list_experiments():
+            print(exp_id)
+        return 0
+
+    start = time.time()
+    try:
+        result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result)
+    print(f"\n[{args.experiment} completed in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

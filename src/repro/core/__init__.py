@@ -1,0 +1,33 @@
+"""The paper's primary contribution: BDR configs, two-level quantization,
+the MX formats, and the Theorem 1 fidelity bound."""
+
+from .bdr import BDRConfig
+from .mx import MX4, MX6, MX9, MX_FORMATS, mx_quantize
+from .quantize import QuantizeResult, bdr_quantize, bdr_quantize_detailed
+from .rounding import ROUNDING_MODES, apply_rounding
+from .scaling import DelayedScaler, floor_log2, shared_exponent
+from .sparsity import apply_nm_sparsity, density, nm_sparsity_mask, sparse_quantize
+from .theorem import qsnr_lower_bound, qsnr_lower_bound_params
+
+__all__ = [
+    "BDRConfig",
+    "MX4",
+    "MX6",
+    "MX9",
+    "MX_FORMATS",
+    "mx_quantize",
+    "QuantizeResult",
+    "bdr_quantize",
+    "bdr_quantize_detailed",
+    "ROUNDING_MODES",
+    "apply_rounding",
+    "DelayedScaler",
+    "floor_log2",
+    "shared_exponent",
+    "qsnr_lower_bound",
+    "qsnr_lower_bound_params",
+    "apply_nm_sparsity",
+    "density",
+    "nm_sparsity_mask",
+    "sparse_quantize",
+]

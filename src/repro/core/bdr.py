@@ -1,0 +1,158 @@
+"""Block Data Representations (BDR): the paper's unifying configuration space.
+
+A BDR point quantizes a vector in blocks of ``k1`` elements sharing a global
+scale ``s`` (``d1`` bits), optionally subdivided into sub-blocks of ``k2``
+elements sharing a sub-scale ``ss_i`` (``d2`` bits), with each element storing
+a sign and ``m`` explicit mantissa (magnitude) bits.
+
+The per-element storage cost is ``(m + 1) + d1/k1 + d2/k2`` bits (Section
+III).  Table I of the paper maps the popular format families onto this space:
+
+========  =====  =========  =======  ========  ======  ======
+Format    scale  sub-scale  s type   ss type   k1      k2
+========  =====  =========  =======  ========  ======  ======
+INT       SW     --         FP32     --        ~1K     --
+MSFP/BFP  HW     --         2^z      --        ~10     --
+FP8       SW     HW         FP32     2^z       ~10K    1
+VSQ       SW     HW         FP32     INT       ~1K     ~10
+MX        HW     HW         2^z      2^z       ~10     ~1
+========  =====  =========  =======  ========  ======  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Valid encodings for the level-1 scale factor.
+SCALE_TYPES = ("pow2", "fp32")
+#: Valid encodings for the level-2 sub-scale factor.
+SUBSCALE_TYPES = ("none", "pow2", "int")
+
+
+@dataclass(frozen=True)
+class BDRConfig:
+    """One point in the BDR design space.
+
+    Attributes:
+        m: explicit mantissa (magnitude) bits per element, excluding the sign
+            bit.  Scalar floating-point's implicit leading one is *not*
+            counted here, matching the paper's footnote 1.
+        k1: level-1 block granularity (elements sharing ``s``).
+        d1: bit-width of the level-1 scale factor.
+        s_type: ``"pow2"`` for a hardware exponent scale, ``"fp32"`` for a
+            software-managed real-valued scale.
+        k2: level-2 sub-block granularity (elements sharing ``ss_i``).
+        d2: bit-width of each sub-scale factor (0 disables the second level).
+        ss_type: ``"none"``, ``"pow2"`` (shared microexponent) or ``"int"``
+            (VSQ-style integer sub-scale).
+        name: optional display name for tables and plots.
+    """
+
+    m: int
+    k1: int
+    d1: int
+    s_type: str = "pow2"
+    k2: int = 1
+    d2: int = 0
+    ss_type: str = "none"
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.m < 0:
+            raise ValueError(f"mantissa bits must be >= 0, got {self.m}")
+        if self.k1 < 1:
+            raise ValueError(f"k1 must be >= 1, got {self.k1}")
+        if self.k2 < 1:
+            raise ValueError(f"k2 must be >= 1, got {self.k2}")
+        if self.k1 % self.k2 != 0:
+            raise ValueError(f"k2 ({self.k2}) must divide k1 ({self.k1})")
+        if self.d1 < 1:
+            raise ValueError(f"d1 must be >= 1, got {self.d1}")
+        if self.d2 < 0:
+            raise ValueError(f"d2 must be >= 0, got {self.d2}")
+        if self.s_type not in SCALE_TYPES:
+            raise ValueError(f"s_type must be one of {SCALE_TYPES}, got {self.s_type!r}")
+        if self.ss_type not in SUBSCALE_TYPES:
+            raise ValueError(
+                f"ss_type must be one of {SUBSCALE_TYPES}, got {self.ss_type!r}"
+            )
+        if (self.d2 == 0) != (self.ss_type == "none"):
+            raise ValueError("d2 == 0 exactly when ss_type == 'none'")
+        if self.ss_type != "none" and self.k2 >= self.k1 and self.k1 > 1:
+            raise ValueError("a second scaling level requires k2 < k1")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def beta(self) -> int:
+        """Maximum sub-block shift ``2^d2 - 1`` (Theorem 1's beta)."""
+        return (1 << self.d2) - 1
+
+    @property
+    def bits_per_element(self) -> float:
+        """Average storage bits per element: ``(m+1) + d1/k1 + d2/k2``."""
+        bits = (self.m + 1) + self.d1 / self.k1
+        if self.ss_type != "none":
+            bits += self.d2 / self.k2
+        return bits
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable magnitude code: ``2^m - 1``."""
+        return (1 << self.m) - 1
+
+    @property
+    def num_subblocks(self) -> int:
+        """Sub-blocks per block, ``k1 / k2``."""
+        return self.k1 // self.k2
+
+    @property
+    def family(self) -> str:
+        """Coarse classification used for hardware-cost dispatch."""
+        if self.s_type == "pow2":
+            if self.ss_type == "pow2":
+                return "mx"
+            return "bfp"
+        if self.ss_type == "int":
+            return "vsq"
+        if self.ss_type == "pow2":
+            return "scalar_float"
+        return "int"
+
+    def with_name(self, name: str) -> "BDRConfig":
+        """Return a copy carrying a display name."""
+        return replace(self, name=name)
+
+    @property
+    def label(self) -> str:
+        """Display name, synthesized from the parameters when unset."""
+        if self.name is not None:
+            return self.name
+        return (
+            f"bdr(m={self.m},k1={self.k1},d1={self.d1},{self.s_type}"
+            f",k2={self.k2},d2={self.d2},{self.ss_type})"
+        )
+
+    # ------------------------------------------------------------------
+    # Named constructors for the families of Table I
+    # ------------------------------------------------------------------
+    @classmethod
+    def mx(cls, m: int, k1: int = 16, k2: int = 2, d1: int = 8, d2: int = 1) -> "BDRConfig":
+        """A shared-microexponent format (Table II defaults)."""
+        return cls(m=m, k1=k1, d1=d1, s_type="pow2", k2=k2, d2=d2, ss_type="pow2")
+
+    @classmethod
+    def bfp(cls, m: int, k1: int = 16, d1: int = 8) -> "BDRConfig":
+        """Conventional block floating-point (MSFP-style, d2 = 0)."""
+        return cls(m=m, k1=k1, d1=d1, s_type="pow2")
+
+    @classmethod
+    def int_sw(cls, m: int, k1: int = 1024) -> "BDRConfig":
+        """Software-scaled integer quantization (FP32 scale, coarse block)."""
+        return cls(m=m, k1=k1, d1=32, s_type="fp32")
+
+    @classmethod
+    def vsq(cls, m: int, d2: int = 6, k1: int = 1024, k2: int = 16) -> "BDRConfig":
+        """Per-vector scaled quantization: FP32 scale + integer sub-scale."""
+        return cls(m=m, k1=k1, d1=32, s_type="fp32", k2=k2, d2=d2, ss_type="int")

@@ -1,0 +1,71 @@
+"""The MX shared-microexponent formats (Table II of the paper).
+
+All three basic formats share ``k1 = 16``, ``k2 = 2``, ``d1 = 8`` and
+``d2 = 1`` and differ only in the mantissa bit-width, which maximizes
+hardware reuse:
+
+=========================  ====  ====  ====
+Parameter                  MX9   MX6   MX4
+=========================  ====  ====  ====
+Block granularity ``k1``   16    16    16
+Sub-block ``k2``           2     2     2
+Scale bits ``d1``          8     8     8
+Sub-scale bits ``d2``      1     1     1
+Mantissa bits ``m``        7     4     2
+Average bits per element   9     6     4
+=========================  ====  ====  ====
+
+A value is stored as a sign, an ``m``-bit magnitude, one sixteenth of an
+8-bit shared block exponent, and one half of a 1-bit *microexponent*: a
+conditional right shift that doubles the effective resolution of sub-blocks
+sitting below the block maximum — "a little shifting goes a long way".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bdr import BDRConfig
+from .quantize import bdr_quantize
+
+__all__ = ["MX9", "MX6", "MX4", "MX_FORMATS", "mx_quantize"]
+
+#: MX9: drop-in replacement for FP32/BF16 in training and inference.
+MX9 = BDRConfig.mx(m=7).with_name("MX9")
+#: MX6: ~2x cheaper than FP8 with QSNR between E4M3 and E5M2.
+MX6 = BDRConfig.mx(m=4).with_name("MX6")
+#: MX4: ultra-narrow inference/training format, ~4x cheaper than FP8.
+MX4 = BDRConfig.mx(m=2).with_name("MX4")
+
+#: The three basic formats by name.
+MX_FORMATS: dict[str, BDRConfig] = {"MX9": MX9, "MX6": MX6, "MX4": MX4}
+
+
+def mx_quantize(
+    x: np.ndarray,
+    fmt: str | BDRConfig = MX9,
+    axis: int = -1,
+    rounding: str = "nearest",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Quantize along ``axis`` to an MX format and dequantize.
+
+    MX is a *directional* format: hardware benefits require quantizing
+    along the reduction dimension of the consuming dot product (Section V),
+    so callers must pass the correct ``axis``.
+
+    Args:
+        x: input array.
+        fmt: ``"MX9" | "MX6" | "MX4"`` or any MX-family :class:`BDRConfig`.
+        axis: the reduction dimension.
+        rounding: mantissa rounding mode.
+        rng: generator for stochastic rounding.
+    """
+    if isinstance(fmt, str):
+        try:
+            fmt = MX_FORMATS[fmt.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown MX format {fmt!r}; expected one of {sorted(MX_FORMATS)}"
+            ) from None
+    return bdr_quantize(x, fmt, axis=axis, rounding=rounding, rng=rng)

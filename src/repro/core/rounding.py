@@ -1,0 +1,61 @@
+"""Rounding primitives shared by every quantizer in the library.
+
+The paper quantizes mantissas by "rounding to the nearest floating point
+number" (Section IX), i.e. round-half-to-even, which is the default
+everywhere in this library.  Stochastic rounding and truncation are provided
+for ablations (FAST [43] and related BFP training work rely on stochastic
+rounding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Rounding mode names accepted by :func:`apply_rounding`.
+ROUNDING_MODES = ("nearest", "stochastic", "truncate")
+
+
+def round_nearest_even(x: np.ndarray) -> np.ndarray:
+    """Round to the nearest integer, ties to even (IEEE 754 default)."""
+    return np.rint(x)
+
+
+def round_stochastic(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Round up with probability equal to the fractional part.
+
+    Unbiased: ``E[round_stochastic(x)] == x``.
+    """
+    floor = np.floor(x)
+    frac = x - floor
+    return floor + (rng.random(size=np.shape(x)) < frac)
+
+
+def round_truncate(x: np.ndarray) -> np.ndarray:
+    """Round toward zero (drop the fractional bits)."""
+    return np.trunc(x)
+
+
+def apply_rounding(
+    x: np.ndarray,
+    mode: str = "nearest",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Dispatch to one of the rounding primitives by name.
+
+    Args:
+        x: values already scaled onto an integer grid.
+        mode: one of :data:`ROUNDING_MODES`.
+        rng: required for ``"stochastic"`` mode.
+
+    Raises:
+        ValueError: on an unknown mode or a missing generator.
+    """
+    if mode == "nearest":
+        return round_nearest_even(x)
+    if mode == "truncate":
+        return round_truncate(x)
+    if mode == "stochastic":
+        if rng is None:
+            raise ValueError("stochastic rounding requires an rng")
+        return round_stochastic(x, rng)
+    raise ValueError(f"unknown rounding mode {mode!r}; expected one of {ROUNDING_MODES}")

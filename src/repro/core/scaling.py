@@ -1,0 +1,119 @@
+"""Scale-factor selection strategies.
+
+Three strategies appear in the paper's evaluation (Figure 7 caption):
+
+* hardware power-of-two scaling from the current block maximum (BFP / MX),
+* software FP32 scaling from the current tensor maximum (the "just-in-time"
+  variant used for static weights), and
+* *delayed scaling* per NVIDIA's Transformer Engine [40]: the FP32 scale is
+  derived from the maximum absolute value over a window of previously
+  observed tensors, which is how dynamic activations and gradients are
+  scaled during training.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+#: Guard against log2(0); any magnitude below this is treated as zero.
+_TINY = np.finfo(np.float64).tiny
+
+
+def floor_log2(x: np.ndarray) -> np.ndarray:
+    """Exact ``floor(log2(|x|))`` for positive inputs via frexp.
+
+    ``frexp`` returns ``x = mant * 2**exp`` with ``mant in [0.5, 1)``, so the
+    floor of the base-2 logarithm is ``exp - 1``.  Zeros map to the most
+    negative representable exponent so they never win a shared-exponent max.
+    """
+    x = np.abs(np.asarray(x, dtype=np.float64))
+    mant, exp = np.frexp(x)
+    del mant
+    exp = exp.astype(np.int64) - 1
+    return np.where(x < _TINY, np.int64(-(2**30)), exp)
+
+
+def shared_exponent(x: np.ndarray, axis: int = -1, d1: int = 8) -> np.ndarray:
+    """Per-block shared exponent: ``floor(log2(max |x|))`` along ``axis``.
+
+    The result is clamped to the ``d1``-bit biased exponent range
+    ``[1 - 2^(d1-1), 2^(d1-1)]`` so that an 8-bit shared exponent behaves
+    like FP32's exponent field.  All-zero blocks clamp to the bottom of the
+    range; their elements quantize to zero under any scale.
+    """
+    amax = np.max(np.abs(x), axis=axis)
+    exp = floor_log2(amax)
+    lo, hi = exponent_range(d1)
+    return np.clip(exp, lo, hi)
+
+
+def exponent_range(d1: int) -> tuple[int, int]:
+    """Representable exponent interval for a ``d1``-bit biased field."""
+    half = 1 << (d1 - 1)
+    return 1 - half, half
+
+
+def amax_scale(amax: np.ndarray, qmax: float) -> np.ndarray:
+    """FP32 scale aligning ``amax`` with the largest representable code."""
+    amax = np.asarray(amax, dtype=np.float64)
+    scale = amax / qmax
+    return np.where(amax < _TINY, 1.0, scale)
+
+
+def pow2_scale(amax: np.ndarray, qmax: float) -> np.ndarray:
+    """Power-of-two scale: ``amax / qmax`` rounded up to a power of two.
+
+    Rounding the ideal scale *up* guarantees no clipping, matching the
+    ``RoundToPwr2`` step in Figure 1(b).
+    """
+    ideal = amax_scale(amax, qmax)
+    exp = np.ceil(np.log2(ideal))
+    return np.exp2(exp)
+
+
+class DelayedScaler:
+    """Windowed-amax scale estimation per the Transformer Engine recipe [40].
+
+    Keeps the ``window`` most recent per-tensor maxima; the working scale for
+    the next tensor is derived from the max of that history.  The first call
+    falls back to just-in-time scaling (no history yet).
+    """
+
+    def __init__(self, qmax: float, window: int = 16, margin: float = 1.0):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.qmax = float(qmax)
+        self.window = window
+        #: extra headroom multiplier applied to the historical amax
+        self.margin = float(margin)
+        self._history: deque[float] = deque(maxlen=window)
+
+    def observe(self, x: np.ndarray) -> None:
+        """Record the amax of a freshly seen tensor."""
+        self._history.append(float(np.max(np.abs(x), initial=0.0)))
+
+    @property
+    def history_amax(self) -> float:
+        """Largest amax in the current window (0.0 when empty)."""
+        if not self._history:
+            return 0.0
+        return max(self._history)
+
+    def scale(self, x: np.ndarray | None = None) -> float:
+        """Scale for the next tensor; falls back to ``x``'s own amax."""
+        amax = self.history_amax * self.margin
+        if amax <= 0.0:
+            if x is None:
+                return 1.0
+            amax = float(np.max(np.abs(x), initial=0.0))
+        if amax <= 0.0:
+            return 1.0
+        return amax / self.qmax
+
+    def scale_and_observe(self, x: np.ndarray) -> float:
+        """Convenience: compute the working scale for ``x`` then record it."""
+        s = self.scale(x)
+        self.observe(x)
+        return s

@@ -1,0 +1,79 @@
+"""Fine-grained structured sparsity interacting with BDR blocks.
+
+The paper's introduction motivates MX's small block sizes partly because
+they are "more amenable to fine-grained sparsity support than larger block
+sizes": with N:M structured sparsity (keep N of every M elements, as in
+Ampere's 2:4), pruning happens *within* a scaling block, and the smaller
+the block, the less a pruned outlier distorts the survivors' shared scale.
+
+This module provides the N:M machinery and the combined prune-then-quantize
+transform used by the ``sparsity`` experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bdr import BDRConfig
+from .quantize import bdr_quantize
+
+__all__ = ["nm_sparsity_mask", "apply_nm_sparsity", "sparse_quantize", "density"]
+
+
+def nm_sparsity_mask(x: np.ndarray, n: int, m: int, axis: int = -1) -> np.ndarray:
+    """Boolean keep-mask implementing N:M magnitude pruning along ``axis``.
+
+    In every group of ``m`` consecutive elements the ``n`` largest
+    magnitudes survive.  Trailing partial groups keep their proportional
+    share (ceil), so any length is accepted.
+    """
+    if not 0 < n <= m:
+        raise ValueError(f"need 0 < n <= m, got {n}:{m}")
+    x = np.asarray(x)
+    moved = np.moveaxis(x, axis, -1)
+    length = moved.shape[-1]
+    pad = (-length) % m
+    if pad:
+        width = [(0, 0)] * (moved.ndim - 1) + [(0, pad)]
+        padded = np.pad(np.abs(moved), width, constant_values=-1.0)
+    else:
+        padded = np.abs(moved)
+    groups = padded.reshape(padded.shape[:-1] + (-1, m))
+    # rank within each group; keep the n largest magnitudes
+    order = np.argsort(groups, axis=-1)
+    ranks = np.argsort(order, axis=-1)
+    keep = ranks >= (m - n)
+    keep = keep.reshape(padded.shape)[..., :length]
+    return np.moveaxis(keep, -1, axis)
+
+
+def apply_nm_sparsity(x: np.ndarray, n: int, m: int, axis: int = -1) -> np.ndarray:
+    """Zero out pruned elements (N:M magnitude pruning)."""
+    return np.where(nm_sparsity_mask(x, n, m, axis=axis), x, 0.0)
+
+
+def sparse_quantize(
+    x: np.ndarray,
+    config: BDRConfig,
+    n: int,
+    m: int,
+    axis: int = -1,
+    rounding: str = "nearest",
+) -> np.ndarray:
+    """Prune N:M then quantize to a BDR format (the deployment order).
+
+    Pruning first means the block scale is derived from the *survivors*,
+    which is where small ``k1`` pays off: a pruned-away outlier in a large
+    block would otherwise have pinned the shared exponent for hundreds of
+    small survivors.
+    """
+    pruned = apply_nm_sparsity(x, n, m, axis=axis)
+    return bdr_quantize(pruned, config, axis=axis, rounding=rounding)
+
+
+def density(x: np.ndarray) -> float:
+    """Fraction of nonzero elements."""
+    x = np.asarray(x)
+    if x.size == 0:
+        raise ValueError("empty array has no density")
+    return float(np.count_nonzero(x)) / x.size

@@ -1,0 +1,56 @@
+"""Theorem 1: the distribution-free QSNR lower bound for BDR formats.
+
+For an ``N``-dimensional vector drawn from *any* distribution, quantized with
+mantissa bits ``m``, block sizes ``k1``/``k2`` and sub-scale width ``d2``
+(``beta = 2^d2 - 1``), the paper proves (Section IX):
+
+    QSNR >= 6.02 m + 10 log10( 2^(2 beta) / (min(N, k1) + (2^(2 beta) - 1) k2) )
+
+The bound captures the two empirical trends of Figure 7: QSNR grows linearly
+with ``m`` (~6 dB per mantissa bit) and degrades logarithmically with the
+block granularities.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .bdr import BDRConfig
+
+__all__ = ["qsnr_lower_bound", "qsnr_lower_bound_params"]
+
+
+def qsnr_lower_bound_params(m: int, k1: int, k2: int, d2: int, n: int | None = None) -> float:
+    """Evaluate the Theorem 1 bound from raw parameters, in decibels.
+
+    Args:
+        m: explicit mantissa bits.
+        k1: level-1 block granularity.
+        k2: level-2 sub-block granularity (use ``k2 = k1`` when there is no
+            second level: with ``beta = 0`` the bound degenerates to the
+            classic BFP bound ``6.02 m - 10 log10 min(N, k1)``).
+        d2: sub-scale bit-width (0 for single-level formats).
+        n: vector length; defaults to ``k1`` (the bound is tightest there).
+    """
+    if m < 0 or k1 < 1 or k2 < 1 or d2 < 0:
+        raise ValueError("parameters must be non-negative (k1, k2 >= 1)")
+    if n is None:
+        n = k1
+    beta = (1 << d2) - 1
+    if 2 * beta > 60:
+        # asymptote as beta -> inf: the block term vanishes and the bound
+        # tends to 6.02 m - 10 log10(k2); evaluate there to avoid overflow
+        return 6.02 * m - 10.0 * math.log10(k2)
+    four_beta = 2.0 ** (2 * beta)
+    denom = min(n, k1) + (four_beta - 1.0) * k2
+    return 6.02 * m + 10.0 * math.log10(four_beta / denom)
+
+
+def qsnr_lower_bound(config: BDRConfig, n: int | None = None) -> float:
+    """Theorem 1 bound for a :class:`BDRConfig`, in decibels.
+
+    Single-level configs (``d2 = 0``) use ``k2 = k1`` so the second term
+    reduces to the plain block-floating-point penalty.
+    """
+    k2 = config.k2 if config.d2 > 0 else config.k1
+    return qsnr_lower_bound_params(config.m, config.k1, k2, config.d2, n=n)

@@ -1,0 +1,26 @@
+"""Synthetic datasets with the structure of the paper's 20+ benchmarks."""
+
+from .synthetic import (
+    CTRLogs,
+    FrameAudio,
+    GaussianMixture2D,
+    ImageClasses,
+    QACorpus,
+    SyntheticLanguage,
+    TranslationTask,
+)
+from .tasks import TASK_FAMILIES, ChoiceExample, make_task, render_few_shot
+
+__all__ = [
+    "CTRLogs",
+    "FrameAudio",
+    "GaussianMixture2D",
+    "ImageClasses",
+    "QACorpus",
+    "SyntheticLanguage",
+    "TranslationTask",
+    "TASK_FAMILIES",
+    "ChoiceExample",
+    "make_task",
+    "render_few_shot",
+]

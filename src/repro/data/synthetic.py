@@ -1,0 +1,339 @@
+"""Synthetic datasets with the task structure of the paper's benchmarks.
+
+Each generator is deterministic given a seed and sized for laptop-scale
+training.  The point is *within-model comparability across number formats*
+(FP32 vs MX9 vs MX6 vs MX4), for which the dataset identity only shifts the
+absolute metric values — see DESIGN.md section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SyntheticLanguage",
+    "TranslationTask",
+    "ImageClasses",
+    "QACorpus",
+    "FrameAudio",
+    "CTRLogs",
+    "GaussianMixture2D",
+]
+
+
+class SyntheticLanguage:
+    """A power-law Markov language with long-range key-value recalls.
+
+    Sequences mix (a) first-order Markov transitions with a power-law
+    stationary distribution and (b) delimiter-marked recall patterns
+    (``<copy> x ... <query> -> x``) that reward context use, so LM loss
+    improves with model capacity — the structure behind the GPT ladder of
+    Table VII and the few-shot tasks of Table IV.
+    """
+
+    def __init__(self, vocab_size: int = 48, seed: int = 0):
+        if vocab_size < 8:
+            raise ValueError("vocab must hold special tokens plus content")
+        self.vocab_size = vocab_size
+        self.copy_token = vocab_size - 1
+        self.query_token = vocab_size - 2
+        self.separator = vocab_size - 3
+        self.content_size = vocab_size - 3
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(scale=1.4, size=(self.content_size, self.content_size))
+        # power-law unigram bias makes some tokens much more frequent
+        bias = -1.1 * np.log(np.arange(1, self.content_size + 1))
+        logits = logits + bias[None, :]
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        self.transition = exp / exp.sum(axis=1, keepdims=True)
+        self.initial = np.exp(bias) / np.exp(bias).sum()
+
+    def sample_sequence(self, length: int, rng: np.random.Generator) -> np.ndarray:
+        """One token sequence of the given length."""
+        tokens = np.empty(length, dtype=np.int64)
+        state = rng.choice(self.content_size, p=self.initial)
+        pending: list[int] = []
+        i = 0
+        while i < length:
+            roll = rng.random()
+            if roll < 0.05 and i + 2 < length:
+                value = rng.integers(self.content_size)
+                tokens[i] = self.copy_token
+                tokens[i + 1] = value
+                pending.append(int(value))
+                i += 2
+                continue
+            if roll < 0.10 and pending and i + 2 < length:
+                tokens[i] = self.query_token
+                tokens[i + 1] = pending.pop(0)
+                i += 2
+                continue
+            state = rng.choice(self.content_size, p=self.transition[state])
+            tokens[i] = state
+            i += 1
+        return tokens
+
+    def batches(
+        self, batch_size: int, seq_len: int, steps: int, seed: int = 0
+    ):
+        """Yield ``steps`` batches of (B, T+1) token arrays (inputs+target)."""
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            yield np.stack(
+                [self.sample_sequence(seq_len + 1, rng) for _ in range(batch_size)]
+            )
+
+
+class TranslationTask:
+    """Deterministic 'translation': map tokens through a fixed permutation
+    and reverse the order — forces both lexical mapping and reordering."""
+
+    def __init__(self, vocab_size: int = 32, seed: int = 0):
+        self.vocab_size = vocab_size
+        self.bos = 0
+        self.eos = 1
+        self.content = vocab_size - 2
+        rng = np.random.default_rng(seed)
+        self.mapping = rng.permutation(self.content) + 2
+
+    def sample_pair(
+        self, rng: np.random.Generator, min_len: int = 4, max_len: int = 10
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(source, target) including BOS/EOS on the target."""
+        length = int(rng.integers(min_len, max_len + 1))
+        source = rng.integers(2, self.vocab_size, size=length)
+        translated = self.mapping[source - 2][::-1]
+        target = np.concatenate(([self.bos], translated, [self.eos]))
+        return source, target
+
+    def batch(
+        self, batch_size: int, rng: np.random.Generator, length: int = 8
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fixed-length batch: (B, L) sources, (B, L+2) targets."""
+        sources = rng.integers(2, self.vocab_size, size=(batch_size, length))
+        translated = self.mapping[sources - 2][:, ::-1]
+        bos = np.full((batch_size, 1), self.bos)
+        eos = np.full((batch_size, 1), self.eos)
+        targets = np.concatenate([bos, translated, eos], axis=1)
+        return sources, targets
+
+    def batches(self, batch_size: int, steps: int, seed: int = 0, length: int = 8):
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            yield self.batch(batch_size, rng, length)
+
+
+class ImageClasses:
+    """Gaussian-template image classes (the ImageNet stand-in).
+
+    Each class has a fixed smooth template; samples add amplitude jitter
+    and pixel noise.  Difficulty is controlled by the noise level.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 8,
+        size: int = 16,
+        channels: int = 1,
+        noise: float = 0.55,
+        seed: int = 0,
+    ):
+        self.num_classes = num_classes
+        self.size = size
+        self.channels = channels
+        self.noise = noise
+        rng = np.random.default_rng(seed)
+        raw = rng.normal(size=(num_classes, channels, size + 2, size + 2))
+        # box-blur for smooth, distinguishable templates
+        blurred = (
+            raw[:, :, :-2, :-2] + raw[:, :, 1:-1, :-2] + raw[:, :, 2:, :-2]
+            + raw[:, :, :-2, 1:-1] + raw[:, :, 1:-1, 1:-1] + raw[:, :, 2:, 1:-1]
+            + raw[:, :, :-2, 2:] + raw[:, :, 1:-1, 2:] + raw[:, :, 2:, 2:]
+        ) / 9.0
+        self.templates = blurred / np.std(blurred, axis=(1, 2, 3), keepdims=True)
+
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(n, C, H, W) images and (n,) integer labels."""
+        labels = rng.integers(self.num_classes, size=n)
+        amplitude = 1.0 + 0.1 * rng.normal(size=(n, 1, 1, 1))
+        images = self.templates[labels] * amplitude
+        images = images + self.noise * rng.normal(size=images.shape)
+        return images, labels
+
+    def batches(self, batch_size: int, steps: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            yield self.sample(batch_size, rng)
+
+
+class QACorpus:
+    """Key-value passages with span-extraction questions (SQuAD stand-in).
+
+    A passage lists (key, value) pairs — keys appear in a fixed canonical
+    order so the task stays learnable at laptop scale — and the question
+    repeats one key; the answer is that key's value span in the passage.
+    """
+
+    def __init__(self, vocab_size: int = 64, num_pairs: int = 6, seed: int = 0):
+        self.vocab_size = vocab_size
+        self.num_pairs = num_pairs
+        self.sep = vocab_size - 1
+        self.mask_token = vocab_size - 2
+        self.num_keys = (vocab_size - 2) // 2
+        self.seed = seed
+
+    @property
+    def passage_length(self) -> int:
+        # pairs of (key, value) + separator + question key
+        return 2 * self.num_pairs + 2
+
+    def sample(
+        self, rng: np.random.Generator
+    ) -> tuple[np.ndarray, int, int]:
+        """(tokens, answer_start, answer_end) — end inclusive."""
+        keys = np.arange(self.num_pairs)
+        values = rng.integers(self.num_keys, 2 * self.num_keys, size=self.num_pairs)
+        passage = np.empty(2 * self.num_pairs, dtype=np.int64)
+        passage[0::2] = keys
+        passage[1::2] = values
+        which = int(rng.integers(self.num_pairs))
+        tokens = np.concatenate([passage, [self.sep], [keys[which]]])
+        answer_pos = 2 * which + 1
+        return tokens, answer_pos, answer_pos
+
+    def batch(self, batch_size: int, rng: np.random.Generator):
+        """(B, L) tokens, (B,) starts, (B,) ends."""
+        rows = [self.sample(rng) for _ in range(batch_size)]
+        tokens = np.stack([r[0] for r in rows])
+        starts = np.array([r[1] for r in rows])
+        ends = np.array([r[2] for r in rows])
+        return tokens, starts, ends
+
+    def batches(self, batch_size: int, steps: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            yield self.batch(batch_size, rng)
+
+    def mlm_batches(self, batch_size: int, steps: int, seed: int = 0, p: float = 0.15):
+        """Masked-token batches: (tokens_with_masks, original_tokens, mask)."""
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            tokens, _, _ = self.batch(batch_size, rng)
+            mask = rng.random(size=tokens.shape) < p
+            mask[:, -2:] = False  # never mask the separator/question slot
+            corrupted = np.where(mask, self.mask_token, tokens)
+            yield corrupted, tokens, mask
+
+
+class FrameAudio:
+    """Synthetic 'speech': frame sequences of class-dependent spectra with
+    temporal smearing (the Librispeech / wav2vec stand-in)."""
+
+    def __init__(
+        self,
+        num_phones: int = 10,
+        frame_dim: int = 24,
+        noise: float = 0.7,
+        seed: int = 0,
+    ):
+        self.num_phones = num_phones
+        self.frame_dim = frame_dim
+        self.noise = noise
+        rng = np.random.default_rng(seed)
+        self.spectra = rng.normal(size=(num_phones, frame_dim))
+
+    def sample(
+        self, n: int, length: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(n, T, frame_dim) frames and (n, T) phone labels (with repeats)."""
+        labels = np.empty((n, length), dtype=np.int64)
+        for row in range(n):
+            t = 0
+            while t < length:
+                phone = int(rng.integers(self.num_phones))
+                duration = int(rng.integers(2, 5))
+                labels[row, t : t + duration] = phone
+                t += duration
+        frames = self.spectra[labels]
+        # temporal smearing: average with the previous frame
+        frames[:, 1:] = 0.7 * frames[:, 1:] + 0.3 * frames[:, :-1]
+        frames = frames + self.noise * rng.normal(size=frames.shape)
+        return frames, labels
+
+    def batches(self, batch_size: int, length: int, steps: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            yield self.sample(batch_size, length, rng)
+
+
+class CTRLogs:
+    """Click-through logs with dense + categorical features (Criteo
+    stand-in).  Ground truth: logistic in the dense features plus pairwise
+    interactions of latent category embeddings."""
+
+    def __init__(
+        self,
+        dense_dim: int = 8,
+        cardinalities: tuple[int, ...] = (32, 32, 16, 16),
+        latent_dim: int = 4,
+        seed: int = 0,
+    ):
+        self.dense_dim = dense_dim
+        self.cardinalities = tuple(cardinalities)
+        rng = np.random.default_rng(seed)
+        self.dense_weights = rng.normal(scale=0.8, size=dense_dim)
+        self.latents = [
+            rng.normal(scale=0.7, size=(card, latent_dim)) for card in cardinalities
+        ]
+        self.bias = -0.4
+
+    def sample(self, n: int, rng: np.random.Generator):
+        """(dense (n,D), cats (n,F), labels (n,))."""
+        dense = rng.normal(size=(n, self.dense_dim))
+        cats = np.stack(
+            [rng.integers(card, size=n) for card in self.cardinalities], axis=1
+        )
+        logit = dense @ self.dense_weights + self.bias
+        embedded = [table[cats[:, i]] for i, table in enumerate(self.latents)]
+        for i in range(len(embedded)):
+            for j in range(i + 1, len(embedded)):
+                logit = logit + np.sum(embedded[i] * embedded[j], axis=1)
+        probs = 1.0 / (1.0 + np.exp(-logit))
+        labels = (rng.random(n) < probs).astype(np.float64)
+        return dense, cats, labels
+
+    def batches(self, batch_size: int, steps: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            yield self.sample(batch_size, rng)
+
+
+@dataclass
+class GaussianMixture2D:
+    """Ring of 2-D Gaussians — the DDPM target distribution.
+
+    Component index doubles as the class label for the conditional model
+    and for the inception-score classifier.
+    """
+
+    num_components: int = 8
+    radius: float = 4.0
+    sigma: float = 0.35
+    seed: int = 0
+
+    @property
+    def centers(self) -> np.ndarray:
+        angles = 2 * np.pi * np.arange(self.num_components) / self.num_components
+        return self.radius * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(n, 2) points and (n,) component labels."""
+        labels = rng.integers(self.num_components, size=n)
+        points = self.centers[labels] + self.sigma * rng.normal(size=(n, 2))
+        return points, labels

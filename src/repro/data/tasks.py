@@ -1,0 +1,123 @@
+"""Zero/few-shot multiple-choice tasks over the synthetic language.
+
+Table IV evaluates direct-cast GPT3-175B on likelihood-ranked choice tasks
+(HellaSwag, WIC, ANLI-r2, Winogrande).  These generators build structurally
+analogous tasks over :class:`~repro.data.synthetic.SyntheticLanguage`: the
+model scores each candidate continuation by total log-likelihood and picks
+the argmax, with N-shot variants prepending solved examples.
+
+Task families (difficulty mirrors the paper's spread):
+
+* ``recall``       — complete a key-value recall (HellaSwag-like, learnable).
+* ``pattern``      — distinguish a grammar-consistent continuation from a
+  shuffled one (WIC-like, mid difficulty).
+* ``adversarial``  — candidates drawn from near-identical distributions
+  (ANLI-like, near chance by construction).
+* ``coreference``  — pick which earlier entity a query refers to
+  (Winogrande-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .synthetic import SyntheticLanguage
+
+__all__ = ["ChoiceExample", "TASK_FAMILIES", "make_task", "render_few_shot"]
+
+TASK_FAMILIES = ("recall", "pattern", "adversarial", "coreference")
+
+
+@dataclass
+class ChoiceExample:
+    """One likelihood-ranked multiple-choice instance."""
+
+    context: np.ndarray
+    candidates: list[np.ndarray]
+    answer: int
+
+
+def _recall_example(lang: SyntheticLanguage, rng: np.random.Generator) -> ChoiceExample:
+    """Context stores a value behind a copy marker; the query must recall it."""
+    prefix = lang.sample_sequence(12, rng)
+    value = int(rng.integers(lang.content_size))
+    distractor = int((value + 1 + rng.integers(lang.content_size - 1)) % lang.content_size)
+    context = np.concatenate([prefix, [lang.copy_token, value, lang.query_token]])
+    candidates = [np.array([value]), np.array([distractor])]
+    answer = 0
+    order = rng.permutation(2)
+    return ChoiceExample(context, [candidates[i] for i in order], int(np.argmin(order)))
+
+
+def _pattern_example(lang: SyntheticLanguage, rng: np.random.Generator) -> ChoiceExample:
+    """True continuation sampled from the grammar vs token-shuffled noise."""
+    sequence = lang.sample_sequence(16, rng)
+    context, true_cont = sequence[:12], sequence[12:]
+    shuffled = rng.permutation(lang.content_size)[: len(true_cont)]
+    candidates = [true_cont, shuffled.astype(np.int64)]
+    order = rng.permutation(2)
+    return ChoiceExample(context, [candidates[i] for i in order], int(np.argmin(order)))
+
+
+def _adversarial_example(lang: SyntheticLanguage, rng: np.random.Generator) -> ChoiceExample:
+    """Both candidates are grammar samples — near chance by construction."""
+    context = lang.sample_sequence(12, rng)
+    a = lang.sample_sequence(4, rng)
+    b = lang.sample_sequence(4, rng)
+    answer = int(rng.integers(2))
+    candidates = [a, b] if answer == 0 else [b, a]
+    return ChoiceExample(context, candidates, answer)
+
+
+def _coreference_example(lang: SyntheticLanguage, rng: np.random.Generator) -> ChoiceExample:
+    """Two stored entities; the query marker refers to the *first* one."""
+    entity_a, entity_b = rng.choice(lang.content_size, size=2, replace=False)
+    filler = lang.sample_sequence(6, rng)
+    context = np.concatenate(
+        [
+            [lang.copy_token, entity_a],
+            filler,
+            [lang.separator, entity_b],
+            [lang.query_token],
+        ]
+    )
+    candidates = [np.array([int(entity_a)]), np.array([int(entity_b)])]
+    order = rng.permutation(2)
+    return ChoiceExample(context, [candidates[i] for i in order], int(np.argmin(order)))
+
+
+_BUILDERS = {
+    "recall": _recall_example,
+    "pattern": _pattern_example,
+    "adversarial": _adversarial_example,
+    "coreference": _coreference_example,
+}
+
+
+def make_task(
+    family: str, lang: SyntheticLanguage, n_examples: int, seed: int = 0
+) -> list[ChoiceExample]:
+    """Generate an evaluation set for one task family."""
+    try:
+        builder = _BUILDERS[family]
+    except KeyError:
+        raise ValueError(f"unknown task family {family!r}; known: {TASK_FAMILIES}") from None
+    rng = np.random.default_rng(seed)
+    return [builder(lang, rng) for _ in range(n_examples)]
+
+
+def render_few_shot(
+    example: ChoiceExample,
+    shots: list[ChoiceExample],
+    separator: int,
+) -> ChoiceExample:
+    """Prepend solved examples (context + gold answer) to the context."""
+    parts = []
+    for shot in shots:
+        parts.append(shot.context)
+        parts.append(shot.candidates[shot.answer])
+        parts.append(np.array([separator]))
+    parts.append(example.context)
+    return ChoiceExample(np.concatenate(parts), example.candidates, example.answer)

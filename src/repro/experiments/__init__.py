@@ -1,0 +1,36 @@
+"""One experiment runner per paper table/figure, behind a string registry.
+
+Importing this package registers every runner; use::
+
+    from repro.experiments import run_experiment, list_experiments
+    print(run_experiment("figure7", quick=True))
+"""
+
+from . import (  # noqa: F401  (imports register the runners)
+    exp_ablation,
+    exp_correlation,
+    exp_sparsity,
+    exp_figure1,
+    exp_figure3,
+    exp_figure6,
+    exp_figure7,
+    exp_figure9,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+    exp_table4,
+    exp_table5,
+    exp_table6,
+    exp_table7,
+    exp_theorem1,
+)
+from .registry import EXPERIMENTS, list_experiments, run_experiment
+from .reporting import ExperimentResult, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+    "ExperimentResult",
+    "format_table",
+]

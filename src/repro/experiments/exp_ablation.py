@@ -1,0 +1,106 @@
+"""Section IV-C ablation: the parameter knees behind the MX definitions.
+
+The paper justifies Table II with three specific trade-off measurements:
+
+* d2 1 -> 2 bits: "+0.5 dB QSNR ... 30-50% increase in normalized cost";
+* k2 8 -> 2 (at d2 = 1): "+~2 dB ... only a marginal 3% cost increase";
+* k2 2 -> 1: "+0.7 dB ... a significant 30-40% cost increase".
+
+This runner re-measures each knee with the library's fidelity and cost
+models, plus two extensions: stochastic-rounding training (the FAST [43]
+recipe) and the three-level parent scale (the paper's future-work note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.bdr import BDRConfig
+from ..core.mx import MX6
+from ..fidelity.qsnr import measure_qsnr
+from ..formats.bdr_format import BDRFormat
+from ..formats.three_level import ThreeLevelFormat
+from ..hardware.cost import hardware_cost
+from .registry import register
+from .reporting import ExperimentResult
+
+
+def _point(config: BDRConfig, n_vectors: int, seed: int):
+    fmt = BDRFormat(config)
+    return (
+        measure_qsnr(fmt, n_vectors=n_vectors, seed=seed),
+        hardware_cost(fmt).area_memory_product,
+    )
+
+
+@register("ablation")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    n_vectors = 1500 if quick else 10_000
+    result = ExperimentResult(
+        exp_id="ablation",
+        title="Section IV-C: parameter-knee ablations behind the Table II choices",
+        columns=["change", "paper_claim", "dqsnr_db", "dcost_pct"],
+        notes=["measured around the MX6 operating point (m=4)"],
+    )
+    base = MX6
+
+    # d2: 1 -> 2 bits
+    q1, c1 = _point(base, n_vectors, seed)
+    q2, c2 = _point(replace(base, d2=2, name=None), n_vectors, seed)
+    result.add_row(
+        change="d2: 1 -> 2",
+        paper_claim="+0.5 dB, +30-50% cost",
+        dqsnr_db=round(q2 - q1, 2),
+        dcost_pct=round(100 * (c2 - c1) / c1, 1),
+    )
+
+    # k2: 8 -> 2 at d2 = 1
+    q8, c8 = _point(replace(base, k2=8, name=None), n_vectors, seed)
+    result.add_row(
+        change="k2: 8 -> 2",
+        paper_claim="+~2 dB, +~3% cost",
+        dqsnr_db=round(q1 - q8, 2),
+        dcost_pct=round(100 * (c1 - c8) / c8, 1),
+    )
+
+    # k2: 2 -> 1
+    q_1, c_1 = _point(
+        BDRConfig(m=base.m, k1=base.k1, d1=base.d1, s_type="pow2",
+                  k2=1, d2=1, ss_type="pow2"),
+        n_vectors, seed,
+    )
+    result.add_row(
+        change="k2: 2 -> 1",
+        paper_claim="+0.7 dB, +30-40% cost",
+        dqsnr_db=round(q_1 - q1, 2),
+        dcost_pct=round(100 * (c_1 - c1) / c1, 1),
+    )
+
+    # extension: three-level parent scale (future work note of Section III)
+    three = ThreeLevelFormat(base, k0=1024)
+    q3 = measure_qsnr(three, n_vectors=n_vectors, seed=seed)
+    result.add_row(
+        change="+FP32 parent scale (3-level)",
+        paper_claim="future work",
+        dqsnr_db=round(q3 - q1, 2),
+        dcost_pct=round(100 * (32.0 / 1024) / base.bits_per_element, 1),
+    )
+
+    # extension: stochastic mantissa rounding (FAST-style training recipe)
+    fmt = BDRFormat(base)
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    from ..fidelity.distributions import sample
+
+    x = sample("variable_normal", rng, 2000, 256)
+    q_sto = fmt.quantize(x, rounding="stochastic", rng=rng)
+    from ..fidelity.qsnr import qsnr
+
+    result.add_row(
+        change="stochastic rounding",
+        paper_claim="(FAST [43] recipe)",
+        dqsnr_db=round(qsnr(x, q_sto) - q1, 2),
+        dcost_pct=0.0,
+    )
+    return result

@@ -1,0 +1,89 @@
+"""Figures 1 and 2: the worked scaling examples.
+
+The paper's introductory example quantizes X = [0.7, 1.4, 2.5, 6, 7.2] to
+3-bit signed integers (qmax = 3) under three scaling strategies:
+
+* (a) one real-valued max-based scale              -> QSNR 15.2 dB
+* (b) one power-of-two scale                       -> QSNR 10.1 dB
+* (c) two partitions with per-partition real scale -> QSNR 16.8 dB
+
+Figure 2 reaches the same 16.8 dB with a *two-level* scheme: one global
+real scale composed with cheap power-of-two sub-scales — the mechanism MX
+implements in hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fidelity.qsnr import qsnr
+from .registry import register
+from .reporting import ExperimentResult
+
+#: The example vector from Figure 1.
+EXAMPLE_X = np.array([0.7, 1.4, 2.5, 6.0, 7.2])
+#: 3-bit signed integer: codes in [-3, 3].
+QMAX = 3
+
+
+def _quantize_with_scale(x: np.ndarray, scale: float) -> np.ndarray:
+    codes = np.clip(np.rint(x / scale), -QMAX, QMAX)
+    return codes * scale
+
+
+def scaling_example(strategy: str) -> float:
+    """QSNR (dB) of one of the Figure 1/2 strategies on the example vector."""
+    x = EXAMPLE_X
+    if strategy == "real":
+        scale = x.max() / QMAX
+        recovered = _quantize_with_scale(x, scale)
+    elif strategy == "pow2":
+        scale = 2.0 ** np.ceil(np.log2(x.max() / QMAX))
+        recovered = _quantize_with_scale(x, scale)
+    elif strategy == "two_partition":
+        low, high = x[:3], x[3:]
+        recovered = np.concatenate(
+            [
+                _quantize_with_scale(low, low.max() / QMAX),
+                _quantize_with_scale(high, high.max() / QMAX),
+            ]
+        )
+    elif strategy == "two_level":
+        # Figure 2: global real scale + power-of-two sub-scales per partition
+        scale = x.max() / QMAX
+        scaled = x / scale
+        recovered_parts = []
+        for part in (scaled[:3], scaled[3:]):
+            sub = 2.0 ** np.ceil(np.log2(part.max() / QMAX))
+            codes = np.clip(np.rint(part / sub), -QMAX, QMAX)
+            recovered_parts.append(codes * sub * scale)
+        recovered = np.concatenate(recovered_parts)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return qsnr(x, recovered)
+
+
+@register("figure1")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    del quick, seed
+    result = ExperimentResult(
+        exp_id="figure1",
+        title="Figures 1-2: scaling-strategy worked example (X = [0.7 1.4 2.5 6 7.2], 3-bit INT)",
+        columns=["strategy", "paper_qsnr_db", "measured_qsnr_db"],
+        notes=[
+            "paper values read from Figure 1 (a)-(c) and Figure 2",
+            "the two-level variant composes a real global scale with "
+            "power-of-two sub-scales — the MX mechanism",
+            "(a)/(b) match exactly; the figure's hand-worked partition "
+            "examples mix rounding conventions, so consistent round-to-"
+            "nearest lands ~1 dB above the figure's 16.8 dB",
+        ],
+    )
+    paper = {"pow2": 10.1, "real": 15.2, "two_partition": 16.8, "two_level": 16.8}
+    for strategy in ("pow2", "real", "two_partition", "two_level"):
+        result.add_row(
+            strategy=strategy,
+            paper_qsnr_db=paper[strategy],
+            measured_qsnr_db=round(scaling_example(strategy), 1),
+        )
+    return result

@@ -1,0 +1,52 @@
+"""Table I: classification of quantization approaches under two-level
+scaling — regenerated from the library's own format constructors, proving
+each family really occupies the claimed point in the BDR space."""
+
+from __future__ import annotations
+
+from ..core.bdr import BDRConfig
+from ..formats.registry import get_format
+from ..formats.scalar_float import FP8_E4M3, ScalarFloatFormat
+from .registry import register
+from .reporting import ExperimentResult
+
+
+@register("table1")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    del quick, seed
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Table I: format families under the two-level scaling framework",
+        columns=["format", "scale", "sub_scale", "s_type", "ss_type", "k1", "k2", "bits/elem"],
+    )
+
+    int_cfg = BDRConfig.int_sw(m=7)
+    result.add_row(
+        format="INT", scale="SW", sub_scale="-", s_type="FP32", ss_type="-",
+        k1=int_cfg.k1, k2="-", **{"bits/elem": round(int_cfg.bits_per_element, 2)},
+    )
+
+    bfp = get_format("msfp16").config
+    result.add_row(
+        format="MSFP/BFP", scale="HW", sub_scale="-", s_type="2^z", ss_type="-",
+        k1=bfp.k1, k2="-", **{"bits/elem": round(bfp.bits_per_element, 2)},
+    )
+
+    fp8 = ScalarFloatFormat(FP8_E4M3, scaling="delayed")
+    result.add_row(
+        format="FP8", scale="SW", sub_scale="HW", s_type="FP32", ss_type="2^z",
+        k1=fp8.k1, k2=1, **{"bits/elem": round(fp8.bits_per_element, 2)},
+    )
+
+    vsq = get_format("vsq6").config
+    result.add_row(
+        format="VSQ", scale="SW", sub_scale="HW", s_type="FP32", ss_type="INT",
+        k1=vsq.k1, k2=vsq.k2, **{"bits/elem": round(vsq.bits_per_element, 2)},
+    )
+
+    mx = get_format("mx9").config
+    result.add_row(
+        format="MX", scale="HW", sub_scale="HW", s_type="2^z", ss_type="2^z",
+        k1=mx.k1, k2=mx.k2, **{"bits/elem": round(mx.bits_per_element, 2)},
+    )
+    return result

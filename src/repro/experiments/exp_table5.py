@@ -1,0 +1,79 @@
+"""Table V: question answering with BERT — direct cast needs no fine-tuning.
+
+Paper result: Bert-Base/Large lose < 0.2 EM/F1 under a *direct cast* to MX9
+and even MX6.  Stand-in: span-extraction QA on the key-value corpus with
+two encoder sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.synthetic import QACorpus
+from ..flow.cast import clear_quantization, direct_cast
+from ..flow.compute_flow import TrainConfig, fit
+from ..models.bert import BertQA
+from .registry import register
+from .reporting import ExperimentResult
+
+#: Paper Table V values: model -> {column: (EM, F1)}.
+PAPER_TABLE5 = {
+    "Bert-Base": {
+        "FP32": (80.80, 88.46),
+        "Direct Cast (MX9)": (80.71, 88.45),
+        "Direct Cast (MX6)": (80.62, 88.36),
+    },
+    "Bert-Large": {
+        "FP32": (87.65, 93.48),
+        "Direct Cast (MX9)": (87.63, 93.45),
+        "Direct Cast (MX6)": (87.49, 93.37),
+    },
+}
+
+#: (name, dim, layers, heads, steps)
+MODELS = (
+    ("Bert-Base", 32, 2, 4, 700),
+    ("Bert-Large", 48, 3, 4, 700),
+)
+
+
+@register("table5")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    corpus = QACorpus(vocab_size=48, num_pairs=6, seed=seed)
+    eval_batches = lambda: corpus.batches(64, 2, seed=seed + 98)
+
+    result = ExperimentResult(
+        exp_id="table5",
+        title="Table V: BERT QA — Exact Match / F1 under direct cast",
+        columns=["model", "column", "paper_em/f1", "em", "f1"],
+        notes=["no quantization-aware fine-tuning anywhere in this table"],
+    )
+    models = MODELS[:1] if quick else MODELS
+    for name, dim, layers, heads, steps in models:
+        if quick:
+            steps = 500
+        model = BertQA(
+            corpus.vocab_size, dim=dim, num_layers=layers, num_heads=heads,
+            rng=np.random.default_rng(seed + 7),
+        )
+        fit(
+            model,
+            corpus.batches(32, steps, seed=seed + 8),
+            TrainConfig(steps=steps, lr=2e-3, clip_norm=5.0),
+        )
+        for column, fmt in (("FP32", None), ("Direct Cast (MX9)", "mx9"), ("Direct Cast (MX6)", "mx6")):
+            if fmt is None:
+                clear_quantization(model)
+            else:
+                direct_cast(model, fmt)
+            em, f1 = model.evaluate(eval_batches())
+            paper = PAPER_TABLE5[name][column]
+            result.add_row(
+                model=name,
+                column=column,
+                **{"paper_em/f1": f"{paper[0]:.2f}/{paper[1]:.2f}"},
+                em=round(em, 2),
+                f1=round(f1, 2),
+            )
+        clear_quantization(model)
+    return result

@@ -1,0 +1,42 @@
+"""Experiment registry: one runner per paper table/figure.
+
+Each runner has signature ``run(quick=True, seed=0) -> ExperimentResult``;
+``quick`` trades statistical tightness for wall-clock (benchmarks default
+to quick mode, EXPERIMENTS.md records full-mode results).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .reporting import ExperimentResult
+
+__all__ = ["register", "run_experiment", "list_experiments", "EXPERIMENTS"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(exp_id: str):
+    """Decorator registering a runner under a table/figure id."""
+
+    def wrap(fn):
+        if exp_id in EXPERIMENTS:
+            raise ValueError(f"experiment {exp_id!r} already registered")
+        EXPERIMENTS[exp_id] = fn
+        return fn
+
+    return wrap
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id."""
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return runner(**kwargs)
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,63 @@
+"""Structured experiment results and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    Attributes:
+        exp_id: registry id ("table3", "figure7", ...).
+        title: human-readable description referencing the paper artifact.
+        columns: ordered column names shared by all rows.
+        rows: list of dicts mapping column name -> value.
+        notes: free-form remarks (substitutions, expected shapes).
+    """
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _render(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.3e}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render a result as an aligned monospace table."""
+    header = [result.title, "=" * len(result.title)]
+    cells = [[_render(row.get(col)) for col in result.columns] for row in result.rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(result.columns)
+    ]
+    lines = ["  ".join(col.ljust(w) for col, w in zip(result.columns, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    body = header + lines
+    if result.notes:
+        body.append("")
+        body.extend(f"note: {note}" for note in result.notes)
+    return "\n".join(body)

@@ -1,0 +1,29 @@
+"""Numerical fidelity: QSNR methodology, test distributions, the design-
+space sweep and Pareto-frontier analysis of Section IV."""
+
+from .distributions import DISTRIBUTIONS, list_distributions, sample
+from .pareto import dominates, pareto_frontier
+from .qsnr import measure_qsnr, qsnr, qsnr_per_vector
+from .sweep import (
+    SweepPoint,
+    bdr_design_space,
+    named_design_points,
+    run_sweep,
+    sweep_frontier,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "list_distributions",
+    "sample",
+    "dominates",
+    "pareto_frontier",
+    "measure_qsnr",
+    "qsnr",
+    "qsnr_per_vector",
+    "SweepPoint",
+    "bdr_design_space",
+    "named_design_points",
+    "run_sweep",
+    "sweep_frontier",
+]

@@ -1,0 +1,41 @@
+"""Pareto-frontier extraction over (hardware cost, fidelity) design points."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+__all__ = ["pareto_frontier", "dominates"]
+
+T = TypeVar("T")
+
+
+def dominates(
+    a_cost: float, a_value: float, b_cost: float, b_value: float
+) -> bool:
+    """True when point ``a`` is at least as good as ``b`` on both axes and
+    strictly better on one (lower cost, higher value)."""
+    no_worse = a_cost <= b_cost and a_value >= b_value
+    strictly_better = a_cost < b_cost or a_value > b_value
+    return no_worse and strictly_better
+
+
+def pareto_frontier(
+    points: Sequence[T],
+    cost: Callable[[T], float],
+    value: Callable[[T], float],
+) -> list[T]:
+    """Non-dominated subset, sorted by ascending cost.
+
+    A point survives iff no other point has lower-or-equal cost with
+    higher-or-equal value (and is strictly better somewhere).  Exact
+    duplicates keep one representative.
+    """
+    ordered = sorted(points, key=lambda p: (cost(p), -value(p)))
+    frontier: list[T] = []
+    best_value = float("-inf")
+    for p in ordered:
+        if value(p) > best_value:
+            frontier.append(p)
+            best_value = value(p)
+    return frontier

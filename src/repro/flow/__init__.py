@@ -1,0 +1,28 @@
+"""Training / inference compute flows: Figure 8 training, direct cast,
+quantization-aware fine-tuning, and per-layer precision policies."""
+
+from .cast import cast_weights, clear_quantization, direct_cast
+from .compute_flow import TrainConfig, TrainResult, fit, make_optimizer, train_with_format
+from .finetune import finetune
+from .policy import (
+    apply_quant_policy,
+    first_last_high_precision,
+    quantizable_modules,
+    uniform_policy,
+)
+
+__all__ = [
+    "cast_weights",
+    "clear_quantization",
+    "direct_cast",
+    "TrainConfig",
+    "TrainResult",
+    "fit",
+    "make_optimizer",
+    "train_with_format",
+    "finetune",
+    "apply_quant_policy",
+    "first_last_high_precision",
+    "quantizable_modules",
+    "uniform_policy",
+]

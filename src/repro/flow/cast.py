@@ -1,0 +1,78 @@
+"""Direct cast: the drop-in replacement deployment path (Section V).
+
+"We take a pre-trained model in higher precision (e.g., FP32), perform a
+straight cast into MX data format, and evaluate the model quality."
+
+Two direct-cast styles are provided:
+
+* :func:`direct_cast` — install inference QuantSpecs so weights *and*
+  activations are quantized on the fly inside every tensor op (what MX
+  silicon does); the (w, a) tuples of Table IV map directly onto this.
+* :func:`cast_weights` — additionally bake the weight quantization into the
+  stored arrays (the storage-quantized deployment used for DLRM embedding
+  tables).
+"""
+
+from __future__ import annotations
+
+from ..formats.base import Format
+from ..formats.registry import get_format
+from ..nn.layers import Embedding, Module
+from ..nn.quantized import QuantSpec
+from .policy import apply_quant_policy, uniform_policy
+
+__all__ = ["direct_cast", "cast_weights", "clear_quantization"]
+
+
+def direct_cast(
+    model: Module,
+    weight_format: str | None,
+    activation_format: str | None = None,
+    quantize_embeddings: bool = False,
+) -> Module:
+    """Configure a trained model for quantized inference, in place.
+
+    Args:
+        model: a trained model (its FP32 parameters are left untouched).
+        weight_format: format name for weights, or ``None`` for FP32.
+        activation_format: format name for activations; defaults to the
+            weight format when omitted (the paper's symmetric direct cast).
+        quantize_embeddings: also storage-quantize embedding tables
+            (the memory-intensive recommendation-model optimization).
+    """
+    if weight_format is None and activation_format is None:
+        return clear_quantization(model)
+    act = activation_format if activation_format is not None else weight_format
+    spec = QuantSpec(
+        weight=get_format(weight_format) if weight_format else None,
+        activation=get_format(act) if act else None,
+    )
+    apply_quant_policy(model, uniform_policy(spec))
+    if quantize_embeddings and weight_format:
+        for _, module in model.named_modules():
+            if isinstance(module, Embedding):
+                module.storage_quant = get_format(weight_format)
+    return model
+
+
+def cast_weights(model: Module, fmt: str | Format) -> Module:
+    """Quantize every parameter array in place (storage quantization).
+
+    Weight matrices quantize along their reduction dimension (axis 0 for
+    ``(K, N)`` Linear weights); embedding tables along the feature axis.
+    """
+    fmt = get_format(fmt) if isinstance(fmt, str) else fmt
+    for name, param in model.named_parameters():
+        if param.data.ndim >= 2:
+            axis = 0 if not name.endswith("embedding.weight") else -1
+            param.data = fmt.quantize(param.data, axis=axis)
+    return model
+
+
+def clear_quantization(model: Module) -> Module:
+    """Remove every QuantSpec (back to the FP32 baseline)."""
+    apply_quant_policy(model, uniform_policy(None))
+    for _, module in model.named_modules():
+        if isinstance(module, Embedding):
+            module.storage_quant = None
+    return model

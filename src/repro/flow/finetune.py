@@ -1,0 +1,51 @@
+"""Quantization-aware fine-tuning (Section V / VI-B).
+
+The paper's recipe for recovering MX6/MX4 direct-cast accuracy loss:
+
+* cast the pre-trained model to the narrow format for the *forward* pass;
+* keep the backward pass in a high-precision format (FP32 in all their
+  fine-tuning experiments);
+* reset the optimizer, drop momentum / learning-rate decay / dropout;
+* fine-tune for much less than the original training duration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..nn.layers import Dropout, Module
+from ..nn.quantized import QuantSpec
+from .compute_flow import TrainConfig, TrainResult, fit
+from .policy import apply_quant_policy, uniform_policy
+
+__all__ = ["finetune"]
+
+
+def finetune(
+    model: Module,
+    batches: Iterable,
+    forward_format: str,
+    backward_format: str | None = None,
+    steps: int = 50,
+    lr: float = 1e-4,
+) -> TrainResult:
+    """Quantization-aware fine-tuning of a pre-trained model, in place.
+
+    Args:
+        model: trained model (parameters are updated).
+        batches: fine-tuning batches.
+        forward_format: narrow format for forward tensor ops (e.g. "mx6").
+        backward_format: backward format; ``None`` keeps FP32 backward
+            (the paper's setting).
+        steps: fine-tuning steps — "always much shorter than the original
+            training duration".
+        lr: adjusted (reduced) initial learning rate, no decay.
+    """
+    spec = QuantSpec.finetune(forward_format, backward_format)
+    apply_quant_policy(model, uniform_policy(spec))
+    # the paper eliminates dropout during QAT fine-tuning
+    for _, module in model.named_modules():
+        if isinstance(module, Dropout):
+            module.p = 0.0
+    config = TrainConfig(steps=steps, lr=lr, optimizer="sgd", momentum=0.0, clip_norm=1.0)
+    return fit(model, batches, config)

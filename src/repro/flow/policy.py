@@ -1,0 +1,84 @@
+"""Per-layer precision policies.
+
+Table VI's mixed-precision recommendation-model runs keep "certain layers
+(e.g., first and last layer) ... in high bit-width"; a policy maps a module
+name to the :class:`~repro.nn.quantized.QuantSpec` that layer should use
+(``None`` keeps the layer full precision).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..nn.attention import MultiHeadAttention
+from ..nn.layers import Module
+from ..nn.quantized import QuantSpec
+
+__all__ = [
+    "Policy",
+    "uniform_policy",
+    "first_last_high_precision",
+    "apply_quant_policy",
+    "quantizable_modules",
+]
+
+#: A policy maps (module name, module) to the spec to install.
+Policy = Callable[[str, Module], QuantSpec | None]
+
+
+def quantizable_modules(model: Module) -> list[tuple[str, Module]]:
+    """Leaf modules that consume a QuantSpec (Linear / Conv2d / attention).
+
+    Attention modules are handled through their projection Linears plus the
+    score/context products, so only modules *owning* a ``quant`` attribute
+    qualify.
+    """
+    return [
+        (name, module)
+        for name, module in model.named_modules()
+        if hasattr(module, "quant")
+    ]
+
+
+def uniform_policy(spec: QuantSpec | None) -> Policy:
+    """Every quantizable layer gets the same spec (the MX9 training mode)."""
+
+    def policy(name: str, module: Module) -> QuantSpec | None:
+        del name, module
+        return spec
+
+    return policy
+
+
+def first_last_high_precision(
+    spec: QuantSpec | None, model: Module, high: QuantSpec | None = None
+) -> Policy:
+    """Quantize everything except the first and last quantizable layers.
+
+    ``high`` (default: full precision) is installed on the boundary layers —
+    the mixed-precision recipe that closes the PR-rec2/PR-rec3 NE gap in
+    Table VI.
+    """
+    names = [name for name, _ in quantizable_modules(model)]
+    if not names:
+        return uniform_policy(spec)
+    boundary = {names[0], names[-1]}
+
+    def policy(name: str, module: Module) -> QuantSpec | None:
+        del module
+        return high if name in boundary else spec
+
+    return policy
+
+
+def apply_quant_policy(model: Module, policy: Policy) -> int:
+    """Install specs across a model; returns the number of layers touched."""
+    touched = 0
+    for name, module in quantizable_modules(model):
+        spec = policy(name, module)
+        if isinstance(module, MultiHeadAttention):
+            module.set_quant(spec)
+        else:
+            module.quant = spec
+        touched += 1
+    return touched

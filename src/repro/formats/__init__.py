@@ -1,0 +1,25 @@
+"""Every quantization format family evaluated by the paper, behind one
+uniform :class:`~repro.formats.base.Format` interface."""
+
+from .base import Format, IdentityFormat
+from .bdr_format import BDRFormat, BFPFormat, IntFormat, MXFormat, VSQFormat
+from .registry import FIGURE7_FORMATS, get_format, list_formats, register_format
+from .scalar_float import FloatSpec, ScalarFloatFormat
+from .three_level import ThreeLevelFormat
+
+__all__ = [
+    "Format",
+    "IdentityFormat",
+    "BDRFormat",
+    "BFPFormat",
+    "IntFormat",
+    "MXFormat",
+    "VSQFormat",
+    "FIGURE7_FORMATS",
+    "get_format",
+    "list_formats",
+    "register_format",
+    "FloatSpec",
+    "ScalarFloatFormat",
+    "ThreeLevelFormat",
+]

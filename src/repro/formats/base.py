@@ -1,0 +1,62 @@
+"""The uniform interface every quantization format implements.
+
+A :class:`Format` is a *fake quantizer*: it maps FP32 arrays to arrays whose
+values are exactly representable in the target encoding, which is how the
+paper's CUDA emulation library behaves ("reproduces numerical results
+identical to what a native-MX silicon would produce", Section VI).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Format(abc.ABC):
+    """A named, stateless-or-stateful quantization format."""
+
+    #: display name used in tables, figures and the registry
+    name: str = "format"
+
+    @abc.abstractmethod
+    def quantize(
+        self,
+        x: np.ndarray,
+        axis: int = -1,
+        rounding: str = "nearest",
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Return the dequantized (fake-quantized) version of ``x``.
+
+        ``axis`` is the reduction dimension of the consuming dot product;
+        block formats quantize along it.
+        """
+
+    @property
+    @abc.abstractmethod
+    def bits_per_element(self) -> float:
+        """Average storage bits per element, including amortized scales."""
+
+    def reset_state(self) -> None:
+        """Clear any adaptive state (e.g. delayed-scaling history)."""
+
+    def __call__(self, x: np.ndarray, axis: int = -1, **kwargs) -> np.ndarray:
+        return self.quantize(x, axis=axis, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class IdentityFormat(Format):
+    """FP32 pass-through; the baseline 'format' in every experiment."""
+
+    def __init__(self, name: str = "FP32"):
+        self.name = name
+
+    def quantize(self, x, axis=-1, rounding="nearest", rng=None):
+        return np.asarray(x, dtype=np.float64).copy()
+
+    @property
+    def bits_per_element(self) -> float:
+        return 32.0

@@ -1,0 +1,119 @@
+"""Format adapter for any :class:`~repro.core.bdr.BDRConfig` design point.
+
+One class serves the four BDR-native families:
+
+* MX (``pow2``/``pow2``) and MSFP/BFP (``pow2`` only) — scaling is purely
+  hardware-managed from the current block contents, so no software state.
+* INT (``fp32`` scale) and VSQ (``fp32`` + integer sub-scale) — the FP32
+  level-1 scale is software-managed; either just-in-time from the current
+  tensor or *delayed* from a window of past tensors, matching the Figure 7
+  caption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bdr import BDRConfig
+from ..core.quantize import bdr_quantize
+from ..core.scaling import DelayedScaler
+from .base import Format
+
+__all__ = ["BDRFormat", "MXFormat", "BFPFormat", "IntFormat", "VSQFormat"]
+
+
+class BDRFormat(Format):
+    """Quantize with a BDR config, handling software scaling when needed.
+
+    Args:
+        config: the design point.
+        scaling: for ``fp32``-scaled families only: ``"jit"`` derives the
+            level-1 scale from the current tensor, ``"delayed"`` from a
+            windowed amax history.  Hardware (``pow2``) families ignore it.
+        window: delayed-scaling history length.
+    """
+
+    def __init__(self, config: BDRConfig, scaling: str = "jit", window: int = 16):
+        if scaling not in ("jit", "delayed"):
+            raise ValueError(f"unknown scaling mode {scaling!r}")
+        self.config = config
+        self.scaling = scaling
+        self.window = window
+        self.name = config.label
+        self._scaler: DelayedScaler | None = None
+        if self._software_scaled and scaling == "delayed":
+            self._scaler = DelayedScaler(qmax=self._global_qmax, window=window)
+
+    @property
+    def _software_scaled(self) -> bool:
+        return self.config.s_type == "fp32"
+
+    @property
+    def _global_qmax(self) -> float:
+        """Largest representable magnitude relative to the level-1 scale."""
+        qmax = float(self.config.qmax)
+        if self.config.ss_type == "int":
+            qmax *= (1 << self.config.d2) - 1
+        return qmax
+
+    def quantize(self, x, axis=-1, rounding="nearest", rng=None):
+        x = np.asarray(x, dtype=np.float64)
+        override = None
+        if self._scaler is not None:
+            override = self._scaler.scale_and_observe(x)
+        return bdr_quantize(
+            x, self.config, axis=axis, rounding=rounding, rng=rng, scale_override=override
+        )
+
+    @property
+    def bits_per_element(self) -> float:
+        return self.config.bits_per_element
+
+    def reset_state(self):
+        if self._scaler is not None:
+            self._scaler = DelayedScaler(qmax=self._global_qmax, window=self.window)
+
+
+class MXFormat(BDRFormat):
+    """Shared-microexponent format (hardware-managed scaling)."""
+
+    def __init__(self, m: int, k1: int = 16, k2: int = 2, d1: int = 8, d2: int = 1,
+                 name: str | None = None):
+        config = BDRConfig.mx(m=m, k1=k1, k2=k2, d1=d1, d2=d2)
+        if name:
+            config = config.with_name(name)
+        super().__init__(config)
+
+
+class BFPFormat(BDRFormat):
+    """Conventional block floating-point (MSFP-style)."""
+
+    def __init__(self, m: int, k1: int = 16, d1: int = 8, name: str | None = None):
+        config = BDRConfig.bfp(m=m, k1=k1, d1=d1)
+        if name:
+            config = config.with_name(name)
+        super().__init__(config)
+
+
+class IntFormat(BDRFormat):
+    """Software-scaled symmetric integers (``scaled INT4`` / ``INT8``)."""
+
+    def __init__(self, bits: int, k1: int = 1024, scaling: str = "delayed",
+                 window: int = 16, name: str | None = None):
+        if bits < 2:
+            raise ValueError("integer formats need at least 2 bits (sign + magnitude)")
+        config = BDRConfig.int_sw(m=bits - 1, k1=k1)
+        config = config.with_name(name or f"scaled INT{bits}")
+        super().__init__(config, scaling=scaling, window=window)
+
+
+class VSQFormat(BDRFormat):
+    """Per-vector scaled quantization [23]: INT elements + INT sub-scales."""
+
+    def __init__(self, bits: int, d2: int = 6, k1: int = 1024, k2: int = 16,
+                 scaling: str = "delayed", window: int = 16, name: str | None = None):
+        if bits < 2:
+            raise ValueError("VSQ element formats need at least 2 bits")
+        config = BDRConfig.vsq(m=bits - 1, d2=d2, k1=k1, k2=k2)
+        config = config.with_name(name or f"VSQ{bits}")
+        super().__init__(config, scaling=scaling, window=window)

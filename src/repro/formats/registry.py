@@ -1,0 +1,118 @@
+"""Registry of every named format appearing in the paper's evaluation.
+
+Names are case-insensitive.  Each lookup constructs a *fresh* format object
+so that stateful formats (delayed scaling) never share history between
+callers.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+
+from . import scalar_float as sf
+from .base import Format, IdentityFormat
+from .bdr_format import BFPFormat, IntFormat, MXFormat, VSQFormat
+from .scalar_float import ScalarFloatFormat
+
+__all__ = ["get_format", "list_formats", "register_format", "FIGURE7_FORMATS"]
+
+_FACTORIES: dict[str, Callable[[], Format]] = {}
+
+
+def register_format(name: str, factory: Callable[[], Format]) -> None:
+    """Register a format factory under a (case-insensitive) name."""
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(f"format {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_format(name: str, **overrides) -> Format:
+    """Construct a registered format by name.
+
+    Keyword overrides are forwarded for formats whose factory accepts them
+    (e.g. ``get_format("fp8_e4m3", scaling="delayed")``).
+    """
+    key = re.sub(r"[\s\-]+", "_", name.strip().lower())
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown format {name!r}; known formats: {known}") from None
+    return factory(**overrides) if overrides else factory()
+
+
+def list_formats() -> list[str]:
+    """All registered names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def _register_defaults() -> None:
+    register_format("fp32", lambda: IdentityFormat("FP32"))
+    # MX family (Table II)
+    register_format("mx9", lambda: MXFormat(m=7, name="MX9"))
+    register_format("mx6", lambda: MXFormat(m=4, name="MX6"))
+    register_format("mx4", lambda: MXFormat(m=2, name="MX4"))
+    # MSFP / conventional BFP [24]; MSFP-N packs 1 sign + (N-9) mantissa
+    # bits + an 8-bit shared exponent over a 16-element bounding box.
+    register_format("msfp16", lambda: BFPFormat(m=7, k1=16, name="MSFP16"))
+    register_format("msfp12", lambda: BFPFormat(m=3, k1=16, name="MSFP12"))
+    # Software-scaled integers
+    register_format(
+        "int8", lambda scaling="delayed": IntFormat(8, scaling=scaling, name="scaled INT8")
+    )
+    register_format(
+        "int4", lambda scaling="delayed": IntFormat(4, scaling=scaling, name="scaled INT4")
+    )
+    # VSQ [23]; d2 chosen per-figure as best-of {4, 6, 8, 10}
+    for bits in (4, 6, 8):
+        register_format(
+            f"vsq{bits}",
+            lambda bits=bits, d2=6, scaling="delayed": VSQFormat(
+                bits, d2=d2, scaling=scaling
+            ),
+        )
+    # Scalar floats
+    for spec in (
+        sf.FP8_E4M3,
+        sf.FP8_E5M2,
+        sf.FP8_E3M4,
+        sf.FP6_E3M2,
+        sf.FP6_E2M3,
+        sf.FP4_E2M1,
+        sf.FP4_E1M2,
+        sf.FP4_E3M0,
+        sf.BF16,
+        sf.FP16,
+    ):
+        key = spec.name.lower().replace(" - ", "_").replace("-", "_").replace(" ", "")
+        register_format(
+            key,
+            lambda spec=spec, scaling="delayed": ScalarFloatFormat(spec, scaling=scaling),
+        )
+
+
+_register_defaults()
+
+#: The named design points plotted in Figure 7.
+FIGURE7_FORMATS = (
+    "mx4",
+    "mx6",
+    "mx9",
+    "fp8_e5m2",
+    "fp8_e4m3",
+    "fp8_e3m4",
+    "fp6_e3m2",
+    "fp6_e2m3",
+    "fp4_e2m1",
+    "fp4_e1m2",
+    "fp4_e3m0",
+    "msfp16",
+    "msfp12",
+    "int4",
+    "int8",
+    "vsq4",
+    "vsq6",
+    "vsq8",
+)

@@ -1,0 +1,206 @@
+"""Parametric scalar (per-element) floating-point formats.
+
+Covers BF16, FP16 and the narrow-precision formats of Figure 7: FP8
+(E4M3 / E5M2 / E3M4), FP6 (E3M2 / E2M3) and FP4 (E2M1 / E1M2 / E3M0).
+
+Encoding conventions follow industry practice:
+
+* ``"ieee"`` — the top exponent field is reserved for inf/NaN (FP16, BF16,
+  FP8-E5M2).  Max normal is ``2^bias * (2 - 2^-m)``.
+* ``"fn"`` — finite with NaN only at the all-ones code (FP8-E4M3 per [37]):
+  the extra exponent value is usable, but the top mantissa pattern is NaN,
+  so max normal is ``2^(bias+1) * (2 - 2^(1-m))`` (448 for E4M3).
+* ``"fnuz_all"`` — fully finite (OCP-style FP6/FP4): every code is a value,
+  max normal ``2^(bias+1) * (2 - 2^-m)`` (6 for E2M1, 28 for E3M2).
+
+Subnormals are always supported; quantization saturates at the max normal
+(the standard behaviour of narrow-float conversion hardware).
+
+In BDR terms (Table I), a scalar float deployed for training is a two-level
+format: a coarse software FP32 scale (Transformer-Engine-style delayed
+scaling over ``k1 ~ 10K``) composed with the per-element power-of-two
+exponent (``k2 = 1``, ``d2 = e``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rounding import apply_rounding
+from ..core.scaling import DelayedScaler, floor_log2
+from .base import Format
+
+__all__ = [
+    "FloatSpec",
+    "ScalarFloatFormat",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "FP8_E3M4",
+    "FP6_E3M2",
+    "FP6_E2M3",
+    "FP4_E2M1",
+    "FP4_E1M2",
+    "FP4_E3M0",
+    "BF16",
+    "FP16",
+]
+
+#: Encoding conventions for the top of the exponent range.
+ENCODINGS = ("ieee", "fn", "fnuz_all")
+
+
+@dataclass(frozen=True)
+class FloatSpec:
+    """Static description of a scalar floating-point format."""
+
+    exponent_bits: int
+    mantissa_bits: int
+    encoding: str = "fnuz_all"
+    name: str = ""
+
+    def __post_init__(self):
+        if self.exponent_bits < 1:
+            raise ValueError("need at least one exponent bit")
+        if self.mantissa_bits < 0:
+            raise ValueError("mantissa bits must be >= 0")
+        if self.encoding not in ENCODINGS:
+            raise ValueError(f"encoding must be one of {ENCODINGS}")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"FP{self.total_bits} - E{self.exponent_bits}M{self.mantissa_bits}"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest usable unbiased exponent."""
+        if self.encoding == "ieee":
+            return self.bias
+        return self.bias + 1
+
+    @property
+    def emin(self) -> int:
+        """Smallest normal unbiased exponent (``1 - bias``)."""
+        return 1 - self.bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite magnitude."""
+        m = self.mantissa_bits
+        if self.encoding == "fn":
+            # all-ones is NaN, so the top mantissa pattern is unusable
+            frac = 2.0 - 2.0 ** (1 - m) if m > 0 else 0.0
+            if m == 0:
+                raise ValueError("'fn' encoding needs mantissa bits")
+        else:
+            frac = 2.0 - 2.0 ** (-m)
+        return float(2.0**self.emax * frac)
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive magnitude (the subnormal grid step)."""
+        return float(2.0 ** (self.emin - self.mantissa_bits))
+
+    def decode_all_values(self) -> np.ndarray:
+        """Enumerate every non-negative finite value (for tests/plots)."""
+        values = {0.0}
+        step = self.min_subnormal
+        # subnormals
+        for code in range(1, 1 << self.mantissa_bits):
+            values.add(code * step)
+        # normals
+        for e in range(self.emin, self.emax + 1):
+            for code in range(1 << self.mantissa_bits):
+                v = (1.0 + code * 2.0**-self.mantissa_bits) * 2.0**e
+                if v <= self.max_value:
+                    values.add(v)
+        return np.array(sorted(values))
+
+
+def quantize_to_spec(
+    x: np.ndarray,
+    spec: FloatSpec,
+    rounding: str = "nearest",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Round ``x`` elementwise to the nearest value of ``spec``, saturating."""
+    x = np.asarray(x, dtype=np.float64)
+    exp = np.clip(floor_log2(x), spec.emin, spec.emax)
+    step = np.exp2((exp - spec.mantissa_bits).astype(np.float64))
+    q = apply_rounding(x / step, rounding, rng) * step
+    return np.clip(q, -spec.max_value, spec.max_value)
+
+
+class ScalarFloatFormat(Format):
+    """A scalar float with an optional software level-1 scale.
+
+    Args:
+        spec: the element encoding.
+        scaling: ``"none"`` (raw cast — the inference direct-cast path),
+            ``"jit"`` (scale from the current tensor's amax) or
+            ``"delayed"`` (windowed-amax history per [40], the training
+            configuration used for Figure 7).
+        window: history length for delayed scaling.
+        k1: nominal software block granularity, for bit accounting only.
+    """
+
+    def __init__(
+        self,
+        spec: FloatSpec,
+        scaling: str = "none",
+        window: int = 16,
+        k1: int = 10240,
+    ):
+        if scaling not in ("none", "jit", "delayed"):
+            raise ValueError(f"unknown scaling mode {scaling!r}")
+        self.spec = spec
+        self.scaling = scaling
+        self.k1 = k1
+        self.name = spec.name
+        self._scaler = DelayedScaler(qmax=spec.max_value, window=window)
+
+    def quantize(self, x, axis=-1, rounding="nearest", rng=None):
+        x = np.asarray(x, dtype=np.float64)
+        if self.scaling == "none":
+            return quantize_to_spec(x, self.spec, rounding, rng)
+        if self.scaling == "jit":
+            amax = float(np.max(np.abs(x), initial=0.0))
+            s = amax / self.spec.max_value if amax > 0 else 1.0
+        else:
+            s = self._scaler.scale_and_observe(x)
+        s = float(np.float32(s)) if s > 0 else 1.0
+        return quantize_to_spec(x / s, self.spec, rounding, rng) * s
+
+    @property
+    def bits_per_element(self) -> float:
+        bits = float(self.spec.total_bits)
+        if self.scaling != "none":
+            bits += 32.0 / self.k1
+        return bits
+
+    def reset_state(self):
+        self._scaler = DelayedScaler(qmax=self.spec.max_value, window=self._scaler.window)
+
+
+# ----------------------------------------------------------------------
+# Named specs used throughout the paper
+# ----------------------------------------------------------------------
+FP8_E4M3 = FloatSpec(4, 3, "fn", "FP8 - E4M3")
+FP8_E5M2 = FloatSpec(5, 2, "ieee", "FP8 - E5M2")
+FP8_E3M4 = FloatSpec(3, 4, "fnuz_all", "FP8 - E3M4")
+FP6_E3M2 = FloatSpec(3, 2, "fnuz_all", "FP6 - E3M2")
+FP6_E2M3 = FloatSpec(2, 3, "fnuz_all", "FP6 - E2M3")
+FP4_E2M1 = FloatSpec(2, 1, "fnuz_all", "FP4 - E2M1")
+FP4_E1M2 = FloatSpec(1, 2, "fnuz_all", "FP4 - E1M2")
+FP4_E3M0 = FloatSpec(3, 0, "fnuz_all", "FP4 - E3M0")
+BF16 = FloatSpec(8, 7, "ieee", "BF16")
+FP16 = FloatSpec(5, 10, "ieee", "FP16")

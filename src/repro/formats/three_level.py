@@ -1,0 +1,79 @@
+"""Three-level scaling: the paper's stated extension beyond two levels.
+
+Section III: "BDR can naturally extend beyond two levels, with the MX
+variants as prime candidates ... introducing an even higher-level parent
+global scaling factor in software using high-precision FP32 scaling factors
+over an even coarser granularity at up to ~1K."
+
+:class:`ThreeLevelFormat` composes exactly that: a software FP32 parent
+scale over ``k0`` elements (just-in-time or delayed) wrapped around any
+hardware-scaled BDR format.  Because the inner MX scale is a power of two
+derived from the block max, the parent scale only helps when the data's
+dynamic range pushes the 8-bit shared exponent toward its clamp — it is a
+range-extension mechanism, matching the paper's framing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bdr import BDRConfig
+from ..core.quantize import bdr_quantize
+from ..core.scaling import DelayedScaler
+from .base import Format
+
+__all__ = ["ThreeLevelFormat"]
+
+
+class ThreeLevelFormat(Format):
+    """FP32 parent scale (software, per ``k0``) over a BDR inner format.
+
+    Args:
+        inner: the hardware-scaled config (typically an MX variant).
+        k0: parent block granularity (paper: "up to ~1K").
+        scaling: ``"jit"`` derives the parent scale from the current
+            tensor's amax; ``"delayed"`` from a windowed history.
+        window: delayed-scaling history length.
+    """
+
+    def __init__(
+        self,
+        inner: BDRConfig,
+        k0: int = 1024,
+        scaling: str = "jit",
+        window: int = 16,
+    ):
+        if inner.s_type != "pow2":
+            raise ValueError("the parent scale wraps hardware-scaled formats only")
+        if k0 <= inner.k1:
+            raise ValueError(f"parent granularity k0 ({k0}) must exceed k1 ({inner.k1})")
+        if scaling not in ("jit", "delayed"):
+            raise ValueError(f"unknown scaling mode {scaling!r}")
+        self.inner = inner
+        self.k0 = k0
+        self.scaling = scaling
+        self.name = f"{inner.label}+fp32/{k0}"
+        # normalize the parent target to ~1.0: the inner format handles the
+        # per-block magnitude, the parent only recenters the global range
+        self._scaler = DelayedScaler(qmax=1.0, window=window) if scaling == "delayed" else None
+
+    @property
+    def bits_per_element(self) -> float:
+        return self.inner.bits_per_element + 32.0 / self.k0
+
+    def quantize(self, x, axis=-1, rounding="nearest", rng=None):
+        x = np.asarray(x, dtype=np.float64)
+        if self._scaler is not None:
+            scale = self._scaler.scale_and_observe(x)
+        else:
+            amax = float(np.max(np.abs(x), initial=0.0))
+            scale = amax if amax > 0 else 1.0
+        # the parent scale is stored in FP32; saturate instead of overflowing
+        fp32_max = float(np.finfo(np.float32).max)
+        scale = float(np.float32(min(scale, fp32_max)))
+        inner_q = bdr_quantize(x / scale, self.inner, axis=axis, rounding=rounding, rng=rng)
+        return inner_q * scale
+
+    def reset_state(self):
+        if self._scaler is not None:
+            self._scaler = DelayedScaler(qmax=1.0, window=self._scaler.window)

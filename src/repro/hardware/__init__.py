@@ -1,0 +1,51 @@
+"""Hardware cost models: the Figure 6 dot-product pipeline (analytical
+standard-cell area), the VSQ rescaling pipeline, and memory tile packing."""
+
+from .components import GE
+from .cost import HardwareCost, hardware_cost, pipeline_area, storage_spec
+from .dot_product import (
+    DEFAULT_R,
+    AreaBreakdown,
+    fixed_point_bits,
+    fp8_baseline_area,
+    int_pipeline_area,
+    mx_pipeline_area,
+    scalar_float_pipeline_area,
+)
+from .power import PowerEstimate, pipeline_power, power_cost
+from .memory import (
+    INTERFACE_BITS,
+    TILE_ELEMENTS,
+    StorageSpec,
+    lines_needed,
+    memory_cost,
+    packing_efficiency,
+    tile_bits,
+)
+from .vsq_pipeline import vsq_pipeline_area
+
+__all__ = [
+    "GE",
+    "HardwareCost",
+    "hardware_cost",
+    "pipeline_area",
+    "storage_spec",
+    "DEFAULT_R",
+    "AreaBreakdown",
+    "fixed_point_bits",
+    "fp8_baseline_area",
+    "int_pipeline_area",
+    "mx_pipeline_area",
+    "scalar_float_pipeline_area",
+    "INTERFACE_BITS",
+    "TILE_ELEMENTS",
+    "StorageSpec",
+    "lines_needed",
+    "memory_cost",
+    "packing_efficiency",
+    "tile_bits",
+    "vsq_pipeline_area",
+    "PowerEstimate",
+    "pipeline_power",
+    "power_cost",
+]

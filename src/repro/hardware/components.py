@@ -1,0 +1,154 @@
+"""Standard-cell area primitives for the dot-product cost model.
+
+The paper synthesizes each configuration with Synopsys Design Compiler at a
+relaxed 10 ns constraint so that "synthesis implementation selection targets
+the minimum area in all designs" (Section IV-B).  Without EDA tooling we
+model minimum-area implementations analytically in NAND2 gate equivalents
+(GE): ripple-carry adders, array multipliers, mux-based barrel shifters.
+Absolute GE values are rough; every result in the library uses *ratios* of
+these areas (normalized to the FP8 baseline), mirroring the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "GE",
+    "adder",
+    "subtractor",
+    "incrementer",
+    "comparator",
+    "max_unit",
+    "max_tree",
+    "adder_tree",
+    "multiplier",
+    "barrel_shifter",
+    "leading_zero_counter",
+    "twos_complement",
+    "xor_gates",
+    "registers",
+    "fp32_accumulator",
+]
+
+
+class GE:
+    """NAND2-equivalent areas of basic cells (typical standard-cell ratios)."""
+
+    NAND2 = 1.0
+    INV = 0.6
+    AND2 = 1.3
+    XOR2 = 2.5
+    MUX2 = 2.3
+    HALF_ADDER = 3.0
+    FULL_ADDER = 6.0
+    DFF = 5.5
+
+
+def adder(bits: int) -> float:
+    """Ripple-carry adder (the minimum-area choice at relaxed timing)."""
+    return max(bits, 0) * GE.FULL_ADDER
+
+
+def subtractor(bits: int) -> float:
+    """Adder plus operand inversion."""
+    return max(bits, 0) * (GE.FULL_ADDER + GE.INV)
+
+
+def incrementer(bits: int) -> float:
+    return max(bits, 0) * GE.HALF_ADDER
+
+
+def comparator(bits: int) -> float:
+    """Magnitude comparator (borrow chain, no sum outputs)."""
+    return max(bits, 0) * 2.0
+
+
+def max_unit(bits: int) -> float:
+    """Two-input max: comparator + mux per bit."""
+    return comparator(bits) + max(bits, 0) * GE.MUX2
+
+
+def max_tree(count: int, bits: int) -> float:
+    """Max-reduce ``count`` values of ``bits`` bits."""
+    if count <= 1:
+        return 0.0
+    return (count - 1) * max_unit(bits)
+
+
+def adder_tree(count: int, bits_in: int) -> float:
+    """Binary adder tree summing ``count`` operands of ``bits_in`` bits.
+
+    Widths grow by one bit per level, matching the carry growth of an exact
+    fixed-point reduction.
+    """
+    if count <= 1:
+        return 0.0
+    total = 0.0
+    width = bits_in
+    remaining = count
+    while remaining > 1:
+        pairs = remaining // 2
+        total += pairs * adder(width + 1)
+        remaining = remaining - pairs
+        width += 1
+    return total
+
+
+def multiplier(bits_a: int, bits_b: int) -> float:
+    """Unsigned array multiplier: AND partial products + carry-save reduction.
+
+    Degenerates gracefully: a 1x1 multiplier is a single AND gate, and a
+    zero-width operand (e.g. an E3M0 mantissa with the implicit bit only)
+    costs nothing beyond the AND plane.
+    """
+    a, b = max(bits_a, 0), max(bits_b, 0)
+    if a == 0 or b == 0:
+        return 0.0
+    partial_products = a * b * GE.AND2
+    reduction_cells = max(a * b - a - b + 1, 0) * GE.FULL_ADDER
+    final_add = adder(a + b)
+    if a == 1 and b == 1:
+        return GE.AND2
+    return partial_products + reduction_cells + final_add
+
+
+def barrel_shifter(width: int, max_shift: int) -> float:
+    """Mux-stage barrel shifter over ``width`` bits, up to ``max_shift``."""
+    if width <= 0 or max_shift <= 0:
+        return 0.0
+    stages = math.ceil(math.log2(max_shift + 1))
+    return width * stages * GE.MUX2
+
+
+def leading_zero_counter(bits: int) -> float:
+    """Priority-encoder LZC."""
+    return max(bits, 0) * 1.5
+
+
+def twos_complement(bits: int) -> float:
+    """Conditional negation: XOR plane + increment."""
+    return max(bits, 0) * (GE.XOR2 + GE.HALF_ADDER)
+
+
+def xor_gates(count: int) -> float:
+    return max(count, 0) * GE.XOR2
+
+
+def registers(bits: int) -> float:
+    return max(bits, 0) * GE.DFF
+
+
+def fp32_accumulator() -> float:
+    """Serial FP32 accumulate stage: align, add, renormalize, round.
+
+    Composed from the primitives over a 24-bit significand datapath with a
+    48-bit alignment window, as in a fused accumulate unit.
+    """
+    align = barrel_shifter(48, 48)
+    add = adder(48)
+    lzc = leading_zero_counter(48)
+    normalize = barrel_shifter(48, 48)
+    exponent_logic = adder(8) + subtractor(8) + comparator(8)
+    rounding = incrementer(24)
+    return align + add + lzc + normalize + exponent_logic + rounding

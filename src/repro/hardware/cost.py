@@ -1,0 +1,103 @@
+"""The Figure 7 x-axis: normalized area x memory-efficiency product.
+
+`hardware_cost` accepts any of the library's format descriptions — a
+:class:`~repro.formats.base.Format` instance, a
+:class:`~repro.core.bdr.BDRConfig`, or a
+:class:`~repro.formats.scalar_float.FloatSpec` — dispatches to the right
+pipeline model, computes the memory packing cost, and combines the two with
+equal weight (their product), normalized to the dual-format FP8 baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bdr import BDRConfig
+from ..formats.base import Format, IdentityFormat
+from ..formats.bdr_format import BDRFormat
+from ..formats.scalar_float import FloatSpec, ScalarFloatFormat
+from .dot_product import (
+    DEFAULT_R,
+    AreaBreakdown,
+    fp8_baseline_area,
+    int_pipeline_area,
+    mx_pipeline_area,
+    scalar_float_pipeline_area,
+)
+from .memory import StorageSpec, memory_cost, packing_efficiency
+from .vsq_pipeline import vsq_pipeline_area
+
+__all__ = ["HardwareCost", "hardware_cost", "pipeline_area", "storage_spec"]
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Cost summary of one design point (all values normalized to FP8)."""
+
+    label: str
+    area_ge: float
+    normalized_area: float
+    memory: float
+    packing_efficiency: float
+
+    @property
+    def area_memory_product(self) -> float:
+        """The Figure 7 x-axis (equal weight to area and memory)."""
+        return self.normalized_area * self.memory
+
+
+def storage_spec(fmt) -> StorageSpec:
+    """Derive the packing shape of any supported format description."""
+    if isinstance(fmt, IdentityFormat):
+        return StorageSpec(element_bits=32)
+    if isinstance(fmt, ScalarFloatFormat):
+        return StorageSpec(
+            element_bits=fmt.spec.total_bits, scale_bits=32, scale_block=fmt.k1
+        )
+    if isinstance(fmt, FloatSpec):
+        return StorageSpec(element_bits=fmt.total_bits, scale_bits=32, scale_block=10240)
+    config = fmt.config if isinstance(fmt, BDRFormat) else fmt
+    if not isinstance(config, BDRConfig):
+        raise TypeError(f"cannot derive a storage spec from {fmt!r}")
+    return StorageSpec(
+        element_bits=config.m + 1,
+        scale_bits=config.d1,
+        scale_block=config.k1,
+        subscale_bits=config.d2 if config.ss_type != "none" else 0,
+        subscale_block=config.k2,
+    )
+
+
+def pipeline_area(fmt, r: int = DEFAULT_R) -> AreaBreakdown:
+    """Dispatch to the right pipeline area model."""
+    if isinstance(fmt, IdentityFormat):
+        return scalar_float_pipeline_area(e=8, m=23, r=r)
+    if isinstance(fmt, ScalarFloatFormat):
+        fmt = fmt.spec
+    if isinstance(fmt, FloatSpec):
+        return scalar_float_pipeline_area(e=fmt.exponent_bits, m=fmt.mantissa_bits, r=r)
+    config = fmt.config if isinstance(fmt, BDRFormat) else fmt
+    if not isinstance(config, BDRConfig):
+        raise TypeError(f"cannot derive a pipeline from {fmt!r}")
+    if config.s_type == "pow2":
+        return mx_pipeline_area(
+            m=config.m, d1=config.d1, d2=config.d2, k1=config.k1, k2=config.k2, r=r
+        )
+    if config.ss_type == "int":
+        return vsq_pipeline_area(m=config.m, d2=config.d2, k2=config.k2, r=r)
+    return int_pipeline_area(m=config.m, r=r)
+
+
+def hardware_cost(fmt, r: int = DEFAULT_R) -> HardwareCost:
+    """Full cost analysis of one format, normalized to the FP8 baseline."""
+    breakdown = pipeline_area(fmt, r=r)
+    spec = storage_spec(fmt)
+    baseline = fp8_baseline_area(r=r)
+    label = getattr(fmt, "name", None) or getattr(fmt, "label", None) or breakdown.label
+    return HardwareCost(
+        label=label,
+        area_ge=breakdown.total,
+        normalized_area=breakdown.total / baseline,
+        memory=memory_cost(spec),
+        packing_efficiency=packing_efficiency(spec),
+    )

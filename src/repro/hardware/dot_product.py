@@ -1,0 +1,191 @@
+"""Area model of the Figure 6 dot-product pipeline.
+
+One parameterized pipeline implements every BDR variant:
+
+* ``k1 = k2 = 1`` — a standard scalar floating-point dot product (elements
+  normalized to the running max and reduced in fixed point, the paper's
+  optimistic approximation for scalar FP).
+* ``d2 = 0`` — conventional block floating-point (MSFP).
+* ``k1 > 1, d2 > 0`` — MX: the pipeline performs a conditional right shift
+  of up to ``2^d2 - 1`` bits at depth ``log2(k2)`` while summing.
+
+VSQ requires a *separate* pipeline with integer rescaling (the paper notes
+this too); see :mod:`repro.hardware.vsq_pipeline`.
+
+``r`` is the dot-product reduction length and ``f`` the fixed-point
+reduction precision, chosen as ``min(25, dynamic range)`` per the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from . import components as c
+
+__all__ = [
+    "AreaBreakdown",
+    "mx_pipeline_area",
+    "scalar_float_pipeline_area",
+    "int_pipeline_area",
+    "fp8_baseline_area",
+    "fixed_point_bits",
+    "DEFAULT_R",
+]
+
+#: Default reduction length: the paper normalizes to a 64-element FP8 unit.
+DEFAULT_R = 64
+
+#: Cap on the fixed-point reduction precision (Figure 6 caption).
+F_CAP = 25
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-stage area account of one pipeline instance, in gate equivalents."""
+
+    label: str
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, area: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + area
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def summary(self) -> str:
+        lines = [f"{self.label}: {self.total:,.0f} GE"]
+        for stage, area in sorted(self.stages.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {stage:<28s} {area:>12,.0f}  ({100 * area / self.total:5.1f}%)")
+        return "\n".join(lines)
+
+
+def fixed_point_bits(m: int, d2: int, k1: int) -> int:
+    """Reduction precision ``f``: min(25, format dynamic range).
+
+    A block format's partial products span ``2m`` product bits, up to
+    ``2 * (2^d2 - 1)`` bits of microexponent shift, and ``log2 k1`` bits of
+    carry growth, plus sign and rounding guard.
+    """
+    beta = (1 << d2) - 1
+    dyn = 2 * m + 2 * beta + math.ceil(math.log2(max(k1, 1))) + 3
+    return min(F_CAP, max(dyn, 4))
+
+
+def mx_pipeline_area(
+    m: int,
+    d1: int = 8,
+    d2: int = 1,
+    k1: int = 16,
+    k2: int = 2,
+    r: int = DEFAULT_R,
+) -> AreaBreakdown:
+    """Area of the Figure 6 pipeline for an MX/BFP configuration.
+
+    Args:
+        m: explicit mantissa bits (no implicit bit for block formats).
+        d1: shared exponent width.
+        d2: microexponent width (0 for plain BFP).
+        k1, k2: block and sub-block granularities.
+        r: dot-product reduction length (must be a multiple of ``k1``).
+    """
+    if r % k1 != 0:
+        raise ValueError(f"r ({r}) must be a multiple of k1 ({k1})")
+    beta = (1 << d2) - 1
+    blocks = r // k1
+    f = fixed_point_bits(m, d2, k1)
+    product_bits = 2 * m  # m x m magnitude product
+    bd = AreaBreakdown(f"mx(m={m},d1={d1},d2={d2},k1={k1},k2={k2},r={r})")
+
+    # --- element lane: signs, mantissa products, microexponent handling ---
+    bd.add("sign xor", c.xor_gates(r))
+    bd.add("mantissa multipliers", r * c.multiplier(m, m))
+    if d2 > 0:
+        # combine the two operands' sub-scales: r/k2 adders of d2 bits
+        bd.add("sub-scale add", (r // k2) * c.adder(d2))
+        # conditional right shift of each product by up to 2*beta bits
+        bd.add(
+            "microexponent shift",
+            r * c.barrel_shifter(product_bits + 1 + 2 * beta, 2 * beta),
+        )
+    bd.add("tc convert", r * c.twos_complement(product_bits + 1))
+
+    # --- intra-block reduction: k1 products -> 1 partial sum per block ---
+    bd.add(
+        "intra-block adder tree",
+        blocks * c.adder_tree(k1, product_bits + 1 + 2 * beta),
+    )
+
+    # --- inter-block alignment and fixed-point reduction ---
+    bd.add("exponent add", blocks * c.adder(d1))
+    bd.add("exponent max tree", c.max_tree(blocks, d1 + 1))
+    bd.add("exponent subtract", blocks * c.subtractor(d1 + 1))
+    bd.add("normalize shift", blocks * c.barrel_shifter(f, f))
+    bd.add("fixed-point reduction", c.adder_tree(blocks, f))
+
+    # --- output stage ---
+    out_bits = f + math.ceil(math.log2(max(blocks, 2)))
+    bd.add("lzc + fp32 convert", c.leading_zero_counter(out_bits) + c.barrel_shifter(out_bits, out_bits))
+    bd.add("fp32 accumulate", c.fp32_accumulator())
+
+    # --- I/O registers (the paper registers only inputs and outputs) ---
+    in_bits = 2 * r * (1 + m) + 2 * blocks * d1
+    if d2 > 0:
+        in_bits += 2 * (r // k2) * d2
+    bd.add("i/o registers", c.registers(in_bits + 32))
+    return bd
+
+
+def scalar_float_pipeline_area(e: int, m: int, r: int = DEFAULT_R) -> AreaBreakdown:
+    """Scalar floating-point dot product (the ``k1 = k2 = 1`` degenerate case).
+
+    Mantissa multipliers include the implicit leading one (``m + 1`` wide);
+    every element carries a private exponent, so alignment happens per
+    element at full fixed-point width — the cost MX amortizes per block.
+    """
+    f = F_CAP  # scalar exponent ranges exceed the cap for every format here
+    product_bits = 2 * (m + 1)
+    bd = AreaBreakdown(f"scalar_fp(e={e},m={m},r={r})")
+
+    bd.add("sign xor", c.xor_gates(r))
+    bd.add("mantissa multipliers", r * c.multiplier(m + 1, m + 1))
+    bd.add("exponent add", r * c.adder(e))
+    bd.add("tc convert", r * c.twos_complement(product_bits + 1))
+    bd.add("exponent max tree", c.max_tree(r, e + 1))
+    bd.add("exponent subtract", r * c.subtractor(e + 1))
+    bd.add("normalize shift", r * c.barrel_shifter(f, f))
+    bd.add("fixed-point reduction", c.adder_tree(r, f))
+
+    out_bits = f + math.ceil(math.log2(r))
+    bd.add("lzc + fp32 convert", c.leading_zero_counter(out_bits) + c.barrel_shifter(out_bits, out_bits))
+    bd.add("fp32 accumulate", c.fp32_accumulator())
+    bd.add("i/o registers", c.registers(2 * r * (1 + e + m) + 32))
+    return bd
+
+
+def int_pipeline_area(m: int, r: int = DEFAULT_R) -> AreaBreakdown:
+    """Software-scaled integer dot product: multiply, sum, one FP32 rescale."""
+    product_bits = 2 * m
+    bd = AreaBreakdown(f"int(m={m},r={r})")
+    bd.add("sign xor", c.xor_gates(r))
+    bd.add("mantissa multipliers", r * c.multiplier(m, m))
+    bd.add("tc convert", r * c.twos_complement(product_bits + 1))
+    bd.add("fixed-point reduction", c.adder_tree(r, product_bits + 1))
+    out_bits = product_bits + 1 + math.ceil(math.log2(r))
+    bd.add("fp32 rescale", c.multiplier(24, 24) / 4 + c.adder(8))
+    bd.add("lzc + fp32 convert", c.leading_zero_counter(out_bits) + c.barrel_shifter(out_bits, out_bits))
+    bd.add("fp32 accumulate", c.fp32_accumulator())
+    bd.add("i/o registers", c.registers(2 * r * (1 + m) + 32))
+    return bd
+
+
+def fp8_baseline_area(r: int = DEFAULT_R, sharing_overhead: float = 0.10) -> float:
+    """The normalization baseline: a dual-format FP8 unit (E4M3 + E5M2).
+
+    Modeled as a merged datapath sized for the wider of each field (5-bit
+    exponent path, 3-bit mantissa path) plus a configurability overhead for
+    the format muxing, as commercial multi-format units share sub-circuits.
+    """
+    merged = scalar_float_pipeline_area(e=5, m=3, r=r)
+    return merged.total * (1.0 + sharing_overhead)

@@ -1,0 +1,92 @@
+"""Power model companion to the area model.
+
+Section I/IV: the paper's methodology "enables the computation of
+synthesized power and area for different quantization configurations".
+Without EDA power reports we estimate relative dynamic and leakage power
+from the same component inventory the area model uses:
+
+* **dynamic** power scales with switched capacitance — proportional to the
+  area of a stage times its switching activity (multipliers and adders
+  toggle heavily; registers toggle once per cycle; max/compare trees are
+  data-gated and toggle less);
+* **leakage** power scales with total gate area.
+
+Like the area numbers, only *ratios* (normalized to the FP8 baseline) are
+meaningful, which is how the paper uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dot_product import DEFAULT_R, AreaBreakdown, fp8_baseline_area, scalar_float_pipeline_area
+
+__all__ = ["PowerEstimate", "pipeline_power", "power_cost"]
+
+#: Switching-activity factors per pipeline stage family (relative units).
+#: Datapath arithmetic toggles on most cycles; comparison/max logic is
+#: value-gated; registers are clocked (activity ~ clock toggle + data).
+ACTIVITY = {
+    "mantissa multipliers": 0.50,
+    "intra-block adder tree": 0.45,
+    "fixed-point reduction": 0.45,
+    "sub-block adder tree": 0.45,
+    "microexponent shift": 0.35,
+    "normalize shift": 0.35,
+    "tc convert": 0.30,
+    "sub-scale add": 0.30,
+    "sub-scale multipliers": 0.40,
+    "partial-sum rescale": 0.40,
+    "exponent add": 0.30,
+    "exponent subtract": 0.30,
+    "exponent max tree": 0.20,
+    "lzc + fp32 convert": 0.25,
+    "fp32 accumulate": 0.40,
+    "fp32 rescale": 0.35,
+    "sign xor": 0.50,
+    "i/o registers": 0.60,
+}
+
+#: Default activity for stages not listed above.
+DEFAULT_ACTIVITY = 0.35
+
+#: Leakage power per gate-equivalent, relative to dynamic units.
+LEAKAGE_PER_GE = 0.08
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Relative power of one pipeline instance."""
+
+    label: str
+    dynamic: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.leakage
+
+
+def pipeline_power(breakdown: AreaBreakdown) -> PowerEstimate:
+    """Estimate relative power from a pipeline's area breakdown."""
+    dynamic = sum(
+        area * ACTIVITY.get(stage, DEFAULT_ACTIVITY)
+        for stage, area in breakdown.stages.items()
+    )
+    leakage = breakdown.total * LEAKAGE_PER_GE
+    return PowerEstimate(breakdown.label, dynamic, leakage)
+
+
+def _fp8_baseline_power(r: int = DEFAULT_R) -> float:
+    """Dual-format FP8 baseline power (same construction as the area one)."""
+    merged = scalar_float_pipeline_area(e=5, m=3, r=r)
+    sharing = fp8_baseline_area(r=r) / merged.total
+    return pipeline_power(merged).total * sharing
+
+
+def power_cost(fmt, r: int = DEFAULT_R) -> float:
+    """Normalized power of a format's dot-product unit (FP8 baseline = 1)."""
+    from .cost import pipeline_area  # local import avoids a cycle
+
+    breakdown = pipeline_area(fmt, r=r)
+    return pipeline_power(breakdown).total / _fp8_baseline_power(r=r)

@@ -1,0 +1,61 @@
+"""Area model of the separate VSQ pipeline.
+
+The paper: "We use a separate pipeline (not shown here due to space
+limitations) for settings that require a second-level INT-based scaling
+(e.g., VSQ)" — and earlier, "This approach requires additional logic to
+handle integer rescaling at a fine granularity within an AI accelerator's
+dot product unit."
+
+The extra logic relative to a plain integer unit: per-sub-block products of
+the two operands' integer sub-scales, and a fine-grained integer rescale of
+every sub-block partial sum before the global reduction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from . import components as c
+from .dot_product import DEFAULT_R, F_CAP, AreaBreakdown
+
+__all__ = ["vsq_pipeline_area"]
+
+
+def vsq_pipeline_area(m: int, d2: int, k2: int = 16, r: int = DEFAULT_R) -> AreaBreakdown:
+    """Area of a VSQ dot product: INT elements with INT sub-scale rescaling.
+
+    Args:
+        m: element magnitude bits (INT4 -> m = 3, etc.).
+        d2: unsigned sub-scale width.
+        k2: sub-block (per-vector) granularity, 16 in [23].
+        r: reduction length (multiple of ``k2``).
+    """
+    if r % k2 != 0:
+        raise ValueError(f"r ({r}) must be a multiple of k2 ({k2})")
+    subblocks = r // k2
+    product_bits = 2 * m
+    sub_sum_bits = product_bits + 1 + math.ceil(math.log2(k2))
+    rescaled_bits = sub_sum_bits + 2 * d2
+    f = min(F_CAP, rescaled_bits + math.ceil(math.log2(max(subblocks, 2))))
+    bd = AreaBreakdown(f"vsq(m={m},d2={d2},k2={k2},r={r})")
+
+    bd.add("sign xor", c.xor_gates(r))
+    bd.add("mantissa multipliers", r * c.multiplier(m, m))
+    bd.add("tc convert", r * c.twos_complement(product_bits + 1))
+    # per-sub-block partial sums of k2 element products
+    bd.add("sub-block adder tree", subblocks * c.adder_tree(k2, product_bits + 1))
+    # integer rescale: combine the two operands' sub-scales, then multiply
+    # the partial sum by the combined (2*d2-bit) sub-scale
+    bd.add("sub-scale multipliers", subblocks * c.multiplier(d2, d2))
+    bd.add("partial-sum rescale", subblocks * c.multiplier(sub_sum_bits, 2 * d2))
+    # global fixed-point reduction of the rescaled partial sums
+    bd.add("fixed-point reduction", c.adder_tree(subblocks, min(rescaled_bits, f)))
+
+    out_bits = f
+    bd.add("fp32 rescale", c.multiplier(24, 24) / 4 + c.adder(8))
+    bd.add("lzc + fp32 convert", c.leading_zero_counter(out_bits) + c.barrel_shifter(out_bits, out_bits))
+    bd.add("fp32 accumulate", c.fp32_accumulator())
+
+    in_bits = 2 * r * (1 + m) + 2 * subblocks * d2
+    bd.add("i/o registers", c.registers(in_bits + 32))
+    return bd

@@ -1,0 +1,25 @@
+"""From-scratch metric implementations for every benchmark family."""
+
+from .auc import auc, normalized_entropy
+from .bleu import bleu_score
+from .classification import exact_match, squad_scores, token_f1, top1_accuracy
+from .fid import frechet_distance, inception_score
+from .lm import pearson_correlation, perplexity
+from .wer import collapse_repeats, edit_distance, wer
+
+__all__ = [
+    "auc",
+    "normalized_entropy",
+    "bleu_score",
+    "exact_match",
+    "squad_scores",
+    "token_f1",
+    "top1_accuracy",
+    "frechet_distance",
+    "inception_score",
+    "pearson_correlation",
+    "perplexity",
+    "collapse_repeats",
+    "edit_distance",
+    "wer",
+]

@@ -1,0 +1,49 @@
+"""Ranking metrics for the recommendation rows (Table III / VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["auc", "normalized_entropy"]
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) statistic.
+
+    Handles score ties by average ranking.
+    """
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC needs at least one positive and one negative")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = float(ranks[labels].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def normalized_entropy(labels: np.ndarray, probabilities: np.ndarray) -> float:
+    """Normalized [cross] entropy: log loss over the base-rate log loss.
+
+    The production recommendation metric of Table VI — lower is better and
+    a value of 1.0 means no better than predicting the CTR prior.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    p = np.clip(np.asarray(probabilities, dtype=np.float64), 1e-12, 1 - 1e-12)
+    ce = -np.mean(labels * np.log(p) + (1 - labels) * np.log(1 - p))
+    base = float(np.mean(labels))
+    base = min(max(base, 1e-12), 1 - 1e-12)
+    base_ce = -(base * np.log(base) + (1 - base) * np.log(1 - base))
+    return float(ce / base_ce)

@@ -1,0 +1,61 @@
+"""Corpus-level BLEU (Papineni et al.), used by the translation rows of
+Table III."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = ["bleu_score"]
+
+
+def _ngrams(tokens: Sequence, n: int) -> Counter:
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def bleu_score(
+    references: Sequence[Sequence],
+    hypotheses: Sequence[Sequence],
+    max_n: int = 4,
+    smooth: float = 1e-9,
+) -> float:
+    """Corpus BLEU in [0, 100] with brevity penalty.
+
+    Args:
+        references: one reference token sequence per sentence.
+        hypotheses: one hypothesis token sequence per sentence.
+        max_n: largest n-gram order (standard BLEU-4).
+        smooth: additive smoothing guarding empty matches.
+    """
+    if len(references) != len(hypotheses):
+        raise ValueError(
+            f"reference/hypothesis count mismatch: {len(references)} vs {len(hypotheses)}"
+        )
+    if not references:
+        raise ValueError("empty corpus")
+
+    matched = [0] * max_n
+    total = [0] * max_n
+    ref_len = 0
+    hyp_len = 0
+    for ref, hyp in zip(references, hypotheses):
+        ref, hyp = list(ref), list(hyp)
+        ref_len += len(ref)
+        hyp_len += len(hyp)
+        for n in range(1, max_n + 1):
+            hyp_grams = _ngrams(hyp, n)
+            ref_grams = _ngrams(ref, n)
+            overlap = sum(min(count, ref_grams[g]) for g, count in hyp_grams.items())
+            matched[n - 1] += overlap
+            total[n - 1] += max(len(hyp) - n + 1, 0)
+
+    if hyp_len == 0:
+        return 0.0
+    log_precision = 0.0
+    for n in range(max_n):
+        precision = (matched[n] + smooth) / (total[n] + smooth) if total[n] else smooth
+        log_precision += math.log(precision)
+    geometric_mean = math.exp(log_precision / max_n)
+    brevity = 1.0 if hyp_len > ref_len else math.exp(1.0 - ref_len / hyp_len)
+    return 100.0 * brevity * geometric_mean

@@ -1,0 +1,55 @@
+"""Classification and span-extraction metrics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["top1_accuracy", "exact_match", "token_f1", "squad_scores"]
+
+
+def top1_accuracy(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of exact label matches, in percent."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels/predictions shape mismatch")
+    if labels.size == 0:
+        raise ValueError("empty evaluation set")
+    return 100.0 * float(np.mean(labels == predictions))
+
+
+def exact_match(gold: Sequence, predicted: Sequence) -> float:
+    """1.0 when the two token sequences are identical."""
+    return float(list(gold) == list(predicted))
+
+
+def token_f1(gold: Sequence, predicted: Sequence) -> float:
+    """Token-overlap F1, the SQuAD span metric."""
+    gold, predicted = list(gold), list(predicted)
+    if not gold and not predicted:
+        return 1.0
+    if not gold or not predicted:
+        return 0.0
+    common = Counter(gold) & Counter(predicted)
+    overlap = sum(common.values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(predicted)
+    recall = overlap / len(gold)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def squad_scores(
+    gold_spans: Sequence[Sequence], predicted_spans: Sequence[Sequence]
+) -> tuple[float, float]:
+    """(Exact Match, F1) averaged over a QA evaluation set, in percent."""
+    if len(gold_spans) != len(predicted_spans):
+        raise ValueError("gold/predicted count mismatch")
+    if not gold_spans:
+        raise ValueError("empty evaluation set")
+    em = np.mean([exact_match(g, p) for g, p in zip(gold_spans, predicted_spans)])
+    f1 = np.mean([token_f1(g, p) for g, p in zip(gold_spans, predicted_spans)])
+    return 100.0 * float(em), 100.0 * float(f1)

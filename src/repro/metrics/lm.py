@@ -1,0 +1,29 @@
+"""Language-model metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["perplexity", "pearson_correlation"]
+
+
+def perplexity(mean_cross_entropy: float) -> float:
+    """Perplexity of a mean next-token cross entropy in nats."""
+    return math.exp(mean_cross_entropy)
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson r — used to validate that QSNR predicts end-to-end LM loss
+    (Section IV-A reports a strong correlation in the narrow-bit regime)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need two equally sized samples with n >= 2")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = float(np.sqrt(np.sum(xc**2) * np.sum(yc**2)))
+    if denom == 0.0:
+        raise ValueError("zero variance input")
+    return float(np.sum(xc * yc) / denom)

@@ -1,0 +1,53 @@
+"""Word error rate via Levenshtein distance, for the speech row of
+Table III."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["edit_distance", "wer", "collapse_repeats"]
+
+
+def edit_distance(reference: Sequence, hypothesis: Sequence) -> int:
+    """Levenshtein distance (insertions + deletions + substitutions)."""
+    ref, hyp = list(reference), list(hypothesis)
+    if not ref:
+        return len(hyp)
+    if not hyp:
+        return len(ref)
+    previous = np.arange(len(hyp) + 1)
+    for i, r in enumerate(ref, start=1):
+        current = np.empty(len(hyp) + 1, dtype=np.int64)
+        current[0] = i
+        for j, h in enumerate(hyp, start=1):
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + (r != h),  # substitution
+            )
+        previous = current
+    return int(previous[-1])
+
+
+def collapse_repeats(sequence: Sequence) -> list:
+    """CTC-style greedy collapse: merge adjacent duplicates."""
+    out = []
+    last = object()
+    for token in sequence:
+        if token != last:
+            out.append(token)
+            last = token
+    return out
+
+
+def wer(references: Sequence[Sequence], hypotheses: Sequence[Sequence]) -> float:
+    """Corpus word error rate in percent (can exceed 100)."""
+    if len(references) != len(hypotheses):
+        raise ValueError("reference/hypothesis count mismatch")
+    errors = sum(edit_distance(r, h) for r, h in zip(references, hypotheses))
+    words = sum(len(list(r)) for r in references)
+    if words == 0:
+        raise ValueError("empty reference corpus")
+    return 100.0 * errors / words

@@ -1,0 +1,36 @@
+"""The benchmark model zoo: laptop-scale, architecture-faithful stand-ins
+for every model family in the paper's Table III-VII evaluation."""
+
+from .bert import BertEncoder, BertQA
+from .diffusion import DDPM2D, time_embedding
+from .dlrm import DLRM, evaluate_ctr
+from .gpt import GPT, GPT_SIZES, GPTConfig, score_candidates
+from .moe import MoEFeedForward, MoEGPT
+from .speech import TinyWav2Vec, speech_wer
+from .translation import LSTMSeq2Seq, Seq2SeqTransformer, corpus_bleu, greedy_decode
+from .vision import TinyMobileNet, TinyResNet, TinyViT, classification_accuracy
+
+__all__ = [
+    "BertEncoder",
+    "BertQA",
+    "DDPM2D",
+    "time_embedding",
+    "DLRM",
+    "evaluate_ctr",
+    "GPT",
+    "GPT_SIZES",
+    "GPTConfig",
+    "score_candidates",
+    "MoEFeedForward",
+    "MoEGPT",
+    "TinyWav2Vec",
+    "speech_wer",
+    "LSTMSeq2Seq",
+    "Seq2SeqTransformer",
+    "corpus_bleu",
+    "greedy_decode",
+    "TinyMobileNet",
+    "TinyResNet",
+    "TinyViT",
+    "classification_accuracy",
+]

@@ -1,0 +1,127 @@
+"""Encoder-only model with MLM and span-extraction heads (BERT stand-in).
+
+Covers the Table III "Language Encoding" rows (masked perplexity) and the
+Table V SQuAD-style question answering rows (Exact Match / F1 on the
+key-value :class:`~repro.data.synthetic.QACorpus`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Embedding, LayerNorm, Linear, Module
+from ..nn.quantized import QuantSpec
+from ..nn.tensor import Tensor, no_grad
+from ..nn.transformer import TransformerBlock, sinusoidal_positions
+
+__all__ = ["BertEncoder", "BertQA"]
+
+
+class BertEncoder(Module):
+    """Bidirectional transformer encoder with an MLM head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 32,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        max_len: int = 64,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.token_emb = Embedding(vocab_size, dim, rng=rng)
+        self.positions = sinusoidal_positions(max_len, dim)
+        self.blocks = [
+            TransformerBlock(dim, num_heads, rng=rng, quant=quant)
+            for _ in range(num_layers)
+        ]
+        self.ln_f = LayerNorm(dim)
+        self.mlm_head = Linear(dim, vocab_size, rng=rng, quant=quant)
+
+    def encode(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        t = tokens.shape[-1]
+        x = self.token_emb(tokens) + Tensor(self.positions[:t])
+        for block in self.blocks:
+            x = block(x)
+        return self.ln_f(x)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        return self.mlm_head(self.encode(tokens))
+
+    def loss(self, batch) -> Tensor:
+        """Masked-LM loss over (corrupted, original, mask) batches."""
+        corrupted, original, mask = batch
+        logits = self.forward(corrupted)
+        targets = np.where(mask, original, -1)
+        return F.cross_entropy(logits, targets, ignore_index=-1)
+
+    def masked_perplexity(self, batches) -> float:
+        """Perplexity over masked positions (the Table III metric)."""
+        losses = []
+        with no_grad():
+            for batch in batches:
+                losses.append(float(self.loss(batch).data))
+        return float(np.exp(np.mean(losses)))
+
+
+class BertQA(Module):
+    """Encoder + span head: start/end logits over passage positions."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 32,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        max_len: int = 64,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.encoder = BertEncoder(
+            vocab_size, dim, num_layers, num_heads, max_len, rng=rng, quant=quant
+        )
+        self.span_head = Linear(dim, 2, rng=rng, quant=quant)
+
+    def forward(self, tokens: np.ndarray) -> tuple[Tensor, Tensor]:
+        """(start_logits, end_logits), each (B, T)."""
+        hidden = self.encoder.encode(tokens)
+        logits = self.span_head(hidden)
+        b, t, _ = logits.shape
+        flat = logits.reshape(b, t * 2)
+        start = flat[:, 0::2]
+        end = flat[:, 1::2]
+        return start, end
+
+    def loss(self, batch) -> Tensor:
+        tokens, starts, ends = batch
+        start_logits, end_logits = self.forward(tokens)
+        return F.cross_entropy(start_logits, starts) + F.cross_entropy(end_logits, ends)
+
+    def predict_spans(self, tokens: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Greedy (start, end) predictions per example."""
+        with no_grad():
+            start_logits, end_logits = self.forward(tokens)
+        starts = np.argmax(start_logits.data, axis=-1)
+        ends = np.maximum(np.argmax(end_logits.data, axis=-1), starts)
+        return starts, ends
+
+    def evaluate(self, batches) -> tuple[float, float]:
+        """(EM, F1) in percent over span batches."""
+        from ..metrics.classification import squad_scores
+
+        gold, predicted = [], []
+        for tokens, starts, ends in batches:
+            p_start, p_end = self.predict_spans(tokens)
+            tokens = np.asarray(tokens)
+            for row in range(tokens.shape[0]):
+                gold.append(list(tokens[row, starts[row] : ends[row] + 1]))
+                predicted.append(list(tokens[row, p_start[row] : p_end[row] + 1]))
+        return squad_scores(gold, predicted)

@@ -1,0 +1,135 @@
+"""Recommendation models for the Table III / Table VI rows.
+
+Three interaction architectures, mirroring the paper's production models:
+
+* ``"dot"``         — canonical DLRM pairwise dot interactions (PR-rec1).
+* ``"transformer"`` — transformer encoder over feature tokens (PR-rec2).
+* ``"dhen"``        — a hierarchical ensemble of dot and MLP interaction
+  branches (DHEN-flavoured, PR-rec3).
+
+Embedding tables support storage quantization (Section V quantizes both the
+embedding tables and the tensor compute for memory-bound inference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Embedding, Linear, Module, Sequential, ReLU
+from ..nn.losses import bce_with_logits
+from ..nn.quantized import QuantSpec
+from ..nn.tensor import Tensor, concat, no_grad, stack
+from ..nn.transformer import TransformerBlock
+
+__all__ = ["DLRM", "evaluate_ctr"]
+
+INTERACTIONS = ("dot", "transformer", "dhen")
+
+
+class DLRM(Module):
+    def __init__(
+        self,
+        dense_dim: int = 8,
+        cardinalities: tuple[int, ...] = (32, 32, 16, 16),
+        embedding_dim: int = 8,
+        hidden: int = 32,
+        interaction: str = "dot",
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        if interaction not in INTERACTIONS:
+            raise ValueError(f"interaction must be one of {INTERACTIONS}")
+        rng = rng or np.random.default_rng()
+        self.interaction = interaction
+        self.embedding_dim = embedding_dim
+        self.num_features = len(cardinalities) + 1  # categorical + dense token
+
+        self.embeddings = [
+            Embedding(card, embedding_dim, rng=rng) for card in cardinalities
+        ]
+        self.bottom = Sequential(
+            Linear(dense_dim, hidden, rng=rng, quant=quant),
+            ReLU(),
+            Linear(hidden, embedding_dim, rng=rng, quant=quant),
+        )
+
+        n_pairs = self.num_features * (self.num_features - 1) // 2
+        if interaction == "dot":
+            top_in = embedding_dim + n_pairs
+        elif interaction == "transformer":
+            self.encoder = TransformerBlock(embedding_dim, 2, rng=rng, quant=quant)
+            top_in = self.num_features * embedding_dim
+        else:  # dhen: ensemble of a dot branch and an MLP branch
+            self.dhen_mlp = Sequential(
+                Linear(self.num_features * embedding_dim, hidden, rng=rng, quant=quant),
+                ReLU(),
+                Linear(hidden, embedding_dim, rng=rng, quant=quant),
+            )
+            top_in = embedding_dim + n_pairs + embedding_dim
+        self.top = Sequential(
+            Linear(top_in, hidden, rng=rng, quant=quant),
+            ReLU(),
+            Linear(hidden, 1, rng=rng, quant=quant),
+        )
+
+    # ------------------------------------------------------------------
+    def _feature_tokens(self, dense: np.ndarray, cats: np.ndarray) -> tuple[Tensor, Tensor]:
+        """(bottom_out (B, D), tokens (B, F, D)) shared by all interactions."""
+        bottom_out = self.bottom(Tensor(np.asarray(dense)))
+        vectors = [bottom_out] + [
+            emb(np.asarray(cats)[:, i]) for i, emb in enumerate(self.embeddings)
+        ]
+        return bottom_out, stack(vectors, axis=1)
+
+    @staticmethod
+    def _pairwise_dots(tokens: Tensor) -> Tensor:
+        """Upper-triangular pairwise dot products between feature tokens."""
+        gram = tokens @ tokens.transpose(0, 2, 1)  # (B, F, F)
+        f = gram.shape[1]
+        rows, cols = np.triu_indices(f, k=1)
+        flat = gram.reshape(gram.shape[0], f * f)
+        return flat[:, rows * f + cols]
+
+    def forward(self, dense: np.ndarray, cats: np.ndarray) -> Tensor:
+        """CTR logit (B,)."""
+        bottom_out, tokens = self._feature_tokens(dense, cats)
+        if self.interaction == "dot":
+            features = concat([bottom_out, self._pairwise_dots(tokens)], axis=-1)
+        elif self.interaction == "transformer":
+            encoded = self.encoder(tokens)
+            features = encoded.reshape(encoded.shape[0], -1)
+        else:
+            flat = tokens.reshape(tokens.shape[0], -1)
+            features = concat(
+                [bottom_out, self._pairwise_dots(tokens), self.dhen_mlp(flat)], axis=-1
+            )
+        return self.top(features).reshape(-1)
+
+    def loss(self, batch) -> Tensor:
+        dense, cats, labels = batch
+        return bce_with_logits(self.forward(dense, cats), labels)
+
+    def predict_proba(self, dense: np.ndarray, cats: np.ndarray) -> np.ndarray:
+        with no_grad():
+            logits = self.forward(dense, cats)
+        return 1.0 / (1.0 + np.exp(-logits.data))
+
+    def quantize_embeddings(self, fmt) -> None:
+        """Storage-quantize every embedding table (Section V optimization)."""
+        for emb in self.embeddings:
+            emb.storage_quant = fmt
+
+
+def evaluate_ctr(model: DLRM, batches) -> tuple[float, float]:
+    """(AUC, normalized entropy) over CTR batches."""
+    from ..metrics.auc import auc, normalized_entropy
+
+    labels_all, probs_all = [], []
+    for dense, cats, labels in batches:
+        probs_all.append(model.predict_proba(dense, cats))
+        labels_all.append(labels)
+    labels = np.concatenate(labels_all)
+    probs = np.concatenate(probs_all)
+    return auc(labels, probs), normalized_entropy(labels, probs)

@@ -1,0 +1,120 @@
+"""Decoder-only generative language models (the GPT family stand-in).
+
+The paper trains dense GPTs from 6M to 175B parameters; this ladder keeps
+the architecture (pre-norm causal transformer, learned token embeddings,
+sinusoidal positions, weight-tied-free LM head) at laptop scale.  Names
+follow Table VII; parameter counts are of course far smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.attention import causal_mask
+from ..nn.layers import Embedding, LayerNorm, Linear, Module
+from ..nn.quantized import QuantSpec
+from ..nn.tensor import Tensor, no_grad
+from ..nn.transformer import TransformerBlock, sinusoidal_positions
+
+__all__ = ["GPTConfig", "GPT", "GPT_SIZES", "score_candidates"]
+
+
+@dataclass(frozen=True)
+class GPTConfig:
+    """Architecture of one ladder member."""
+
+    dim: int
+    num_layers: int
+    num_heads: int
+    max_len: int = 96
+    hidden_multiple: int = 4
+
+
+#: The Table VII ladder, scaled to laptop size (names kept for row mapping).
+GPT_SIZES: dict[str, GPTConfig] = {
+    "GPT-XS": GPTConfig(dim=16, num_layers=1, num_heads=2),
+    "GPT-S": GPTConfig(dim=24, num_layers=2, num_heads=2),
+    "GPT-M": GPTConfig(dim=32, num_layers=2, num_heads=4),
+    "GPT-L": GPTConfig(dim=48, num_layers=3, num_heads=4),
+    "GPT-XL": GPTConfig(dim=64, num_layers=4, num_heads=4),
+}
+
+
+class GPT(Module):
+    """Causal transformer language model over integer token sequences."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        config: GPTConfig,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.config = config
+        self.token_emb = Embedding(vocab_size, config.dim, rng=rng)
+        self.positions = sinusoidal_positions(config.max_len, config.dim)
+        self.blocks = [
+            TransformerBlock(
+                config.dim,
+                config.num_heads,
+                hidden=config.hidden_multiple * config.dim,
+                rng=rng,
+                quant=quant,
+            )
+            for _ in range(config.num_layers)
+        ]
+        self.ln_f = LayerNorm(config.dim)
+        self.head = Linear(config.dim, vocab_size, rng=rng, quant=quant)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Logits (B, T, V) for next-token prediction."""
+        tokens = np.asarray(tokens)
+        t = tokens.shape[-1]
+        if t > self.config.max_len:
+            raise ValueError(f"sequence length {t} exceeds max_len {self.config.max_len}")
+        x = self.token_emb(tokens) + Tensor(self.positions[:t])
+        mask = causal_mask(t)
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.head(self.ln_f(x))
+
+    def loss(self, batch: np.ndarray) -> Tensor:
+        """Next-token cross entropy over a (B, T+1) token batch."""
+        batch = np.asarray(batch)
+        logits = self.forward(batch[:, :-1])
+        return F.cross_entropy(logits, batch[:, 1:])
+
+    def eval_loss(self, batches) -> float:
+        """Mean LM loss over held-out batches (no gradients)."""
+        losses = []
+        with no_grad():
+            for batch in batches:
+                losses.append(float(self.loss(batch).data))
+        return float(np.mean(losses))
+
+    def sequence_logprob(self, context: np.ndarray, continuation: np.ndarray) -> float:
+        """Total log-probability of ``continuation`` given ``context``."""
+        context = np.asarray(context)
+        continuation = np.asarray(continuation)
+        tokens = np.concatenate([context, continuation])[None, :]
+        tokens = tokens[:, -self.config.max_len :]
+        n = min(len(continuation), tokens.shape[1] - 1)
+        with no_grad():
+            logits = self.forward(tokens[:, :-1])
+            logp = F.log_softmax(logits, axis=-1).data[0]
+        # score the last n predicted positions against the continuation tail
+        targets = tokens[0, -n:]
+        rows = np.arange(logp.shape[0] - n, logp.shape[0])
+        return float(logp[rows, targets].sum())
+
+
+def score_candidates(model: GPT, context: np.ndarray, candidates) -> int:
+    """Likelihood-ranked choice: index of the highest-scoring candidate."""
+    scores = [model.sequence_logprob(context, cand) for cand in candidates]
+    return int(np.argmax(scores))

@@ -1,0 +1,114 @@
+"""Mixture-of-Experts generative model (the DeepSpeed-MoE stand-in).
+
+The paper trains a 1.9B MoE with MX9 (Table VII) and notes one precision
+exception: "the Softmax in the mixture-of-experts gating function" runs in
+FP32 rather than BF16 (Section V).  The gating softmax here is therefore
+always kept in full vector precision.
+
+Routing substitution: the reference model uses sparse top-1 routing; with
+a handful of laptop-scale experts we use the dense softmax-weighted mixture
+(every expert evaluated, gate-weighted sum), which preserves the numerical
+role of the gate while staying differentiable end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.attention import MultiHeadAttention, causal_mask
+from ..nn.layers import Embedding, LayerNorm, Linear, Module
+from ..nn.quantized import QuantSpec
+from ..nn.tensor import Tensor, no_grad
+from ..nn.transformer import sinusoidal_positions
+from .gpt import GPTConfig
+
+__all__ = ["MoEFeedForward", "MoEGPT"]
+
+
+class MoEFeedForward(Module):
+    """Dense softmax-gated mixture of GELU-MLP experts."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_experts: int = 4,
+        hidden: int | None = None,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        hidden = hidden or 4 * dim
+        rng = rng or np.random.default_rng()
+        self.gate = Linear(dim, num_experts, rng=rng, quant=quant)
+        self.experts_fc1 = [Linear(dim, hidden, rng=rng, quant=quant) for _ in range(num_experts)]
+        self.experts_fc2 = [Linear(hidden, dim, rng=rng, quant=quant) for _ in range(num_experts)]
+
+    def forward(self, x: Tensor) -> Tensor:
+        # gating softmax stays FP32 (the paper's explicit exception)
+        weights = F.softmax(self.gate(x), axis=-1)
+        out = None
+        for i, (fc1, fc2) in enumerate(zip(self.experts_fc1, self.experts_fc2)):
+            expert_out = fc2(F.gelu(fc1(x)))
+            gated = expert_out * weights[:, :, i : i + 1]
+            out = gated if out is None else out + gated
+        return out
+
+
+class _MoEBlock(Module):
+    def __init__(self, dim, num_heads, num_experts, rng, quant):
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng, quant=quant)
+        self.ln2 = LayerNorm(dim)
+        self.moe = MoEFeedForward(dim, num_experts, rng=rng, quant=quant)
+
+    def forward(self, x, mask=None):
+        x = x + self.attn(self.ln1(x), mask=mask)
+        return x + self.moe(self.ln2(x))
+
+
+class MoEGPT(Module):
+    """Causal LM with MoE feed-forward blocks."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        config: GPTConfig,
+        num_experts: int = 4,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.config = config
+        self.token_emb = Embedding(vocab_size, config.dim, rng=rng)
+        self.positions = sinusoidal_positions(config.max_len, config.dim)
+        self.blocks = [
+            _MoEBlock(config.dim, config.num_heads, num_experts, rng, quant)
+            for _ in range(config.num_layers)
+        ]
+        self.ln_f = LayerNorm(config.dim)
+        self.head = Linear(config.dim, vocab_size, rng=rng, quant=quant)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        t = tokens.shape[-1]
+        x = self.token_emb(tokens) + Tensor(self.positions[:t])
+        mask = causal_mask(t)
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.head(self.ln_f(x))
+
+    def loss(self, batch: np.ndarray) -> Tensor:
+        batch = np.asarray(batch)
+        logits = self.forward(batch[:, :-1])
+        return F.cross_entropy(logits, batch[:, 1:])
+
+    def eval_loss(self, batches) -> float:
+        losses = []
+        with no_grad():
+            for batch in batches:
+                losses.append(float(self.loss(batch).data))
+        return float(np.mean(losses))

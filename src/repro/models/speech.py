@@ -1,0 +1,73 @@
+"""Speech-recognition stand-in (the wav2vec 2.0 row of Table III).
+
+A frame encoder (the "feature extractor") followed by a transformer
+context network and a per-frame phone classifier; word error rate is
+computed on CTC-style collapsed frame predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Linear, Module
+from ..nn.quantized import QuantSpec
+from ..nn.tensor import Tensor, no_grad
+from ..nn.transformer import TransformerBlock, sinusoidal_positions
+
+__all__ = ["TinyWav2Vec", "speech_wer"]
+
+
+class TinyWav2Vec(Module):
+    def __init__(
+        self,
+        frame_dim: int = 24,
+        num_phones: int = 10,
+        dim: int = 32,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        max_len: int = 64,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.feature_extractor = Linear(frame_dim, dim, rng=rng, quant=quant)
+        self.positions = sinusoidal_positions(max_len, dim)
+        self.context = [
+            TransformerBlock(dim, num_heads, rng=rng, quant=quant)
+            for _ in range(num_layers)
+        ]
+        self.classifier = Linear(dim, num_phones, rng=rng, quant=quant)
+
+    def forward(self, frames: np.ndarray) -> Tensor:
+        frames = np.asarray(frames)
+        x = F.gelu(self.feature_extractor(Tensor(frames)))
+        x = x + Tensor(self.positions[: frames.shape[1]])
+        for block in self.context:
+            x = block(x)
+        return self.classifier(x)
+
+    def loss(self, batch) -> Tensor:
+        frames, labels = batch
+        return F.cross_entropy(self.forward(frames), labels)
+
+    def transcribe(self, frames: np.ndarray) -> list[list[int]]:
+        """Greedy per-frame decode with repeat collapse."""
+        from ..metrics.wer import collapse_repeats
+
+        with no_grad():
+            logits = self.forward(frames)
+        predictions = np.argmax(logits.data, axis=-1)
+        return [collapse_repeats(row) for row in predictions]
+
+
+def speech_wer(model: TinyWav2Vec, batches) -> float:
+    """Corpus WER (percent) over (frames, labels) batches."""
+    from ..metrics.wer import collapse_repeats, wer
+
+    references, hypotheses = [], []
+    for frames, labels in batches:
+        hypotheses.extend(model.transcribe(frames))
+        references.extend(collapse_repeats(row) for row in labels)
+    return wer(references, hypotheses)

@@ -1,0 +1,163 @@
+"""Neural machine translation stand-ins: encoder-decoder transformer
+(Transformer-Base/Large rows) and an attention LSTM seq2seq (GNMT row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.attention import causal_mask
+from ..nn.layers import Embedding, LayerNorm, Linear, Module
+from ..nn.quantized import QuantSpec
+from ..nn.recurrent import LSTM
+from ..nn.tensor import Tensor, concat, no_grad
+from ..nn.transformer import DecoderBlock, TransformerBlock, sinusoidal_positions
+
+__all__ = ["Seq2SeqTransformer", "LSTMSeq2Seq", "greedy_decode", "corpus_bleu"]
+
+
+class Seq2SeqTransformer(Module):
+    """Pre-norm encoder-decoder transformer for token-to-token translation."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 32,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        max_len: int = 32,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.src_emb = Embedding(vocab_size, dim, rng=rng)
+        self.tgt_emb = Embedding(vocab_size, dim, rng=rng)
+        self.positions = sinusoidal_positions(max_len, dim)
+        self.encoder = [
+            TransformerBlock(dim, num_heads, rng=rng, quant=quant)
+            for _ in range(num_layers)
+        ]
+        self.decoder = [
+            DecoderBlock(dim, num_heads, rng=rng, quant=quant)
+            for _ in range(num_layers)
+        ]
+        self.ln_f = LayerNorm(dim)
+        self.head = Linear(dim, vocab_size, rng=rng, quant=quant)
+
+    def encode(self, sources: np.ndarray) -> Tensor:
+        sources = np.asarray(sources)
+        x = self.src_emb(sources) + Tensor(self.positions[: sources.shape[-1]])
+        for block in self.encoder:
+            x = block(x)
+        return x
+
+    def decode(self, targets_in: np.ndarray, memory: Tensor) -> Tensor:
+        targets_in = np.asarray(targets_in)
+        t = targets_in.shape[-1]
+        x = self.tgt_emb(targets_in) + Tensor(self.positions[:t])
+        mask = causal_mask(t)
+        for block in self.decoder:
+            x = block(x, memory, self_mask=mask)
+        return self.head(self.ln_f(x))
+
+    def forward(self, sources: np.ndarray, targets_in: np.ndarray) -> Tensor:
+        return self.decode(targets_in, self.encode(sources))
+
+    def loss(self, batch) -> Tensor:
+        """Teacher-forced cross entropy over (sources, targets) pairs."""
+        sources, targets = batch
+        logits = self.forward(sources, targets[:, :-1])
+        return F.cross_entropy(logits, targets[:, 1:])
+
+
+class LSTMSeq2Seq(Module):
+    """GNMT-flavoured LSTM encoder-decoder with dot-product attention."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 32,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.src_emb = Embedding(vocab_size, dim, rng=rng)
+        self.tgt_emb = Embedding(vocab_size, dim, rng=rng)
+        self.encoder = LSTM(dim, dim, rng=rng, quant=quant)
+        self.decoder = LSTM(dim, dim, rng=rng, quant=quant)
+        self.attn_proj = Linear(dim, dim, rng=rng, quant=quant)
+        self.head = Linear(2 * dim, vocab_size, rng=rng, quant=quant)
+
+    def encode(self, sources: np.ndarray):
+        embedded = self.src_emb(np.asarray(sources))
+        memory, state = self.encoder(embedded)
+        return memory, state
+
+    def decode(self, targets_in: np.ndarray, memory: Tensor, state) -> Tensor:
+        embedded = self.tgt_emb(np.asarray(targets_in))
+        hidden, _ = self.decoder(embedded, state)
+        # Luong-style dot attention over encoder memory
+        queries = self.attn_proj(hidden)  # (B, Tt, D)
+        scores = queries @ memory.transpose(0, 2, 1)  # (B, Tt, Ts)
+        weights = F.softmax(scores, axis=-1)
+        context = weights @ memory  # (B, Tt, D)
+        return self.head(concat([hidden, context], axis=-1))
+
+    def forward(self, sources: np.ndarray, targets_in: np.ndarray) -> Tensor:
+        memory, state = self.encode(sources)
+        return self.decode(targets_in, memory, state)
+
+    def loss(self, batch) -> Tensor:
+        sources, targets = batch
+        logits = self.forward(sources, targets[:, :-1])
+        return F.cross_entropy(logits, targets[:, 1:])
+
+
+def greedy_decode(model, sources: np.ndarray, max_len: int, bos: int, eos: int) -> list[list[int]]:
+    """Greedy autoregressive decoding for either seq2seq model."""
+    sources = np.asarray(sources)
+    batch = sources.shape[0]
+    with no_grad():
+        if isinstance(model, LSTMSeq2Seq):
+            memory, state = model.encode(sources)
+            decode = lambda t_in: model.decode(t_in, memory, state)
+        else:
+            memory = model.encode(sources)
+            decode = lambda t_in: model.decode(t_in, memory)
+        tokens = np.full((batch, 1), bos, dtype=np.int64)
+        finished = np.zeros(batch, dtype=bool)
+        for _ in range(max_len):
+            logits = decode(tokens)
+            nxt = np.argmax(logits.data[:, -1], axis=-1)
+            nxt = np.where(finished, eos, nxt)
+            tokens = np.concatenate([tokens, nxt[:, None]], axis=1)
+            finished |= nxt == eos
+            if finished.all():
+                break
+    outputs = []
+    for row in tokens[:, 1:]:
+        out = []
+        for token in row:
+            if token == eos:
+                break
+            out.append(int(token))
+        outputs.append(out)
+    return outputs
+
+
+def corpus_bleu(model, task, n_sentences: int = 64, seed: int = 123, length: int = 8) -> float:
+    """BLEU of greedy decodes on fresh task samples."""
+    from ..metrics.bleu import bleu_score
+
+    rng = np.random.default_rng(seed)
+    sources, targets = task.batch(n_sentences, rng, length=length)
+    hypotheses = greedy_decode(
+        model, sources, max_len=targets.shape[1], bos=task.bos, eos=task.eos
+    )
+    references = [[int(t) for t in row[1:-1]] for row in targets]
+    return bleu_score(references, hypotheses)

@@ -1,0 +1,171 @@
+"""Image-classification stand-ins: residual CNN (ResNet rows), depthwise-
+separable CNN (MobileNet-v2 row) and a tiny vision transformer (DeiT rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.conv import Conv2d, avg_pool2d
+from ..nn.layers import LayerNorm, Linear, Module
+from ..nn.quantized import QuantSpec
+from ..nn.tensor import Tensor, no_grad
+from ..nn.transformer import TransformerBlock, sinusoidal_positions
+
+__all__ = ["TinyResNet", "TinyMobileNet", "TinyViT", "classification_accuracy"]
+
+
+class _ResidualBlock(Module):
+    def __init__(self, channels, rng, quant):
+        super().__init__()
+        self.conv1 = Conv2d(channels, channels, 3, padding=1, rng=rng, quant=quant)
+        self.conv2 = Conv2d(channels, channels, 3, padding=1, rng=rng, quant=quant)
+
+    def forward(self, x):
+        h = self.conv1(x).relu()
+        return (x + self.conv2(h)).relu()
+
+
+class TinyResNet(Module):
+    """Stem conv + residual stages + global average pooling head."""
+
+    def __init__(
+        self,
+        num_classes: int = 8,
+        channels: int = 8,
+        blocks: int = 2,
+        in_channels: int = 1,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.stem = Conv2d(in_channels, channels, 3, padding=1, rng=rng, quant=quant)
+        self.blocks = [_ResidualBlock(channels, rng, quant) for _ in range(blocks)]
+        self.head = Linear(channels, num_classes, rng=rng, quant=quant)
+
+    def forward(self, images: np.ndarray | Tensor) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(images)
+        x = self.stem(x).relu()
+        x = avg_pool2d(x, 2)
+        for block in self.blocks:
+            x = block(x)
+        x = x.mean(axis=(2, 3))
+        return self.head(x)
+
+    def loss(self, batch) -> Tensor:
+        images, labels = batch
+        return F.cross_entropy(self.forward(images), labels)
+
+
+class _SeparableBlock(Module):
+    """Depthwise 3x3 + pointwise 1x1, the MobileNet primitive."""
+
+    def __init__(self, in_channels, out_channels, rng, quant):
+        super().__init__()
+        self.depthwise = Conv2d(
+            in_channels, in_channels, 3, padding=1, groups=in_channels, rng=rng, quant=quant
+        )
+        self.pointwise = Conv2d(in_channels, out_channels, 1, rng=rng, quant=quant)
+
+    def forward(self, x):
+        return self.pointwise(self.depthwise(x).relu()).relu()
+
+
+class TinyMobileNet(Module):
+    """Stack of depthwise-separable blocks — deliberately quantization-
+    fragile like its namesake (depthwise convs have tiny reduction dims)."""
+
+    def __init__(
+        self,
+        num_classes: int = 8,
+        channels: int = 8,
+        blocks: int = 2,
+        in_channels: int = 1,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.stem = Conv2d(in_channels, channels, 3, padding=1, rng=rng, quant=quant)
+        self.blocks = [_SeparableBlock(channels, channels, rng, quant) for _ in range(blocks)]
+        self.head = Linear(channels, num_classes, rng=rng, quant=quant)
+
+    def forward(self, images: np.ndarray | Tensor) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(images)
+        x = self.stem(x).relu()
+        x = avg_pool2d(x, 2)
+        for block in self.blocks:
+            x = block(x)
+        x = x.mean(axis=(2, 3))
+        return self.head(x)
+
+    def loss(self, batch) -> Tensor:
+        images, labels = batch
+        return F.cross_entropy(self.forward(images), labels)
+
+
+class TinyViT(Module):
+    """Patchify -> transformer encoder -> mean-pool head (DeiT stand-in)."""
+
+    def __init__(
+        self,
+        num_classes: int = 8,
+        image_size: int = 16,
+        patch_size: int = 4,
+        dim: int = 32,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        in_channels: int = 1,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError("image size must be divisible by patch size")
+        rng = rng or np.random.default_rng()
+        self.patch_size = patch_size
+        self.num_patches = (image_size // patch_size) ** 2
+        patch_dim = in_channels * patch_size * patch_size
+        self.patch_embed = Linear(patch_dim, dim, rng=rng, quant=quant)
+        self.positions = sinusoidal_positions(self.num_patches, dim)
+        self.blocks = [
+            TransformerBlock(dim, num_heads, rng=rng, quant=quant)
+            for _ in range(num_layers)
+        ]
+        self.ln_f = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng=rng, quant=quant)
+
+    def _patchify(self, images: Tensor) -> Tensor:
+        b, c, h, w = images.shape
+        p = self.patch_size
+        x = images.reshape(b, c, h // p, p, w // p, p)
+        x = x.transpose(0, 2, 4, 1, 3, 5)
+        return x.reshape(b, self.num_patches, c * p * p)
+
+    def forward(self, images: np.ndarray | Tensor) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(images)
+        x = self.patch_embed(self._patchify(x)) + Tensor(self.positions)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.ln_f(x).mean(axis=1))
+
+    def loss(self, batch) -> Tensor:
+        images, labels = batch
+        return F.cross_entropy(self.forward(images), labels)
+
+
+def classification_accuracy(model: Module, batches) -> float:
+    """Top-1 accuracy (percent) of any of the vision models."""
+    correct = 0
+    total = 0
+    with no_grad():
+        for images, labels in batches:
+            logits = model.forward(images)
+            predictions = np.argmax(logits.data, axis=-1)
+            correct += int(np.sum(predictions == labels))
+            total += len(labels)
+    if total == 0:
+        raise ValueError("empty evaluation set")
+    return 100.0 * correct / total

@@ -1,0 +1,85 @@
+"""Multi-head attention with the MX compute flow.
+
+All four projections *and* the two attention products (scores, context) are
+tensor reductions and run quantized; the softmax is an element-wise op and
+runs in the scalar vector precision (BF16 by default in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Linear, Module
+from .precision import VectorPrecision, apply_vector_precision
+from .quantized import QuantSpec, quantized_bmm
+from .tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "causal_mask"]
+
+
+def causal_mask(t: int) -> np.ndarray:
+    """Upper-triangular True mask blocking attention to future positions."""
+    return np.triu(np.ones((t, t), dtype=bool), k=1)
+
+
+class MultiHeadAttention(Module):
+    """Self- or cross-attention over (B, T, D) inputs."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng, quant=quant)
+        self.k_proj = Linear(dim, dim, rng=rng, quant=quant)
+        self.v_proj = Linear(dim, dim, rng=rng, quant=quant)
+        self.out_proj = Linear(dim, dim, rng=rng, quant=quant)
+        self.quant = quant
+        self.vector_precision = VectorPrecision.FP32
+
+    def set_quant(self, quant: QuantSpec | None) -> None:
+        self.quant = quant
+        for proj in (self.q_proj, self.k_proj, self.v_proj, self.out_proj):
+            proj.quant = quant
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    def forward(
+        self,
+        x: Tensor,
+        context: Tensor | None = None,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend ``x`` to ``context`` (defaults to self-attention).
+
+        ``mask`` is a boolean array broadcastable to (T_q, T_k); True
+        positions are blocked.
+        """
+        context = x if context is None else context
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(context))
+        v = self._split_heads(self.v_proj(context))
+
+        scores = quantized_bmm(q, k.transpose(0, 1, 3, 2), self.quant)
+        scores = scores * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            scores = F.masked_fill(scores, mask, -1e9)
+        weights = apply_vector_precision(F.softmax(scores, axis=-1), self.vector_precision)
+        attended = quantized_bmm(weights, v, self.quant)
+        return self.out_proj(self._merge_heads(attended))

@@ -1,0 +1,182 @@
+"""Convolutions via im2col, sharing the quantized-matmul compute flow.
+
+A convolution is a dot product over ``C_in * KH * KW`` elements, so MX
+quantization applies along that patch dimension — the reduction dimension —
+for both the unfolded activations and the reshaped weights, exactly as the
+matmul path does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module
+from .quantized import QuantSpec
+from .tensor import Tensor
+
+__all__ = ["Conv2d", "conv2d", "avg_pool2d", "max_pool2d", "im2col", "col2im"]
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold (B, C, H, W) into (B, OH, OW, C*kh*kw) patches."""
+    b, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    sb, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c, oh, ow, kh, kw),
+        strides=(sb, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (B, OH, OW, C, kh, kw) -> (B, OH, OW, C*kh*kw)
+    return windows.transpose(0, 2, 3, 1, 4, 5).reshape(b, oh, ow, c * kh * kw)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold (B, OH, OW, C*kh*kw) patch gradients back onto the input."""
+    b, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    out = np.zeros((b, c, hp, wp))
+    patches = cols.reshape(b, oh, ow, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
+                patches[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if padding:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    quant: QuantSpec | None = None,
+) -> Tensor:
+    """2-D convolution: x (B, C, H, W), weight (C_out, C_in, KH, KW)."""
+    c_out, c_in, kh, kw = weight.shape
+    b = x.shape[0]
+    cols = im2col(x.data, kh, kw, stride, padding)  # (B, OH, OW, K)
+    oh, ow = cols.shape[1], cols.shape[2]
+    k = c_in * kh * kw
+    w2 = weight.data.reshape(c_out, k).T  # (K, C_out)
+
+    if quant is not None:
+        cols_q = quant.quantize("activation", cols, axis=-1)
+        w2_q = quant.quantize("weight", w2, axis=0)
+    else:
+        cols_q, w2_q = cols, w2
+    out_data = cols_q.reshape(-1, k) @ w2_q  # (B*OH*OW, C_out)
+    out_data = out_data.reshape(b, oh, ow, c_out).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None, None]
+
+    def backward(grad):
+        g2 = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)  # (B*OH*OW, C_out)
+        if quant is not None:
+            g_da = quant.quantize("backward", g2, axis=-1)
+            wt = quant.quantize("backward", w2.T, axis=0)  # (C_out, K), blocks along C_out
+            g_dw = quant.quantize("backward", g2, axis=0)
+            cols_t = quant.quantize("backward", cols.reshape(-1, k).T, axis=-1)
+        else:
+            g_da, wt = g2, w2.T
+            g_dw, cols_t = g2, cols.reshape(-1, k).T
+        if x.requires_grad:
+            dcols = (g_da @ wt).reshape(b, oh, ow, k)
+            x._accumulate(col2im(dcols, x.shape, kh, kw, stride, padding))
+        if weight.requires_grad:
+            dw = (cols_t @ g_dw).T.reshape(c_out, c_in, kh, kw)
+            weight._accumulate(dw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward)
+
+
+class Conv2d(Module):
+    """Conv layer with MX-aware compute, He-uniform initialized."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        groups: int = 1,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("channels must be divisible by groups")
+        rng = rng or np.random.default_rng()
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.quant = quant
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Tensor(
+            rng.normal(
+                scale=scale,
+                size=(out_channels, in_channels // groups, kernel_size, kernel_size),
+            ),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.groups == 1:
+            return conv2d(x, self.weight, self.bias, self.stride, self.padding, self.quant)
+        # grouped (incl. depthwise) convolution: split channels, run, concat
+        from .tensor import concat
+
+        in_per_group = x.shape[1] // self.groups
+        out_per_group = self.weight.shape[0] // self.groups
+        outputs = []
+        for g in range(self.groups):
+            xg = x[:, g * in_per_group : (g + 1) * in_per_group]
+            wg = self.weight[g * out_per_group : (g + 1) * out_per_group]
+            bg = (
+                self.bias[g * out_per_group : (g + 1) * out_per_group]
+                if self.bias is not None
+                else None
+            )
+            outputs.append(conv2d(xg, wg, bg, self.stride, self.padding, self.quant))
+        return concat(outputs, axis=1)
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling."""
+    b, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by {kernel}")
+    reshaped = x.reshape(b, c, h // kernel, kernel, w // kernel, kernel)
+    return reshaped.mean(axis=(3, 5))
+
+
+def max_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping max pooling."""
+    b, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by {kernel}")
+    reshaped = x.reshape(b, c, h // kernel, kernel, w // kernel, kernel)
+    return reshaped.max(axis=5).max(axis=3)

@@ -1,0 +1,127 @@
+"""Functional ops built on the autograd engine.
+
+Composite functions (softmax, GELU, layer norm) are expressed in terms of
+Tensor primitives so gradients come for free; ops with awkward composite
+gradients (embedding gather, masked attention fill) register custom
+backwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "silu",
+    "layer_norm",
+    "embedding",
+    "dropout",
+    "masked_fill",
+    "cross_entropy",
+    "one_hot",
+]
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh-approximated GELU (the transformer default)."""
+    inner = (x + x * x * x * 0.044715) * _SQRT_2_OVER_PI
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def silu(x: Tensor) -> Tensor:
+    return x * x.sigmoid()
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the trailing dimension."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered / (variance + eps).sqrt()
+    return normalized * weight + bias
+
+
+def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``table`` (vocab, dim) by integer ``indices``."""
+    indices = np.asarray(indices)
+    out_data = table.data[indices]
+
+    def backward(grad):
+        full = np.zeros_like(table.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, table.shape[-1]))
+        table._accumulate(full)
+
+    return Tensor._make(out_data, (table,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = (rng.random(size=x.shape) >= p) / (1.0 - p)
+
+    def backward(grad):
+        x._accumulate(grad * keep)
+
+    return Tensor._make(x.data * keep, (x,), backward)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace positions where ``mask`` is True with ``value`` (no gradient
+    flows into filled positions)."""
+    mask = np.asarray(mask, dtype=bool)
+    out_data = np.where(mask, value, x.data)
+
+    def backward(grad):
+        x._accumulate(np.where(mask, 0.0, grad))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """Plain numpy one-hot (labels never need gradients)."""
+    indices = np.asarray(indices)
+    out = np.zeros(indices.shape + (depth,))
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, ignore_index: int | None = None
+) -> Tensor:
+    """Mean cross entropy between (N..., C) logits and integer targets.
+
+    Positions equal to ``ignore_index`` are excluded from the mean (used for
+    padding tokens in language modelling).
+    """
+    targets = np.asarray(targets)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    count = max(int(valid.sum()), 1)
+    safe_targets = np.where(valid, flat_targets, 0)
+    logp = log_softmax(flat_logits, axis=-1)
+    picked = logp * one_hot(safe_targets, logits.shape[-1])
+    per_token = -picked.sum(axis=-1)
+    weights = Tensor(valid.astype(np.float64) / count)
+    return (per_token * weights).sum()

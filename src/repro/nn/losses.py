@@ -1,0 +1,39 @@
+"""Loss functions used by the benchmark suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import cross_entropy, log_softmax
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "bce_with_logits", "nll_loss"]
+
+
+def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def bce_with_logits(logits: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Numerically stable binary cross entropy on logits.
+
+    Uses ``max(x, 0) - x*t + log(1 + exp(-|x|))``.
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    positive = logits.relu()
+    abs_logits = logits.abs()
+    softplus = ((-abs_logits).exp() + 1.0).log()
+    return (positive - logits * target + softplus).mean()
+
+
+def nll_loss(logits: Tensor, targets: np.ndarray, ignore_index: int | None = None) -> Tensor:
+    """Alias of cross entropy on raw logits (kept for call-site clarity)."""
+    return cross_entropy(logits, targets, ignore_index=ignore_index)
+
+
+def perplexity_from_loss(loss: float) -> float:
+    """Perplexity of a mean cross-entropy loss (nats)."""
+    return float(np.exp(loss))

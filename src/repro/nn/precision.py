@@ -1,0 +1,63 @@
+"""Scalar element-wise precision emulation (BF16 / FP16 / FP32).
+
+Per Section V, tensor-reduction ops run in MX while element-wise ops
+(LayerNorm, Softmax, GELU, residual adds) run in a scalar format — BF16 by
+default, except in numerically delicate spots (diffusion vector ops, MoE
+gating softmax) which stay in FP32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["round_bf16", "round_fp16", "VectorPrecision", "apply_vector_precision"]
+
+
+def round_bf16(x: np.ndarray) -> np.ndarray:
+    """Round an array to bfloat16 values (round-to-nearest-even).
+
+    Implemented with uint32 bit manipulation on the FP32 image of the data:
+    add the carry-aware rounding constant, then clear the low 16 bits.
+    """
+    f32 = np.asarray(x, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    rounding_bias = ((bits >> 16) & 1) + np.uint32(0x7FFF)
+    rounded = (bits + rounding_bias) & np.uint32(0xFFFF0000)
+    return rounded.view(np.float32).astype(np.float64)
+
+
+def round_fp16(x: np.ndarray) -> np.ndarray:
+    """Round an array to IEEE half-precision values."""
+    return np.asarray(x, dtype=np.float16).astype(np.float64)
+
+
+class VectorPrecision:
+    """Named element-wise precision policies."""
+
+    FP32 = "fp32"
+    BF16 = "bf16"
+    FP16 = "fp16"
+
+
+def apply_vector_precision(x: Tensor, precision: str) -> Tensor:
+    """Round a tensor's *values* to the emulated scalar format.
+
+    Uses a straight-through gradient (the rounding is treated as identity in
+    backward), the standard emulation approach: precision loss is injected
+    into forward activations without perturbing the FP32 gradient math.
+    """
+    if precision == VectorPrecision.FP32:
+        return x
+    if precision == VectorPrecision.BF16:
+        rounded = round_bf16(x.data)
+    elif precision == VectorPrecision.FP16:
+        rounded = round_fp16(x.data)
+    else:
+        raise ValueError(f"unknown vector precision {precision!r}")
+
+    def backward(grad):
+        x._accumulate(grad)
+
+    return Tensor._make(rounded, (x,), backward)

@@ -1,0 +1,178 @@
+"""Quantized tensor ops implementing the Figure 8 compute flow.
+
+Rules of the flow (Section V):
+
+* both operands of every tensor-reduction op are quantized *along the
+  reduction dimension* (MX is directional);
+* the backward pass quantizes the incoming error tensors and a *second*
+  copy of the weights, quantized after transposition (quantization and
+  transpose do not commute);
+* gradients with respect to master weights are accumulated in full
+  precision and consumed by an FP32 optimizer;
+* element-wise ops run in a scalar format (see
+  :mod:`repro.nn.precision`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..formats.base import Format
+from ..formats.registry import get_format
+from .tensor import Tensor
+
+__all__ = ["QuantSpec", "quantized_matmul", "quantized_bmm"]
+
+
+@dataclass
+class QuantSpec:
+    """Which format each tensor role is quantized with (None = keep FP32).
+
+    Attributes:
+        activation: forward activations (quantized along the reduction dim).
+        weight: forward weights (quantized along the reduction dim).
+        backward: backward-pass operands — the error tensors, the
+            transposed-then-quantized weight copy, and the transposed
+            activations entering the weight-gradient product.
+        rounding: mantissa rounding mode for all roles.
+    """
+
+    activation: Format | None = None
+    weight: Format | None = None
+    backward: Format | None = None
+    rounding: str = "nearest"
+    rng: np.random.Generator | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Constructors for the paper's standard configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def fp32(cls) -> "QuantSpec":
+        """The full-precision baseline (no quantization anywhere)."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, name: str) -> "QuantSpec":
+        """Uniform training: the same format for every tensor role.
+
+        This is the paper's MX9 training mode — forward and backward
+        matmuls all in MX, no heuristics.  Separate format instances per
+        role so stateful formats never share scaling history.
+        """
+        return cls(
+            activation=get_format(name),
+            weight=get_format(name),
+            backward=get_format(name),
+        )
+
+    @classmethod
+    def inference(cls, weight: str, activation: str | None = None) -> "QuantSpec":
+        """Direct-cast inference: quantize weights (and optionally
+        activations); no backward pass formats."""
+        return cls(
+            activation=get_format(activation) if activation else None,
+            weight=get_format(weight),
+        )
+
+    @classmethod
+    def finetune(cls, forward: str, backward: str | None = None) -> "QuantSpec":
+        """Quantization-aware fine-tuning: narrow forward, wide backward.
+
+        The paper's QAT recipe keeps the backward pass in FP32
+        (``backward=None``) while the forward pass runs MX6/MX4.
+        """
+        return cls(
+            activation=get_format(forward),
+            weight=get_format(forward),
+            backward=get_format(backward) if backward else None,
+        )
+
+    def quantize(self, role: str, data: np.ndarray, axis: int) -> np.ndarray:
+        """Quantize one tensor role, or pass through when unconfigured."""
+        fmt = getattr(self, role)
+        if fmt is None:
+            return data
+        return fmt.quantize(data, axis=axis, rounding=self.rounding, rng=self.rng)
+
+
+def quantized_matmul(a: Tensor, w: Tensor, spec: QuantSpec | None) -> Tensor:
+    """``a @ w`` with Figure 8 quantization; ``a: (..., K)``, ``w: (K, N)``.
+
+    Forward: ``Q(a) @ Q(w)`` with both operands quantized along ``K``.
+    Backward:
+
+    * ``dA = Q(g) @ Q(w^T)`` — error quantized along ``N``; the weight is
+      transposed *first*, then quantized along its new leading axis.
+    * ``dW = Q(a^T) @ Q(g)`` — both quantized along the flattened
+      batch-by-row dimension, the reduction dim of the weight gradient.
+
+    Accumulation inside each product is full precision, matching the
+    wide fixed-point accumulators of the Figure 6 pipeline.
+    """
+    if spec is None:
+        return a @ w
+    if w.ndim != 2:
+        raise ValueError(f"weights must be 2-D (K, N); got shape {w.shape}")
+    if a.shape[-1] != w.shape[0]:
+        raise ValueError(f"reduction mismatch: {a.shape} @ {w.shape}")
+
+    a_q = spec.quantize("activation", a.data, axis=-1)
+    w_q = spec.quantize("weight", w.data, axis=0)
+    out_data = a_q @ w_q
+
+    def backward(grad):
+        if a.requires_grad:
+            g_q = spec.quantize("backward", grad, axis=-1)
+            wt_q = spec.quantize("backward", w.data.T, axis=0)
+            a._accumulate(g_q @ wt_q)
+        if w.requires_grad:
+            g2 = grad.reshape(-1, w.shape[1])
+            a2 = a.data.reshape(-1, w.shape[0])
+            g2_q = spec.quantize("backward", g2, axis=0)
+            at_q = spec.quantize("backward", a2.T, axis=-1)
+            w._accumulate(at_q @ g2_q)
+
+    return Tensor._make(out_data, (a, w), backward)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def quantized_bmm(a: Tensor, b: Tensor, spec: QuantSpec | None) -> Tensor:
+    """Batched ``a @ b`` with both operands quantized along the reduction dim.
+
+    Used for the attention score and context products, which are tensor
+    reductions and therefore run in MX during training (Section V).
+    ``a: (..., M, K)``, ``b: (..., K, N)``; batch dims broadcast.
+    """
+    if spec is None:
+        return a @ b
+
+    a_q = spec.quantize("activation", a.data, axis=-1)
+    b_q = spec.quantize("activation", b.data, axis=-2)
+    out_data = a_q @ b_q
+
+    def backward(grad):
+        if a.requires_grad:
+            g_q = spec.quantize("backward", grad, axis=-1)
+            bt = np.swapaxes(b.data, -1, -2)
+            bt_q = spec.quantize("backward", bt, axis=-2)
+            a._accumulate(_unbroadcast(g_q @ bt_q, a.shape))
+        if b.requires_grad:
+            at = np.swapaxes(a.data, -1, -2)
+            at_q = spec.quantize("backward", at, axis=-1)
+            g_q = spec.quantize("backward", grad, axis=-2)
+            b._accumulate(_unbroadcast(at_q @ g_q, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)

@@ -1,0 +1,77 @@
+"""LSTM cells and layers for the GNMT-style translation stand-in.
+
+The gate projections are tensor reductions and run through the quantized
+matmul path; gate non-linearities are element-wise and stay in the vector
+precision, matching the Figure 8 split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear, Module
+from .quantized import QuantSpec
+from .tensor import Tensor, concat, stack
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM step over (B, input_dim) -> (B, hidden_dim)."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.input_proj = Linear(input_dim, 4 * hidden_dim, rng=rng, quant=quant)
+        self.hidden_proj = Linear(hidden_dim, 4 * hidden_dim, bias=False, rng=rng, quant=quant)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, Tensor]:
+        batch = x.shape[0]
+        if state is None:
+            h = Tensor(np.zeros((batch, self.hidden_dim)))
+            c = Tensor(np.zeros((batch, self.hidden_dim)))
+        else:
+            h, c = state
+        gates = self.input_proj(x) + self.hidden_proj(h)
+        d = self.hidden_dim
+        i = gates[:, 0 * d : 1 * d].sigmoid()
+        f = gates[:, 1 * d : 2 * d].sigmoid()
+        g = gates[:, 2 * d : 3 * d].tanh()
+        o = gates[:, 3 * d : 4 * d].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over (B, T, input_dim) sequences."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng=rng, quant=quant)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Returns (B, T, hidden) outputs and the final (h, c) state."""
+        outputs = []
+        h_c = state
+        for t in range(x.shape[1]):
+            h, c = self.cell(x[:, t], h_c)
+            h_c = (h, c)
+            outputs.append(h)
+        return stack(outputs, axis=1), h_c

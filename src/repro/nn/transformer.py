@@ -1,0 +1,100 @@
+"""Transformer building blocks shared by the GPT / BERT / NMT stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .attention import MultiHeadAttention
+from .layers import Dropout, GELU, LayerNorm, Linear, Module
+from .quantized import QuantSpec
+from .tensor import Tensor
+
+__all__ = ["FeedForward", "TransformerBlock", "DecoderBlock", "sinusoidal_positions"]
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Standard fixed sinusoidal positional encodings (length, dim)."""
+    position = np.arange(length)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    out = np.zeros((length, dim))
+    out[:, 0::2] = np.sin(position * div)
+    out[:, 1::2] = np.cos(position * div[: (dim + 1) // 2])
+    return out
+
+
+class FeedForward(Module):
+    """Two-layer GELU MLP."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden: int | None = None,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        hidden = hidden or 4 * dim
+        self.fc1 = Linear(dim, hidden, rng=rng, quant=quant)
+        self.fc2 = Linear(hidden, dim, rng=rng, quant=quant)
+        self.act = GELU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TransformerBlock(Module):
+    """Pre-norm encoder block: LN -> attention -> LN -> MLP, residual."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        hidden: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng, quant=quant)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = FeedForward(dim, hidden, rng=rng, quant=quant)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.drop(self.attn(self.ln1(x), mask=mask))
+        return x + self.drop(self.mlp(self.ln2(x)))
+
+
+class DecoderBlock(Module):
+    """Pre-norm decoder block with cross-attention (for enc-dec models)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        hidden: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+        quant: QuantSpec | None = None,
+    ):
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.self_attn = MultiHeadAttention(dim, num_heads, rng=rng, quant=quant)
+        self.ln2 = LayerNorm(dim)
+        self.cross_attn = MultiHeadAttention(dim, num_heads, rng=rng, quant=quant)
+        self.ln3 = LayerNorm(dim)
+        self.mlp = FeedForward(dim, hidden, rng=rng, quant=quant)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: np.ndarray | None = None,
+        cross_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        x = x + self.drop(self.self_attn(self.ln1(x), mask=self_mask))
+        x = x + self.drop(self.cross_attn(self.ln2(x), context=memory, mask=cross_mask))
+        return x + self.drop(self.mlp(self.ln3(x)))

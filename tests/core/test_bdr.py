@@ -1,0 +1,80 @@
+"""Unit tests for the BDR configuration space."""
+
+import pytest
+
+from repro.core.bdr import BDRConfig
+
+
+class TestValidation:
+    def test_negative_mantissa_rejected(self):
+        with pytest.raises(ValueError, match="mantissa"):
+            BDRConfig(m=-1, k1=16, d1=8)
+
+    def test_k2_must_divide_k1(self):
+        with pytest.raises(ValueError, match="divide"):
+            BDRConfig(m=3, k1=16, d1=8, k2=3, d2=1, ss_type="pow2")
+
+    def test_d2_and_ss_type_must_agree(self):
+        with pytest.raises(ValueError, match="d2 == 0"):
+            BDRConfig(m=3, k1=16, d1=8, k2=2, d2=0, ss_type="pow2")
+        with pytest.raises(ValueError, match="d2 == 0"):
+            BDRConfig(m=3, k1=16, d1=8, k2=2, d2=1, ss_type="none")
+
+    def test_second_level_needs_smaller_k2(self):
+        with pytest.raises(ValueError, match="k2 < k1"):
+            BDRConfig(m=3, k1=16, d1=8, k2=16, d2=1, ss_type="pow2")
+
+    def test_unknown_scale_types_rejected(self):
+        with pytest.raises(ValueError, match="s_type"):
+            BDRConfig(m=3, k1=16, d1=8, s_type="int")
+        with pytest.raises(ValueError, match="ss_type"):
+            BDRConfig(m=3, k1=16, d1=8, k2=2, d2=1, ss_type="fp32")
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(ValueError):
+            BDRConfig(m=3, k1=0, d1=8)
+
+
+class TestDerived:
+    def test_beta(self):
+        assert BDRConfig.mx(m=7, d2=1).beta == 1
+        assert BDRConfig.mx(m=7, d2=2).beta == 3
+        assert BDRConfig.bfp(m=7).beta == 0
+
+    def test_mx_bits_per_element_match_table2(self):
+        assert BDRConfig.mx(m=7).bits_per_element == 9.0
+        assert BDRConfig.mx(m=4).bits_per_element == 6.0
+        assert BDRConfig.mx(m=2).bits_per_element == 4.0
+
+    def test_bfp_bits(self):
+        # MSFP16: sign + 7 mantissa + 8/16 shared exponent
+        assert BDRConfig.bfp(m=7, k1=16).bits_per_element == 8.5
+
+    def test_int_bits(self):
+        cfg = BDRConfig.int_sw(m=7, k1=1024)
+        assert cfg.bits_per_element == pytest.approx(8.0 + 32 / 1024)
+
+    def test_qmax(self):
+        assert BDRConfig.mx(m=2).qmax == 3
+        assert BDRConfig.mx(m=7).qmax == 127
+
+    def test_num_subblocks(self):
+        assert BDRConfig.mx(m=7).num_subblocks == 8
+
+    def test_family_classification(self):
+        assert BDRConfig.mx(m=7).family == "mx"
+        assert BDRConfig.bfp(m=7).family == "bfp"
+        assert BDRConfig.int_sw(m=7).family == "int"
+        assert BDRConfig.vsq(m=3).family == "vsq"
+
+    def test_label_and_name(self):
+        cfg = BDRConfig.mx(m=7)
+        assert "m=7" in cfg.label
+        named = cfg.with_name("MX9")
+        assert named.label == "MX9"
+        # name does not participate in equality
+        assert named == cfg
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BDRConfig.mx(m=7).m = 3

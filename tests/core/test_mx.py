@@ -1,0 +1,60 @@
+"""Unit tests for the MX format definitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.mx import MX4, MX6, MX9, MX_FORMATS, mx_quantize
+
+
+class TestTable2Definitions:
+    @pytest.mark.parametrize(
+        "fmt,m,bits", [(MX9, 7, 9.0), (MX6, 4, 6.0), (MX4, 2, 4.0)]
+    )
+    def test_parameters(self, fmt, m, bits):
+        assert fmt.m == m
+        assert fmt.k1 == 16
+        assert fmt.k2 == 2
+        assert fmt.d1 == 8
+        assert fmt.d2 == 1
+        assert fmt.bits_per_element == bits
+
+    def test_names(self):
+        assert set(MX_FORMATS) == {"MX9", "MX6", "MX4"}
+
+
+class TestQuantize:
+    def test_string_lookup(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 32))
+        np.testing.assert_array_equal(mx_quantize(x, "mx9"), mx_quantize(x, MX9))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown MX format"):
+            mx_quantize(np.zeros(4), "mx8")
+
+    def test_precision_ordering(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(64, 256))
+        errors = {
+            name: float(np.sum((mx_quantize(x, name) - x) ** 2))
+            for name in ("MX9", "MX6", "MX4")
+        }
+        assert errors["MX9"] < errors["MX6"] < errors["MX4"]
+
+    def test_directional_axis(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(16, 16)) * np.logspace(0, 3, 16)[:, None]
+        q_rows = mx_quantize(x, "MX4", axis=-1)
+        q_cols = mx_quantize(x, "MX4", axis=0)
+        assert not np.allclose(q_rows, q_cols)
+
+    def test_microexponent_improves_on_bfp(self):
+        """The 1-bit shared microexponent must beat plain BFP at equal m."""
+        from repro.core.bdr import BDRConfig
+        from repro.core.quantize import bdr_quantize
+
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(256, 256))
+        mx_err = np.sum((mx_quantize(x, "MX9") - x) ** 2)
+        bfp_err = np.sum((bdr_quantize(x, BDRConfig.bfp(m=7, k1=16)) - x) ** 2)
+        assert mx_err < bfp_err

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) on the core quantization invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.core.bdr import BDRConfig
+from repro.core.quantize import bdr_quantize, bdr_quantize_detailed
+from repro.core.theorem import qsnr_lower_bound
+from repro.fidelity.qsnr import qsnr
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def vectors(min_len=1, max_len=80):
+    """Finite vectors with magnitudes in FP32's normal range (or zero).
+
+    Theorem 1 assumes FP32 inputs; float64 subnormals below FP32's exponent
+    range would hit the 8-bit shared-exponent clamp and trivially violate
+    the bound, so they are flushed to zero as FP32 hardware would.
+    """
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=1, min_side=min_len, max_side=max_len),
+        elements=finite_floats,
+    ).map(lambda a: np.where(np.abs(a) < 1e-30, 0.0, a))
+
+
+mx_configs = st.sampled_from(
+    [
+        BDRConfig.mx(m=2),
+        BDRConfig.mx(m=4),
+        BDRConfig.mx(m=7),
+        BDRConfig.bfp(m=3, k1=16),
+        BDRConfig.bfp(m=7, k1=8),
+        BDRConfig(m=4, k1=32, d1=8, s_type="pow2", k2=4, d2=2, ss_type="pow2"),
+    ]
+)
+
+all_configs = st.sampled_from(
+    [
+        BDRConfig.mx(m=2),
+        BDRConfig.mx(m=7),
+        BDRConfig.bfp(m=5, k1=16),
+        BDRConfig.int_sw(m=7, k1=64),
+        BDRConfig.vsq(m=3, d2=4, k1=64, k2=8),
+    ]
+)
+
+
+@given(x=vectors(), config=all_configs)
+@settings(max_examples=60, deadline=None)
+def test_idempotence(x, config):
+    """Quantized values are fixed points of the quantizer.
+
+    VSQ is exempt: its ceil-rounded integer sub-scales are re-derived from
+    the already-quantized data on a second pass, shifting the grid slightly
+    (see test_vsq_near_idempotence below).
+    """
+    if config.ss_type == "int":
+        return
+    once = bdr_quantize(x, config)
+    twice = bdr_quantize(once, config)
+    np.testing.assert_allclose(twice, once, rtol=0, atol=0)
+
+
+@given(x=vectors(min_len=8))
+@settings(max_examples=40, deadline=None)
+def test_vsq_near_idempotence(x):
+    """A second VSQ pass may move values, but only within one grid step."""
+    config = BDRConfig.vsq(m=5, d2=6, k1=64, k2=8)
+    once = bdr_quantize_detailed(x, config)
+    twice = bdr_quantize(once.values, config)
+    step = once.step.reshape(-1)[: x.size]
+    assert np.all(np.abs(twice - once.values) <= step + 1e-12)
+
+
+@given(x=vectors(), config=all_configs)
+@settings(max_examples=60, deadline=None)
+def test_sign_antisymmetry(x, config):
+    np.testing.assert_allclose(bdr_quantize(-x, config), -bdr_quantize(x, config))
+
+
+@given(x=vectors(), config=mx_configs, t=st.integers(min_value=-20, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_pow2_scale_equivariance(x, config, t):
+    """Power-of-two-scaled formats commute with power-of-two rescaling."""
+    scaled = bdr_quantize(x * 2.0**t, config)
+    np.testing.assert_allclose(scaled, bdr_quantize(x, config) * 2.0**t, rtol=1e-12)
+
+
+@given(x=vectors(min_len=2), config=mx_configs)
+@settings(max_examples=60, deadline=None)
+def test_theorem1_bound_holds_pointwise(x, config):
+    """QSNR of any nonzero vector is at least the Theorem 1 bound."""
+    if not np.any(x):
+        return
+    q = bdr_quantize(x, config)
+    measured = qsnr(x, q)
+    bound = qsnr_lower_bound(config, n=len(x))
+    assert measured >= bound - 1e-6
+
+
+@given(x=vectors(), config=mx_configs)
+@settings(max_examples=60, deadline=None)
+def test_elementwise_error_bound(x, config):
+    """|Q(x) - x| <= 2^(E - tau - m) elementwise (Eq. 8), except that the
+    saturating block-max corner may reach one full step (see the
+    quantize-module docstring)."""
+    detail = bdr_quantize_detailed(x, config)
+    err = np.abs(detail.values - x)
+    step = detail.step.reshape(-1)[: x.size]
+    saturated = np.abs(detail.codes).reshape(-1)[: x.size] >= config.qmax
+    bound = np.where(saturated, step, step / 2)
+    assert np.all(err <= bound + 1e-15)
+
+
+@given(x=vectors())
+@settings(max_examples=40, deadline=None)
+def test_more_mantissa_never_hurts(x):
+    """Noise power is non-increasing in mantissa bits at fixed structure."""
+    errs = []
+    for m in (2, 4, 7):
+        q = bdr_quantize(x, BDRConfig.mx(m=m))
+        errs.append(float(np.sum((q - x) ** 2)))
+    assert errs[0] >= errs[1] >= errs[2]

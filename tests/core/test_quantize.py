@@ -1,0 +1,168 @@
+"""Unit tests for the two-level quantization engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.bdr import BDRConfig
+from repro.core.quantize import bdr_quantize, bdr_quantize_detailed
+
+MX9 = BDRConfig.mx(m=7)
+MX4 = BDRConfig.mx(m=2)
+BFP8 = BDRConfig.bfp(m=7, k1=16)
+INT8 = BDRConfig.int_sw(m=7, k1=64)
+VSQ6 = BDRConfig.vsq(m=5, d2=6, k1=64, k2=16)
+
+ALL_CONFIGS = [MX9, MX4, BFP8, INT8, VSQ6]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("config", ALL_CONFIGS)
+    def test_shape_preserved(self, config, rng):
+        x = rng.normal(size=(3, 5, 37))
+        assert bdr_quantize(x, config).shape == x.shape
+
+    @pytest.mark.parametrize("config", [MX9, MX4, BFP8, INT8])
+    def test_idempotent(self, config, rng):
+        x = rng.normal(size=(4, 64))
+        once = bdr_quantize(x, config)
+        twice = bdr_quantize(once, config)
+        np.testing.assert_allclose(twice, once, rtol=0, atol=0)
+
+    def test_vsq_near_idempotent(self, rng):
+        """VSQ re-derives ceil-rounded sub-scales, so a second pass may move
+        values — but never by more than one grid step."""
+        x = rng.normal(size=(4, 64))
+        once = bdr_quantize_detailed(x, VSQ6)
+        twice = bdr_quantize(once.values, VSQ6)
+        step = once.step.reshape(once.values.shape)
+        assert np.all(np.abs(twice - once.values) <= step + 1e-12)
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS)
+    def test_zeros_stay_zero(self, config):
+        x = np.zeros((2, 32))
+        np.testing.assert_array_equal(bdr_quantize(x, config), x)
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS)
+    def test_sign_symmetry(self, config, rng):
+        x = rng.normal(size=(2, 64))
+        np.testing.assert_allclose(
+            bdr_quantize(-x, config), -bdr_quantize(x, config)
+        )
+
+    def test_empty_input(self):
+        x = np.zeros((0, 16))
+        assert bdr_quantize(x, MX9).shape == (0, 16)
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS)
+    def test_non_multiple_length_padded(self, config, rng):
+        """Lengths not divisible by k1 must round-trip via zero padding."""
+        x = rng.normal(size=(2, 13))
+        q = bdr_quantize(x, config)
+        assert q.shape == x.shape
+        assert np.all(np.isfinite(q))
+
+    def test_axis_selection(self, rng):
+        x = rng.normal(size=(16, 8))
+        q0 = bdr_quantize(x, MX9, axis=0)
+        q1 = bdr_quantize(x.T, MX9, axis=1).T
+        np.testing.assert_allclose(q0, q1)
+
+    def test_quantization_not_transpose_commutative(self, rng):
+        """Section V: MX is directional — Q(X^T) != Q(X)^T in general."""
+        x = rng.normal(size=(32, 32))
+        q_then_t = bdr_quantize(x, MX4, axis=-1).T
+        t_then_q = bdr_quantize(x.T, MX4, axis=-1)
+        assert not np.allclose(q_then_t, t_then_q)
+
+
+class TestErrorBounds:
+    def test_elementwise_error_bound_eq8(self, rng):
+        """|Q(x) - x| <= 2^(E - tau - m) per Eq. 8 of the paper, with the
+        saturating block-max corner allowed one full step."""
+        x = rng.normal(size=(8, 16))
+        detail = bdr_quantize_detailed(x, MX9)
+        err = np.abs(detail.values - x).reshape(8, 16)
+        step = detail.step.reshape(8, 16)
+        saturated = np.abs(detail.codes).reshape(8, 16) >= MX9.qmax
+        bound = np.where(saturated, step, step / 2.0)
+        assert np.all(err <= bound + 1e-12)
+
+    def test_bfp_relative_error(self, rng):
+        x = rng.normal(size=(32, 16))
+        q = bdr_quantize(x, BFP8)
+        # the block max has error at most 2^-m relative
+        amax = np.abs(x).max(axis=-1)
+        err = np.abs(q - x).max(axis=-1)
+        assert np.all(err <= amax * 2.0**-6)
+
+
+class TestDetailed:
+    def test_codes_within_range(self, rng):
+        x = rng.normal(size=(4, 32)) * 100
+        detail = bdr_quantize_detailed(x, MX4)
+        assert np.all(np.abs(detail.codes) <= MX4.qmax)
+
+    def test_values_equal_codes_times_step(self, rng):
+        x = rng.normal(size=(4, 32))
+        detail = bdr_quantize_detailed(x, MX9)
+        reconstructed = (detail.codes * detail.step).reshape(4, 32)
+        np.testing.assert_allclose(detail.values, reconstructed)
+
+    def test_subscale_is_pow2_shift(self, rng):
+        x = rng.normal(size=(4, 32))
+        detail = bdr_quantize_detailed(x, MX9)
+        tau = -np.log2(detail.sub_scale)
+        assert np.all((tau >= 0) & (tau <= MX9.beta))
+        np.testing.assert_array_equal(tau, np.round(tau))
+
+
+class TestIntPath:
+    def test_scale_is_fp32(self, rng):
+        x = rng.normal(size=(2, 64))
+        detail = bdr_quantize_detailed(x, INT8)
+        np.testing.assert_array_equal(
+            detail.scale, detail.scale.astype(np.float32).astype(np.float64)
+        )
+
+    def test_scale_override(self, rng):
+        x = rng.normal(size=(2, 64))
+        q = bdr_quantize(x, INT8, scale_override=0.25)
+        grid = q / np.float64(np.float32(0.25))
+        np.testing.assert_allclose(grid, np.round(grid), atol=1e-9)
+
+    def test_max_value_maps_to_qmax(self):
+        x = np.zeros((1, 64))
+        x[0, 0] = 12.7
+        detail = bdr_quantize_detailed(x, INT8)
+        assert detail.codes.max() == INT8.qmax
+
+
+class TestVSQPath:
+    def test_subscales_are_small_uints(self, rng):
+        x = rng.normal(size=(2, 64))
+        detail = bdr_quantize_detailed(x, VSQ6)
+        ss = detail.sub_scale
+        assert np.all(ss >= 0)
+        assert np.all(ss <= (1 << VSQ6.d2) - 1)
+        np.testing.assert_array_equal(ss, np.round(ss))
+
+    def test_ceil_subscale_never_clips(self, rng):
+        """VS-Quant rounds sub-scales up, so no element can clip."""
+        x = rng.normal(size=(8, 64)) * rng.uniform(0.01, 100, size=(8, 1))
+        detail = bdr_quantize_detailed(x, VSQ6)
+        assert np.all(np.abs(detail.codes) <= VSQ6.qmax)
+        # error bounded by half a step everywhere (no saturation error)
+        err = np.abs(detail.values - x)
+        step = detail.step.reshape(err.shape)
+        assert np.all(err <= step / 2 + 1e-12)
+
+    def test_zero_subblocks(self):
+        x = np.zeros((1, 64))
+        x[0, :16] = 1.0
+        q = bdr_quantize(x, VSQ6)
+        np.testing.assert_array_equal(q[0, 16:], 0.0)

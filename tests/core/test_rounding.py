@@ -1,0 +1,56 @@
+"""Unit tests for rounding primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.rounding import (
+    apply_rounding,
+    round_nearest_even,
+    round_stochastic,
+    round_truncate,
+)
+
+
+class TestNearestEven:
+    def test_ties_to_even(self):
+        x = np.array([0.5, 1.5, 2.5, 3.5, -0.5, -1.5])
+        np.testing.assert_array_equal(round_nearest_even(x), [0, 2, 2, 4, -0, -2])
+
+    def test_ordinary_rounding(self):
+        x = np.array([0.4, 0.6, -0.4, -0.6])
+        np.testing.assert_array_equal(round_nearest_even(x), [0, 1, -0, -1])
+
+
+class TestTruncate:
+    def test_toward_zero(self):
+        x = np.array([1.9, -1.9, 0.5, -0.5])
+        np.testing.assert_array_equal(round_truncate(x), [1, -1, 0, -0])
+
+
+class TestStochastic:
+    def test_unbiased(self):
+        rng = np.random.default_rng(0)
+        x = np.full(200_000, 0.3)
+        rounded = round_stochastic(x, rng)
+        assert set(np.unique(rounded)) <= {0.0, 1.0}
+        assert rounded.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_integers_pass_through(self):
+        rng = np.random.default_rng(0)
+        x = np.array([1.0, -3.0, 0.0])
+        np.testing.assert_array_equal(round_stochastic(x, rng), x)
+
+
+class TestDispatch:
+    def test_modes(self):
+        x = np.array([1.4])
+        assert apply_rounding(x, "nearest")[0] == 1.0
+        assert apply_rounding(x, "truncate")[0] == 1.0
+
+    def test_stochastic_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            apply_rounding(np.array([0.5]), "stochastic")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown rounding"):
+            apply_rounding(np.array([0.5]), "floor")

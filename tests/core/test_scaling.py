@@ -1,0 +1,94 @@
+"""Unit tests for scale-factor selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import (
+    DelayedScaler,
+    amax_scale,
+    exponent_range,
+    floor_log2,
+    pow2_scale,
+    shared_exponent,
+)
+
+
+class TestFloorLog2:
+    def test_exact_powers(self):
+        x = np.array([1.0, 2.0, 4.0, 0.5, 0.25])
+        np.testing.assert_array_equal(floor_log2(x), [0, 1, 2, -1, -2])
+
+    def test_between_powers(self):
+        x = np.array([1.5, 3.99, 0.75])
+        np.testing.assert_array_equal(floor_log2(x), [0, 1, -1])
+
+    def test_sign_ignored(self):
+        assert floor_log2(np.array([-8.0]))[0] == 3
+
+    def test_zero_maps_to_sentinel(self):
+        assert floor_log2(np.array([0.0]))[0] < -(10**6)
+
+
+class TestSharedExponent:
+    def test_block_max_wins(self):
+        x = np.array([[0.1, 0.2, 7.9, 0.3]])
+        assert shared_exponent(x, axis=-1)[0] == 2  # floor(log2 7.9)
+
+    def test_clamped_to_d1_range(self):
+        x = np.array([[1e300]])
+        lo, hi = exponent_range(8)
+        assert shared_exponent(x, axis=-1, d1=8)[0] == hi
+
+    def test_zero_block_clamps_low(self):
+        lo, _ = exponent_range(8)
+        assert shared_exponent(np.zeros((1, 4)), axis=-1)[0] == lo
+
+
+class TestScales:
+    def test_amax_scale(self):
+        assert amax_scale(np.array(6.0), 3)[()] == pytest.approx(2.0)
+
+    def test_amax_scale_zero(self):
+        assert amax_scale(np.array(0.0), 3)[()] == 1.0
+
+    def test_pow2_scale_rounds_up(self):
+        # ideal 2.4 -> 4 (never clips)
+        assert pow2_scale(np.array(7.2), 3)[()] == 4.0
+
+    def test_pow2_scale_exact(self):
+        assert pow2_scale(np.array(6.0), 3)[()] == 2.0
+
+
+class TestDelayedScaler:
+    def test_first_call_uses_current(self):
+        s = DelayedScaler(qmax=10.0, window=4)
+        assert s.scale(np.array([5.0])) == pytest.approx(0.5)
+
+    def test_history_drives_scale(self):
+        s = DelayedScaler(qmax=10.0, window=4)
+        s.observe(np.array([20.0]))
+        # current tensor is small but history says 20
+        assert s.scale(np.array([1.0])) == pytest.approx(2.0)
+
+    def test_window_eviction(self):
+        s = DelayedScaler(qmax=10.0, window=2)
+        s.observe(np.array([100.0]))
+        s.observe(np.array([1.0]))
+        s.observe(np.array([1.0]))  # evicts the 100
+        assert s.history_amax == 1.0
+
+    def test_scale_and_observe(self):
+        s = DelayedScaler(qmax=10.0, window=4)
+        first = s.scale_and_observe(np.array([5.0]))
+        second = s.scale(np.array([1.0]))
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(0.5)  # from history now
+
+    def test_empty_and_zero(self):
+        s = DelayedScaler(qmax=10.0)
+        assert s.scale() == 1.0
+        assert s.scale(np.zeros(3)) == 1.0
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            DelayedScaler(qmax=1.0, window=0)

@@ -1,0 +1,51 @@
+"""Unit tests for the Theorem 1 QSNR lower bound."""
+
+import math
+
+import pytest
+
+from repro.core.bdr import BDRConfig
+from repro.core.theorem import qsnr_lower_bound, qsnr_lower_bound_params
+
+
+class TestFormula:
+    def test_mx9_value(self):
+        # m=7, k1=16, k2=2, d2=1 -> beta=1:
+        # 6.02*7 + 10*log10(4 / (16 + 3*2)) = 42.14 - 7.40 = 34.74
+        expected = 6.02 * 7 + 10 * math.log10(4 / 22)
+        assert qsnr_lower_bound(BDRConfig.mx(m=7)) == pytest.approx(expected)
+
+    def test_bfp_degenerates_to_classic_bound(self):
+        # d2=0 -> beta=0 -> bound = 6.02 m - 10 log10(min(N,k1))
+        bound = qsnr_lower_bound(BDRConfig.bfp(m=7, k1=16))
+        assert bound == pytest.approx(6.02 * 7 - 10 * math.log10(16))
+
+    def test_linear_in_mantissa(self):
+        bounds = [qsnr_lower_bound(BDRConfig.mx(m=m)) for m in range(1, 8)]
+        deltas = [b2 - b1 for b1, b2 in zip(bounds, bounds[1:])]
+        for d in deltas:
+            assert d == pytest.approx(6.02)
+
+    def test_monotonic_in_k1(self):
+        b16 = qsnr_lower_bound_params(m=4, k1=16, k2=2, d2=1)
+        b64 = qsnr_lower_bound_params(m=4, k1=64, k2=2, d2=1)
+        assert b16 > b64
+
+    def test_small_n_improves_bound(self):
+        full = qsnr_lower_bound_params(m=4, k1=64, k2=2, d2=1, n=64)
+        small = qsnr_lower_bound_params(m=4, k1=64, k2=2, d2=1, n=8)
+        assert small > full
+
+    def test_large_beta_asymptote(self):
+        # for huge d2 the bound approaches 6.02 m - 10 log10 k2
+        bound = qsnr_lower_bound_params(m=4, k1=64, k2=16, d2=10)
+        assert bound == pytest.approx(6.02 * 4 - 10 * math.log10(16), abs=0.01)
+
+    def test_no_overflow_at_extreme_d2(self):
+        assert math.isfinite(qsnr_lower_bound_params(m=4, k1=64, k2=16, d2=30))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            qsnr_lower_bound_params(m=-1, k1=16, k2=2, d2=1)
+        with pytest.raises(ValueError):
+            qsnr_lower_bound_params(m=3, k1=0, k2=2, d2=1)

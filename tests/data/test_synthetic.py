@@ -1,0 +1,154 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    CTRLogs,
+    FrameAudio,
+    GaussianMixture2D,
+    ImageClasses,
+    QACorpus,
+    SyntheticLanguage,
+    TranslationTask,
+)
+
+
+class TestSyntheticLanguage:
+    def test_tokens_in_vocab(self):
+        lang = SyntheticLanguage(vocab_size=48, seed=0)
+        seq = lang.sample_sequence(200, np.random.default_rng(1))
+        assert seq.min() >= 0 and seq.max() < 48
+
+    def test_deterministic_transition_matrix(self):
+        a = SyntheticLanguage(seed=5)
+        b = SyntheticLanguage(seed=5)
+        np.testing.assert_array_equal(a.transition, b.transition)
+
+    def test_batches_shape_and_count(self):
+        lang = SyntheticLanguage(seed=0)
+        batches = list(lang.batches(4, 16, 3, seed=2))
+        assert len(batches) == 3
+        assert batches[0].shape == (4, 17)
+
+    def test_batches_reproducible(self):
+        lang = SyntheticLanguage(seed=0)
+        a = list(lang.batches(2, 8, 2, seed=7))
+        b = list(lang.batches(2, 8, 2, seed=7))
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_recall_patterns_present(self):
+        lang = SyntheticLanguage(seed=0)
+        seq = lang.sample_sequence(2000, np.random.default_rng(3))
+        assert np.any(seq == lang.copy_token)
+        assert np.any(seq == lang.query_token)
+
+    def test_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticLanguage(vocab_size=4)
+
+
+class TestTranslationTask:
+    def test_mapping_is_bijective(self):
+        task = TranslationTask(seed=0)
+        assert len(set(task.mapping)) == task.content
+
+    def test_target_is_reversed_mapping(self):
+        task = TranslationTask(seed=0)
+        rng = np.random.default_rng(1)
+        src, tgt = task.sample_pair(rng)
+        assert tgt[0] == task.bos and tgt[-1] == task.eos
+        expected = task.mapping[src - 2][::-1]
+        np.testing.assert_array_equal(tgt[1:-1], expected)
+
+    def test_batch_shapes(self):
+        task = TranslationTask(seed=0)
+        src, tgt = task.batch(8, np.random.default_rng(2), length=6)
+        assert src.shape == (8, 6)
+        assert tgt.shape == (8, 8)
+
+
+class TestImageClasses:
+    def test_sample_shapes(self):
+        data = ImageClasses(num_classes=5, size=12, seed=0)
+        x, y = data.sample(10, np.random.default_rng(1))
+        assert x.shape == (10, 1, 12, 12)
+        assert y.min() >= 0 and y.max() < 5
+
+    def test_templates_distinguishable(self):
+        data = ImageClasses(seed=0)
+        flat = data.templates.reshape(data.num_classes, -1)
+        gram = flat @ flat.T
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diag).max() < 0.9 * np.diag(gram).min()
+
+
+class TestQACorpus:
+    def test_answer_span_is_value_of_question_key(self):
+        corpus = QACorpus(vocab_size=48, num_pairs=6, seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            tokens, start, end = corpus.sample(rng)
+            assert start == end
+            question_key = tokens[-1]
+            assert tokens[2 * question_key] == question_key  # canonical order
+            assert tokens[start] == tokens[2 * question_key + 1]
+
+    def test_batch_shapes(self):
+        corpus = QACorpus(seed=0)
+        tokens, starts, ends = corpus.batch(5, np.random.default_rng(2))
+        assert tokens.shape == (5, corpus.passage_length)
+        assert starts.shape == (5,)
+
+    def test_mlm_batches(self):
+        corpus = QACorpus(seed=0)
+        corrupted, original, mask = next(iter(corpus.mlm_batches(8, 1, seed=3)))
+        assert corrupted.shape == original.shape == mask.shape
+        np.testing.assert_array_equal(corrupted[mask], corpus.mask_token)
+        np.testing.assert_array_equal(corrupted[~mask], original[~mask])
+
+
+class TestFrameAudio:
+    def test_shapes_and_durations(self):
+        audio = FrameAudio(seed=0)
+        frames, labels = audio.sample(4, 30, np.random.default_rng(1))
+        assert frames.shape == (4, 30, audio.frame_dim)
+        assert labels.shape == (4, 30)
+        # phones repeat for 2+ frames: fewer transitions than frames
+        transitions = np.sum(labels[:, 1:] != labels[:, :-1])
+        assert transitions < labels.size / 2
+
+
+class TestCTRLogs:
+    def test_shapes(self):
+        logs = CTRLogs(seed=0)
+        dense, cats, labels = logs.sample(100, np.random.default_rng(1))
+        assert dense.shape == (100, logs.dense_dim)
+        assert cats.shape == (100, len(logs.cardinalities))
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+
+    def test_cats_within_cardinality(self):
+        logs = CTRLogs(seed=0)
+        _, cats, _ = logs.sample(500, np.random.default_rng(2))
+        for i, card in enumerate(logs.cardinalities):
+            assert cats[:, i].max() < card
+
+    def test_signal_exists(self):
+        """Labels must correlate with the generating logit (learnable)."""
+        logs = CTRLogs(seed=0)
+        rng = np.random.default_rng(3)
+        dense, cats, labels = logs.sample(20_000, rng)
+        assert 0.1 < labels.mean() < 0.9
+
+
+class TestGaussianMixture2D:
+    def test_centers_on_ring(self):
+        mix = GaussianMixture2D(num_components=8, radius=4.0)
+        norms = np.linalg.norm(mix.centers, axis=1)
+        np.testing.assert_allclose(norms, 4.0)
+
+    def test_samples_near_centers(self):
+        mix = GaussianMixture2D(sigma=0.1)
+        pts, labels = mix.sample(500, np.random.default_rng(1))
+        dist = np.linalg.norm(pts - mix.centers[labels], axis=1)
+        assert dist.max() < 1.0

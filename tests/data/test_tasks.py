@@ -1,0 +1,64 @@
+"""Unit tests for the few-shot choice-task generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticLanguage
+from repro.data.tasks import TASK_FAMILIES, make_task, render_few_shot
+
+
+@pytest.fixture(scope="module")
+def lang():
+    return SyntheticLanguage(seed=0)
+
+
+class TestMakeTask:
+    @pytest.mark.parametrize("family", TASK_FAMILIES)
+    def test_examples_well_formed(self, lang, family):
+        examples = make_task(family, lang, 20, seed=1)
+        assert len(examples) == 20
+        for ex in examples:
+            assert 0 <= ex.answer < len(ex.candidates)
+            assert len(ex.candidates) == 2
+            assert ex.context.ndim == 1
+            for cand in ex.candidates:
+                assert cand.min() >= 0 and cand.max() < lang.vocab_size
+
+    def test_reproducible(self, lang):
+        a = make_task("recall", lang, 5, seed=3)
+        b = make_task("recall", lang, 5, seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.context, y.context)
+            assert x.answer == y.answer
+
+    def test_answer_positions_balanced(self, lang):
+        examples = make_task("recall", lang, 200, seed=4)
+        answers = [ex.answer for ex in examples]
+        assert 0.3 < np.mean(answers) < 0.7  # shuffled, not always index 0
+
+    def test_unknown_family(self, lang):
+        with pytest.raises(ValueError, match="unknown task family"):
+            make_task("trivia", lang, 5)
+
+    def test_recall_gold_candidate_is_stored_value(self, lang):
+        for ex in make_task("recall", lang, 50, seed=5):
+            # context ends with [copy, value, query]; gold candidate == value
+            stored = ex.context[-2]
+            assert ex.candidates[ex.answer][0] == stored
+
+
+class TestFewShot:
+    def test_render_prepends_solved_examples(self, lang):
+        examples = make_task("recall", lang, 3, seed=6)
+        rendered = render_few_shot(examples[0], examples[1:], lang.separator)
+        assert len(rendered.context) > len(examples[0].context)
+        assert rendered.answer == examples[0].answer
+        # original context forms the suffix
+        np.testing.assert_array_equal(
+            rendered.context[-len(examples[0].context):], examples[0].context
+        )
+
+    def test_zero_shots_is_identity(self, lang):
+        examples = make_task("pattern", lang, 1, seed=7)
+        rendered = render_few_shot(examples[0], [], lang.separator)
+        np.testing.assert_array_equal(rendered.context, examples[0].context)

@@ -1,0 +1,25 @@
+"""Unit tests for the command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7" in out and "table3" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "10.1" in out
+        assert "completed in" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["table99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_seed_flag(self, capsys):
+        assert main(["table1", "--seed", "3"]) == 0

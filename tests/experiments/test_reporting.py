@@ -1,0 +1,55 @@
+"""Unit tests for experiment reporting and the registry."""
+
+import pytest
+
+from repro.experiments.registry import list_experiments, register, run_experiment
+from repro.experiments.reporting import ExperimentResult, format_table
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        r = ExperimentResult("x", "Title", ["a", "b"])
+        r.add_row(a=1, b=2.5)
+        r.add_row(a=3)
+        assert r.column("a") == [1, 3]
+        assert r.column("b") == [2.5, None]
+
+    def test_format_table_alignment(self):
+        r = ExperimentResult("x", "Demo", ["name", "value"])
+        r.add_row(name="alpha", value=1.0)
+        r.add_row(name="b", value=None)
+        text = format_table(r)
+        assert "Demo" in text
+        assert "alpha" in text
+        lines = text.splitlines()
+        header_idx = next(i for i, l in enumerate(lines) if l.startswith("name"))
+        widths = {len(l) for l in lines[header_idx : header_idx + 3]}
+        assert len(widths) == 1  # aligned columns
+
+    def test_notes_rendered(self):
+        r = ExperimentResult("x", "T", ["a"], notes=["hello world"])
+        assert "note: hello world" in str(r)
+
+    def test_large_floats_scientific(self):
+        r = ExperimentResult("x", "T", ["a"])
+        r.add_row(a=123456.0)
+        assert "e+" in format_table(r)
+
+
+class TestRegistry:
+    def test_known_experiments_registered(self):
+        names = list_experiments()
+        for expected in (
+            "figure1", "figure3", "figure6", "figure7", "figure9",
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "theorem1", "correlation",
+        ):
+            assert expected in names
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("table99")
+
+    def test_duplicate_registration(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("figure1")(lambda: None)

@@ -1,0 +1,93 @@
+"""Behaviour tests for the fast (analytical) experiment runners."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestFigure1:
+    def test_exact_paper_values(self):
+        result = run_experiment("figure1")
+        by_strategy = {row["strategy"]: row for row in result.rows}
+        assert by_strategy["pow2"]["measured_qsnr_db"] == pytest.approx(10.1)
+        assert by_strategy["real"]["measured_qsnr_db"] == pytest.approx(15.2)
+        # the two-level figure-2 example lands near the paper's 16.8
+        assert 16.0 <= by_strategy["two_level"]["measured_qsnr_db"] <= 18.5
+        # multi-scale always beats single pow2 scale
+        assert (
+            by_strategy["two_partition"]["measured_qsnr_db"]
+            > by_strategy["real"]["measured_qsnr_db"]
+            > by_strategy["pow2"]["measured_qsnr_db"]
+        )
+
+
+class TestTable1:
+    def test_families_and_bits(self):
+        result = run_experiment("table1")
+        rows = {row["format"]: row for row in result.rows}
+        assert rows["MX"]["bits/elem"] == 9.0
+        assert rows["MX"]["s_type"] == "2^z" and rows["MX"]["ss_type"] == "2^z"
+        assert rows["FP8"]["k2"] == 1
+        assert rows["INT"]["scale"] == "SW"
+        assert rows["MSFP/BFP"]["scale"] == "HW"
+
+
+class TestTable2:
+    def test_definitions_and_bound(self):
+        result = run_experiment("table2", quick=True)
+        assert [row["format"] for row in result.rows] == ["MX9", "MX6", "MX4"]
+        for row in result.rows:
+            assert row["k1"] == 16 and row["k2"] == 2
+            assert row["d1"] == 8 and row["d2"] == 1
+            assert row["qsnr_db"] >= row["theorem1_bound_db"]
+        bits = [row["bits_per_element"] for row in result.rows]
+        assert bits == [9.0, 6.0, 4.0]
+
+
+class TestFigure3:
+    def test_bfp_fine_grain_beats_coarse_int(self):
+        result = run_experiment("figure3", quick=True)
+        int_rows = [r for r in result.rows if r["family"].startswith("INT8")]
+        bfp_rows = [r for r in result.rows if r["family"].startswith("BFP")]
+        # QSNR degrades as k grows within each family
+        assert int_rows[0]["qsnr_db"] > int_rows[-1]["qsnr_db"]
+        assert bfp_rows[0]["qsnr_db"] > bfp_rows[-1]["qsnr_db"]
+        # fine-grained BFP (k=16) beats the practical INT point (k=1024)
+        bfp16 = next(r for r in bfp_rows if r["k"] == 16)
+        int1k = next(r for r in int_rows if r["k"] == 1024)
+        assert bfp16["qsnr_db"] > int1k["qsnr_db"]
+
+
+class TestFigure6:
+    def test_totals_and_shift_story(self):
+        result = run_experiment("figure6")
+        total = next(r for r in result.rows if r["stage"] == "TOTAL")
+        assert total["mx4"] < total["mx6"] < total["mx9"]
+        shift = next(r for r in result.rows if r["stage"] == "normalize shift")
+        # per-element normalize shifting dominates in scalar FP8, not MX
+        assert shift["fp8_e4m3"] > 10 * shift["mx9"]
+
+
+class TestTheorem1:
+    def test_bound_holds_everywhere(self):
+        result = run_experiment("theorem1", quick=True)
+        assert result.rows, "no rows produced"
+        for row in result.rows:
+            assert row["holds"] == "yes", row
+
+
+class TestFigure7:
+    def test_headline_relationships(self):
+        result = run_experiment("figure7", quick=True)
+        by_label = {row["format"]: row for row in result.rows}
+        mx9, mx6, mx4 = by_label["MX9"], by_label["MX6"], by_label["MX4"]
+        e4m3, e5m2 = by_label["FP8 - E4M3"], by_label["FP8 - E5M2"]
+        msfp16 = by_label["MSFP16"]
+        assert mx9["qsnr_db"] - e4m3["qsnr_db"] == pytest.approx(16.0, abs=3.0)
+        assert e5m2["qsnr_db"] < mx6["qsnr_db"] < e4m3["qsnr_db"]
+        assert mx9["qsnr_db"] - msfp16["qsnr_db"] == pytest.approx(3.6, abs=1.0)
+        assert e4m3["cost"] / mx6["cost"] > 1.8
+        assert e4m3["cost"] / mx4["cost"] > 3.5
+        # the three MX points sit on the computed frontier
+        assert mx4["on_frontier"] == "yes"
+        assert mx6["on_frontier"] == "yes"

@@ -1,0 +1,46 @@
+"""Unit tests for the fidelity test distributions."""
+
+import numpy as np
+import pytest
+
+from repro.fidelity.distributions import DISTRIBUTIONS, list_distributions, sample
+
+
+class TestSampling:
+    @pytest.mark.parametrize("name", list(DISTRIBUTIONS))
+    def test_shape(self, name):
+        rng = np.random.default_rng(0)
+        x = sample(name, rng, 7, 33)
+        assert x.shape == (7, 33)
+        assert np.all(np.isfinite(x))
+
+    def test_deterministic_given_rng_state(self):
+        a = sample("variable_normal", np.random.default_rng(3), 4, 16)
+        b = sample("variable_normal", np.random.default_rng(3), 4, 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            sample("gamma", np.random.default_rng(0), 1, 1)
+
+    def test_variable_normal_has_varying_scale(self):
+        rng = np.random.default_rng(0)
+        x = sample("variable_normal", rng, 500, 64)
+        stds = x.std(axis=1)
+        # per-vector sigmas follow |N(0,1)|: wide spread expected
+        assert stds.max() / max(stds.min(), 1e-9) > 10
+
+    def test_outlier_normal_has_outliers(self):
+        rng = np.random.default_rng(0)
+        x = sample("outlier_normal", rng, 100, 256)
+        assert np.abs(x).max() > 20.0
+
+    def test_lognormal_is_signed(self):
+        rng = np.random.default_rng(0)
+        x = sample("lognormal", rng, 10, 256)
+        assert (x > 0).any() and (x < 0).any()
+
+    def test_list_distributions(self):
+        names = list_distributions()
+        assert names == sorted(names)
+        assert "variable_normal" in names

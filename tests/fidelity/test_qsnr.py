@@ -1,0 +1,74 @@
+"""Unit tests for the QSNR methodology."""
+
+import numpy as np
+import pytest
+
+from repro.fidelity.qsnr import QSNR_FLOOR, measure_qsnr, qsnr, qsnr_per_vector
+from repro.formats.registry import get_format
+
+
+class TestQsnr:
+    def test_identical_is_ceiling(self):
+        x = np.ones((4, 8))
+        assert qsnr(x, x) == 300.0
+
+    def test_zero_signal_is_floor(self):
+        x = np.zeros((2, 4))
+        assert qsnr(x, x + 1) == QSNR_FLOOR
+
+    def test_known_value(self):
+        x = np.array([[1.0, 1.0]])
+        q = np.array([[1.1, 1.0]])
+        expected = -10 * np.log10(0.01 / 2.0)
+        assert qsnr(x, q) == pytest.approx(expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            qsnr(np.zeros(3), np.zeros(4))
+
+    def test_per_vector(self):
+        x = np.array([[1.0, 0.0], [2.0, 0.0]])
+        q = np.array([[1.1, 0.0], [2.0, 0.0]])
+        out = qsnr_per_vector(x, q)
+        assert out.shape == (2,)
+        assert out[1] == 300.0
+        assert out[0] == pytest.approx(-10 * np.log10(0.01 / 1.0))
+
+
+class TestMeasureQsnr:
+    def test_reproducible(self):
+        a = measure_qsnr(get_format("mx6"), n_vectors=200, seed=5)
+        b = measure_qsnr(get_format("mx6"), n_vectors=200, seed=5)
+        assert a == b
+
+    def test_seed_changes_sample(self):
+        a = measure_qsnr(get_format("mx6"), n_vectors=200, seed=5)
+        b = measure_qsnr(get_format("mx6"), n_vectors=200, seed=6)
+        assert a != b
+
+    def test_mantissa_ordering(self):
+        q4 = measure_qsnr(get_format("mx4"), n_vectors=300)
+        q6 = measure_qsnr(get_format("mx6"), n_vectors=300)
+        q9 = measure_qsnr(get_format("mx9"), n_vectors=300)
+        assert q4 < q6 < q9
+
+    def test_fp32_is_ceiling(self):
+        assert measure_qsnr(get_format("fp32"), n_vectors=50) == 300.0
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            measure_qsnr(get_format("mx9"), distribution="cauchy", n_vectors=10)
+
+    def test_paper_headline_deltas(self):
+        """MX9 ~ E4M3 + 16 dB; MX9 ~ MSFP16 + 3.6 dB (both within 2 dB)."""
+        mx9 = measure_qsnr(get_format("mx9"), n_vectors=2000)
+        e4m3 = measure_qsnr(get_format("fp8_e4m3"), n_vectors=2000)
+        msfp16 = measure_qsnr(get_format("msfp16"), n_vectors=2000)
+        assert mx9 - e4m3 == pytest.approx(16.0, abs=2.0)
+        assert mx9 - msfp16 == pytest.approx(3.6, abs=1.0)
+
+    def test_mx6_between_fp8_variants(self):
+        mx6 = measure_qsnr(get_format("mx6"), n_vectors=2000)
+        e4m3 = measure_qsnr(get_format("fp8_e4m3"), n_vectors=2000)
+        e5m2 = measure_qsnr(get_format("fp8_e5m2"), n_vectors=2000)
+        assert e5m2 < mx6 < e4m3

@@ -1,0 +1,80 @@
+"""Unit tests for the design-space sweep."""
+
+import pytest
+
+from repro.core.bdr import BDRConfig
+from repro.fidelity.sweep import (
+    SweepPoint,
+    bdr_design_space,
+    named_design_points,
+    run_sweep,
+    sweep_frontier,
+)
+
+
+class TestDesignSpace:
+    def test_default_grid_is_substantial(self):
+        grid = bdr_design_space()
+        assert len(grid) > 200
+
+    def test_all_configs_valid(self):
+        for config in bdr_design_space():
+            assert isinstance(config, BDRConfig)
+            assert config.s_type == "pow2"
+
+    def test_includes_single_level_points(self):
+        grid = bdr_design_space()
+        assert any(c.d2 == 0 for c in grid)
+        assert any(c.d2 > 0 for c in grid)
+
+    def test_paper_scale_reachable(self):
+        grid = bdr_design_space(
+            mantissa_bits=(1, 2, 3, 4, 5, 6, 7, 8),
+            k1_values=(8, 16, 32, 64, 128, 256),
+            k2_values=(1, 2, 4, 8, 16, 32, 64),
+            d2_values=(0, 1, 2, 3),
+        )
+        assert len(grid) >= 800  # "an exhaustive sweep ... 800+ configurations"
+
+    def test_mx_formats_in_grid(self):
+        grid = bdr_design_space()
+        for m in (2, 4, 7):
+            assert BDRConfig.mx(m=m) in grid
+
+
+class TestNamedPoints:
+    def test_all_constructible(self):
+        points = named_design_points()
+        assert len(points) >= 18
+        names = [p.name for p in points]
+        assert "MX9" in names and "VSQ4(d2=10)" in names
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        configs = [BDRConfig.mx(m=2), BDRConfig.mx(m=7), BDRConfig.bfp(m=4, k1=16)]
+        return run_sweep(configs=configs, include_named=False, n_vectors=200)
+
+    def test_point_fields(self, small_sweep):
+        for p in small_sweep:
+            assert isinstance(p, SweepPoint)
+            assert p.cost > 0
+            assert p.qsnr_db > 0
+            assert p.theorem_bound_db is not None
+            assert p.qsnr_db >= p.theorem_bound_db
+
+    def test_frontier_is_subset(self, small_sweep):
+        frontier = sweep_frontier(small_sweep)
+        assert set(p.label for p in frontier) <= set(p.label for p in small_sweep)
+        # no frontier point dominates another
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    def test_dominates(self):
+        a = SweepPoint("a", "mx", 4, 20.0, 0.2, 0.5, 0.1)
+        b = SweepPoint("b", "mx", 6, 15.0, 0.4, 0.7, 0.3)
+        assert a.dominates(b)
+        assert not b.dominates(a)

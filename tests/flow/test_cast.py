@@ -1,0 +1,87 @@
+"""Unit tests for direct cast and weight casting."""
+
+import numpy as np
+import pytest
+
+from repro.flow.cast import cast_weights, clear_quantization, direct_cast
+from repro.flow.policy import quantizable_modules
+from repro.formats.registry import get_format
+from repro.models.dlrm import DLRM
+from repro.nn.layers import Linear, Sequential
+from repro.nn.tensor import Tensor
+
+
+def build_model():
+    rng = np.random.default_rng(0)
+    return Sequential(Linear(32, 16, rng=rng), Linear(16, 4, rng=rng))
+
+
+class TestDirectCast:
+    def test_installs_specs(self):
+        model = build_model()
+        direct_cast(model, "mx6")
+        for _, m in quantizable_modules(model):
+            assert m.quant.weight.name == "MX6"
+            assert m.quant.activation.name == "MX6"
+            assert m.quant.backward is None
+
+    def test_asymmetric_w_a(self):
+        model = build_model()
+        direct_cast(model, "mx4", "mx9")
+        for _, m in quantizable_modules(model):
+            assert m.quant.weight.name == "MX4"
+            assert m.quant.activation.name == "MX9"
+
+    def test_changes_outputs_but_not_weights(self):
+        model = build_model()
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 32)))
+        before_weights = model.state_dict()
+        baseline = model(x).data.copy()
+        direct_cast(model, "mx4")
+        cast_out = model(x).data
+        assert not np.allclose(baseline, cast_out)
+        for k, v in model.state_dict().items():
+            np.testing.assert_array_equal(v, before_weights[k])
+
+    def test_clear_restores_baseline(self):
+        model = build_model()
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 32)))
+        baseline = model(x).data.copy()
+        direct_cast(model, "mx4")
+        clear_quantization(model)
+        np.testing.assert_array_equal(model(x).data, baseline)
+
+    def test_none_none_clears(self):
+        model = build_model()
+        direct_cast(model, "mx4")
+        direct_cast(model, None)
+        assert all(m.quant is None for _, m in quantizable_modules(model))
+
+    def test_embedding_quantization(self):
+        model = DLRM(rng=np.random.default_rng(3))
+        direct_cast(model, "mx6", quantize_embeddings=True)
+        assert all(e.storage_quant is not None for e in model.embeddings)
+        clear_quantization(model)
+        assert all(e.storage_quant is None for e in model.embeddings)
+
+
+class TestCastWeights:
+    def test_weights_change_in_place(self):
+        model = build_model()
+        before = model.state_dict()
+        cast_weights(model, "mx4")
+        after = model.state_dict()
+        assert not np.allclose(before["layers.0.weight"], after["layers.0.weight"])
+        # biases (1-D) are left alone
+        np.testing.assert_array_equal(before["layers.0.bias"], after["layers.0.bias"])
+
+    def test_values_are_representable(self):
+        model = build_model()
+        cast_weights(model, "mx4")
+        fmt = get_format("mx4")
+        w = model.state_dict()["layers.0.weight"]
+        np.testing.assert_array_equal(fmt.quantize(w, axis=0), w)
+
+    def test_format_instance_accepted(self):
+        model = build_model()
+        cast_weights(model, get_format("mx9"))

@@ -1,0 +1,96 @@
+"""Unit tests for the generic training loop."""
+
+import numpy as np
+import pytest
+
+from repro.flow.compute_flow import TrainConfig, TrainResult, fit, make_optimizer, train_with_format
+from repro.nn.layers import Linear, Module
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam, SGD
+from repro.nn.tensor import Tensor
+
+
+class ToyRegressor(Module):
+    """y = x @ w_true learned by a single Linear."""
+
+    def __init__(self, seed=0):
+        super().__init__()
+        self.linear = Linear(4, 1, rng=np.random.default_rng(seed))
+
+    def loss(self, batch):
+        x, y = batch
+        return mse_loss(self.linear(Tensor(x)).reshape(-1), y)
+
+
+def toy_batches(steps, seed=0):
+    rng = np.random.default_rng(seed)
+    w_true = np.array([1.0, -2.0, 0.5, 3.0])
+    for _ in range(steps):
+        x = rng.normal(size=(16, 4))
+        yield x, x @ w_true
+
+
+class TestFit:
+    def test_loss_decreases(self):
+        model = ToyRegressor()
+        result = fit(model, toy_batches(200), TrainConfig(steps=200, lr=0.05))
+        assert result.losses[-1] < result.losses[0] / 10
+
+    def test_respects_step_budget(self):
+        model = ToyRegressor()
+        result = fit(model, toy_batches(1000), TrainConfig(steps=7, lr=0.01))
+        assert result.steps == 7
+        assert len(result.losses) == 7
+
+    def test_model_left_in_eval_mode(self):
+        model = ToyRegressor()
+        fit(model, toy_batches(3), TrainConfig(steps=3))
+        assert not model.training
+
+    def test_on_step_callback(self):
+        seen = []
+        fit(
+            ToyRegressor(),
+            toy_batches(5),
+            TrainConfig(steps=5),
+            on_step=lambda s, v: seen.append(s),
+        )
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_final_loss_requires_steps(self):
+        with pytest.raises(ValueError):
+            TrainResult().final_loss
+
+
+class TestMakeOptimizer:
+    def test_adam(self):
+        opt = make_optimizer(ToyRegressor(), TrainConfig(optimizer="adam", lr=0.1))
+        assert isinstance(opt, Adam)
+
+    def test_sgd(self):
+        opt = make_optimizer(ToyRegressor(), TrainConfig(optimizer="sgd", momentum=0.9))
+        assert isinstance(opt, SGD)
+        assert opt.momentum == 0.9
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_optimizer(ToyRegressor(), TrainConfig(optimizer="lamb"))
+
+
+class TestTrainWithFormat:
+    def test_fp32_vs_mx9_close(self):
+        """The paper's drop-in claim, in miniature: same init, same data,
+        same hyper-parameters; MX9 must land within a whisker of FP32."""
+        fp32 = ToyRegressor(seed=3)
+        r_fp32 = train_with_format(fp32, toy_batches(80, seed=9), None,
+                                   TrainConfig(steps=80, lr=0.01))
+        mx9 = ToyRegressor(seed=3)
+        r_mx9 = train_with_format(mx9, toy_batches(80, seed=9), "mx9",
+                                  TrainConfig(steps=80, lr=0.01))
+        assert r_mx9.final_loss == pytest.approx(r_fp32.final_loss, abs=0.02)
+
+    def test_mx4_trains_but_noisier(self):
+        model = ToyRegressor(seed=3)
+        result = train_with_format(model, toy_batches(80, seed=9), "mx4",
+                                   TrainConfig(steps=80, lr=0.01))
+        assert result.losses[-1] < result.losses[0]

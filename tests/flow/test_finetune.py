@@ -1,0 +1,74 @@
+"""Unit tests for quantization-aware fine-tuning."""
+
+import numpy as np
+
+from repro.flow.cast import direct_cast
+from repro.flow.compute_flow import TrainConfig, fit
+from repro.flow.finetune import finetune
+from repro.flow.policy import quantizable_modules
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.losses import mse_loss
+from repro.nn.tensor import Tensor
+
+
+class ToyModel(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.l1 = Linear(8, 16, rng=rng)
+        self.l2 = Linear(16, 1, rng=rng)
+        self.drop = Dropout(0.3, rng=rng)
+
+    def forward(self, x):
+        return self.l2(self.drop(self.l1(x).relu())).reshape(-1)
+
+    def loss(self, batch):
+        x, y = batch
+        return mse_loss(self.forward(Tensor(x)), y)
+
+
+def batches(steps, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=8)
+    for _ in range(steps):
+        x = rng.normal(size=(32, 8))
+        yield x, np.tanh(x @ w)
+
+
+def eval_mse(model, seed=99):
+    x, y = next(iter(batches(1, seed)))
+    model.eval()
+    pred = model.forward(Tensor(x)).data
+    return float(np.mean((pred - y) ** 2))
+
+
+class TestFinetune:
+    def test_recovers_cast_degradation(self):
+        # pre-train in FP32
+        model = ToyModel(seed=1)
+        fit(model, batches(150, seed=2), TrainConfig(steps=150, lr=3e-3))
+        direct_cast(model, "mx4")
+        cast_mse = eval_mse(model)
+
+        finetune(model, batches(120, seed=3), "mx4", steps=120, lr=1e-3)
+        tuned_mse = eval_mse(model)
+        assert tuned_mse < cast_mse
+
+    def test_installs_finetune_spec(self):
+        model = ToyModel(seed=1)
+        finetune(model, batches(2, seed=2), "mx6", steps=2)
+        for _, m in quantizable_modules(model):
+            assert m.quant.activation.name == "MX6"
+            assert m.quant.backward is None  # FP32 backward per the recipe
+
+    def test_dropout_disabled(self):
+        model = ToyModel(seed=1)
+        assert model.drop.p == 0.3
+        finetune(model, batches(2, seed=2), "mx6", steps=2)
+        assert model.drop.p == 0.0
+
+    def test_backward_format_override(self):
+        model = ToyModel(seed=1)
+        finetune(model, batches(2, seed=2), "mx4", backward_format="mx9", steps=2)
+        for _, m in quantizable_modules(model):
+            assert m.quant.backward.name == "MX9"

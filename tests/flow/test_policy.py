@@ -1,0 +1,80 @@
+"""Unit tests for precision policies."""
+
+import numpy as np
+
+from repro.flow.policy import (
+    apply_quant_policy,
+    first_last_high_precision,
+    quantizable_modules,
+    uniform_policy,
+)
+from repro.models.vision import TinyResNet
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Linear, Module, Sequential
+from repro.nn.quantized import QuantSpec
+
+
+def build_mlp():
+    rng = np.random.default_rng(0)
+    return Sequential(Linear(4, 8, rng=rng), Linear(8, 8, rng=rng), Linear(8, 2, rng=rng))
+
+
+class TestQuantizableModules:
+    def test_finds_linears(self):
+        model = build_mlp()
+        assert len(quantizable_modules(model)) == 3
+
+    def test_finds_conv_and_attention(self):
+        model = TinyResNet(rng=np.random.default_rng(1))
+        names = [n for n, _ in quantizable_modules(model)]
+        assert any("stem" in n for n in names)
+        assert any("head" in n for n in names)
+
+
+class TestUniformPolicy:
+    def test_applies_everywhere(self):
+        model = build_mlp()
+        spec = QuantSpec.uniform("mx9")
+        count = apply_quant_policy(model, uniform_policy(spec))
+        assert count == 3
+        assert all(m.quant is spec for _, m in quantizable_modules(model))
+
+    def test_none_clears(self):
+        model = build_mlp()
+        apply_quant_policy(model, uniform_policy(QuantSpec.uniform("mx9")))
+        apply_quant_policy(model, uniform_policy(None))
+        assert all(m.quant is None for _, m in quantizable_modules(model))
+
+
+class TestFirstLastPolicy:
+    def test_boundary_layers_high_precision(self):
+        model = build_mlp()
+        spec = QuantSpec.uniform("mx9")
+        apply_quant_policy(model, first_last_high_precision(spec, model))
+        mods = quantizable_modules(model)
+        assert mods[0][1].quant is None
+        assert mods[-1][1].quant is None
+        assert mods[1][1].quant is spec
+
+    def test_custom_high_spec(self):
+        model = build_mlp()
+        low = QuantSpec.uniform("mx4")
+        high = QuantSpec.uniform("mx9")
+        apply_quant_policy(model, first_last_high_precision(low, model, high=high))
+        mods = quantizable_modules(model)
+        assert mods[0][1].quant is high
+        assert mods[1][1].quant is low
+
+
+class TestAttentionHandling:
+    def test_set_quant_through_policy(self):
+        class WithAttention(Module):
+            def __init__(self):
+                super().__init__()
+                self.attn = MultiHeadAttention(8, 2, rng=np.random.default_rng(2))
+
+        model = WithAttention()
+        spec = QuantSpec.uniform("mx6")
+        apply_quant_policy(model, uniform_policy(spec))
+        assert model.attn.quant is spec
+        assert model.attn.q_proj.quant is spec

@@ -1,0 +1,77 @@
+"""Unit tests for the BDRFormat adapter classes."""
+
+import numpy as np
+import pytest
+
+from repro.formats.bdr_format import BDRFormat, BFPFormat, IntFormat, MXFormat, VSQFormat
+from repro.core.bdr import BDRConfig
+
+
+class TestMXFormat:
+    def test_matches_engine(self):
+        from repro.core.mx import mx_quantize
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 32))
+        np.testing.assert_array_equal(MXFormat(m=7).quantize(x), mx_quantize(x, "MX9"))
+
+    def test_hardware_scaling_is_stateless(self):
+        fmt = MXFormat(m=4)
+        x = np.ones((1, 16))
+        q1 = fmt.quantize(x)
+        fmt.quantize(np.full((1, 16), 1e6))
+        q2 = fmt.quantize(x)
+        np.testing.assert_array_equal(q1, q2)
+
+
+class TestIntFormat:
+    def test_delayed_scaling_is_stateful(self):
+        fmt = IntFormat(8, scaling="delayed")
+        x = np.ones((1, 64))
+        q1 = fmt.quantize(x).copy()
+        fmt.quantize(np.full((1, 64), 1e4))
+        q3 = fmt.quantize(x)
+        assert not np.allclose(q1, q3)  # history amax changed the grid
+
+    def test_reset_state(self):
+        fmt = IntFormat(8, scaling="delayed")
+        fmt.quantize(np.full((1, 64), 1e4))
+        fmt.reset_state()
+        q = fmt.quantize(np.ones((1, 64)))
+        np.testing.assert_allclose(q, 1.0, rtol=0.02)
+
+    def test_min_bits(self):
+        with pytest.raises(ValueError):
+            IntFormat(1)
+
+    def test_name(self):
+        assert IntFormat(8).name == "scaled INT8"
+
+
+class TestVSQFormat:
+    def test_config_shape(self):
+        fmt = VSQFormat(6, d2=8)
+        assert fmt.config.m == 5
+        assert fmt.config.d2 == 8
+        assert fmt.config.ss_type == "int"
+
+    def test_quantize_runs(self):
+        rng = np.random.default_rng(0)
+        q = VSQFormat(4).quantize(rng.normal(size=(8, 64)))
+        assert q.shape == (8, 64)
+
+
+class TestBFPFormat:
+    def test_msfp16_bits(self):
+        assert BFPFormat(m=7, k1=16).bits_per_element == 8.5
+
+
+class TestBDRFormatValidation:
+    def test_bad_scaling_mode(self):
+        with pytest.raises(ValueError):
+            BDRFormat(BDRConfig.int_sw(m=7), scaling="magic")
+
+    def test_pow2_ignores_scaling_mode(self):
+        # hardware-scaled formats build no scaler even in delayed mode
+        fmt = BDRFormat(BDRConfig.mx(m=7), scaling="delayed")
+        assert fmt._scaler is None

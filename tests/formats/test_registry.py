@@ -1,0 +1,68 @@
+"""Unit tests for the format registry."""
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import FIGURE7_FORMATS, get_format, list_formats, register_format
+
+
+class TestLookup:
+    def test_all_figure7_formats_resolve(self):
+        for name in FIGURE7_FORMATS:
+            fmt = get_format(name)
+            assert fmt.bits_per_element > 0
+
+    def test_case_insensitive(self):
+        assert get_format("MX9").name == get_format("mx9").name
+
+    def test_hyphen_and_space_normalization(self):
+        assert get_format("fp8-e4m3").name == "FP8 - E4M3"
+        assert get_format("FP8 E4M3").name == "FP8 - E4M3"
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            get_format("mx5")
+
+    def test_fresh_instances(self):
+        a = get_format("int8")
+        b = get_format("int8")
+        assert a is not b
+        # state does not leak between instances
+        a.quantize(np.array([1000.0]))
+        qb = b.quantize(np.array([1.0]))
+        assert qb[0] == pytest.approx(1.0, rel=0.01)
+
+    def test_overrides_forwarded(self):
+        vsq = get_format("vsq6", d2=10)
+        assert vsq.config.d2 == 10
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_format("mx9", lambda: None)
+
+    def test_list_formats_sorted(self):
+        names = list_formats()
+        assert names == sorted(names)
+        assert "mx9" in names and "fp32" in names
+
+
+class TestExpectedBits:
+    @pytest.mark.parametrize(
+        "name,bits",
+        [
+            ("mx9", 9.0),
+            ("mx6", 6.0),
+            ("mx4", 4.0),
+            ("msfp16", 8.5),
+            ("msfp12", 4.5),
+            ("fp8_e4m3", 8.0),
+            ("fp32", 32.0),
+        ],
+    )
+    def test_bits(self, name, bits):
+        assert get_format(name).bits_per_element == pytest.approx(bits, abs=0.05)
+
+    def test_fp32_identity(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        np.testing.assert_array_equal(get_format("fp32").quantize(x), x)

@@ -1,0 +1,70 @@
+"""Unit tests for the three-level scaling extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.bdr import BDRConfig
+from repro.core.mx import MX6, MX9
+from repro.fidelity.qsnr import qsnr
+from repro.formats.bdr_format import BDRFormat
+from repro.formats.three_level import ThreeLevelFormat
+
+
+class TestConstruction:
+    def test_requires_hardware_inner(self):
+        with pytest.raises(ValueError, match="hardware-scaled"):
+            ThreeLevelFormat(BDRConfig.int_sw(m=7))
+
+    def test_parent_must_be_coarser(self):
+        with pytest.raises(ValueError, match="exceed"):
+            ThreeLevelFormat(MX9, k0=16)
+
+    def test_bad_scaling(self):
+        with pytest.raises(ValueError, match="scaling"):
+            ThreeLevelFormat(MX9, scaling="static")
+
+    def test_bits_accounting(self):
+        fmt = ThreeLevelFormat(MX9, k0=1024)
+        assert fmt.bits_per_element == pytest.approx(9.0 + 32 / 1024)
+
+
+class TestNumerics:
+    def test_matches_two_level_for_in_range_data(self):
+        """For data inside the 8-bit exponent range, the parent scale only
+        recenters; fidelity stays close to plain MX."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, 256))
+        two = BDRFormat(MX6).quantize(x)
+        three = ThreeLevelFormat(MX6, k0=1024).quantize(x)
+        assert abs(qsnr(x, three) - qsnr(x, two)) < 3.0
+
+    def test_extends_dynamic_range(self):
+        """The parent scale is a range-extension mechanism: with a *narrow*
+        shared-exponent budget (d1 = 4), data outside 2^(+-8) clamps and
+        plain two-level quantization collapses; the FP32 parent recenters
+        it.  (With MX's d1 = 8 the clamp matches FP32's own exponent range,
+        so in-range FP32 data never triggers it — hence 'future work'.)"""
+        narrow = BDRConfig(m=4, k1=16, d1=4, s_type="pow2", k2=2, d2=1, ss_type="pow2")
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 256)) * 2.0**30
+        two = BDRFormat(narrow).quantize(x)
+        three = ThreeLevelFormat(narrow, k0=1024).quantize(x)
+        assert qsnr(x, three) > qsnr(x, two) + 20.0
+
+    def test_fp32_parent_scale_saturates(self):
+        """Magnitudes beyond FP32's own range saturate the parent scale
+        instead of overflowing to inf/nan."""
+        x = np.full((1, 32), 1e60)
+        out = ThreeLevelFormat(MX6).quantize(x)
+        assert np.all(np.isfinite(out))
+
+    def test_zero_input(self):
+        fmt = ThreeLevelFormat(MX6)
+        np.testing.assert_array_equal(fmt.quantize(np.zeros((2, 32))), 0.0)
+
+    def test_delayed_scaling_state(self):
+        fmt = ThreeLevelFormat(MX6, scaling="delayed")
+        fmt.quantize(np.full((1, 32), 100.0))
+        assert fmt._scaler.history_amax == 100.0
+        fmt.reset_state()
+        assert fmt._scaler.history_amax == 0.0

@@ -1,0 +1,53 @@
+"""Unit tests for the area primitives."""
+
+import pytest
+
+from repro.hardware import components as c
+
+
+class TestPrimitives:
+    def test_adder_linear_in_bits(self):
+        assert c.adder(16) == 2 * c.adder(8)
+        assert c.adder(0) == 0.0
+
+    def test_multiplier_grows_with_operands(self):
+        assert c.multiplier(8, 8) > c.multiplier(4, 4) > c.multiplier(2, 2)
+
+    def test_multiplier_degenerate(self):
+        assert c.multiplier(0, 8) == 0.0
+        assert c.multiplier(1, 1) == c.GE.AND2
+
+    def test_multiplier_roughly_quadratic(self):
+        ratio = c.multiplier(16, 16) / c.multiplier(8, 8)
+        assert 3.0 < ratio < 5.0
+
+    def test_barrel_shifter_stages(self):
+        # shifting by up to 3 needs 2 stages; by up to 1 needs 1
+        assert c.barrel_shifter(8, 3) == 8 * 2 * c.GE.MUX2
+        assert c.barrel_shifter(8, 1) == 8 * 1 * c.GE.MUX2
+        assert c.barrel_shifter(8, 0) == 0.0
+
+    def test_adder_tree_count(self):
+        # 4 inputs: 2 adders at width+1, 1 at width+2
+        expected = 2 * c.adder(9) + 1 * c.adder(10)
+        assert c.adder_tree(4, 8) == expected
+        assert c.adder_tree(1, 8) == 0.0
+
+    def test_adder_tree_odd_count(self):
+        assert c.adder_tree(3, 8) > 0
+        # 3 inputs need exactly 2 adders
+        assert c.adder_tree(3, 8) == c.adder(9) + c.adder(10)
+
+    def test_max_tree(self):
+        assert c.max_tree(4, 8) == 3 * c.max_unit(8)
+        assert c.max_tree(1, 8) == 0.0
+
+    def test_fp32_accumulator_constant(self):
+        assert c.fp32_accumulator() == c.fp32_accumulator()
+        assert c.fp32_accumulator() > 1000
+
+    def test_misc_nonnegative(self):
+        for fn in (c.subtractor, c.incrementer, c.comparator, c.leading_zero_counter,
+                   c.twos_complement, c.xor_gates, c.registers):
+            assert fn(8) > 0
+            assert fn(0) == 0.0

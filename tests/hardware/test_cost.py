@@ -1,0 +1,81 @@
+"""Unit tests for the combined cost model and format dispatch."""
+
+import pytest
+
+from repro.core.bdr import BDRConfig
+from repro.formats.base import IdentityFormat
+from repro.formats.registry import get_format
+from repro.formats.scalar_float import FP8_E4M3
+from repro.hardware.cost import HardwareCost, hardware_cost, pipeline_area, storage_spec
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "name", ["mx9", "mx6", "mx4", "msfp16", "int8", "vsq6", "fp8_e4m3", "bf16", "fp32"]
+    )
+    def test_every_registry_family(self, name):
+        hc = hardware_cost(get_format(name))
+        assert hc.area_ge > 0
+        assert hc.normalized_area > 0
+        assert 0 < hc.packing_efficiency <= 1.0
+
+    def test_raw_config_accepted(self):
+        hc = hardware_cost(BDRConfig.mx(m=7))
+        assert hc.normalized_area > 0
+
+    def test_raw_spec_accepted(self):
+        hc = hardware_cost(FP8_E4M3)
+        assert hc.normalized_area > 0
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            hardware_cost("mx9")
+        with pytest.raises(TypeError):
+            storage_spec(42)
+
+
+class TestHeadlineNumbers:
+    def test_area_memory_product(self):
+        hc = HardwareCost("x", 100.0, 0.5, 0.8, 1.0)
+        assert hc.area_memory_product == pytest.approx(0.4)
+
+    def test_fp8_near_unity(self):
+        e4m3 = hardware_cost(get_format("fp8_e4m3"))
+        e5m2 = hardware_cost(get_format("fp8_e5m2"))
+        # individual variants sit just below the dual-format baseline
+        assert 0.7 < e4m3.normalized_area < 1.0
+        assert 0.7 < e5m2.normalized_area < 1.0
+
+    def test_paper_cost_ordering(self):
+        """MX4 < MX6 < FP8 ~ MX9 on the area-memory product axis."""
+        costs = {
+            name: hardware_cost(get_format(name)).area_memory_product
+            for name in ("mx4", "mx6", "mx9", "fp8_e4m3")
+        }
+        assert costs["mx4"] < costs["mx6"] < costs["fp8_e4m3"]
+        assert costs["mx9"] == pytest.approx(costs["fp8_e4m3"], rel=0.35)
+
+    def test_mx6_about_half_fp8(self):
+        mx6 = hardware_cost(get_format("mx6")).area_memory_product
+        fp8 = hardware_cost(get_format("fp8_e4m3")).area_memory_product
+        assert 1.8 < fp8 / mx6 < 3.5
+
+    def test_fp32_most_expensive(self):
+        fp32 = hardware_cost(IdentityFormat())
+        mx9 = hardware_cost(get_format("mx9"))
+        assert fp32.area_memory_product > 3 * mx9.area_memory_product
+
+
+class TestStorageSpecs:
+    def test_mx9_spec(self):
+        spec = storage_spec(get_format("mx9"))
+        assert spec.element_bits == 8
+        assert spec.scale_bits == 8 and spec.scale_block == 16
+        assert spec.subscale_bits == 1 and spec.subscale_block == 2
+
+    def test_int8_scale_out_of_band(self):
+        spec = storage_spec(get_format("int8"))
+        assert spec.scale_block == 1024  # >= tile, excluded from packing
+
+    def test_fp32(self):
+        assert storage_spec(IdentityFormat()).element_bits == 32

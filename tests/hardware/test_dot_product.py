@@ -1,0 +1,113 @@
+"""Unit tests for the Figure 6 pipeline area model."""
+
+import pytest
+
+from repro.hardware.dot_product import (
+    AreaBreakdown,
+    fixed_point_bits,
+    fp8_baseline_area,
+    int_pipeline_area,
+    mx_pipeline_area,
+    scalar_float_pipeline_area,
+)
+from repro.hardware.vsq_pipeline import vsq_pipeline_area
+
+
+class TestFixedPointBits:
+    def test_capped_at_25(self):
+        assert fixed_point_bits(m=23, d2=0, k1=1) == 25
+
+    def test_narrow_formats_below_cap(self):
+        # MX4: 2*2 + 2*1 + 4 + 3 = 13
+        assert fixed_point_bits(m=2, d2=1, k1=16) == 13
+
+    def test_monotone_in_m(self):
+        values = [fixed_point_bits(m, 1, 16) for m in range(1, 8)]
+        assert values == sorted(values)
+
+
+class TestMXPipeline:
+    def test_r_multiple_of_k1(self):
+        with pytest.raises(ValueError, match="multiple"):
+            mx_pipeline_area(m=7, k1=16, r=60)
+
+    def test_total_positive_and_summed(self):
+        bd = mx_pipeline_area(m=7)
+        assert bd.total == pytest.approx(sum(bd.stages.values()))
+        assert bd.total > 0
+
+    def test_monotone_in_mantissa(self):
+        areas = [mx_pipeline_area(m=m).total for m in (2, 4, 7)]
+        assert areas == sorted(areas)
+
+    def test_monotone_in_r(self):
+        assert mx_pipeline_area(m=4, r=128).total > mx_pipeline_area(m=4, r=64).total
+
+    def test_bfp_has_no_microexponent_logic(self):
+        bd = mx_pipeline_area(m=7, d2=0, k2=1)
+        assert "microexponent shift" not in bd.stages
+        assert "sub-scale add" not in bd.stages
+
+    def test_mx_cheaper_than_scalar_float_at_matched_mantissa(self):
+        """The headline: block alignment amortizes the shifter cost."""
+        mx = mx_pipeline_area(m=7).total  # 8-bit element
+        fp = scalar_float_pipeline_area(e=4, m=3).total  # FP8 E4M3
+        assert mx < fp
+
+
+class TestScalarPipeline:
+    def test_normalize_shift_dominates_narrow_floats(self):
+        bd = scalar_float_pipeline_area(e=2, m=1)  # FP4 E2M1
+        assert bd.stages["normalize shift"] > bd.stages["mantissa multipliers"]
+
+    def test_e5m2_vs_e4m3(self):
+        # wider exponent, narrower mantissa: cheaper multipliers
+        e5m2 = scalar_float_pipeline_area(e=5, m=2)
+        e4m3 = scalar_float_pipeline_area(e=4, m=3)
+        assert e5m2.stages["mantissa multipliers"] < e4m3.stages["mantissa multipliers"]
+
+
+class TestBaselines:
+    def test_fp8_baseline_above_single_formats(self):
+        base = fp8_baseline_area()
+        assert base > scalar_float_pipeline_area(e=4, m=3).total
+
+    def test_paper_headline_ratios(self):
+        base = fp8_baseline_area()
+        mx9 = mx_pipeline_area(m=7).total / base
+        mx6 = mx_pipeline_area(m=4).total / base
+        mx4 = mx_pipeline_area(m=2).total / base
+        assert 0.6 < mx9 < 1.2  # "hardware efficiency close to FP8"
+        assert mx6 < 0.65  # ~2x lower circuitry
+        assert mx4 < 0.4  # ~4x lower circuitry
+
+    def test_int_pipeline_cheapest(self):
+        assert int_pipeline_area(m=7).total < fp8_baseline_area()
+
+
+class TestVSQPipeline:
+    def test_rescale_logic_costs_area(self):
+        """VSQ pays for fine-grained integer rescaling vs plain INT."""
+        vsq = vsq_pipeline_area(m=3, d2=6, k2=16)
+        assert "partial-sum rescale" in vsq.stages
+        int4 = int_pipeline_area(m=3)
+        assert vsq.total > int4.total
+
+    def test_r_multiple_of_k2(self):
+        with pytest.raises(ValueError, match="multiple"):
+            vsq_pipeline_area(m=3, d2=6, k2=16, r=40)
+
+
+class TestBreakdown:
+    def test_summary_string(self):
+        bd = AreaBreakdown("demo")
+        bd.add("a", 10.0)
+        bd.add("b", 30.0)
+        text = bd.summary()
+        assert "demo" in text and "75.0%" in text
+
+    def test_accumulating_add(self):
+        bd = AreaBreakdown("demo")
+        bd.add("a", 1.0)
+        bd.add("a", 2.0)
+        assert bd.stages["a"] == 3.0

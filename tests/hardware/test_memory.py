@@ -1,0 +1,77 @@
+"""Unit tests for the memory packing model."""
+
+import pytest
+
+from repro.hardware.memory import (
+    INTERFACE_BITS,
+    TILE_ELEMENTS,
+    StorageSpec,
+    lines_needed,
+    memory_cost,
+    packing_efficiency,
+    tile_bits,
+)
+
+
+class TestTileBits:
+    def test_fp8_exactly_8_bits(self):
+        spec = StorageSpec(element_bits=8)
+        assert tile_bits(spec) == 256 * 8
+
+    def test_mx9_includes_fine_scales(self):
+        # 256 * 8 payload + 16 block exponents + 128 microexponents
+        spec = StorageSpec(
+            element_bits=8, scale_bits=8, scale_block=16, subscale_bits=1, subscale_block=2
+        )
+        assert tile_bits(spec) == 256 * 8 + 16 * 8 + 128 * 1
+
+    def test_coarse_scales_out_of_band(self):
+        """Per-tensor software scales (k1 >= tile) do not occupy tile lines."""
+        spec = StorageSpec(element_bits=8, scale_bits=32, scale_block=1024)
+        assert tile_bits(spec) == 256 * 8
+
+    def test_partial_block_rounds_up(self):
+        spec = StorageSpec(element_bits=4, scale_bits=8, scale_block=100)
+        assert tile_bits(spec) == 256 * 4 + 3 * 8  # ceil(256/100) = 3
+
+
+class TestLinesAndEfficiency:
+    def test_fp8_four_lines(self):
+        assert lines_needed(StorageSpec(element_bits=8)) == 4
+
+    def test_mx9_five_lines(self):
+        spec = StorageSpec(8, 8, 16, 1, 2)
+        assert lines_needed(spec) == 5
+
+    def test_mx6_three_lines(self):
+        spec = StorageSpec(5, 8, 16, 1, 2)
+        assert lines_needed(spec) == 3
+
+    def test_packing_efficiency_range(self):
+        for bits in (3, 4, 5, 8, 9, 16):
+            eff = packing_efficiency(StorageSpec(element_bits=bits))
+            assert 0.0 < eff <= 1.0
+
+    def test_perfect_packing(self):
+        assert packing_efficiency(StorageSpec(element_bits=8)) == 1.0
+
+
+class TestMemoryCost:
+    def test_normalized_to_fp8(self):
+        assert memory_cost(StorageSpec(element_bits=8)) == 1.0
+
+    def test_mx_family(self):
+        mx9 = StorageSpec(8, 8, 16, 1, 2)
+        mx6 = StorageSpec(5, 8, 16, 1, 2)
+        mx4 = StorageSpec(3, 8, 16, 1, 2)
+        assert memory_cost(mx9) == 1.25
+        assert memory_cost(mx6) == 0.75
+        assert memory_cost(mx4) == 0.50
+
+    def test_custom_baseline(self):
+        spec = StorageSpec(element_bits=16)
+        assert memory_cost(spec, baseline=spec) == 1.0
+
+    def test_constants(self):
+        assert TILE_ELEMENTS == 256
+        assert INTERFACE_BITS == 512

@@ -1,0 +1,48 @@
+"""Unit tests for the power model."""
+
+import pytest
+
+from repro.formats.registry import get_format
+from repro.hardware.cost import pipeline_area
+from repro.hardware.power import PowerEstimate, pipeline_power, power_cost
+
+
+class TestPipelinePower:
+    def test_components(self):
+        bd = pipeline_area(get_format("mx9"))
+        estimate = pipeline_power(bd)
+        assert estimate.dynamic > 0
+        assert estimate.leakage > 0
+        assert estimate.total == estimate.dynamic + estimate.leakage
+
+    def test_dynamic_below_area_scale(self):
+        """Activity factors are < 1, so dynamic power < area in these units."""
+        bd = pipeline_area(get_format("mx6"))
+        assert pipeline_power(bd).dynamic < bd.total
+
+    def test_monotone_in_mantissa(self):
+        powers = [
+            pipeline_power(pipeline_area(get_format(name))).total
+            for name in ("mx4", "mx6", "mx9")
+        ]
+        assert powers == sorted(powers)
+
+
+class TestPowerCost:
+    def test_fp8_variants_near_unity(self):
+        for name in ("fp8_e4m3", "fp8_e5m2"):
+            assert 0.6 < power_cost(get_format(name)) < 1.05
+
+    def test_mx_family_ordering(self):
+        mx4 = power_cost(get_format("mx4"))
+        mx6 = power_cost(get_format("mx6"))
+        mx9 = power_cost(get_format("mx9"))
+        assert mx4 < mx6 < mx9
+
+    def test_mx6_cheaper_than_fp8(self):
+        """The area advantage carries over to power."""
+        assert power_cost(get_format("fp8_e4m3")) / power_cost(get_format("mx6")) > 1.5
+
+    def test_estimate_dataclass(self):
+        e = PowerEstimate("x", dynamic=10.0, leakage=2.0)
+        assert e.total == 12.0

@@ -1,0 +1,111 @@
+"""Integration tests: the paper's central claims, in miniature.
+
+These train real (tiny) models through the full quantized compute flow and
+assert the qualitative results the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.theorem import qsnr_lower_bound
+from repro.core.mx import MX9
+from repro.data.synthetic import ImageClasses, SyntheticLanguage
+from repro.fidelity.qsnr import qsnr
+from repro.flow.cast import clear_quantization, direct_cast
+from repro.flow.compute_flow import TrainConfig, train_with_format
+from repro.formats.registry import get_format
+from repro.models.gpt import GPT, GPTConfig
+from repro.models.vision import TinyViT, classification_accuracy
+
+
+@pytest.fixture(scope="module")
+def trained_pair():
+    """One GPT trained twice — FP32 and MX9 — from identical conditions."""
+    lang = SyntheticLanguage(seed=0)
+    cfg = GPTConfig(dim=16, num_layers=1, num_heads=2)
+    results = {}
+    for fmt in (None, "mx9"):
+        model = GPT(lang.vocab_size, cfg, rng=np.random.default_rng(1))
+        train_with_format(
+            model, lang.batches(8, 20, 50, seed=2), fmt, TrainConfig(steps=50, lr=3e-3)
+        )
+        results[fmt or "fp32"] = model.eval_loss(lang.batches(16, 20, 3, seed=99))
+    return results
+
+
+class TestMX9DropIn:
+    def test_training_parity(self, trained_pair):
+        """Table VII in miniature: MX9 LM loss == FP32 LM loss (tight)."""
+        assert trained_pair["mx9"] == pytest.approx(trained_pair["fp32"], abs=0.02)
+
+
+class TestDirectCast:
+    @pytest.fixture(scope="class")
+    def trained_vit(self):
+        data = ImageClasses(noise=0.9, seed=0)
+        model = TinyViT(dim=24, num_layers=2, num_heads=2, rng=np.random.default_rng(3))
+        train_with_format(
+            model, data.batches(32, 100, seed=4), None, TrainConfig(steps=100, lr=2e-3)
+        )
+        return model, data
+
+    def test_mx9_cast_is_lossless_enough(self, trained_vit):
+        model, data = trained_vit
+        eval_batches = lambda: data.batches(128, 2, seed=98)
+        baseline = classification_accuracy(model, eval_batches())
+        direct_cast(model, "mx9")
+        cast = classification_accuracy(model, eval_batches())
+        clear_quantization(model)
+        assert abs(cast - baseline) <= 2.0  # percentage points
+
+    def test_mx4_cast_degrades_more_than_mx9(self, trained_vit):
+        model, data = trained_vit
+        eval_batches = lambda: data.batches(128, 2, seed=98)
+        baseline = classification_accuracy(model, eval_batches())
+        drops = {}
+        for fmt in ("mx9", "mx4"):
+            direct_cast(model, fmt)
+            drops[fmt] = baseline - classification_accuracy(model, eval_batches())
+            clear_quantization(model)
+        assert drops["mx4"] >= drops["mx9"]
+
+
+class TestTheoremOnRealTensors:
+    def test_bound_holds_on_trained_weights(self, trained_pair):
+        """Theorem 1 must hold on *real* model tensors, not just synthetic
+        draws (the distribution-free claim)."""
+        lang = SyntheticLanguage(seed=0)
+        model = GPT(
+            lang.vocab_size,
+            GPTConfig(dim=16, num_layers=1, num_heads=2),
+            rng=np.random.default_rng(7),
+        )
+        train_with_format(
+            model, lang.batches(8, 20, 30, seed=8), None, TrainConfig(steps=30, lr=3e-3)
+        )
+        fmt = get_format("mx9")
+        bound = qsnr_lower_bound(MX9, n=256)
+        for name, param in model.named_parameters():
+            if param.data.ndim < 2 or not np.any(param.data):
+                continue
+            q = fmt.quantize(param.data, axis=0)
+            assert qsnr(param.data, q) >= bound, name
+
+
+class TestFormatsDisagreeOnPurpose:
+    def test_cast_levels_are_ordered(self):
+        """Direct-cast logit perturbation grows as bits shrink."""
+        lang = SyntheticLanguage(seed=0)
+        model = GPT(
+            lang.vocab_size,
+            GPTConfig(dim=16, num_layers=1, num_heads=2),
+            rng=np.random.default_rng(9),
+        )
+        tokens = next(iter(lang.batches(4, 16, 1, seed=10)))[:, :-1]
+        baseline = model.forward(tokens).data
+        deltas = {}
+        for fmt in ("mx9", "mx6", "mx4"):
+            direct_cast(model, fmt)
+            deltas[fmt] = float(np.abs(model.forward(tokens).data - baseline).mean())
+            clear_quantization(model)
+        assert deltas["mx9"] < deltas["mx6"] < deltas["mx4"]

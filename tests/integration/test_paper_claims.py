@@ -1,0 +1,92 @@
+"""The README's headline-claims table, enforced as tests.
+
+Each assertion corresponds to a quantitative statement in the paper that
+this reproduction must preserve (with tolerance for the substituted
+substrates documented in DESIGN.md).
+"""
+
+import pytest
+
+from repro.core.mx import MX4, MX6, MX9
+from repro.core.theorem import qsnr_lower_bound
+from repro.fidelity.qsnr import measure_qsnr
+from repro.formats.registry import get_format
+from repro.hardware.cost import hardware_cost
+
+N_VECTORS = 3000
+
+
+@pytest.fixture(scope="module")
+def qsnrs():
+    names = ("mx9", "mx6", "mx4", "fp8_e4m3", "fp8_e5m2", "msfp16", "msfp12")
+    return {n: measure_qsnr(get_format(n), n_vectors=N_VECTORS) for n in names}
+
+
+@pytest.fixture(scope="module")
+def costs():
+    names = ("mx9", "mx6", "mx4", "fp8_e4m3", "fp8_e5m2")
+    return {n: hardware_cost(get_format(n)).area_memory_product for n in names}
+
+
+class TestSection4Claims:
+    def test_mx9_vs_e4m3_16db(self, qsnrs):
+        """'the QSNR of MX9 is about 16 dB higher than FP8 (E4M3)'"""
+        assert qsnrs["mx9"] - qsnrs["fp8_e4m3"] == pytest.approx(16.0, abs=3.0)
+
+    def test_mx9_vs_msfp16_3_6db(self, qsnrs):
+        """'MX9 has approximately 3.6 dB higher QSNR compared to MSFP16'"""
+        assert qsnrs["mx9"] - qsnrs["msfp16"] == pytest.approx(3.6, abs=1.0)
+
+    def test_mx6_between_fp8_variants(self, qsnrs):
+        """'MX6's QSNR lies between the two FP8 variants E4M3 and E5M2'"""
+        assert qsnrs["fp8_e5m2"] < qsnrs["mx6"] < qsnrs["fp8_e4m3"]
+
+    def test_mx6_roughly_2x_cheaper_than_fp8(self, costs):
+        """'approximately 2x advantage on the hardware cost'"""
+        fp8 = (costs["fp8_e4m3"] + costs["fp8_e5m2"]) / 2
+        assert 1.8 <= fp8 / costs["mx6"] <= 3.2
+
+    def test_mx4_roughly_4x_cheaper_than_fp8(self, costs):
+        """MX4: 'comparable and 4x lower area-memory cost, respectively'"""
+        fp8 = (costs["fp8_e4m3"] + costs["fp8_e5m2"]) / 2
+        assert fp8 / costs["mx4"] >= 3.5
+
+    def test_mx9_comparable_to_fp8(self, costs):
+        """'MX9 has a hardware efficiency close to that of FP8'"""
+        fp8 = (costs["fp8_e4m3"] + costs["fp8_e5m2"]) / 2
+        assert costs["mx9"] == pytest.approx(fp8, rel=0.4)
+
+    def test_16db_is_roughly_two_mantissa_bits(self):
+        """'A 16 dB higher fidelity is roughly equivalent to having 2 more
+        mantissa bits' — 2 x 6.02 = 12.04 dB from the bound's linear term."""
+        gap = qsnr_lower_bound(MX9) - qsnr_lower_bound(MX6)
+        assert gap == pytest.approx(3 * 6.02, abs=0.01)  # 3 bits between m=7, m=4
+
+
+class TestTheoremValues:
+    def test_exact_bound_values(self):
+        assert qsnr_lower_bound(MX9) == pytest.approx(34.74, abs=0.01)
+        assert qsnr_lower_bound(MX6) == pytest.approx(16.68, abs=0.01)
+        assert qsnr_lower_bound(MX4) == pytest.approx(4.64, abs=0.01)
+
+    def test_measured_exceeds_bound(self, qsnrs):
+        assert qsnrs["mx9"] >= qsnr_lower_bound(MX9)
+        assert qsnrs["mx6"] >= qsnr_lower_bound(MX6)
+        assert qsnrs["mx4"] >= qsnr_lower_bound(MX4)
+
+
+class TestQsnrStructure:
+    def test_linear_in_mantissa_6db_per_bit(self, qsnrs):
+        """Figure 7: 'QSNR has a linear relation with the number of mantissa
+        bits' — ~6 dB per bit between the MX members."""
+        per_bit_96 = (qsnrs["mx9"] - qsnrs["mx6"]) / 3
+        per_bit_64 = (qsnrs["mx6"] - qsnrs["mx4"]) / 2
+        assert per_bit_96 == pytest.approx(6.02, abs=1.0)
+        assert per_bit_64 == pytest.approx(6.02, abs=1.0)
+
+    def test_microexponent_worth_more_than_its_cost(self, qsnrs):
+        """MX9 vs MSFP16: the 1-bit-per-pair microexponent (+0.5 bits/elem)
+        buys several dB — the paper's titular claim."""
+        gain_db = qsnrs["mx9"] - qsnrs["msfp16"]
+        extra_bits = 9.0 - 8.5
+        assert gain_db / extra_bits > 4.0  # far better than ~6 dB/full bit

@@ -1,0 +1,66 @@
+"""Unit tests for AUC and normalized entropy."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.auc import auc, normalized_entropy
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(labels, scores) == 1.0
+
+    def test_inverted_ranking(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(labels, scores) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(2, size=20_000)
+        scores = rng.random(20_000)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.02)
+
+    def test_ties_averaged(self):
+        labels = np.array([0, 1])
+        scores = np.array([0.5, 0.5])
+        assert auc(labels, scores) == 0.5
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(2, size=200)
+        scores = rng.random(200)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        brute = np.mean([(p > n) + 0.5 * (p == n) for p in pos for n in neg])
+        assert auc(labels, scores) == pytest.approx(brute)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auc(np.ones(5), np.random.default_rng(0).random(5))
+
+
+class TestNormalizedEntropy:
+    def test_base_rate_prediction_is_one(self):
+        rng = np.random.default_rng(2)
+        labels = (rng.random(50_000) < 0.3).astype(float)
+        probs = np.full(50_000, labels.mean())
+        assert normalized_entropy(labels, probs) == pytest.approx(1.0, abs=1e-9)
+
+    def test_good_model_below_one(self):
+        rng = np.random.default_rng(3)
+        true_p = rng.uniform(0.05, 0.95, size=20_000)
+        labels = (rng.random(20_000) < true_p).astype(float)
+        assert normalized_entropy(labels, true_p) < 1.0
+
+    def test_perfect_prediction_near_zero(self):
+        labels = np.array([0.0, 1.0, 1.0, 0.0])
+        probs = np.array([1e-9, 1 - 1e-9, 1 - 1e-9, 1e-9])
+        assert normalized_entropy(labels, probs) == pytest.approx(0.0, abs=1e-6)
+
+    def test_clipping_guards_extremes(self):
+        labels = np.array([1.0])
+        probs = np.array([0.0])  # would be -inf without clipping
+        assert np.isfinite(normalized_entropy(labels, probs))

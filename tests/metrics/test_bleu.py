@@ -1,0 +1,52 @@
+"""Unit tests for corpus BLEU."""
+
+import pytest
+
+from repro.metrics.bleu import bleu_score
+
+
+class TestBleu:
+    def test_identical_is_100(self):
+        refs = [[1, 2, 3, 4, 5], [6, 7, 8, 9]]
+        assert bleu_score(refs, refs) == pytest.approx(100.0)
+
+    def test_disjoint_is_near_zero(self):
+        refs = [[1, 2, 3, 4, 5]]
+        hyps = [[6, 7, 8, 9, 10]]
+        assert bleu_score(refs, hyps) < 1e-3
+
+    def test_partial_overlap_between(self):
+        refs = [[1, 2, 3, 4, 5, 6]]
+        hyps = [[1, 2, 3, 9, 9, 9]]
+        score = bleu_score(refs, hyps)
+        assert 0.0 < score < 100.0
+
+    def test_brevity_penalty(self):
+        refs = [[1, 2, 3, 4, 5, 6, 7, 8]]
+        full = bleu_score(refs, [[1, 2, 3, 4, 5, 6, 7, 8]])
+        short = bleu_score(refs, [[1, 2, 3, 4]])
+        assert short < full
+
+    def test_no_length_bonus_for_padding(self):
+        refs = [[1, 2, 3, 4]]
+        exact = bleu_score(refs, [[1, 2, 3, 4]])
+        padded = bleu_score(refs, [[1, 2, 3, 4, 9, 9]])
+        assert padded < exact
+
+    def test_clipped_counts(self):
+        # repeating a matching unigram must not inflate precision
+        refs = [[1, 2, 3, 4]]
+        spam = bleu_score(refs, [[1, 1, 1, 1]])
+        assert spam < 30.0
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            bleu_score([[1]], [[1], [2]])
+
+    def test_empty_corpus(self):
+        with pytest.raises(ValueError, match="empty"):
+            bleu_score([], [])
+
+    def test_string_tokens(self):
+        refs = [["the", "cat", "sat", "down"]]
+        assert bleu_score(refs, refs) == pytest.approx(100.0)

@@ -1,0 +1,69 @@
+"""Unit tests for classification and span metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.classification import exact_match, squad_scores, token_f1, top1_accuracy
+from repro.metrics.lm import pearson_correlation, perplexity
+
+
+class TestTop1:
+    def test_all_correct(self):
+        assert top1_accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 100.0
+
+    def test_half(self):
+        assert top1_accuracy(np.array([1, 2]), np.array([1, 9])) == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            top1_accuracy(np.array([]), np.array([]))
+
+
+class TestSpanMetrics:
+    def test_exact_match(self):
+        assert exact_match([1, 2], [1, 2]) == 1.0
+        assert exact_match([1, 2], [2, 1]) == 0.0
+
+    def test_f1_overlap(self):
+        # gold {1,2}, predicted {2,3}: overlap 1, p=r=0.5 -> f1 0.5
+        assert token_f1([1, 2], [2, 3]) == pytest.approx(0.5)
+
+    def test_f1_edges(self):
+        assert token_f1([], []) == 1.0
+        assert token_f1([1], []) == 0.0
+        assert token_f1([1], [2]) == 0.0
+
+    def test_squad_scores(self):
+        gold = [[1, 2], [3]]
+        pred = [[1, 2], [4]]
+        em, f1 = squad_scores(gold, pred)
+        assert em == 50.0
+        assert f1 == 50.0
+
+    def test_squad_validation(self):
+        with pytest.raises(ValueError):
+            squad_scores([], [])
+
+
+class TestLmMetrics:
+    def test_perplexity(self):
+        assert perplexity(0.0) == 1.0
+        assert perplexity(np.log(32)) == pytest.approx(32.0)
+
+    def test_pearson_perfect(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_independent(self):
+        rng = np.random.default_rng(0)
+        r = pearson_correlation(rng.normal(size=5000), rng.normal(size=5000))
+        assert abs(r) < 0.05
+
+    def test_pearson_validation(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            pearson_correlation(np.arange(3.0), np.arange(4.0))

@@ -1,0 +1,67 @@
+"""Unit tests for FID / inception-score metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.fid import frechet_distance, inception_score
+
+
+class TestFrechet:
+    def test_identical_distributions_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5000, 2))
+        y = rng.normal(size=(5000, 2))
+        assert frechet_distance(x, y) < 0.02
+
+    def test_mean_shift(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5000, 2))
+        y = rng.normal(size=(5000, 2)) + np.array([3.0, 0.0])
+        assert frechet_distance(x, y) == pytest.approx(9.0, abs=0.3)
+
+    def test_known_gaussian_formula(self):
+        """For isotropic Gaussians: d = |mu1-mu2|^2 + (s1-s2)^2 * dim."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50_000, 2)) * 1.0
+        y = rng.normal(size=(50_000, 2)) * 2.0
+        assert frechet_distance(x, y) == pytest.approx(2.0, abs=0.15)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(500, 3))
+        y = rng.normal(size=(500, 3)) * 1.5 + 1.0
+        assert frechet_distance(x, y) == pytest.approx(frechet_distance(y, x), rel=1e-6)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            frechet_distance(np.zeros((5, 2)), np.zeros((5, 3)))
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            x = rng.normal(size=(50, 4))
+            y = rng.normal(size=(50, 4))
+            assert frechet_distance(x, y) >= 0.0
+
+
+class TestInceptionScore:
+    def test_confident_diverse_is_high(self):
+        # each sample confidently predicts a different class
+        p = np.eye(8).repeat(10, axis=0)
+        assert inception_score(p) == pytest.approx(8.0)
+
+    def test_uniform_is_one(self):
+        p = np.full((100, 8), 1 / 8)
+        assert inception_score(p) == pytest.approx(1.0)
+
+    def test_mode_collapse_is_one(self):
+        # confident but all the same class
+        p = np.zeros((100, 8))
+        p[:, 3] = 1.0
+        assert inception_score(p) == pytest.approx(1.0)
+
+    def test_bounded_by_num_classes(self):
+        rng = np.random.default_rng(5)
+        p = rng.dirichlet(np.ones(6), size=200)
+        score = inception_score(p)
+        assert 1.0 <= score <= 6.0

@@ -1,0 +1,54 @@
+"""Unit tests for WER / edit distance."""
+
+import pytest
+
+from repro.metrics.wer import collapse_repeats, edit_distance, wer
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_substitution(self):
+        assert edit_distance([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_insertion_deletion(self):
+        assert edit_distance([1, 2, 3], [1, 2]) == 1
+        assert edit_distance([1, 2], [1, 2, 3]) == 1
+
+    def test_empty(self):
+        assert edit_distance([], [1, 2]) == 2
+        assert edit_distance([1, 2], []) == 2
+        assert edit_distance([], []) == 0
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+
+class TestCollapse:
+    def test_merges_adjacent(self):
+        assert collapse_repeats([1, 1, 2, 2, 2, 1]) == [1, 2, 1]
+
+    def test_empty(self):
+        assert collapse_repeats([]) == []
+
+
+class TestWer:
+    def test_perfect(self):
+        assert wer([[1, 2, 3]], [[1, 2, 3]]) == 0.0
+
+    def test_half_wrong(self):
+        assert wer([[1, 2]], [[1, 9]]) == pytest.approx(50.0)
+
+    def test_can_exceed_100(self):
+        assert wer([[1]], [[2, 3, 4]]) == pytest.approx(300.0)
+
+    def test_corpus_weighting(self):
+        # 1 error over 6 reference tokens
+        assert wer([[1, 2, 3], [4, 5, 6]], [[1, 2, 3], [4, 5, 9]]) == pytest.approx(100 / 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wer([[1]], [])
+        with pytest.raises(ValueError):
+            wer([[]], [[]])

@@ -1,0 +1,183 @@
+"""Smoke + behaviour tests across the rest of the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    CTRLogs,
+    FrameAudio,
+    GaussianMixture2D,
+    ImageClasses,
+    QACorpus,
+    TranslationTask,
+)
+from repro.flow.compute_flow import TrainConfig, fit
+from repro.models.bert import BertEncoder, BertQA
+from repro.models.diffusion import DDPM2D, time_embedding
+from repro.models.dlrm import DLRM, evaluate_ctr
+from repro.models.speech import TinyWav2Vec, speech_wer
+from repro.models.translation import LSTMSeq2Seq, Seq2SeqTransformer, greedy_decode
+from repro.models.vision import TinyMobileNet, TinyResNet, TinyViT, classification_accuracy
+
+
+class TestTranslationModels:
+    @pytest.mark.parametrize("cls", [Seq2SeqTransformer, LSTMSeq2Seq])
+    def test_loss_and_backward(self, cls):
+        task = TranslationTask(seed=0)
+        kwargs = {"dim": 16}
+        if cls is Seq2SeqTransformer:
+            kwargs.update(num_layers=1, num_heads=2)
+        model = cls(task.vocab_size, rng=np.random.default_rng(1), **kwargs)
+        batch = task.batch(4, np.random.default_rng(2))
+        loss = model.loss(batch)
+        loss.backward()
+        assert np.isfinite(float(loss.data))
+
+    def test_greedy_decode_terminates(self):
+        task = TranslationTask(seed=0)
+        model = Seq2SeqTransformer(
+            task.vocab_size, dim=16, num_layers=1, num_heads=2,
+            rng=np.random.default_rng(3),
+        )
+        src, _ = task.batch(3, np.random.default_rng(4))
+        outputs = greedy_decode(model, src, max_len=12, bos=task.bos, eos=task.eos)
+        assert len(outputs) == 3
+        for out in outputs:
+            assert len(out) <= 12
+            assert task.eos not in out
+
+
+class TestBertModels:
+    def test_mlm_loss(self):
+        corpus = QACorpus(seed=0)
+        model = BertEncoder(corpus.vocab_size, dim=16, num_layers=1, num_heads=2,
+                            rng=np.random.default_rng(5))
+        batch = next(iter(corpus.mlm_batches(4, 1, seed=6)))
+        loss = model.loss(batch)
+        loss.backward()
+        assert np.isfinite(float(loss.data))
+
+    def test_masked_perplexity_at_init_near_vocab(self):
+        corpus = QACorpus(vocab_size=48, seed=0)
+        model = BertEncoder(corpus.vocab_size, dim=16, num_layers=1, num_heads=2,
+                            rng=np.random.default_rng(7))
+        ppl = model.masked_perplexity(corpus.mlm_batches(16, 2, seed=8))
+        assert 10 < ppl < 200  # near-uniform at init
+
+    def test_qa_span_prediction(self):
+        corpus = QACorpus(seed=0)
+        model = BertQA(corpus.vocab_size, dim=16, num_layers=1, num_heads=2,
+                       rng=np.random.default_rng(9))
+        tokens, _, _ = corpus.batch(4, np.random.default_rng(10))
+        starts, ends = model.predict_spans(tokens)
+        assert np.all(ends >= starts)
+        assert np.all(starts >= 0) and np.all(ends < tokens.shape[1])
+
+
+class TestVisionModels:
+    @pytest.mark.parametrize("cls", [TinyResNet, TinyMobileNet, TinyViT])
+    def test_forward_loss_backward(self, cls):
+        data = ImageClasses(seed=0)
+        model = cls(rng=np.random.default_rng(11))
+        images, labels = data.sample(4, np.random.default_rng(12))
+        loss = model.loss((images, labels))
+        loss.backward()
+        assert np.isfinite(float(loss.data))
+
+    def test_accuracy_improves_with_training(self):
+        data = ImageClasses(seed=0)
+        model = TinyResNet(rng=np.random.default_rng(13))
+        before = classification_accuracy(model, data.batches(64, 1, seed=99))
+        fit(model, data.batches(32, 60, seed=14), TrainConfig(steps=60, lr=3e-3))
+        after = classification_accuracy(model, data.batches(64, 1, seed=99))
+        assert after > before + 20
+
+
+class TestDiffusion:
+    def test_time_embedding_shape(self):
+        emb = time_embedding(np.arange(5), 16, 60)
+        assert emb.shape == (5, 16)
+
+    def test_unconditional_loss_and_sample(self):
+        mix = GaussianMixture2D(seed=0)
+        model = DDPM2D(num_classes=0, steps=20, rng=np.random.default_rng(15))
+        pts, labels = mix.sample(32, np.random.default_rng(16))
+        loss = model.loss((pts, labels))
+        loss.backward()
+        samples = model.sample(10, np.random.default_rng(17))
+        assert samples.shape == (10, 2)
+        assert np.all(np.isfinite(samples))
+
+    def test_conditional_requires_labels(self):
+        model = DDPM2D(num_classes=4, steps=10, rng=np.random.default_rng(18))
+        with pytest.raises(ValueError, match="labels"):
+            model.predict_noise(np.zeros((2, 2)), np.zeros(2, dtype=int), None)
+
+    def test_training_tightens_distribution(self):
+        from repro.metrics.fid import frechet_distance
+
+        mix = GaussianMixture2D(seed=0)
+        model = DDPM2D(num_classes=0, steps=40, rng=np.random.default_rng(19))
+        ref, _ = mix.sample(400, np.random.default_rng(20))
+        prior = np.random.default_rng(21).normal(size=(400, 2))
+        prior_fid = frechet_distance(ref, prior)
+
+        def batches():
+            rng = np.random.default_rng(22)
+            for _ in range(250):
+                yield mix.sample(128, rng)
+
+        fit(model, batches(), TrainConfig(steps=250, lr=3e-3))
+        after = frechet_distance(ref, model.sample(400, np.random.default_rng(23)))
+        # a trained DDPM lands far closer to the data than the N(0, I) prior
+        assert after < prior_fid / 5
+        assert after < 2.0
+
+
+class TestSpeech:
+    def test_loss_and_transcribe(self):
+        audio = FrameAudio(seed=0)
+        model = TinyWav2Vec(dim=16, num_layers=1, num_heads=2,
+                            rng=np.random.default_rng(23))
+        frames, labels = audio.sample(4, 20, np.random.default_rng(24))
+        loss = model.loss((frames, labels))
+        loss.backward()
+        transcripts = model.transcribe(frames)
+        assert len(transcripts) == 4
+
+    def test_wer_improves_with_training(self):
+        audio = FrameAudio(seed=0)
+        model = TinyWav2Vec(dim=16, num_layers=1, num_heads=2,
+                            rng=np.random.default_rng(25))
+        before = speech_wer(model, audio.batches(8, 20, 2, seed=97))
+        fit(model, audio.batches(8, 20, 50, seed=26), TrainConfig(steps=50, lr=3e-3))
+        after = speech_wer(model, audio.batches(8, 20, 2, seed=97))
+        assert after < before
+
+
+class TestDLRM:
+    @pytest.mark.parametrize("interaction", ["dot", "transformer", "dhen"])
+    def test_variants_train(self, interaction):
+        logs = CTRLogs(seed=0)
+        model = DLRM(interaction=interaction, rng=np.random.default_rng(27))
+        result = fit(model, logs.batches(64, 50, seed=28), TrainConfig(steps=50, lr=3e-3))
+        assert result.losses[-1] < result.losses[0]
+
+    def test_auc_above_chance_after_training(self):
+        logs = CTRLogs(seed=0)
+        model = DLRM(interaction="dot", rng=np.random.default_rng(29))
+        fit(model, logs.batches(64, 80, seed=30), TrainConfig(steps=80, lr=3e-3))
+        auc, ne = evaluate_ctr(model, logs.batches(512, 2, seed=96))
+        assert auc > 0.6
+        assert ne < 1.0
+
+    def test_invalid_interaction(self):
+        with pytest.raises(ValueError):
+            DLRM(interaction="fm")
+
+    def test_embedding_quantization_hook(self):
+        from repro.formats.registry import get_format
+
+        model = DLRM(rng=np.random.default_rng(31))
+        model.quantize_embeddings(get_format("mx6"))
+        assert all(e.storage_quant is not None for e in model.embeddings)

@@ -1,0 +1,106 @@
+"""Unit tests for multi-head attention and transformer blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, causal_mask
+from repro.nn.quantized import QuantSpec
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import DecoderBlock, TransformerBlock, sinusoidal_positions
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCausalMask:
+    def test_shape_and_pattern(self):
+        mask = causal_mask(3)
+        expected = [[False, True, True], [False, False, True], [False, False, False]]
+        np.testing.assert_array_equal(mask, expected)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadAttention(16, 4, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_dim_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            MultiHeadAttention(10, 3)
+
+    def test_causal_mask_blocks_future(self, rng):
+        """Perturbing a future token must not change earlier outputs."""
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        base = attn(Tensor(x), mask=causal_mask(4)).data
+        perturbed = x.copy()
+        perturbed[0, 3] += 5.0
+        out = attn(Tensor(perturbed), mask=causal_mask(4)).data
+        np.testing.assert_allclose(out[0, :3], base[0, :3], atol=1e-12)
+        assert not np.allclose(out[0, 3], base[0, 3])
+
+    def test_cross_attention(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 8)))
+        memory = Tensor(rng.normal(size=(2, 7, 8)))
+        out = attn(x, context=memory)
+        assert out.shape == (2, 3, 8)
+
+    def test_set_quant_propagates(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        spec = QuantSpec.uniform("mx9")
+        attn.set_quant(spec)
+        assert attn.q_proj.quant is spec
+        assert attn.out_proj.quant is spec
+        attn.set_quant(None)
+        assert attn.quant is None and attn.k_proj.quant is None
+
+    def test_quantized_attention_differs(self, rng):
+        x = Tensor(rng.normal(size=(1, 6, 16)))
+        a = MultiHeadAttention(16, 4, rng=np.random.default_rng(3))
+        b = MultiHeadAttention(16, 4, rng=np.random.default_rng(3))
+        b.set_quant(QuantSpec.uniform("mx4"))
+        assert not np.allclose(a(x).data, b(x).data)
+
+    def test_gradients_flow(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        for p in attn.parameters():
+            assert p.grad is not None
+
+
+class TestTransformerBlocks:
+    def test_encoder_block(self, rng):
+        block = TransformerBlock(16, 4, rng=rng)
+        out = block(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_decoder_block(self, rng):
+        block = DecoderBlock(16, 4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 16)))
+        memory = Tensor(rng.normal(size=(2, 9, 16)))
+        out = block(x, memory, self_mask=causal_mask(4))
+        assert out.shape == (2, 4, 16)
+
+    def test_residual_identity_at_init_scale(self, rng):
+        """Output stays within a sane multiple of the input norm."""
+        block = TransformerBlock(16, 4, rng=rng)
+        x = rng.normal(size=(1, 4, 16))
+        out = block(Tensor(x)).data
+        assert np.linalg.norm(out) < 10 * np.linalg.norm(x)
+
+
+class TestPositions:
+    def test_sinusoidal_shape_and_range(self):
+        pos = sinusoidal_positions(10, 16)
+        assert pos.shape == (10, 16)
+        assert np.abs(pos).max() <= 1.0
+
+    def test_rows_distinct(self):
+        pos = sinusoidal_positions(32, 16)
+        assert len({tuple(np.round(r, 6)) for r in pos}) == 32

@@ -1,0 +1,146 @@
+"""Unit tests for convolution via im2col."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv2d, avg_pool2d, col2im, conv2d, im2col, max_pool2d
+from repro.nn.quantized import QuantSpec
+from repro.nn.tensor import Tensor
+
+
+def naive_conv(x, w, stride=1, padding=0):
+    b, c, h, width = x.shape
+    oc, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((b, oc, oh, ow))
+    for bi in range(b):
+        for oci in range(oc):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[bi, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[bi, oci, i, j] = np.sum(patch * w[oci])
+    return out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, naive_conv(x, w, stride, padding), atol=1e-10)
+
+    def test_bias(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 1, 1))
+        bias = np.array([1.0, 2.0, 3.0])
+        out = conv2d(Tensor(x), Tensor(w), Tensor(bias))
+        np.testing.assert_allclose(
+            out.data, naive_conv(x, w) + bias[None, :, None, None]
+        )
+
+    def test_quantized_forward(self, rng):
+        x = rng.normal(size=(1, 4, 6, 6))
+        w = rng.normal(size=(2, 4, 3, 3))
+        plain = conv2d(Tensor(x), Tensor(w), padding=1)
+        quant = conv2d(Tensor(x), Tensor(w), padding=1, quant=QuantSpec.uniform("mx4"))
+        assert not np.allclose(plain.data, quant.data)
+        # MX9 should be a tight approximation
+        mx9 = conv2d(Tensor(x), Tensor(w), padding=1, quant=QuantSpec.uniform("mx9"))
+        assert np.abs(mx9.data - plain.data).max() < 0.05 * np.abs(plain.data).max()
+
+
+class TestConvBackward:
+    def test_gradcheck(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(2, 2, 3, 3))
+        xt = Tensor(x.copy(), requires_grad=True)
+        wt = Tensor(w.copy(), requires_grad=True)
+        bt = Tensor(np.zeros(2), requires_grad=True)
+        out = conv2d(xt, wt, bt, stride=1, padding=1)
+        (out * out).sum().backward()
+
+        eps = 1e-6
+        for target, tensor in (("x", xt), ("w", wt)):
+            arr = x if target == "x" else w
+            numeric = np.zeros_like(arr)
+            flat_num = numeric.reshape(-1)
+            flat = arr.reshape(-1)
+            for i in range(arr.size):
+                orig = flat[i]
+                flat[i] = orig + eps
+                plus = (naive_conv(x, w, 1, 1) ** 2).sum()
+                flat[i] = orig - eps
+                minus = (naive_conv(x, w, 1, 1) ** 2).sum()
+                flat[i] = orig
+                flat_num[i] = (plus - minus) / (2 * eps)
+            np.testing.assert_allclose(tensor.grad, numeric, atol=1e-4)
+
+    def test_bias_grad(self, rng):
+        x = rng.normal(size=(2, 1, 4, 4))
+        w = rng.normal(size=(3, 1, 3, 3))
+        b = Tensor(np.zeros(3), requires_grad=True)
+        conv2d(Tensor(x), Tensor(w), b, padding=1).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(3, 2 * 4 * 4))
+
+
+class TestIm2Col:
+    def test_roundtrip_ones(self):
+        """col2im of all-ones patch grads counts patch membership."""
+        x_shape = (1, 1, 4, 4)
+        cols = np.ones((1, 2, 2, 9))
+        folded = col2im(cols, x_shape, 3, 3, stride=1, padding=0)
+        # center pixels participate in all 4 windows
+        assert folded[0, 0, 1, 1] == 4.0
+        assert folded[0, 0, 0, 0] == 1.0
+
+    def test_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, stride=2, padding=1)
+        assert cols.shape == (2, 4, 4, 27)
+
+
+class TestConv2dModule:
+    def test_groups_depthwise(self, rng):
+        conv = Conv2d(4, 4, 3, padding=1, groups=4, rng=rng)
+        out = conv(Tensor(rng.normal(size=(1, 4, 6, 6))))
+        assert out.shape == (1, 4, 6, 6)
+
+    def test_groups_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            Conv2d(3, 4, 3, groups=2)
+
+    def test_depthwise_channel_independence(self, rng):
+        """A depthwise conv's output channel i only depends on input i."""
+        conv = Conv2d(2, 2, 3, padding=1, groups=2, bias=False, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        base = conv(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 1] += 10.0
+        out = conv(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[0, 0], base[0, 0])
+        assert not np.allclose(out[0, 1], base[0, 1])
+
+
+class TestPooling:
+    def test_avg_pool(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2)
+        np.testing.assert_array_equal(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            avg_pool2d(Tensor(np.zeros((1, 1, 5, 5))), 2)

@@ -1,0 +1,134 @@
+"""Unit tests for functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(3, 7)))
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.data.sum(axis=-1), 1.0)
+
+    def test_shift_invariant(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b)
+
+    def test_log_softmax_consistent(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(2, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-12
+        )
+
+    def test_overflow_safe(self):
+        x = Tensor(np.array([[1000.0, 1001.0]]))
+        s = F.softmax(x).data
+        assert np.all(np.isfinite(s))
+
+
+class TestGelu:
+    def test_known_values(self):
+        x = Tensor(np.array([0.0, 10.0, -10.0]))
+        out = F.gelu(x).data
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(10.0, abs=1e-3)
+        assert out[2] == pytest.approx(0.0, abs=1e-3)
+
+    def test_silu(self):
+        out = F.silu(Tensor(np.array([0.0]))).data
+        assert out[0] == 0.0
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(4, 16)) * 5 + 3)
+        out = F.layer_norm(x, Tensor(np.ones(16)), Tensor(np.zeros(16)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 8)))
+        out = F.layer_norm(x, Tensor(np.full(8, 2.0)), Tensor(np.full(8, 1.0)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 1.0, atol=1e-9)
+
+
+class TestEmbedding:
+    def test_gather(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = F.embedding(table, np.array([[0, 2], [1, 1]]))
+        np.testing.assert_array_equal(out.data[0, 1], [6.0, 7.0, 8.0])
+
+    def test_scatter_add_backward(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        out = F.embedding(table, np.array([1, 1, 3]))
+        out.sum().backward()
+        np.testing.assert_array_equal(table.grad[:, 0], [0.0, 2.0, 0.0, 1.0])
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(size=(8, 8)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_scaling_preserves_mean(self):
+        rng = np.random.default_rng(5)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.25, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+
+class TestMaskedFill:
+    def test_values_and_grads(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        out = F.masked_fill(x, mask, -5.0)
+        assert out.data[0, 0] == -5.0
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, [[0.0, 1.0], [1.0, 1.0]])
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        rng = np.random.default_rng(6)
+        logits = rng.normal(size=(5, 4))
+        targets = rng.integers(4, size=5)
+        loss = F.cross_entropy(Tensor(logits), targets)
+        logp = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -logp[np.arange(5), targets].mean()
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_ignore_index(self):
+        logits = np.zeros((3, 4))
+        targets = np.array([0, -1, 2])
+        loss = F.cross_entropy(Tensor(logits), targets, ignore_index=-1)
+        assert float(loss.data) == pytest.approx(np.log(4))
+
+    def test_perfect_prediction(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = logits[1, 2] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-9)
+
+    def test_3d_logits(self):
+        rng = np.random.default_rng(7)
+        logits = Tensor(rng.normal(size=(2, 3, 5)), requires_grad=True)
+        targets = rng.integers(5, size=(2, 3))
+        loss = F.cross_entropy(logits, targets)
+        loss.backward()
+        assert logits.grad.shape == (2, 3, 5)
+
+
+class TestOneHot:
+    def test_shape_and_values(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])

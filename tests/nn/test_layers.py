@@ -1,0 +1,141 @@
+"""Unit tests for the module system and basic layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.quantized import QuantSpec
+from repro.nn.tensor import Tensor
+
+
+class TestModuleTraversal:
+    def test_named_parameters(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.2.bias" in names
+        assert len(names) == 4
+
+    def test_num_parameters(self):
+        model = Linear(4, 8, rng=np.random.default_rng(0))
+        assert model.num_parameters() == 4 * 8 + 8
+
+    def test_named_modules(self):
+        model = Sequential(Linear(2, 2), Sequential(ReLU()))
+        names = [n for n, _ in model.named_modules()]
+        assert "" in names
+        assert "layers.0" in names
+        assert "layers.1.layers.0" in names
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = Linear(3, 3, rng=np.random.default_rng(0))
+        model(Tensor(np.ones((1, 3)))).sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        a = Linear(4, 4, rng=rng)
+        b = Linear(4, 4, rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_state_is_copied(self):
+        a = Linear(2, 2, rng=np.random.default_rng(2))
+        state = a.state_dict()
+        a.weight.data += 1.0
+        assert not np.allclose(state["weight"], a.weight.data)
+
+    def test_mismatched_keys_rejected(self):
+        a = Linear(2, 2)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_mismatched_shape_rejected(self):
+        a = Linear(2, 2)
+        bad = a.state_dict()
+        bad["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape"):
+            a.load_state_dict(bad)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        lin = Linear(8, 3, rng=np.random.default_rng(3))
+        out = lin(Tensor(np.zeros((5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        lin = Linear(8, 3, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_quant_spec_applied(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(size=(2, 32)))
+        plain = Linear(32, 4, rng=np.random.default_rng(5))
+        quant = Linear(32, 4, rng=np.random.default_rng(5), quant=QuantSpec.uniform("mx4"))
+        assert not np.allclose(plain(x).data, quant(x).data)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(6))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_storage_quantization_changes_values(self):
+        from repro.formats.registry import get_format
+
+        emb = Embedding(10, 32, rng=np.random.default_rng(7))
+        plain = emb(np.array([3])).data.copy()
+        emb.storage_quant = get_format("mx4")
+        quantized = emb(np.array([3])).data
+        assert not np.allclose(plain, quantized)
+
+    def test_storage_quantized_backward(self):
+        from repro.formats.registry import get_format
+
+        emb = Embedding(10, 8, rng=np.random.default_rng(8))
+        emb.storage_quant = get_format("mx9")
+        out = emb(np.array([0, 0, 5]))
+        out.sum().backward()
+        assert emb.weight.grad is not None
+        assert emb.weight.grad[0].sum() == pytest.approx(2 * 8)
+
+
+class TestOtherLayers:
+    def test_layernorm(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(np.random.default_rng(9).normal(size=(3, 8)) * 7))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_dropout_respects_training_flag(self):
+        drop = Dropout(0.9, rng=np.random.default_rng(10))
+        x = Tensor(np.ones((4, 4)))
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_sequential_and_activations(self):
+        model = Sequential(Linear(4, 4, rng=np.random.default_rng(11)), GELU())
+        assert model(Tensor(np.zeros((1, 4)))).shape == (1, 4)

@@ -1,0 +1,57 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import bce_with_logits, mse_loss, nll_loss
+from repro.nn.tensor import Tensor
+
+
+class TestMSE:
+    def test_zero_at_target(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert float(mse_loss(pred, np.array([1.0, 2.0])).data) == 0.0
+
+    def test_known_value(self):
+        pred = Tensor(np.array([0.0, 0.0]))
+        assert float(mse_loss(pred, np.array([1.0, 3.0])).data) == pytest.approx(5.0)
+
+    def test_gradient(self):
+        pred = Tensor(np.array([2.0]), requires_grad=True)
+        mse_loss(pred, np.array([0.0])).backward()
+        assert pred.grad[0] == pytest.approx(4.0)  # d/dp (p^2) = 2p
+
+
+class TestBCEWithLogits:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=20)
+        targets = rng.integers(2, size=20).astype(float)
+        loss = float(bce_with_logits(Tensor(logits), targets).data)
+        p = 1 / (1 + np.exp(-logits))
+        expected = -np.mean(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        assert loss == pytest.approx(expected, rel=1e-9)
+
+    def test_numerically_stable_at_extremes(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        loss = bce_with_logits(logits, np.array([1.0, 0.0]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-9)
+        loss_bad = bce_with_logits(logits, np.array([0.0, 1.0]))
+        assert np.isfinite(float(loss_bad.data))
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.array([0.0]), requires_grad=True)
+        bce_with_logits(logits, np.array([1.0])).backward()
+        assert logits.grad[0] < 0  # push the logit up toward the positive label
+
+
+class TestNLL:
+    def test_alias_of_cross_entropy(self):
+        from repro.nn.functional import cross_entropy
+
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 5))
+        targets = rng.integers(5, size=4)
+        a = float(nll_loss(Tensor(logits), targets).data)
+        b = float(cross_entropy(Tensor(logits), targets).data)
+        assert a == b

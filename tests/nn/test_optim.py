@@ -1,0 +1,96 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(t: Tensor) -> Tensor:
+    target = Tensor(np.array([1.0, -2.0, 3.0]))
+    diff = t - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.8)
+
+    def test_momentum_accumulates(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        first = p.data.copy()
+        p.grad = np.array([1.0])
+        opt.step()
+        assert (first[0] - p.data[0]) > 0.1  # second step larger
+
+    def test_weight_decay(self):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(10.0 - 0.1 * 0.5 * 10.0)
+
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0, 3.0], atol=1e-4)
+
+    def test_skips_gradless_params(self):
+        p = Tensor(np.array([5.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set
+        assert p.data[0] == 5.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction the first Adam step is ~lr regardless of
+        gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Tensor(np.array([0.0]), requires_grad=True)
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale])
+            opt.step()
+            assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+
+class TestClipGradNorm:
+    def test_clipping(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        p.grad = np.full(4, 3.0)  # norm 6
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(6.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([0.1, 0.1])
+        opt.clip_grad_norm(10.0)
+        np.testing.assert_array_equal(p.grad, [0.1, 0.1])

@@ -1,0 +1,65 @@
+"""Unit tests for BF16/FP16 element-wise emulation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.precision import (
+    VectorPrecision,
+    apply_vector_precision,
+    round_bf16,
+    round_fp16,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestRoundBF16:
+    def test_representable_values_unchanged(self):
+        # BF16 = FP32 with 7 mantissa bits: these are exact
+        x = np.array([1.0, 1.5, 0.25, -3.0, 2.0**-100])
+        np.testing.assert_array_equal(round_bf16(x), x)
+
+    def test_rounds_off_low_bits(self):
+        x = np.array([1.0 + 2.0**-10])
+        assert round_bf16(x)[0] == 1.0
+
+    def test_relative_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=10_000) * 10.0 ** rng.integers(-10, 10, size=10_000)
+        rel = np.abs(round_bf16(x) - x) / np.abs(x)
+        assert rel.max() <= 2.0**-8  # half ULP of 7 explicit bits
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-8 is exactly halfway between 1.0 and 1 + 2^-7 -> ties to even
+        assert round_bf16(np.array([1.0 + 2.0**-8]))[0] == 1.0
+        # 1 + 3*2^-8 is halfway to odd -> rounds up to even code
+        assert round_bf16(np.array([1.0 + 3 * 2.0**-8]))[0] == 1.0 + 2.0**-6
+
+
+class TestRoundFP16:
+    def test_representable(self):
+        x = np.array([1.0, 0.5, 65504.0])
+        np.testing.assert_array_equal(round_fp16(x), x)
+
+    def test_precision(self):
+        assert round_fp16(np.array([1.0 + 2.0**-13]))[0] == 1.0
+
+
+class TestApplyVectorPrecision:
+    def test_fp32_is_identity(self):
+        t = Tensor(np.array([1.23456789]))
+        assert apply_vector_precision(t, VectorPrecision.FP32) is t
+
+    def test_bf16_rounds_values(self):
+        t = Tensor(np.array([1.0 + 2.0**-12]))
+        out = apply_vector_precision(t, VectorPrecision.BF16)
+        assert out.data[0] == 1.0
+
+    def test_straight_through_gradient(self):
+        t = Tensor(np.array([1.0 + 2.0**-12]), requires_grad=True)
+        out = apply_vector_precision(t, VectorPrecision.BF16)
+        (out * 3.0).sum().backward()
+        assert t.grad[0] == 3.0
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            apply_vector_precision(Tensor(np.ones(1)), "fp12")

@@ -1,0 +1,136 @@
+"""Unit tests for the quantized compute flow (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import get_format
+from repro.nn.quantized import QuantSpec, quantized_bmm, quantized_matmul
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestSpecConstruction:
+    def test_fp32_is_all_none(self):
+        spec = QuantSpec.fp32()
+        assert spec.activation is None and spec.weight is None and spec.backward is None
+
+    def test_uniform_has_independent_instances(self):
+        spec = QuantSpec.uniform("int8")
+        assert spec.activation is not spec.weight
+        assert spec.weight is not spec.backward
+
+    def test_finetune_defaults_to_fp32_backward(self):
+        spec = QuantSpec.finetune("mx6")
+        assert spec.backward is None
+        assert spec.activation.name == "MX6"
+
+    def test_inference_weight_only(self):
+        spec = QuantSpec.inference("mx4")
+        assert spec.weight.name == "MX4"
+        assert spec.backward is None
+
+
+class TestQuantizedMatmul:
+    def test_none_spec_is_plain_matmul(self, rng):
+        a = Tensor(rng.normal(size=(3, 8)))
+        w = Tensor(rng.normal(size=(8, 4)))
+        np.testing.assert_array_equal(
+            quantized_matmul(a, w, None).data, (a @ w).data
+        )
+
+    def test_forward_uses_quantized_operands(self, rng):
+        a = Tensor(rng.normal(size=(3, 32)))
+        w = Tensor(rng.normal(size=(32, 4)))
+        spec = QuantSpec(activation=get_format("mx4"), weight=get_format("mx4"))
+        out = quantized_matmul(a, w, spec)
+        aq = get_format("mx4").quantize(a.data, axis=-1)
+        wq = get_format("mx4").quantize(w.data, axis=0)
+        np.testing.assert_allclose(out.data, aq @ wq)
+
+    def test_mx9_close_to_fp32(self, rng):
+        a = Tensor(rng.normal(size=(3, 64)))
+        w = Tensor(rng.normal(size=(64, 4)))
+        exact = (a @ w).data
+        out = quantized_matmul(a, w, QuantSpec.uniform("mx9")).data
+        assert np.abs(out - exact).max() / np.abs(exact).max() < 0.02
+
+    def test_backward_shapes(self, rng):
+        a = Tensor(rng.normal(size=(2, 5, 16)), requires_grad=True)
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        quantized_matmul(a, w, QuantSpec.uniform("mx9")).sum().backward()
+        assert a.grad.shape == a.shape
+        assert w.grad.shape == w.shape
+
+    def test_fp32_backward_when_finetune(self, rng):
+        """backward=None must give exactly the unquantized gradients of the
+        quantized forward (straight-through on FP32 path)."""
+        a_data = rng.normal(size=(3, 32))
+        w_data = rng.normal(size=(32, 4))
+        spec = QuantSpec.finetune("mx4")
+        a = Tensor(a_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        quantized_matmul(a, w, spec).sum().backward()
+        g = np.ones((3, 4))
+        np.testing.assert_allclose(a.grad, g @ w_data.T)
+        np.testing.assert_allclose(w.grad, a_data.T @ g)
+
+    def test_quantized_backward_differs(self, rng):
+        a_data = rng.normal(size=(3, 32))
+        w_data = rng.normal(size=(32, 4))
+        grads = {}
+        for name, spec in (
+            ("fp32", QuantSpec.finetune("mx9")),
+            ("mx4", QuantSpec(activation=get_format("mx9"),
+                              weight=get_format("mx9"),
+                              backward=get_format("mx4"))),
+        ):
+            a = Tensor(a_data.copy(), requires_grad=True)
+            w = Tensor(w_data.copy(), requires_grad=True)
+            quantized_matmul(a, w, spec).sum().backward()
+            grads[name] = (a.grad.copy(), w.grad.copy())
+        assert not np.allclose(grads["fp32"][0], grads["mx4"][0])
+        assert not np.allclose(grads["fp32"][1], grads["mx4"][1])
+
+    def test_transpose_then_quantize_direction(self, rng):
+        """The backward weight copy quantizes along N (after transpose),
+        which differs from the forward copy's K-direction blocks."""
+        fmt = get_format("mx4")
+        w = rng.normal(size=(32, 32)) * np.logspace(0, 3, 32)[:, None]
+        forward_copy = fmt.quantize(w, axis=0)
+        backward_copy = fmt.quantize(w.T, axis=0)
+        assert not np.allclose(forward_copy.T, backward_copy)
+
+    def test_shape_validation(self, rng):
+        a = Tensor(rng.normal(size=(3, 8)))
+        w = Tensor(rng.normal(size=(4, 8)))
+        with pytest.raises(ValueError, match="reduction mismatch"):
+            quantized_matmul(a, w, QuantSpec.uniform("mx9"))
+        with pytest.raises(ValueError, match="2-D"):
+            quantized_matmul(a, Tensor(rng.normal(size=(2, 8, 3))), QuantSpec.uniform("mx9"))
+
+
+class TestQuantizedBmm:
+    def test_none_spec(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)))
+        b = Tensor(rng.normal(size=(2, 4, 5)))
+        np.testing.assert_array_equal(quantized_bmm(a, b, None).data, (a @ b).data)
+
+    def test_forward_quantizes_both_reduction_dims(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 32)))
+        b = Tensor(rng.normal(size=(2, 32, 5)))
+        spec = QuantSpec(activation=get_format("mx4"), weight=get_format("mx4"))
+        out = quantized_bmm(a, b, spec)
+        aq = get_format("mx4").quantize(a.data, axis=-1)
+        bq = get_format("mx4").quantize(b.data, axis=-2)
+        np.testing.assert_allclose(out.data, aq @ bq)
+
+    def test_backward_flows(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 16)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 16, 5)), requires_grad=True)
+        quantized_bmm(a, b, QuantSpec.uniform("mx9")).sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape

@@ -1,0 +1,69 @@
+"""Unit tests for LSTM layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.quantized import QuantSpec
+from repro.nn.recurrent import LSTM, LSTMCell
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLSTMCell:
+    def test_shapes(self, rng):
+        cell = LSTMCell(6, 10, rng=rng)
+        h, c = cell(Tensor(rng.normal(size=(3, 6))))
+        assert h.shape == (3, 10)
+        assert c.shape == (3, 10)
+
+    def test_state_threading(self, rng):
+        cell = LSTMCell(4, 8, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4)))
+        h1, c1 = cell(x)
+        h2, c2 = cell(x, (h1, c1))
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_bounded_activations(self, rng):
+        cell = LSTMCell(4, 8, rng=rng)
+        h, _ = cell(Tensor(rng.normal(size=(2, 4)) * 100))
+        assert np.all(np.abs(h.data) <= 1.0)  # tanh(o * sigmoid) bounded
+
+
+class TestLSTM:
+    def test_sequence_shapes(self, rng):
+        lstm = LSTM(6, 12, rng=rng)
+        seq, (h, c) = lstm(Tensor(rng.normal(size=(4, 7, 6))))
+        assert seq.shape == (4, 7, 12)
+        assert h.shape == (4, 12)
+
+    def test_last_output_equals_final_state(self, rng):
+        lstm = LSTM(4, 8, rng=rng)
+        seq, (h, _) = lstm(Tensor(rng.normal(size=(2, 5, 4))))
+        np.testing.assert_array_equal(seq.data[:, -1], h.data)
+
+    def test_gradients_flow_through_time(self, rng):
+        lstm = LSTM(4, 8, rng=rng)
+        x = Tensor(rng.normal(size=(2, 6, 4)), requires_grad=True)
+        seq, _ = lstm(x)
+        seq.sum().backward()
+        # gradient reaches the first timestep
+        assert np.abs(x.grad[:, 0]).max() > 0
+
+    def test_quantized_lstm_runs(self, rng):
+        lstm = LSTM(4, 8, rng=rng, quant=QuantSpec.uniform("mx9"))
+        seq, _ = lstm(Tensor(rng.normal(size=(2, 3, 4))))
+        assert np.all(np.isfinite(seq.data))
+
+    def test_causality(self, rng):
+        """Future inputs cannot affect earlier outputs."""
+        lstm = LSTM(4, 8, rng=rng)
+        x = rng.normal(size=(1, 5, 4))
+        base, _ = lstm(Tensor(x))
+        perturbed = x.copy()
+        perturbed[0, 4] += 10.0
+        out, _ = lstm(Tensor(perturbed))
+        np.testing.assert_allclose(out.data[0, :4], base.data[0, :4])

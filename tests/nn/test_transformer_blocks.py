@@ -1,0 +1,87 @@
+"""Additional transformer-block behaviour tests (cross-attention masking,
+feed-forward shapes, quantized blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import causal_mask
+from repro.nn.quantized import QuantSpec
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import DecoderBlock, FeedForward, TransformerBlock
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFeedForward:
+    def test_default_hidden_is_4x(self, rng):
+        ff = FeedForward(8, rng=rng)
+        assert ff.fc1.out_features == 32
+
+    def test_custom_hidden(self, rng):
+        ff = FeedForward(8, hidden=5, rng=rng)
+        assert ff.fc1.out_features == 5
+        out = ff(Tensor(rng.normal(size=(2, 3, 8))))
+        assert out.shape == (2, 3, 8)
+
+
+class TestDecoderBlockMasks:
+    def test_causal_self_attention(self, rng):
+        block = DecoderBlock(8, 2, rng=rng)
+        memory = Tensor(rng.normal(size=(1, 5, 8)))
+        x = rng.normal(size=(1, 4, 8))
+        base = block(Tensor(x), memory, self_mask=causal_mask(4)).data
+        perturbed = x.copy()
+        perturbed[0, 3] += 7.0
+        out = block(Tensor(perturbed), memory, self_mask=causal_mask(4)).data
+        np.testing.assert_allclose(out[0, :3], base[0, :3], atol=1e-12)
+
+    def test_cross_attention_uses_memory(self, rng):
+        block = DecoderBlock(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        mem_a = rng.normal(size=(1, 5, 8))
+        mem_b = mem_a.copy()
+        mem_b[0, 2] += 3.0
+        out_a = block(x, Tensor(mem_a)).data
+        out_b = block(x, Tensor(mem_b)).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_cross_mask_blocks_memory_positions(self, rng):
+        block = DecoderBlock(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        memory = rng.normal(size=(1, 5, 8))
+        # mask out memory position 2 for every query
+        cross_mask = np.zeros((4, 5), dtype=bool)
+        cross_mask[:, 2] = True
+        base = block(x, Tensor(memory), cross_mask=cross_mask).data
+        perturbed = memory.copy()
+        perturbed[0, 2] += 10.0
+        out = block(x, Tensor(perturbed), cross_mask=cross_mask).data
+        np.testing.assert_allclose(out, base, atol=1e-12)
+
+
+class TestQuantizedBlocks:
+    def test_quantized_block_trains(self, rng):
+        from repro.nn.optim import Adam
+
+        block = TransformerBlock(16, 4, rng=rng, quant=QuantSpec.uniform("mx9"))
+        opt = Adam(block.parameters(), lr=1e-3)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        losses = []
+        for _ in range(10):
+            opt.zero_grad()
+            loss = ((block(x) - 1.0) ** 2).mean()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0]
+
+    def test_mx9_block_close_to_fp32(self, rng):
+        plain = TransformerBlock(16, 4, rng=np.random.default_rng(5))
+        quant = TransformerBlock(16, 4, rng=np.random.default_rng(5),
+                                 quant=QuantSpec.uniform("mx9"))
+        x = Tensor(rng.normal(size=(1, 6, 16)))
+        a, b = plain(x).data, quant(x).data
+        assert np.abs(a - b).max() < 0.05 * np.abs(a).max() + 0.05
