@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Kernel-throughput regression gate.
+
+Runs ``benchmarks/test_bench_kernels.py`` under ``pytest-benchmark`` with
+``--benchmark-json``, then compares the median time of every benchmark
+against the committed baseline (``benchmarks/BENCH_kernels.json``) and
+exits nonzero if any benchmark regressed by more than the threshold
+(default 25%).
+
+Usage::
+
+    python benchmarks/check_regression.py                  # gate vs baseline
+    python benchmarks/check_regression.py --update-baseline
+    python benchmarks/check_regression.py --threshold 0.4  # looser gate
+    python benchmarks/check_regression.py --no-run --json out.json
+                                            # compare an existing run
+
+Medians are wall-clock on the current machine; the committed baseline is a
+same-machine anchor for CI, not a cross-machine contract.  Re-baseline with
+``--update-baseline`` after intentional performance changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+BASELINE = BENCH_DIR / "BENCH_kernels.json"
+BENCH_FILE = BENCH_DIR / "test_bench_kernels.py"
+
+
+def run_benchmarks(json_path: Path) -> None:
+    """Run the kernel benchmark module, writing pytest-benchmark JSON."""
+    cmd = [
+        sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+        "--benchmark-json", str(json_path),
+    ]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        sys.exit(f"benchmark run failed with exit code {result.returncode}")
+
+
+def load_medians(json_path: Path) -> dict[str, float]:
+    payload = json.loads(json_path.read_text())
+    return {b["name"]: b["stats"]["median"] for b in payload["benchmarks"]}
+
+
+def compare(baseline: dict[str, float], current: dict[str, float],
+            threshold: float) -> list[str]:
+    """Return a list of failure messages for regressed benchmarks.
+
+    Benchmarks with ``smoke`` in the name are reported but never gate:
+    they run a single round (process-pool dispatch, etc.) and are too noisy
+    for a 25% threshold.
+    """
+    failures = []
+    width = max((len(n) for n in current), default=0)
+    print(f"{'benchmark':<{width}}  baseline(ms)  current(ms)   ratio")
+    for name in sorted(current):
+        cur = current[name]
+        old = baseline.get(name)
+        if old is None:
+            print(f"{name:<{width}}  {'--':>12}  {cur * 1e3:>11.3f}     new")
+            continue
+        ratio = cur / old if old > 0 else float("inf")
+        gated = "smoke" not in name
+        flag = "  REGRESSED" if gated and ratio > 1.0 + threshold else ""
+        if not gated:
+            flag = "  (not gated)"
+        print(f"{name:<{width}}  {old * 1e3:>12.3f}  {cur * 1e3:>11.3f}  {ratio:>6.2f}{flag}")
+        if gated and ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: median {cur * 1e3:.3f} ms vs baseline "
+                f"{old * 1e3:.3f} ms ({(ratio - 1.0) * 100:+.0f}%, "
+                f"threshold +{threshold * 100:.0f}%)"
+            )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  (missing from current run)")
+        if "smoke" not in name:
+            failures.append(
+                f"{name}: present in baseline but missing from the current "
+                "run (renamed/deleted benchmarks need --update-baseline)"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=None,
+                        help="where to write (or with --no-run, read) the "
+                             "benchmark JSON; defaults to a temp file")
+    parser.add_argument("--baseline", type=Path, default=BASELINE,
+                        help=f"baseline JSON (default {BASELINE})")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write this run as the new baseline and exit 0")
+    parser.add_argument("--no-run", action="store_true",
+                        help="skip running; compare an existing --json file")
+    args = parser.parse_args()
+
+    json_path = args.json
+    tmp = None
+    if json_path is None:
+        tmp = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+        tmp.close()
+        json_path = Path(tmp.name)
+
+    try:
+        if not args.no_run:
+            run_benchmarks(json_path)
+        if not json_path.exists():
+            sys.exit(f"no benchmark JSON at {json_path}")
+
+        if args.update_baseline:
+            shutil.copyfile(json_path, args.baseline)
+            print(f"baseline updated: {args.baseline}")
+            return 0
+
+        if not args.baseline.exists():
+            sys.exit(
+                f"no baseline at {args.baseline}; run with --update-baseline "
+                "to create one"
+            )
+        failures = compare(
+            load_medians(args.baseline), load_medians(json_path), args.threshold
+        )
+        if failures:
+            print("\nthroughput regressions detected:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("\nno throughput regressions.")
+        return 0
+    finally:
+        if tmp is not None:
+            Path(tmp.name).unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

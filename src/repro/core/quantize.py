@@ -14,6 +14,12 @@ The engine returns *fake-quantized* values (dequantized onto the original
 scale) which, by construction, are exactly the values a native BDR machine
 would produce.
 
+Execution is delegated to the kernel subsystem (:mod:`repro.kernels`): the
+default ``"numpy"`` backend runs fused, plan-cached kernels; the
+``"reference"`` backend keeps the original straight-line path as a
+bit-exact oracle.  Select with ``REPRO_KERNEL_BACKEND`` or
+:func:`repro.kernels.use_backend`.
+
 Saturation corner: the block-max element has mantissa in [1, 2); patterns
 above ``(2^m - 1 + 0.5) * 2^(1-m)`` round up beyond the largest code and
 saturate (as BFP/MX hardware does), so its error can reach one full grid
@@ -24,38 +30,13 @@ by the property suite — because the saturating element also contributes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from ..kernels.base import QuantizeResult
+from ..kernels.registry import get_backend
 from .bdr import BDRConfig
-from .rounding import apply_rounding
-from .scaling import amax_scale, exponent_range, floor_log2
 
 __all__ = ["QuantizeResult", "bdr_quantize", "bdr_quantize_detailed"]
-
-
-@dataclass
-class QuantizeResult:
-    """Full decomposition of a quantization pass, for inspection and tests.
-
-    Attributes:
-        values: dequantized values, same shape as the input.
-        codes: per-element integer codes in ``[-(2^m - 1), 2^m - 1]``,
-            blocked shape ``(..., blocks, k1)``.
-        scale: effective per-block level-1 scale (already a real number,
-            ``2^E`` for power-of-two scaling), shape ``(..., blocks)``.
-        sub_scale: effective per-sub-block multiplier relative to ``scale``
-            (``2^-tau`` for MX, the integer sub-scale for VSQ), shape
-            ``(..., blocks, k1/k2)``; ``None`` for single-level formats.
-        step: per-element grid step used for rounding, blocked shape.
-    """
-
-    values: np.ndarray
-    codes: np.ndarray
-    scale: np.ndarray
-    sub_scale: np.ndarray | None
-    step: np.ndarray
 
 
 def bdr_quantize(
@@ -98,9 +79,6 @@ def bdr_quantize_detailed(
     return _quantize(x, config, axis, rounding, rng, scale_override, detailed=True)
 
 
-# ----------------------------------------------------------------------
-# Implementation
-# ----------------------------------------------------------------------
 def _quantize(x, config, axis, rounding, rng, scale_override, detailed):
     x = np.asarray(x, dtype=np.float64)
     if x.size == 0:
@@ -108,129 +86,6 @@ def _quantize(x, config, axis, rounding, rng, scale_override, detailed):
         if not detailed:
             return empty
         return QuantizeResult(empty, empty, empty, None, empty)
-
-    blocked, restore = _to_blocks(x, config.k1, axis)
-
-    if config.s_type == "pow2":
-        result = _quantize_pow2(blocked, config, rounding, rng)
-    elif config.ss_type == "int":
-        result = _quantize_vsq(blocked, config, rounding, rng, scale_override)
-    else:
-        result = _quantize_int(blocked, config, rounding, rng, scale_override)
-
-    values = restore(result.values)
-    if not detailed:
-        return values
-    result.values = values
-    return result
-
-
-def _to_blocks(x, k, axis):
-    """Reshape so the chosen axis becomes trailing ``(blocks, k)`` pairs.
-
-    Pads with zeros to a multiple of ``k``; zero padding never influences a
-    block maximum, so it is numerically inert.  Returns the blocked view and
-    a closure undoing the transformation.
-    """
-    moved = np.moveaxis(x, axis, -1)
-    n = moved.shape[-1]
-    pad = (-n) % k
-    if pad:
-        width = [(0, 0)] * (moved.ndim - 1) + [(0, pad)]
-        moved = np.pad(moved, width)
-    blocked = moved.reshape(moved.shape[:-1] + ((n + pad) // k, k))
-
-    def restore(values):
-        flat = values.reshape(values.shape[:-2] + (n + pad,))
-        if pad:
-            flat = flat[..., :n]
-        return np.moveaxis(flat, -1, axis)
-
-    return blocked, restore
-
-
-def _quantize_pow2(blocked, config, rounding, rng):
-    """BFP (d2 = 0) and MX (pow2 sub-scales): hardware-managed scaling."""
-    lo, hi = exponent_range(config.d1)
-    amax = np.max(np.abs(blocked), axis=-1)
-    exp = np.clip(floor_log2(amax), lo, hi)  # shared block exponent E
-
-    if config.ss_type == "pow2":
-        shape = blocked.shape[:-1] + (config.num_subblocks, config.k2)
-        sub = blocked.reshape(shape)
-        sub_amax = np.max(np.abs(sub), axis=-1)
-        sub_exp = np.clip(floor_log2(sub_amax), lo, hi)
-        tau = np.clip(exp[..., None] - sub_exp, 0, config.beta)
-        # grid step per element: 2^(E - tau - (m - 1))
-        step_sub = np.exp2((exp[..., None] - tau - (config.m - 1)).astype(np.float64))
-        step = np.repeat(step_sub, config.k2, axis=-1).reshape(blocked.shape)
-        sub_scale = np.exp2(-tau.astype(np.float64))
-    else:
-        step = np.exp2((exp - (config.m - 1)).astype(np.float64))[..., None]
-        step = np.broadcast_to(step, blocked.shape)
-        sub_scale = None
-
-    codes = apply_rounding(blocked / step, rounding, rng)
-    codes = np.clip(codes, -config.qmax, config.qmax)
-    values = codes * step
-    scale = np.exp2(exp.astype(np.float64))
-    return QuantizeResult(values, codes, scale, sub_scale, step)
-
-
-def _quantize_int(blocked, config, rounding, rng, scale_override):
-    """Software-scaled symmetric integer quantization (FP32 scale)."""
-    if scale_override is None:
-        amax = np.max(np.abs(blocked), axis=-1)
-        scale = amax_scale(amax, config.qmax)
-    else:
-        scale = np.broadcast_to(
-            np.asarray(scale_override, dtype=np.float64), blocked.shape[:-1]
-        ).copy()
-    scale = _as_fp32(scale)
-
-    step = scale[..., None]
-    codes = apply_rounding(blocked / step, rounding, rng)
-    codes = np.clip(codes, -config.qmax, config.qmax)
-    values = codes * step
-    return QuantizeResult(values, codes, scale, None, np.broadcast_to(step, blocked.shape))
-
-
-def _quantize_vsq(blocked, config, rounding, rng, scale_override):
-    """VSQ: FP32 level-1 scale plus d2-bit unsigned integer sub-scales.
-
-    Per-sub-block ideal scales are themselves quantized against the level-1
-    scale; rounding the sub-scale *up* (ceil) guarantees elements never clip,
-    the standard VS-Quant recipe.
-    """
-    ss_qmax = (1 << config.d2) - 1
-    shape = blocked.shape[:-1] + (config.num_subblocks, config.k2)
-    sub = blocked.reshape(shape)
-    sigma = amax_scale(np.max(np.abs(sub), axis=-1), config.qmax)
-    sigma = np.where(np.max(np.abs(sub), axis=-1) <= 0, 0.0, sigma)
-
-    if scale_override is None:
-        scale = np.max(sigma, axis=-1) / ss_qmax
-        scale = np.where(scale <= 0, 1.0, scale)
-    else:
-        scale = np.broadcast_to(
-            np.asarray(scale_override, dtype=np.float64), blocked.shape[:-1]
-        ).copy()
-    scale = _as_fp32(scale)
-
-    sub_codes = np.ceil(sigma / scale[..., None])
-    sub_codes = np.clip(sub_codes, 0, ss_qmax)
-
-    step_sub = scale[..., None] * sub_codes
-    safe_step = np.where(step_sub <= 0, 1.0, step_sub)
-    codes_sub = apply_rounding(sub / safe_step[..., None], rounding, rng)
-    codes_sub = np.clip(codes_sub, -config.qmax, config.qmax)
-    codes_sub = np.where(step_sub[..., None] <= 0, 0.0, codes_sub)
-    values = (codes_sub * step_sub[..., None]).reshape(blocked.shape)
-    codes = codes_sub.reshape(blocked.shape)
-    step = np.repeat(step_sub, config.k2, axis=-1).reshape(blocked.shape)
-    return QuantizeResult(values, codes, scale, sub_codes, step)
-
-
-def _as_fp32(scale):
-    """Scales are stored in FP32 by the software formats; round-trip them."""
-    return scale.astype(np.float32).astype(np.float64)
+    return get_backend().quantize(
+        x, config, axis, rounding, rng, scale_override, detailed
+    )

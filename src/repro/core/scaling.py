@@ -67,10 +67,18 @@ def pow2_scale(amax: np.ndarray, qmax: float) -> np.ndarray:
 
     Rounding the ideal scale *up* guarantees no clipping, matching the
     ``RoundToPwr2`` step in Figure 1(b).
+
+    Implemented with ``np.frexp`` rather than ``ceil(log2(...))``: the
+    float log2 of an exact power of two ``2^-k`` can land at ``-k +/- ulp``,
+    and the ceil then yields a scale off by a full factor of two.  ``frexp``
+    decomposes ``ideal = mant * 2^exp`` with ``mant in [0.5, 1)`` exactly,
+    so ``ceil(log2(ideal))`` is ``exp - 1`` when ``mant == 0.5`` (an exact
+    power of two) and ``exp`` otherwise.
     """
     ideal = amax_scale(amax, qmax)
-    exp = np.ceil(np.log2(ideal))
-    return np.exp2(exp)
+    mant, exp = np.frexp(ideal)
+    exp = np.where(mant == 0.5, exp - 1, exp)
+    return np.where(np.isfinite(ideal), np.ldexp(1.0, exp), ideal)
 
 
 class DelayedScaler:

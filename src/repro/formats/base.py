@@ -41,6 +41,28 @@ class Format(abc.ABC):
     def reset_state(self) -> None:
         """Clear any adaptive state (e.g. delayed-scaling history)."""
 
+    @property
+    def is_stateless(self) -> bool:
+        """True when quantization is row-independent and history-free.
+
+        A stateless format satisfies ``Q(concat(a, b)) == concat(Q(a),
+        Q(b))`` along any non-block axis and gives identical results on
+        repeated calls — which lets callers batch many vectors into one
+        call (:func:`repro.fidelity.qsnr.measure_qsnr`) or memoize outputs
+        (:mod:`repro.nn.quantized`).  Defaults to False; subclasses opt in.
+        """
+        return False
+
+    def cache_key(self):
+        """Hashable identity for memoizing quantized outputs.
+
+        Two format instances with equal keys must produce bit-identical
+        ``quantize`` results for the same input and arguments.  ``None``
+        (the default) marks the format as non-memoizable (stateful, or not
+        opted in).
+        """
+        return None
+
     def __call__(self, x: np.ndarray, axis: int = -1, **kwargs) -> np.ndarray:
         return self.quantize(x, axis=axis, **kwargs)
 
@@ -56,6 +78,10 @@ class IdentityFormat(Format):
 
     def quantize(self, x, axis=-1, rounding="nearest", rng=None):
         return np.asarray(x, dtype=np.float64).copy()
+
+    @property
+    def is_stateless(self) -> bool:
+        return True
 
     @property
     def bits_per_element(self) -> float:

@@ -69,6 +69,18 @@ class BDRFormat(Format):
     def bits_per_element(self) -> float:
         return self.config.bits_per_element
 
+    @property
+    def is_stateless(self) -> bool:
+        """Hardware-scaled and JIT fp32-scaled BDR formats derive every
+        scale from the current block contents alone, so they are
+        row-independent; only delayed scaling carries history."""
+        return self._scaler is None
+
+    def cache_key(self):
+        if self._scaler is not None:
+            return None
+        return ("bdr", self.config)
+
     def reset_state(self):
         if self._scaler is not None:
             self._scaler = DelayedScaler(qmax=self._global_qmax, window=self.window)

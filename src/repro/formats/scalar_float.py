@@ -187,6 +187,17 @@ class ScalarFloatFormat(Format):
             bits += 32.0 / self.k1
         return bits
 
+    @property
+    def is_stateless(self) -> bool:
+        """Only the raw direct cast is row-independent: JIT scaling reads
+        the amax of the *whole* tensor, so batching would change it."""
+        return self.scaling == "none"
+
+    def cache_key(self):
+        if self.scaling != "none":
+            return None
+        return ("scalar_float", self.spec)
+
     def reset_state(self):
         self._scaler = DelayedScaler(qmax=self.spec.max_value, window=self._scaler.window)
 

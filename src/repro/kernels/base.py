@@ -1,0 +1,72 @@
+"""Shared types for the quantization kernel subsystem.
+
+A *kernel backend* owns the full quantization pipeline for one execution
+strategy: blocking, scale selection, rounding, and restoration to the input
+shape.  Backends are interchangeable by contract — every backend must be
+bit-exact against the ``"reference"`` backend for every
+:class:`~repro.core.bdr.BDRConfig`, rounding mode, and input shape (the
+equivalence suite in ``tests/kernels`` enforces this across the whole
+design space).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bdr import BDRConfig
+
+__all__ = ["QuantizeResult", "KernelBackend"]
+
+
+@dataclass
+class QuantizeResult:
+    """Full decomposition of a quantization pass, for inspection and tests.
+
+    Attributes:
+        values: dequantized values, same shape as the input.
+        codes: per-element integer codes in ``[-(2^m - 1), 2^m - 1]``,
+            blocked shape ``(..., blocks, k1)``.
+        scale: effective per-block level-1 scale (already a real number,
+            ``2^E`` for power-of-two scaling), shape ``(..., blocks)``.
+            May be a read-only broadcast view for overridden scales.
+        sub_scale: effective per-sub-block multiplier relative to ``scale``
+            (``2^-tau`` for MX, the integer sub-scale for VSQ), shape
+            ``(..., blocks, k1/k2)``; ``None`` for single-level formats.
+        step: per-element grid step used for rounding, blocked shape.
+    """
+
+    values: np.ndarray
+    codes: np.ndarray
+    scale: np.ndarray
+    sub_scale: np.ndarray | None
+    step: np.ndarray
+
+
+class KernelBackend(abc.ABC):
+    """One execution strategy for the BDR quantization engine."""
+
+    #: registry name
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def quantize(
+        self,
+        x: np.ndarray,
+        config: BDRConfig,
+        axis: int,
+        rounding: str,
+        rng: np.random.Generator | None,
+        scale_override: float | np.ndarray | None,
+        detailed: bool,
+    ) -> np.ndarray | QuantizeResult:
+        """Quantize ``x`` (already float64, non-empty) along ``axis``.
+
+        Returns the dequantized array, or the full :class:`QuantizeResult`
+        when ``detailed`` is set.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

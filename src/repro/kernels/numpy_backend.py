@@ -1,0 +1,269 @@
+"""The fused fast-path backend: allocation-lean NumPy kernels.
+
+Bit-exact with the reference backend (enforced by the equivalence suite
+across the whole design space) while doing strictly less work per call:
+
+* shared exponents come straight from the IEEE-754 bit pattern of the
+  sub-block maxima (``bits >> 52``) instead of a ``log2 -> clip -> exp2``
+  chain, and the block exponent is the max of the sub-block exponents, so
+  the second full-size ``abs``/``max`` pass disappears;
+* power-of-two grid steps (and their exact reciprocals) are assembled by
+  packing the exponent field directly, so the per-element division becomes
+  an exact multiply;
+* steps broadcast as ``(..., blocks, subblocks, 1)`` views — never
+  ``np.repeat``-materialized to element shape;
+* round-to-nearest-even uses the in-place two-op magic-number shift
+  (``+= 1.5 * 2**52; -= 1.5 * 2**52``) instead of ``np.rint``;
+* the absolute values, the rounding quotient, and the clipped codes all
+  live in one plan-cached scratch buffer driven through ``out=``;
+* blocking is a pure reshape view when the axis length divides ``k1``
+  (every nn layer and the whole Figure 7 sweep), via the
+  :class:`~repro.kernels.plan.QuantPlan` cache.
+
+Exactness notes.  The bit tricks change *intermediate* encodings, never
+post-clip results: (1) subnormal block maxima read as exponent ``-1023``
+rather than the reference's zero sentinel, but both land on the clamp
+bottom whenever the ``d1`` exponent range sits inside the normal float64
+range; (2) the magic-number shift equals ``np.rint`` exactly for
+``|q| <= 2**51`` and may differ by one ulp-of-one beyond that — where both
+results saturate to ``qmax`` after clipping anyway.  Configs whose
+exponent ranges violate these preconditions (``d1`` wider than ~11 bits on
+a pow2 scale, ``m > 50``) delegate to the reference backend, as do
+``detailed`` requests — inspection calls off the hot path, delegated so
+the decomposition fields stay trivially identical — and pow2 inputs whose
+blocks contain inf/NaN (their exponent field reads 0x7ff, where the bit
+trick and the frexp path part ways; detected on the per-block maxima for
+free and handed back to the reference engine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rounding import apply_rounding
+from ..core.scaling import amax_scale, exponent_range
+from .base import KernelBackend
+from .plan import get_plan
+from .reference import ReferenceBackend, _as_fp32, _broadcast_override
+
+__all__ = ["NumpyBackend"]
+
+_REFERENCE = ReferenceBackend()
+
+#: Adding then subtracting 1.5 * 2^52 rounds float64 to the nearest integer
+#: (ties to even) using two adds instead of a libm rint pass.
+_MAGIC = 1.5 * 2.0**52
+#: Exponent payloads this far inside the normal range keep every derived
+#: step and reciprocal a normal float64 (no subnormal corner cases).
+_EXP_LIMIT = 1021
+
+
+class _NonFiniteInput(Exception):
+    """Raised by the fused pow2 kernel when a block holds inf/NaN."""
+
+
+class NumpyBackend(KernelBackend):
+    """Fused, plan-cached engine; the default backend."""
+
+    name = "numpy"
+
+    def quantize(self, x, config, axis, rounding, rng, scale_override, detailed):
+        if detailed or config.m > 50:
+            return _REFERENCE.quantize(
+                x, config, axis, rounding, rng, scale_override, detailed
+            )
+        if config.s_type == "pow2":
+            lo, hi = exponent_range(config.d1)
+            if lo - (config.m - 1) < -_EXP_LIMIT or hi - (config.m - 1) + 1 > _EXP_LIMIT:
+                return _REFERENCE.quantize(
+                    x, config, axis, rounding, rng, scale_override, detailed
+                )
+
+        plan = get_plan(x.shape, axis, config.k1, config.k2, x.dtype)
+        blocked = plan.block(x)
+        work = plan.checkout()
+        try:
+            if config.s_type == "pow2":
+                values = _pow2_fused(blocked, work, plan, config, rounding, rng)
+            elif config.ss_type == "int":
+                values = _vsq_fused(blocked, work, plan, config, rounding, rng,
+                                    scale_override)
+            else:
+                values = _int_fused(blocked, work, config, rounding, rng,
+                                    scale_override)
+        except _NonFiniteInput:
+            values = None
+        finally:
+            plan.release(work)
+        if values is None:
+            return _REFERENCE.quantize(
+                x, config, axis, rounding, rng, scale_override, detailed
+            )
+        return plan.restore(values)
+
+
+def _last_axis_max(a: np.ndarray) -> np.ndarray:
+    """``a.max(axis=-1)`` tuned for short trailing axes.
+
+    NumPy's reduction machinery pays ~50ns per *output* element, which is
+    ruinous when the reduced axis is tiny (k2 = 2 for every MX format: the
+    reduction is 30x slower than the equivalent strided ``np.maximum``
+    chain).  Longer axes amortize that overhead, so they keep the built-in
+    reduction.  Identical results: ``np.max`` is ``maximum.reduce``.
+    """
+    k = a.shape[-1]
+    if k > 64:
+        return a.max(axis=-1)
+    # pairwise folding: log2(k) wide stride-2 passes instead of a k-element
+    # inner loop per output element (max is associative, so the fold order
+    # cannot change the result)
+    while k > 1 and k % 2 == 0:
+        pairs = a.reshape(a.shape[:-1] + (k // 2, 2))
+        a = np.maximum(pairs[..., 0], pairs[..., 1])
+        k //= 2
+    if k == 1:
+        return a[..., 0]
+    out = np.maximum(a[..., 0], a[..., 1])
+    for i in range(2, k):
+        np.maximum(out, a[..., i], out=out)
+    return out
+
+
+def _mul_subscale(a: np.ndarray, small: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out = a * small[..., None]`` tuned for short trailing axes.
+
+    Broadcasting against a trailing length-1 axis makes the ufunc inner
+    loop k2 elements long; for k2 <= 4 a handful of wide strided passes is
+    substantially faster.  Elementwise products are identical either way.
+    """
+    k = a.shape[-1]
+    if k <= 4:
+        for i in range(k):
+            np.multiply(a[..., i], small, out=out[..., i])
+    else:
+        np.multiply(a, small[..., None], out=out)
+    return out
+
+
+def _floor_exponents(amax: np.ndarray) -> np.ndarray:
+    """``floor(log2(amax))`` for non-negative float64 via the exponent field.
+
+    Subnormals and zeros read as ``-1023`` — below any representable ``d1``
+    clamp handled by this backend, hence interchangeable with the reference
+    path's zero sentinel after clipping.
+    """
+    return (amax.view(np.int64) >> 52) - 1023
+
+
+def _pow2_and_reciprocal(e: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``(2.0**e, 2.0**-e)`` for int64 ``e`` in the normal range.
+
+    Both are assembled by packing the biased exponent field directly;
+    ``(2046 << 52) - bits`` mirrors it, so the reciprocal costs one integer
+    subtraction instead of a second pack.
+    """
+    bits = (e + 1023) << 52
+    return bits.view(np.float64), ((2046 << 52) - bits).view(np.float64)
+
+
+def _pow2_fused(blocked, work, plan, config, rounding, rng):
+    """BFP and MX: hardware power-of-two scaling, fused."""
+    lo, hi = exponent_range(config.d1)
+    np.abs(blocked, out=work)
+
+    if config.ss_type == "pow2":
+        sub_exp = _floor_exponents(_last_axis_max(work.reshape(plan.sub_shape)))
+        raw_block = _last_axis_max(sub_exp)
+        # inf and NaN carry exponent field 0x7ff (raw 1024): the bit trick
+        # would clamp their blocks to the top exponent where the reference
+        # frexp path behaves differently, so hand those inputs back.  The
+        # check rides on the already-reduced per-block maxima — no extra
+        # full-size pass.
+        if raw_block.size and int(raw_block.max()) >= 1024:
+            raise _NonFiniteInput
+        exp = np.clip(raw_block, lo, hi)
+        np.clip(sub_exp, lo, hi, out=sub_exp)
+        # step exponent: E - tau - (m-1) with tau = min(E - sub_exp, beta)
+        e = np.maximum(sub_exp, exp[..., None] - config.beta)
+        e -= config.m - 1
+        step, inv_step = _pow2_and_reciprocal(e)
+        _mul_subscale(blocked.reshape(plan.sub_shape), inv_step,
+                      work.reshape(plan.sub_shape))
+    else:
+        raw = _floor_exponents(_last_axis_max(work))
+        if raw.size and int(raw.max()) >= 1024:
+            raise _NonFiniteInput
+        exp = np.clip(raw, lo, hi)
+        step, inv_step = _pow2_and_reciprocal(exp - (config.m - 1))
+        _mul_subscale(blocked, inv_step, work)
+
+    _round_inplace(work, rounding, rng)
+    np.clip(work, -config.qmax, config.qmax, out=work)
+    if config.ss_type == "pow2":
+        values = np.empty(plan.sub_shape)
+        _mul_subscale(work.reshape(plan.sub_shape), step, values)
+        return values.reshape(plan.blocked_shape)
+    values = np.empty(plan.blocked_shape)
+    return _mul_subscale(work, step, values)
+
+
+def _int_fused(blocked, work, config, rounding, rng, scale_override):
+    """Software-scaled symmetric integers, fused."""
+    if scale_override is None:
+        np.abs(blocked, out=work)
+        amax = _last_axis_max(work)
+        scale = _as_fp32(amax_scale(amax, config.qmax))
+    else:
+        scale = _broadcast_override(scale_override, blocked.shape[:-1])
+
+    step = scale[..., None]
+    np.divide(blocked, step, out=work)
+    _round_inplace(work, rounding, rng)
+    np.clip(work, -config.qmax, config.qmax, out=work)
+    return work * step
+
+
+def _vsq_fused(blocked, work, plan, config, rounding, rng, scale_override):
+    """VSQ: FP32 scale + integer sub-scales, fused."""
+    ss_qmax = (1 << config.d2) - 1
+    sub = blocked.reshape(plan.sub_shape)
+    work_sub = work.reshape(plan.sub_shape)
+
+    np.abs(blocked, out=work)
+    sub_amax = _last_axis_max(work_sub)
+    sigma = amax_scale(sub_amax, config.qmax)
+    sigma = np.where(sub_amax <= 0, 0.0, sigma)
+
+    if scale_override is None:
+        scale = _last_axis_max(sigma) / ss_qmax
+        scale = np.where(scale <= 0, 1.0, scale)
+        scale = _as_fp32(scale)
+    else:
+        scale = _broadcast_override(scale_override, blocked.shape[:-1])
+
+    sub_codes = np.clip(np.ceil(sigma / scale[..., None]), 0, ss_qmax)
+
+    step_sub = scale[..., None] * sub_codes
+    safe_step = np.where(step_sub <= 0, 1.0, step_sub)
+    np.divide(sub, safe_step[..., None], out=work_sub)
+    _round_inplace(work_sub, rounding, rng)
+    np.clip(work, -config.qmax, config.qmax, out=work)
+    np.copyto(work_sub, 0.0, where=step_sub[..., None] <= 0)
+    return np.multiply(work_sub, step_sub[..., None]).reshape(plan.blocked_shape)
+
+
+def _round_inplace(buf, mode, rng):
+    """Round ``buf`` to integer codes in place.
+
+    ``nearest`` uses the magic-number shift (identical to ``np.rint`` up to
+    clip saturation — see the module docstring); ``truncate`` is a single
+    ``np.trunc`` pass; stochastic and unknown modes go through
+    :func:`~repro.core.rounding.apply_rounding` for identical semantics.
+    """
+    if mode == "nearest":
+        buf += _MAGIC
+        buf -= _MAGIC
+    elif mode == "truncate":
+        np.trunc(buf, out=buf)
+    else:
+        buf[...] = apply_rounding(buf, mode, rng)

@@ -1,0 +1,198 @@
+"""Quantization plans: precomputed blocking geometry plus reusable scratch.
+
+Every call into the fast backend re-derives the same facts from its
+arguments: where the block axis lands after ``moveaxis``, whether the axis
+length divides ``k1`` (no padding -> pure-view blocking), the blocked and
+sub-blocked shapes, and how to restore the output.  A :class:`QuantPlan`
+computes all of that once per ``(shape, axis, k1, k2, dtype)`` and keeps a
+checkout-based scratch buffer so repeated same-shape calls — every training
+step, every sweep chunk — reuse one allocation instead of half a dozen
+full-size temporaries.
+
+Plans are cached in a bounded LRU keyed on the tuple above.  The scratch
+buffer uses checkout semantics: :meth:`QuantPlan.checkout` hands out the
+cached buffer (or a fresh one if it is already in use), and
+:meth:`QuantPlan.release` returns it — so reentrant or concurrent use
+degrades to allocation instead of corrupting in-flight data.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["QuantPlan", "get_plan", "clear_plan_cache", "plan_cache_info"]
+
+#: Maximum number of cached plans; old entries are evicted LRU-first.
+MAX_PLANS = 128
+#: Aggregate cap on scratch bytes retained across all cached plans; a
+#: release that would exceed it simply drops the buffer (allocation per
+#: call, exactly the pre-cache behaviour).
+MAX_SCRATCH_BYTES = 256 * 1024 * 1024
+
+_CACHE: OrderedDict[tuple, "QuantPlan"] = OrderedDict()
+_LOCK = threading.Lock()
+_HITS = 0
+_MISSES = 0
+_SCRATCH_BYTES = 0
+
+
+class QuantPlan:
+    """Blocking geometry and scratch for one ``(shape, axis, k1, k2)``.
+
+    Attributes:
+        blocked_shape: shape after blocking, ``(..., blocks, k1)``.
+        sub_shape: shape after sub-blocking, ``(..., blocks, k1/k2, k2)``.
+        pad: zero elements appended to reach a multiple of ``k1``.
+        needs_move: whether the block axis is not already trailing.
+    """
+
+    __slots__ = (
+        "shape", "axis", "k1", "k2", "n", "pad", "needs_move",
+        "moved_shape", "padded_shape", "blocked_shape", "sub_shape",
+        "_scratch", "_tracked",
+    )
+
+    def __init__(self, shape: tuple[int, ...], axis: int, k1: int, k2: int):
+        ndim = len(shape)
+        axis = axis % ndim
+        self.shape = shape
+        self.axis = axis
+        self.k1 = k1
+        self.k2 = k2
+        self.n = shape[axis]
+        self.pad = (-self.n) % k1
+        self.needs_move = axis != ndim - 1
+
+        lead = tuple(s for i, s in enumerate(shape) if i != axis)
+        self.moved_shape = lead + (self.n,)
+        self.padded_shape = lead + (self.n + self.pad,)
+        blocks = (self.n + self.pad) // k1
+        self.blocked_shape = lead + (blocks, k1)
+        self.sub_shape = lead + (blocks, k1 // k2, k2)
+        self._scratch: np.ndarray | None = None
+        #: True while the plan lives in the LRU; retained scratch of
+        #: tracked plans counts toward the global budget.  Plans built
+        #: directly (tests, ad-hoc use) stay untracked and unaccounted.
+        self._tracked = False
+
+    # ------------------------------------------------------------------
+    # Blocking / restoring
+    # ------------------------------------------------------------------
+    def block(self, x: np.ndarray) -> np.ndarray:
+        """Return ``x`` reshaped to :attr:`blocked_shape`.
+
+        A pure view when the axis is trailing and divides ``k1`` (the
+        common case — every nn layer and the whole sweep); otherwise the
+        same moveaxis/pad/reshape sequence as the reference backend.
+        """
+        if self.needs_move:
+            x = np.moveaxis(x, self.axis, -1)
+        if self.pad:
+            width = [(0, 0)] * (x.ndim - 1) + [(0, self.pad)]
+            x = np.pad(x, width)
+        return x.reshape(self.blocked_shape)
+
+    def restore(self, blocked_values: np.ndarray) -> np.ndarray:
+        """Undo :meth:`block` on a freshly computed output array."""
+        flat = blocked_values.reshape(self.padded_shape)
+        if self.pad:
+            flat = flat[..., : self.n]
+        if self.needs_move:
+            flat = np.moveaxis(flat, -1, self.axis)
+        return flat
+
+    # ------------------------------------------------------------------
+    # Scratch checkout
+    # ------------------------------------------------------------------
+    def checkout(self) -> np.ndarray:
+        """Borrow the blocked-shape float64 scratch buffer.
+
+        The handoff happens under the cache lock, so two concurrent
+        callers can never receive the same buffer — the second one gets a
+        fresh allocation instead.
+        """
+        global _SCRATCH_BYTES
+        with _LOCK:
+            buf = self._scratch
+            if buf is not None:
+                self._scratch = None
+                if self._tracked:
+                    _SCRATCH_BYTES -= buf.nbytes
+                return buf
+        return np.empty(self.blocked_shape, dtype=np.float64)
+
+    def release(self, buf: np.ndarray) -> None:
+        """Return a buffer obtained from :meth:`checkout`.
+
+        Retained only while the plan holds no buffer and — for
+        cache-tracked plans — the aggregate scratch budget
+        (:data:`MAX_SCRATCH_BYTES`) has room.  A plan that was LRU-evicted
+        while its buffer was checked out is untracked by then, so the
+        buffer is retained without touching the global accounting and
+        simply dies with the unreachable plan.
+        """
+        global _SCRATCH_BYTES
+        with _LOCK:
+            if self._scratch is not None:
+                return
+            if not self._tracked:
+                self._scratch = buf
+                return
+            if _SCRATCH_BYTES + buf.nbytes <= MAX_SCRATCH_BYTES:
+                self._scratch = buf
+                _SCRATCH_BYTES += buf.nbytes
+
+    def _untrack_locked(self) -> None:
+        """Leave the accounted pool on eviction (caller holds the lock)."""
+        global _SCRATCH_BYTES
+        if self._tracked and self._scratch is not None:
+            _SCRATCH_BYTES -= self._scratch.nbytes
+            self._scratch = None
+        self._tracked = False
+
+
+def get_plan(shape: tuple[int, ...], axis: int, k1: int, k2: int,
+             dtype: np.dtype) -> QuantPlan:
+    """Fetch (or build and cache) the plan for one call signature.
+
+    ``dtype`` is part of the key for forward compatibility with non-float64
+    engines; the blocking geometry itself is dtype-independent.
+    """
+    global _HITS, _MISSES
+    key = (shape, axis % max(len(shape), 1), k1, k2, np.dtype(dtype).str)
+    with _LOCK:
+        plan = _CACHE.get(key)
+        if plan is not None:
+            _HITS += 1
+            _CACHE.move_to_end(key)
+            return plan
+        _MISSES += 1
+        plan = QuantPlan(shape, axis, k1, k2)
+        plan._tracked = True
+        _CACHE[key] = plan
+        while len(_CACHE) > MAX_PLANS:
+            _, evicted = _CACHE.popitem(last=False)
+            evicted._untrack_locked()
+        return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (and its scratch buffers)."""
+    global _HITS, _MISSES
+    with _LOCK:
+        for plan in _CACHE.values():
+            plan._untrack_locked()
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0
+
+
+def plan_cache_info() -> dict:
+    """Cache statistics for tests and diagnostics."""
+    with _LOCK:
+        return {"size": len(_CACHE), "hits": _HITS, "misses": _MISSES,
+                "max_size": MAX_PLANS, "scratch_bytes": _SCRATCH_BYTES,
+                "max_scratch_bytes": MAX_SCRATCH_BYTES}

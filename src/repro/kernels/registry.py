@@ -1,0 +1,99 @@
+"""Backend registry and selection for the quantization kernel subsystem.
+
+Selection precedence, highest first:
+
+1. an active :func:`use_backend` context / :func:`set_backend` call,
+2. the ``REPRO_KERNEL_BACKEND`` environment variable,
+3. the default ``"numpy"`` fast path.
+
+The ``"reference"`` backend is the legacy straight-line engine kept as the
+correctness oracle; switch to it to rule the fast path out of any numerical
+question (``REPRO_KERNEL_BACKEND=reference python -m pytest ...``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from .base import KernelBackend
+from .numpy_backend import NumpyBackend
+from .reference import ReferenceBackend
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "register_backend",
+    "list_backends",
+]
+
+#: Environment variable consulted when no backend was set programmatically.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+#: Backend used when neither an override nor the env var is present.
+DEFAULT_BACKEND = "numpy"
+
+_BACKENDS: dict[str, KernelBackend] = {}
+#: Programmatic override; ``None`` defers to the environment/default.
+_ACTIVE: str | None = None
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Add a backend instance under its ``name`` (case-insensitive)."""
+    key = backend.name.lower()
+    if key in _BACKENDS:
+        raise ValueError(f"kernel backend {backend.name!r} is already registered")
+    _BACKENDS[key] = backend
+
+
+def list_backends() -> list[str]:
+    """All registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def _resolve(name: str) -> KernelBackend:
+    try:
+        return _BACKENDS[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ValueError(
+            f"unknown kernel backend {name!r}; known backends: {known}"
+        ) from None
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """The backend to dispatch to (or a specific one when ``name`` given)."""
+    if name is not None:
+        return _resolve(name)
+    if _ACTIVE is not None:
+        return _resolve(_ACTIVE)
+    return _resolve(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
+
+
+def set_backend(name: str | None) -> str | None:
+    """Set the process-wide backend override; returns the previous override.
+
+    Pass ``None`` to fall back to ``REPRO_KERNEL_BACKEND`` / the default.
+    """
+    global _ACTIVE
+    if name is not None:
+        _resolve(name)  # validate eagerly
+    previous = _ACTIVE
+    _ACTIVE = name
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Temporarily dispatch through the named backend."""
+    previous = set_backend(name)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)
+
+
+register_backend(NumpyBackend())
+register_backend(ReferenceBackend())

@@ -97,6 +97,46 @@ class QuantSpec:
         return fmt.quantize(data, axis=axis, rounding=self.rounding, rng=self.rng)
 
 
+def _memo_quantize(
+    spec: QuantSpec, role: str, t: Tensor, axis: int, transpose: bool = False
+) -> np.ndarray:
+    """Quantize a tensor role, memoized on the tensor's data version.
+
+    Within one forward/backward a weight is quantized up to three times
+    even though its data never changes (``Q(w)`` forward, ``Q(w^T)`` in the
+    error backprop), and across inference steps or gradient-accumulation
+    microbatches the same quantizations repeat verbatim.  Results are
+    cached on the tensor itself, keyed by ``(format identity, axis,
+    transpose, rounding)``; :class:`~repro.nn.tensor.Tensor`'s data version
+    counter drops the cache whenever the data is rebound (e.g. an optimizer
+    step), so stale reuse is impossible.
+
+    Only deterministic rounding with a memoizable format (stateless — see
+    :meth:`~repro.formats.base.Format.cache_key`) on a *leaf* tensor is
+    cached; every other combination quantizes directly, so results are
+    always bit-identical to the uncached path.
+    """
+    fmt = getattr(spec, role)
+    data = np.swapaxes(t.data, -1, -2) if transpose else t.data
+    if fmt is None:
+        return data
+    key_fmt = fmt.cache_key() if spec.rounding != "stochastic" else None
+    if key_fmt is None or t._parents:
+        return fmt.quantize(data, axis=axis, rounding=spec.rounding, rng=spec.rng)
+    state = t._qstate
+    cache = state["cache"]
+    if cache is None:
+        cache = state["cache"] = {}
+    # The version in the key is the correctness anchor; the setter clearing
+    # the cache on rebinding merely keeps dead entries from accumulating.
+    key = (state["version"], key_fmt, axis, transpose, spec.rounding)
+    out = cache.get(key)
+    if out is None:
+        out = fmt.quantize(data, axis=axis, rounding=spec.rounding, rng=spec.rng)
+        cache[key] = out
+    return out
+
+
 def quantized_matmul(a: Tensor, w: Tensor, spec: QuantSpec | None) -> Tensor:
     """``a @ w`` with Figure 8 quantization; ``a: (..., K)``, ``w: (K, N)``.
 
@@ -119,13 +159,13 @@ def quantized_matmul(a: Tensor, w: Tensor, spec: QuantSpec | None) -> Tensor:
         raise ValueError(f"reduction mismatch: {a.shape} @ {w.shape}")
 
     a_q = spec.quantize("activation", a.data, axis=-1)
-    w_q = spec.quantize("weight", w.data, axis=0)
+    w_q = _memo_quantize(spec, "weight", w, axis=0)
     out_data = a_q @ w_q
 
     def backward(grad):
         if a.requires_grad:
             g_q = spec.quantize("backward", grad, axis=-1)
-            wt_q = spec.quantize("backward", w.data.T, axis=0)
+            wt_q = _memo_quantize(spec, "backward", w, axis=0, transpose=True)
             a._accumulate(g_q @ wt_q)
         if w.requires_grad:
             g2 = grad.reshape(-1, w.shape[1])
@@ -159,19 +199,17 @@ def quantized_bmm(a: Tensor, b: Tensor, spec: QuantSpec | None) -> Tensor:
     if spec is None:
         return a @ b
 
-    a_q = spec.quantize("activation", a.data, axis=-1)
-    b_q = spec.quantize("activation", b.data, axis=-2)
+    a_q = _memo_quantize(spec, "activation", a, axis=-1)
+    b_q = _memo_quantize(spec, "activation", b, axis=-2)
     out_data = a_q @ b_q
 
     def backward(grad):
         if a.requires_grad:
             g_q = spec.quantize("backward", grad, axis=-1)
-            bt = np.swapaxes(b.data, -1, -2)
-            bt_q = spec.quantize("backward", bt, axis=-2)
+            bt_q = _memo_quantize(spec, "backward", b, axis=-2, transpose=True)
             a._accumulate(_unbroadcast(g_q @ bt_q, a.shape))
         if b.requires_grad:
-            at = np.swapaxes(a.data, -1, -2)
-            at_q = spec.quantize("backward", at, axis=-1)
+            at_q = _memo_quantize(spec, "backward", a, axis=-1, transpose=True)
             g_q = spec.quantize("backward", grad, axis=-2)
             b._accumulate(_unbroadcast(at_q @ g_q, b.shape))
 

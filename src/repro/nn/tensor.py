@@ -53,7 +53,10 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """An array with an optional gradient and a backward closure."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "_data", "grad", "requires_grad", "_backward", "_parents", "name",
+        "_qstate",
+    )
 
     def __init__(
         self,
@@ -63,12 +66,55 @@ class Tensor:
         _backward: Callable[[np.ndarray], None] | None = None,
         name: str | None = None,
     ):
+        # Shared (not per-Tensor) so aliases created via detach() observe
+        # mutations made through the original handle; see `version`.
+        self._qstate = {"version": 0, "cache": None}
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
+
+    # ------------------------------------------------------------------
+    # Data versioning
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        # Every rebinding (including augmented in-place updates, which
+        # re-assign the attribute) bumps the version and drops memoized
+        # quantizations of the old contents.
+        self._data = np.asarray(value, dtype=np.float64)
+        self._qstate["version"] += 1
+        self._qstate["cache"] = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version; consumers key caches on it.
+
+        The version state is *shared* between a tensor and the aliases
+        produced by :meth:`detach`, so an in-place update such as
+        ``w.data -= g`` also invalidates caches held on ``w.detach()``
+        handles of the same buffer.  Constructing a second Tensor directly
+        from a live array (``Tensor(w.data)``) creates an independent
+        version — mutate through one handle and call
+        :meth:`bump_version` on the other, or prefer :meth:`detach`.
+        """
+        return self._qstate["version"]
+
+    def bump_version(self) -> None:
+        """Mark the data as mutated after direct in-place writes.
+
+        ``t.data -= g`` and ``t.data = arr`` are tracked automatically via
+        the attribute setter; only raw element writes such as
+        ``t.data[i] = v`` bypass it and need an explicit bump.
+        """
+        self._qstate["version"] += 1
+        self._qstate["cache"] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -93,8 +139,14 @@ class Tensor:
         return float(self.data)
 
     def detach(self) -> "Tensor":
-        """A view of the data cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """A view of the data cut off from the graph.
+
+        Shares the version/quantization-cache state with this tensor, so
+        in-place updates through either handle invalidate both.
+        """
+        detached = Tensor(self.data, requires_grad=False)
+        detached._qstate = self._qstate
+        return detached
 
     def __repr__(self) -> str:
         head = np.array2string(self.data, precision=4, threshold=8)

@@ -58,6 +58,27 @@ class TestScales:
     def test_pow2_scale_exact(self):
         assert pow2_scale(np.array(6.0), 3)[()] == 2.0
 
+    def test_pow2_scale_exact_powers_of_two(self):
+        """Regression: float log2 of 2^-k can land at -k +/- ulp, so the old
+        ceil(log2(ideal)) was off by one scale near exact powers of two.
+        frexp must keep every exact power of two fixed."""
+        for qmax in (1.0, 3.0, 7.0, 15.0):
+            exps = np.arange(-300, 301)
+            amax = qmax * np.exp2(exps.astype(np.float64))
+            scale = pow2_scale(amax, qmax)
+            np.testing.assert_array_equal(scale, np.exp2(exps.astype(np.float64)))
+
+    def test_pow2_scale_never_below_ideal(self):
+        rng = np.random.default_rng(0)
+        amax = np.exp(rng.uniform(-300, 300, size=2000))
+        qmax = 7.0
+        scale = pow2_scale(amax, qmax)
+        ideal = amax / qmax
+        assert np.all(scale >= ideal)          # never clips
+        assert np.all(scale < 2.0 * ideal)     # tightest power of two
+        mant, _ = np.frexp(scale)
+        np.testing.assert_array_equal(mant, 0.5)  # all exact powers of two
+
 
 class TestDelayedScaler:
     def test_first_call_uses_current(self):

@@ -72,3 +72,83 @@ class TestMeasureQsnr:
         e4m3 = measure_qsnr(get_format("fp8_e4m3"), n_vectors=2000)
         e5m2 = measure_qsnr(get_format("fp8_e5m2"), n_vectors=2000)
         assert e5m2 < mx6 < e4m3
+
+
+class _ForceSequential:
+    """Shim hiding a format's statelessness to force the chunked loop."""
+
+    def __init__(self, fmt):
+        self._fmt = fmt
+        self.name = fmt.name
+
+    is_stateless = False
+
+    def quantize(self, *args, **kwargs):
+        return self._fmt.quantize(*args, **kwargs)
+
+    def reset_state(self):
+        self._fmt.reset_state()
+
+    @property
+    def bits_per_element(self):
+        return self._fmt.bits_per_element
+
+
+class TestBatchedMeasureQsnr:
+    """Stateless formats collapse to one batched quantize call; the result
+    must be bit-identical to the sequential chunked loop."""
+
+    @pytest.mark.parametrize("name", ["mx9", "mx6", "msfp16", "fp32"])
+    def test_batched_equals_sequential(self, name):
+        fmt = get_format(name)
+        assert fmt.is_stateless
+        batched = measure_qsnr(fmt, n_vectors=1000, seed=3)
+        sequential = measure_qsnr(
+            _ForceSequential(get_format(name)), n_vectors=1000, seed=3
+        )
+        assert batched == sequential
+
+    def test_uneven_final_chunk(self):
+        fmt = get_format("mx6")
+        batched = measure_qsnr(fmt, n_vectors=601, chunk=256, seed=1)
+        sequential = measure_qsnr(
+            _ForceSequential(get_format("mx6")), n_vectors=601, chunk=256, seed=1
+        )
+        assert batched == sequential
+
+    def test_zero_vectors_is_floor(self):
+        """Regression: an empty ensemble must return the floor, not raise."""
+        assert measure_qsnr(get_format("mx6"), n_vectors=0) == QSNR_FLOOR
+
+    def test_oversized_ensemble_bypasses_cache(self):
+        import importlib
+
+        # the package re-exports the qsnr *function*, shadowing the module
+        qsnr_mod = importlib.import_module("repro.fidelity.qsnr")
+
+        before = qsnr_mod._cached_ensemble.cache_info().currsize
+        n = qsnr_mod.MAX_CACHED_ENSEMBLE_BYTES // (8 * 16) + 1
+        x, sizes = qsnr_mod._sample_ensemble("standard_normal", n, 16, 0, 1 << 20)
+        assert x.shape == (n, 16)
+        assert qsnr_mod._cached_ensemble.cache_info().currsize == before
+
+    def test_streaming_path_matches_cached_path(self, monkeypatch):
+        """Oversized requests stream chunk-by-chunk (bounded memory) and
+        must produce the same value as the materialized path."""
+        import importlib
+
+        qsnr_mod = importlib.import_module("repro.fidelity.qsnr")
+        stateless = measure_qsnr(get_format("mx6"), n_vectors=600, seed=4)
+        stateful = measure_qsnr(get_format("int8"), n_vectors=600, seed=4)
+        monkeypatch.setattr(qsnr_mod, "MAX_CACHED_ENSEMBLE_BYTES", 0)
+        assert measure_qsnr(get_format("mx6"), n_vectors=600, seed=4) == stateless
+        assert measure_qsnr(get_format("int8"), n_vectors=600, seed=4) == stateful
+
+    def test_stateful_formats_stay_sequential(self):
+        """Delayed scaling depends on chunk order; it must keep the loop
+        (and therefore keep matching its own historical values)."""
+        fmt = get_format("int8")
+        assert not fmt.is_stateless
+        a = measure_qsnr(fmt, n_vectors=600, seed=2)
+        b = measure_qsnr(get_format("int8"), n_vectors=600, seed=2)
+        assert a == b

@@ -78,3 +78,27 @@ class TestRunSweep:
         b = SweepPoint("b", "mx", 6, 15.0, 0.4, 0.7, 0.3)
         assert a.dominates(b)
         assert not b.dominates(a)
+
+
+class TestParallelSweep:
+    CONFIGS = [BDRConfig.mx(m=2), BDRConfig.mx(m=7), BDRConfig.bfp(m=4, k1=16)]
+
+    def test_n_jobs_matches_serial_bit_exactly(self):
+        serial = run_sweep(configs=self.CONFIGS, include_named=False,
+                           n_vectors=100)
+        parallel = run_sweep(configs=self.CONFIGS, include_named=False,
+                             n_vectors=100, n_jobs=2)
+        assert serial == parallel  # SweepPoint is a frozen dataclass: exact
+
+    def test_n_jobs_with_named_formats(self):
+        serial = run_sweep(configs=[], include_named=True, n_vectors=50)
+        parallel = run_sweep(configs=[], include_named=True, n_vectors=50,
+                             n_jobs=2)
+        assert serial == parallel
+
+    def test_n_jobs_one_stays_serial(self):
+        a = run_sweep(configs=self.CONFIGS[:1], include_named=False,
+                      n_vectors=50, n_jobs=1)
+        b = run_sweep(configs=self.CONFIGS[:1], include_named=False,
+                      n_vectors=50)
+        assert a == b

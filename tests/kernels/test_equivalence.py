@@ -1,0 +1,179 @@
+"""The kernel equivalence contract: the fast path is bit-exact vs reference.
+
+Every backend must produce bit-for-bit identical dequantized values.  This
+suite sweeps the full :func:`repro.fidelity.sweep.bdr_design_space` grid,
+all rounding modes, non-divisible axis lengths (the padding path),
+non-trailing axes, empty inputs, all-zero blocks, extreme dynamic ranges
+(subnormal and near-overflow data), and the software-scaled INT/VSQ paths
+with and without scale overrides.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bdr import BDRConfig
+from repro.core.quantize import bdr_quantize, bdr_quantize_detailed
+from repro.core.rounding import ROUNDING_MODES
+from repro.fidelity.sweep import bdr_design_space
+from repro.kernels import use_backend
+
+DESIGN_SPACE = bdr_design_space()
+
+SOFTWARE_CONFIGS = [
+    BDRConfig.int_sw(m=7, k1=64),
+    BDRConfig.int_sw(m=3, k1=16),
+    BDRConfig.int_sw(m=7, k1=1024),
+    BDRConfig.vsq(m=5, d2=6, k1=64, k2=16),
+    BDRConfig.vsq(m=3, d2=4, k1=32, k2=8),
+    BDRConfig.vsq(m=7, d2=10, k1=1024, k2=16),
+]
+
+REPRESENTATIVE = [
+    BDRConfig.mx(m=7),
+    BDRConfig.mx(m=4),
+    BDRConfig.mx(m=2),
+    BDRConfig.bfp(m=7, k1=16),
+    BDRConfig.bfp(m=3, k1=8),
+] + SOFTWARE_CONFIGS
+
+
+def both_backends(x, config, **kwargs):
+    with use_backend("reference"):
+        ref = bdr_quantize(x, config, **kwargs)
+    with use_backend("numpy"):
+        fast = bdr_quantize(x, config, **kwargs)
+    return ref, fast
+
+
+def assert_bit_exact(x, config, **kwargs):
+    ref, fast = both_backends(x, config, **kwargs)
+    np.testing.assert_array_equal(ref, fast, err_msg=config.label)
+
+
+@pytest.mark.parametrize("config", DESIGN_SPACE, ids=lambda c: c.label)
+def test_full_design_space_divisible(config):
+    """Every pow2/pow2 grid point, divisible axis (the pure-view path)."""
+    rng = np.random.default_rng(hash(config.label) % 2**32)
+    x = rng.normal(size=(3, 4 * config.k1)) * np.exp2(
+        rng.integers(-40, 40, size=(3, 1)).astype(np.float64)
+    )
+    assert_bit_exact(x, config)
+
+
+@pytest.mark.parametrize("config", DESIGN_SPACE[:: 7], ids=lambda c: c.label)
+def test_design_space_padding_path(config):
+    """Non-divisible axis lengths exercise the zero-padding path."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(2, 3 * config.k1 + 1))
+    assert_bit_exact(x, config)
+    assert_bit_exact(rng.normal(size=(2, 13)), config)
+
+
+@pytest.mark.parametrize("config", REPRESENTATIVE, ids=lambda c: c.label)
+@pytest.mark.parametrize("mode", ROUNDING_MODES)
+def test_rounding_modes(config, mode):
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(4, 2 * config.k1 + 5))
+    with use_backend("reference"):
+        ref = bdr_quantize(x, config, rounding=mode, rng=np.random.default_rng(11))
+    with use_backend("numpy"):
+        fast = bdr_quantize(x, config, rounding=mode, rng=np.random.default_rng(11))
+    np.testing.assert_array_equal(ref, fast, err_msg=f"{config.label} {mode}")
+
+
+@pytest.mark.parametrize("config", REPRESENTATIVE, ids=lambda c: c.label)
+@pytest.mark.parametrize("axis", [0, 1, 2])
+def test_non_trailing_axes(config, axis):
+    rng = np.random.default_rng(3)
+    shape = [3, 4, 5]
+    shape[axis] = 2 * config.k1 + 1  # blocks + padding along the chosen axis
+    x = rng.normal(size=shape)
+    assert_bit_exact(x, config, axis=axis)
+    assert_bit_exact(x, config, axis=axis - 3)  # negative-axis spelling
+
+
+@pytest.mark.parametrize("config", REPRESENTATIVE, ids=lambda c: c.label)
+def test_empty_input(config):
+    ref, fast = both_backends(np.zeros((0, 16)), config)
+    assert ref.shape == fast.shape == (0, 16)
+
+
+@pytest.mark.parametrize("config", REPRESENTATIVE, ids=lambda c: c.label)
+def test_all_zero_blocks(config):
+    x = np.zeros((3, 2 * config.k1))
+    ref, fast = both_backends(x, config)
+    np.testing.assert_array_equal(fast, 0.0)
+    np.testing.assert_array_equal(ref, fast)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")  # deliberate inf/0 corners
+@pytest.mark.parametrize("config", REPRESENTATIVE, ids=lambda c: c.label)
+def test_mixed_zero_and_extreme_blocks(config):
+    """Zero sub-blocks next to subnormal and near-overflow data."""
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(6, 2 * config.k1))
+    x[0] = 0.0
+    x[1] *= 1e-320  # subnormal magnitudes
+    x[2] *= 1e307   # near the top of the exponent range
+    x[3, : config.k1] = 0.0
+    x[4] *= 1e-45
+    assert_bit_exact(x, config)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")  # deliberate inf/NaN
+@pytest.mark.parametrize("config", REPRESENTATIVE, ids=lambda c: c.label)
+@pytest.mark.parametrize("poison", [np.inf, -np.inf, np.nan])
+def test_non_finite_blocks_match_reference(config, poison):
+    """Blocks holding inf/NaN must still match the reference path exactly
+    (the fast backend hands them back to the reference engine)."""
+    rng = np.random.default_rng(8)
+    x = rng.normal(size=(3, 2 * config.k1))
+    x[1, 1] = poison
+    ref, fast = both_backends(x, config)
+    np.testing.assert_array_equal(ref, fast, err_msg=config.label)
+    # rows without the poison stay quantized normally
+    clean_ref, clean_fast = both_backends(x[2:], config)
+    np.testing.assert_array_equal(clean_ref, clean_fast)
+
+
+@pytest.mark.parametrize(
+    "config", SOFTWARE_CONFIGS, ids=lambda c: c.label
+)
+@pytest.mark.parametrize("override", [0.25, 1.0, 3.7e-3])
+def test_scale_override_paths(config, override):
+    """Delayed-scaling overrides: scalar stays a broadcast view throughout."""
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(2, 2 * config.k1))
+    assert_bit_exact(x, config, scale_override=override)
+
+
+@pytest.mark.parametrize("config", REPRESENTATIVE, ids=lambda c: c.label)
+def test_detailed_decomposition_matches(config):
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(2, 2 * config.k1 + 3))
+    with use_backend("reference"):
+        ref = bdr_quantize_detailed(x, config)
+    with use_backend("numpy"):
+        fast = bdr_quantize_detailed(x, config)
+    np.testing.assert_array_equal(ref.values, fast.values)
+    np.testing.assert_array_equal(ref.codes, fast.codes)
+    np.testing.assert_array_equal(ref.scale, fast.scale)
+    np.testing.assert_array_equal(ref.step, fast.step)
+    if ref.sub_scale is None:
+        assert fast.sub_scale is None
+    else:
+        np.testing.assert_array_equal(ref.sub_scale, fast.sub_scale)
+
+
+def test_fast_values_match_detailed_reconstruction():
+    """codes * step from the reference decomposition reproduces the fast
+    path's dequantized values exactly."""
+    rng = np.random.default_rng(7)
+    config = BDRConfig.mx(m=4)
+    x = rng.normal(size=(4, 64))
+    with use_backend("reference"):
+        detail = bdr_quantize_detailed(x, config)
+    with use_backend("numpy"):
+        fast = bdr_quantize(x, config)
+    reconstructed = (detail.codes * detail.step).reshape(x.shape)
+    np.testing.assert_array_equal(reconstructed, fast)

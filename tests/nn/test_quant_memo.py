@@ -1,0 +1,196 @@
+"""Quantized-weight memoization and the Tensor data-version counter."""
+
+import numpy as np
+import pytest
+
+from repro.formats.bdr_format import MXFormat
+from repro.formats.registry import get_format
+from repro.nn.optim import SGD
+from repro.nn.quantized import QuantSpec, quantized_bmm, quantized_matmul
+from repro.nn.tensor import Tensor
+
+
+class CountingMX(MXFormat):
+    """MX format that counts quantize invocations."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def quantize(self, *args, **kwargs):
+        self.calls += 1
+        return super().quantize(*args, **kwargs)
+
+
+class UncachedMX(CountingMX):
+    """Stateless but opted out of memoization."""
+
+    def cache_key(self):
+        return None
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestVersionCounter:
+    def test_assignment_bumps(self):
+        t = Tensor(np.zeros(3))
+        v = t.version
+        t.data = np.ones(3)
+        assert t.version == v + 1
+
+    def test_inplace_augmented_bumps(self):
+        t = Tensor(np.ones(3))
+        v = t.version
+        t.data -= 0.5
+        assert t.version == v + 1
+
+    def test_bump_version_manual(self):
+        t = Tensor(np.ones(3))
+        t.data[0] = 5.0  # bypasses the setter
+        v = t.version
+        t.bump_version()
+        assert t.version == v + 1
+
+    def test_setter_coerces_dtype(self):
+        t = Tensor(np.ones(3))
+        t.data = np.ones(3, dtype=np.float32)
+        assert t.data.dtype == np.float64
+
+
+class TestWeightMemoization:
+    def _spec(self, fmt):
+        return QuantSpec(activation=get_format("mx9"), weight=fmt,
+                         backward=get_format("mx9"))
+
+    def test_forward_weight_quantized_once_across_steps(self, rng):
+        fmt = CountingMX(m=7)
+        spec = self._spec(fmt)
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        for _ in range(5):
+            a = Tensor(rng.normal(size=(4, 16)))
+            quantized_matmul(a, w, spec)
+        assert fmt.calls == 1
+
+    def test_memoized_result_is_identical(self, rng):
+        cached = CountingMX(m=7)
+        uncached = UncachedMX(m=7)
+        w_data = rng.normal(size=(16, 8))
+        a_data = rng.normal(size=(4, 16))
+        outs = []
+        for fmt in (cached, uncached):
+            w = Tensor(w_data.copy(), requires_grad=True)
+            for _ in range(3):
+                out = quantized_matmul(Tensor(a_data), w, self._spec(fmt))
+            outs.append(out.data)
+        assert cached.calls == 1 and uncached.calls == 3
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_data_update_invalidates(self, rng):
+        fmt = CountingMX(m=7)
+        spec = self._spec(fmt)
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        a = Tensor(rng.normal(size=(4, 16)))
+        quantized_matmul(a, w, spec)
+        w.data -= 0.1
+        quantized_matmul(a, w, spec)
+        assert fmt.calls == 2
+
+    def test_training_step_requantizes(self, rng):
+        """The optimizer's in-place update must invalidate the cache, so
+        a training loop with memoization matches one without, bit for bit."""
+        w_init = rng.normal(size=(8, 4))
+        batches = [rng.normal(size=(2, 8)) for _ in range(4)]
+
+        def train(fmt_cls):
+            fmt = fmt_cls(m=7)
+            spec = self._spec(fmt)
+            w = Tensor(w_init.copy(), requires_grad=True)
+            opt = SGD([w], lr=0.05)
+            for batch in batches:
+                out = quantized_matmul(Tensor(batch), w, spec)
+                out.sum().backward()
+                opt.step()
+                opt.zero_grad()
+            return w.data
+
+        np.testing.assert_array_equal(train(CountingMX), train(UncachedMX))
+
+    def test_transposed_weight_cached_separately(self, rng):
+        fmt = CountingMX(m=7)
+        spec = QuantSpec(activation=get_format("mx9"), weight=get_format("mx9"),
+                         backward=fmt)
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        for _ in range(3):
+            a = Tensor(rng.normal(size=(4, 16)), requires_grad=True)
+            quantized_matmul(a, w, spec).sum().backward()
+        # backward quantizes Q(w^T) (cached once) plus the per-step error
+        # and activation tensors (never cached)
+        assert fmt.calls == 1 + 3 * 3
+
+    def test_stateful_format_never_cached(self, rng):
+        fmt = get_format("int8")  # delayed scaling: has history
+        assert fmt.cache_key() is None
+        spec = QuantSpec(activation=None, weight=fmt, backward=None)
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        a = Tensor(rng.normal(size=(4, 16)))
+        q1 = quantized_matmul(a, w, spec)
+        q2 = quantized_matmul(a, w, spec)
+        # delayed scaling keeps updating its history, so outputs may differ
+        # and the cache must not have frozen the first result
+        assert w._qstate["cache"] in (None, {})
+        assert q1.shape == q2.shape
+
+    def test_stochastic_rounding_never_cached(self, rng):
+        fmt = CountingMX(m=2)
+        spec = self._spec(fmt)
+        spec.rounding = "stochastic"
+        spec.rng = np.random.default_rng(3)
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        a = Tensor(rng.normal(size=(4, 16)))
+        quantized_matmul(a, w, spec)
+        quantized_matmul(a, w, spec)
+        assert fmt.calls == 2
+
+    def test_detached_alias_sees_inplace_update(self, rng):
+        """Regression: detach() shares the data buffer, so an in-place
+        optimizer update through the original handle must invalidate the
+        cache held on the detached alias too."""
+        fmt = CountingMX(m=7)
+        spec = self._spec(fmt)
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        d = w.detach()
+        a = Tensor(rng.normal(size=(4, 16)))
+        quantized_matmul(a, d, spec)          # caches Q(w) on the alias
+        w.data -= 0.25                        # mutates the shared buffer
+        out = quantized_matmul(a, d, spec)
+        fresh = quantized_matmul(a, Tensor(w.data.copy()), self._spec(CountingMX(m=7)))
+        np.testing.assert_array_equal(out.data, fresh.data)
+        assert fmt.calls == 2  # second call re-quantized, no stale hit
+
+    def test_bmm_caches_leaf_operands_only(self, rng):
+        fmt = CountingMX(m=7)
+        spec = QuantSpec(activation=fmt, weight=fmt, backward=fmt)
+        a = Tensor(rng.normal(size=(2, 4, 16)))   # leaf
+        b = Tensor(rng.normal(size=(2, 16, 4)))   # leaf
+        quantized_bmm(a, b, spec)
+        first = fmt.calls
+        quantized_bmm(a, b, spec)
+        assert fmt.calls == first  # both operands memoized
+
+    def test_bmm_matches_plain_path(self, rng):
+        spec = QuantSpec.uniform("mx6")
+        a_data = rng.normal(size=(2, 4, 16))
+        b_data = rng.normal(size=(2, 16, 4))
+        a1, b1 = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        out = quantized_bmm(a1, b1, spec)
+        out.sum().backward()
+        # independent run through fresh tensors/formats
+        a2, b2 = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        out2 = quantized_bmm(a2, b2, QuantSpec.uniform("mx6"))
+        out2.sum().backward()
+        np.testing.assert_array_equal(out.data, out2.data)
+        np.testing.assert_array_equal(a1.grad, a2.grad)
+        np.testing.assert_array_equal(b1.grad, b2.grad)
