@@ -5,7 +5,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import MX9, bdr_quantize, get_format, qsnr_lower_bound
+import repro
+from repro import MX9, get_format, qsnr_lower_bound
 from repro.fidelity import measure_qsnr, qsnr
 from repro.hardware import hardware_cost
 
@@ -13,10 +14,12 @@ def main():
     rng = np.random.default_rng(0)
 
     # ------------------------------------------------------------------
-    # 1. Quantize a tensor to MX9 along its reduction dimension.
+    # 1. Quantize a tensor to MX9 along its reduction dimension.  Any
+    #    spec spelling works: "mx9", "bdr(m=7,k1=16,d1=8,k2=2,d2=1,
+    #    ss=pow2)", "mx9?rounding=stochastic", ...
     # ------------------------------------------------------------------
     activations = rng.normal(size=(4, 256))
-    quantized = bdr_quantize(activations, MX9, axis=-1)
+    quantized = repro.quantize(activations, "mx9", axis=-1)
     print("MX9 round-trip QSNR on one tensor: "
           f"{qsnr(activations, quantized):.1f} dB "
           f"(Theorem 1 guarantees >= {qsnr_lower_bound(MX9):.1f} dB)")

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-command CI gate: tier-1 tests, kernel-perf regression, CLI smoke.
+#
+# Usage:
+#   scripts/ci.sh                 # full gate
+#   SKIP_BENCH=1 scripts/ci.sh    # skip the perf gate (e.g. noisy machines)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "=== [1/3] tier-1 pytest ==="
+python -m pytest -x -q
+
+if [ -z "${SKIP_BENCH:-}" ]; then
+    echo "=== [2/3] kernel perf regression gate ==="
+    python benchmarks/check_regression.py
+else
+    echo "=== [2/3] kernel perf regression gate (skipped: SKIP_BENCH set) ==="
+fi
+
+echo "=== [3/3] spec-layer CLI smoke ==="
+python -m repro list > /dev/null
+python -m repro list-formats > /dev/null
+python -m repro describe "bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)" > /dev/null
+python -m repro describe "mx9?rounding=stochastic" > /dev/null
+python -m repro qsnr mx6 --n-vectors 200 > /dev/null
+# unknown specs must fail with exit code 2
+if python -m repro describe mx7 2> /dev/null; then
+    echo "describe mx7 should have failed" >&2
+    exit 1
+fi
+
+echo "ci: all gates passed"

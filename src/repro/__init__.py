@@ -3,9 +3,13 @@ A Little Shifting Goes a Long Way" (ISCA 2023).
 
 Public API highlights:
 
+* :func:`repro.quantize` / :func:`repro.spec` — the one-call facade over
+  the declarative spec layer (``repro.quantize(x, "mx6")``).
 * :class:`repro.core.BDRConfig` — the Block Data Representations design space.
 * :func:`repro.core.mx_quantize` / :data:`repro.core.MX9` — the MX formats.
 * :func:`repro.formats.get_format` — every format family from Figure 7.
+* :mod:`repro.spec` — the serializable spec language for formats, quant
+  specs and per-layer policies (``"bdr(m=4,k1=16,d1=8)"``, PolicySpec JSON).
 * :func:`repro.fidelity.measure_qsnr` — the paper's statistical methodology.
 * :mod:`repro.hardware` — the dot-product area and memory cost models.
 * :mod:`repro.nn` / :mod:`repro.flow` — quantized training and inference.
@@ -22,8 +26,103 @@ from .core import (
     qsnr_lower_bound,
 )
 from .formats import Format, get_format, list_formats
+from .spec import (
+    FirstLastHighPolicy,
+    FormatSpec,
+    PolicyRule,
+    PolicySpec,
+    RulePolicy,
+    UniformPolicy,
+    as_format,
+    format_to_spec,
+    parse_spec,
+    render_spec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def quantize(x, fmt, axis: int = -1, rounding: str | None = None, rng=None):
+    """Fake-quantize ``x`` with any format spelling, in one call.
+
+    ``repro.quantize(x, "mx6")`` is the library's front door: ``fmt`` may
+    be a registered name, a spec-language string (``"bdr(m=4,k1=16,d1=8)"``,
+    ``"mx9?rounding=stochastic"``), a spec dict, a
+    :class:`~repro.spec.FormatSpec`, or a :class:`Format` instance.
+
+    Args:
+        x: array-like to quantize.
+        fmt: the format description.
+        axis: reduction axis of the consuming dot product (block formats
+            quantize along it).
+        rounding: per-call rounding override; ``None`` uses the format's
+            default (or pinned) mode.
+        rng: generator for stochastic rounding.
+    """
+    kwargs = {} if rounding is None else {"rounding": rounding}
+    if rng is not None:
+        kwargs["rng"] = rng
+    return as_format(fmt).quantize(x, axis=axis, **kwargs)
+
+
+# NOTE: this deliberately shadows the `repro.spec` *module attribute* with
+# the facade function.  `from repro.spec import ...` still resolves to the
+# package via sys.modules, and the package's public names are mirrored onto
+# the function below so `repro.spec.parse_spec` keeps working too.
+def spec(fmt=None, /, **params) -> FormatSpec:
+    """Build the canonical :class:`~repro.spec.FormatSpec` for any spelling.
+
+    Three call shapes::
+
+        repro.spec("mx9?rounding=stochastic")       # parse a string/dict
+        repro.spec(get_format("mx6"))               # reverse-map an instance
+        repro.spec("bdr", m=4, k1=16, d1=8)         # family + parameters
+
+    In the family shape, the keywords ``rounding``, ``scaling``, ``window``
+    and ``seed`` route to the spec's options; everything else is a family
+    parameter.
+    """
+    if fmt is None:
+        raise TypeError("repro.spec() needs a format spelling or family name")
+    if not params:
+        return parse_spec(fmt)
+    if not isinstance(fmt, str):
+        raise TypeError("parameters are only valid with a family-name string")
+    from .spec.grammar import FAMILIES
+
+    base = fmt.strip().lower()
+    # route kwargs by the family's own declaration: declared parameters go
+    # in parens, everything else (rounding, scaling, window, seed, ...) is
+    # an option and validated downstream
+    family = FAMILIES.get(base)
+    param_names = set(family.order) if family is not None else set()
+    family_params = {k: v for k, v in params.items() if k in param_names}
+    options = {k: v for k, v in params.items() if k not in param_names}
+    return parse_spec(
+        FormatSpec(
+            base=base,
+            params=tuple(family_params.items()),
+            options=tuple(options.items()),
+        ).canonical()
+    )
+
+
+def _mirror_spec_package() -> None:
+    """Make `repro.spec.<name>` work despite the function shadowing the
+    subpackage attribute: mirror the package's public names and its
+    submodules (grammar, policy) onto the facade function."""
+    import sys
+
+    package = sys.modules[__name__ + ".spec"]
+    for name in package.__all__:
+        setattr(spec, name, getattr(package, name))
+    for submodule in ("grammar", "policy"):
+        setattr(spec, submodule, sys.modules[f"{__name__}.spec.{submodule}"])
+    spec.__all__ = list(package.__all__)
+
+
+_mirror_spec_package()
+
 
 __all__ = [
     "BDRConfig",
@@ -36,5 +135,17 @@ __all__ = [
     "Format",
     "get_format",
     "list_formats",
+    "FormatSpec",
+    "parse_spec",
+    "render_spec",
+    "as_format",
+    "format_to_spec",
+    "PolicySpec",
+    "UniformPolicy",
+    "FirstLastHighPolicy",
+    "RulePolicy",
+    "PolicyRule",
+    "quantize",
+    "spec",
     "__version__",
 ]

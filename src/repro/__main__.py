@@ -1,20 +1,104 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: paper experiments plus the spec layer.
 
 Usage::
 
-    python -m repro list
-    python -m repro figure7
+    python -m repro list                 # enumerate experiments
+    python -m repro figure7              # regenerate a table/figure
     python -m repro table3 --full --seed 1
+
+    python -m repro list-formats         # every registered format name
+    python -m repro describe "bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)"
+    python -m repro qsnr mx6 --distribution normal --n-vectors 2000
+
+Everything below ``list`` is driven entirely by the declarative spec
+layer (:mod:`repro.spec`): any spelling accepted by ``repro.quantize``
+works with ``describe`` and ``qsnr``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 
-def main(argv: list[str] | None = None) -> int:
+def _cmd_list_formats(argv: list[str]) -> int:
+    from .formats import get_format, list_formats
+
+    parser = argparse.ArgumentParser(
+        prog="repro list-formats", description="Enumerate registered formats."
+    )
+    parser.parse_args(argv)
+    width = max(len(name) for name in list_formats())
+    for name in list_formats():
+        fmt = get_format(name)
+        print(f"{name:<{width}}  {fmt.bits_per_element:6.3f} bits/elem  {fmt.name}")
+    return 0
+
+
+def _cmd_describe(argv: list[str]) -> int:
+    from .hardware.cost import hardware_cost
+    from .spec import as_format, parse_spec, render_spec
+
+    parser = argparse.ArgumentParser(
+        prog="repro describe", description="Describe one format spec."
+    )
+    parser.add_argument("spec", help="any spec spelling, e.g. mx6 or bdr(m=4,k1=16,d1=8)")
+    args = parser.parse_args(argv)
+
+    spec = parse_spec(args.spec)
+    fmt = as_format(spec)
+    print(f"spec:      {render_spec(spec)}")
+    print(f"name:      {fmt.name}")
+    print(f"bits/elem: {fmt.bits_per_element:.4f}")
+    fmt = getattr(fmt, "inner", fmt)  # cost/config of the pinned format
+    config = getattr(fmt, "config", None)
+    if config is not None:
+        print(
+            f"bdr:       m={config.m} k1={config.k1} d1={config.d1} "
+            f"s={config.s_type} k2={config.k2} d2={config.d2} ss={config.ss_type} "
+            f"(family {config.family})"
+        )
+    try:
+        cost = hardware_cost(fmt)
+        print(
+            f"hardware:  area={cost.normalized_area:.3f} memory={cost.memory:.3f} "
+            f"cost={cost.area_memory_product:.3f} (normalized to FP8)"
+        )
+    except TypeError:
+        print("hardware:  (no cost model for this format)")
+    print(f"json:      {json.dumps(spec.to_dict(), sort_keys=True)}")
+    return 0
+
+
+def _cmd_qsnr(argv: list[str]) -> int:
+    from .fidelity.qsnr import measure_qsnr
+    from .spec import parse_spec, render_spec
+
+    parser = argparse.ArgumentParser(
+        prog="repro qsnr", description="Measure a format's QSNR (Figure 7 y-axis)."
+    )
+    parser.add_argument("spec", help="any spec spelling")
+    parser.add_argument("--distribution", default="variable_normal")
+    parser.add_argument("--n-vectors", type=int, default=2000)
+    parser.add_argument("--length", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    spec = parse_spec(args.spec)
+    q = measure_qsnr(
+        spec.canonical(),
+        distribution=args.distribution,
+        n_vectors=args.n_vectors,
+        length=args.length,
+        seed=args.seed,
+    )
+    print(f"{render_spec(spec)}: {q:.2f} dB ({args.distribution}, n={args.n_vectors})")
+    return 0
+
+
+def _cmd_experiment(argv: list[str]) -> int:
     from .experiments import list_experiments, run_experiment
 
     parser = argparse.ArgumentParser(
@@ -39,14 +123,29 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     start = time.time()
-    try:
-        result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
     print(result)
     print(f"\n[{args.experiment} completed in {time.time() - start:.1f}s]")
     return 0
+
+
+_COMMANDS = {
+    "list-formats": _cmd_list_formats,
+    "describe": _cmd_describe,
+    "qsnr": _cmd_qsnr,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    command = _COMMANDS.get(argv[0]) if argv else None
+    try:
+        if command is not None:
+            return command(argv[1:])
+        return _cmd_experiment(argv)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -16,11 +16,11 @@ import numpy as np
 
 from ..data.synthetic import SyntheticLanguage
 from ..flow.compute_flow import TrainConfig, fit
-from ..flow.policy import apply_quant_policy, uniform_policy
+from ..flow.policy import apply_quant_policy
 from ..formats.registry import get_format
 from ..hardware.cost import hardware_cost
 from ..models.gpt import GPT, GPT_SIZES
-from ..nn.quantized import QuantSpec
+from ..spec.policy import UniformPolicy
 from .registry import register
 from .reporting import ExperimentResult
 
@@ -65,7 +65,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # --- MX9 reference run ---
         mx9_model = build()
-        apply_quant_policy(mx9_model, uniform_policy(QuantSpec.uniform("mx9")))
+        apply_quant_policy(mx9_model, UniformPolicy(quant="mx9"))
         fit(
             mx9_model,
             lang.batches(8, seq_len, base_steps, seed=seed + 1),
@@ -79,7 +79,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # --- MX6: train in chunks until it matches, tracking iterations ---
         mx6_model = build()
-        apply_quant_policy(mx6_model, uniform_policy(QuantSpec.uniform("mx6")))
+        apply_quant_policy(mx6_model, UniformPolicy(quant="mx6"))
         chunk = max(base_steps // 4, 1)
         iterations = 0
         mx6_loss = float("inf")

@@ -16,11 +16,15 @@ __all__ = ["register", "run_experiment", "list_experiments", "EXPERIMENTS"]
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {}
 
 
-def register(exp_id: str):
-    """Decorator registering a runner under a table/figure id."""
+def register(exp_id: str, overwrite: bool = False):
+    """Decorator registering a runner under a table/figure id.
+
+    ``overwrite=True`` replaces an existing runner — the same escape hatch
+    as :func:`repro.formats.register_format` for in-process experiments.
+    """
 
     def wrap(fn):
-        if exp_id in EXPERIMENTS:
+        if exp_id in EXPERIMENTS and not overwrite:
             raise ValueError(f"experiment {exp_id!r} already registered")
         EXPERIMENTS[exp_id] = fn
         return fn

@@ -64,7 +64,7 @@ def qsnr_per_vector(original: np.ndarray, quantized: np.ndarray) -> np.ndarray:
 
 
 def measure_qsnr(
-    fmt: Format,
+    fmt: "Format | str | dict",
     distribution: str = "variable_normal",
     n_vectors: int = 10_000,
     length: int = 256,
@@ -86,7 +86,9 @@ def measure_qsnr(
     just an order of magnitude fewer kernel invocations.
 
     Args:
-        fmt: any :class:`~repro.formats.base.Format`.
+        fmt: any :class:`~repro.formats.base.Format`, or any spec spelling
+            accepted by :func:`repro.spec.as_format` (``"mx6"``,
+            ``"bdr(m=4,k1=16,d1=8)"``, a spec dict).
         distribution: a named source from
             :mod:`repro.fidelity.distributions`.
         n_vectors: ensemble size (the paper uses 10K+).
@@ -95,6 +97,11 @@ def measure_qsnr(
         chunk: vectors per quantization call (sampling granularity for the
             batched stateless path).
     """
+    from ..spec.grammar import FormatSpec, as_format
+
+    if isinstance(fmt, (str, dict, FormatSpec)):
+        # duck-typed format objects (test doubles) pass through untouched
+        fmt = as_format(fmt)
     fmt.reset_state()
     noise = 0.0
     signal = 0.0

@@ -7,17 +7,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.bdr import BDRConfig
 from ..core.theorem import qsnr_lower_bound
-from ..formats.base import Format
+from ..formats.base import Format, IdentityFormat
 from ..formats.bdr_format import BDRFormat
 from ..formats.registry import FIGURE7_FORMATS, get_format
 from ..hardware.cost import hardware_cost
 from ..hardware.dot_product import DEFAULT_R
 from .pareto import pareto_frontier
-from .qsnr import measure_qsnr
+from .qsnr import measure_qsnr, qsnr
 
-__all__ = ["SweepPoint", "bdr_design_space", "named_design_points", "run_sweep"]
+__all__ = [
+    "SweepPoint",
+    "bdr_design_space",
+    "named_design_points",
+    "run_sweep",
+    "register_probe_model",
+]
 
 
 @dataclass(frozen=True)
@@ -121,19 +129,149 @@ def _evaluate_named(
     q = measure_qsnr(fmt, distribution, n_vectors, length, seed)
     hc = hardware_cost(fmt, r=r)
     bound = None
+    # classification reads through delegating wrappers (PinnedRounding);
+    # quantization above still goes through the wrapper itself
+    bare = getattr(fmt, "inner", fmt)
     # Theorem 1 is proven for shared-exponent (power-of-two) shift
-    # semantics; it does not cover integer sub-scales (VSQ).
-    if isinstance(fmt, BDRFormat) and fmt.config.s_type == "pow2":
+    # semantics with round-to-nearest; it covers neither integer
+    # sub-scales (VSQ) nor pinned non-nearest rounding.
+    if bare is fmt and isinstance(fmt, BDRFormat) and fmt.config.s_type == "pow2":
         bound = qsnr_lower_bound(fmt.config, n=length)
     return SweepPoint(
         label=fmt.name,
-        family=getattr(getattr(fmt, "config", None), "family", "scalar_float"),
+        family=getattr(getattr(bare, "config", None), "family", "scalar_float"),
         bits_per_element=fmt.bits_per_element,
         qsnr_db=q,
         normalized_area=hc.normalized_area,
         memory=hc.memory,
         cost=hc.area_memory_product,
         theorem_bound_db=bound,
+    )
+
+
+def _evaluate_spec(
+    spec: str,
+    distribution: str,
+    n_vectors: int,
+    length: int,
+    seed: int,
+    r: int,
+) -> SweepPoint:
+    """Evaluate one spec-language design point (plain-string payload, so
+    the process-pool path ships no format objects at all)."""
+    from ..spec.grammar import as_format
+
+    return _evaluate_named(as_format(spec), distribution, n_vectors, length, seed, r)
+
+
+# ----------------------------------------------------------------------
+# Policy design points: whole-model fidelity under a per-layer policy
+# ----------------------------------------------------------------------
+#: Rows used to probe a model's output fidelity under a policy.
+POLICY_PROBE_ROWS = 512
+
+
+def _build_probe_mlp(seed: int):
+    from ..nn.layers import Linear, ReLU, Sequential
+
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        Linear(32, 64, rng=rng),
+        ReLU(),
+        Linear(64, 64, rng=rng),
+        ReLU(),
+        Linear(64, 16, rng=rng),
+    )
+    return model, 32
+
+
+#: Deterministic probe models for policy sweeps: name -> seed -> (model, in_dim).
+_PROBE_MODELS = {"mlp": _build_probe_mlp}
+
+
+def register_probe_model(name: str, builder, overwrite: bool = False) -> None:
+    """Register a probe-model builder ``seed -> (model, input_dim)`` for
+    policy sweeps.  Builders must be deterministic in ``seed``.
+
+    Registration is per-process: ``run_sweep(n_jobs > 1)`` workers see
+    custom probe models (and custom :func:`register_format` names) only
+    under the ``fork`` start method, where they inherit this module's
+    state.  Under ``spawn``/``forkserver``, register at import time of a
+    module the workers also import, or run serially."""
+    if name in _PROBE_MODELS and not overwrite:
+        raise ValueError(f"probe model {name!r} is already registered")
+    _PROBE_MODELS[name] = builder
+
+
+def _evaluate_policy(
+    policy: dict,
+    model_name: str,
+    distribution: str,
+    n_vectors: int,
+    length: int,
+    seed: int,
+    r: int,
+) -> SweepPoint:
+    """Evaluate one policy design point (plain-dict payload, picklable).
+
+    The policy is compiled onto a deterministic probe model; fidelity is
+    the QSNR of the quantized model's outputs against its own FP32
+    outputs over ``min(n_vectors, POLICY_PROBE_ROWS)`` sampled rows.
+    Storage bits and memory cost are parameter-weighted averages over the
+    per-layer weight formats; area is the worst (largest) per-layer
+    pipeline — a mixed-precision engine must provision for its widest
+    format.
+    """
+    del length  # the probe model's input width fixes the vector length
+    from ..flow.policy import apply_quant_policy, quantizable_modules
+    from ..nn.tensor import Tensor, no_grad
+    from ..spec.policy import policy_from_dict
+    from .distributions import sample
+
+    try:
+        builder = _PROBE_MODELS[model_name]
+    except KeyError:
+        known = ", ".join(sorted(_PROBE_MODELS))
+        raise ValueError(f"unknown probe model {model_name!r}; known: {known}") from None
+    model, in_dim = builder(seed)
+    rng = np.random.default_rng(seed + 1)
+    x = sample(distribution, rng, min(n_vectors, POLICY_PROBE_ROWS), in_dim)
+
+    spec = policy_from_dict(policy)
+    with no_grad():
+        baseline = model(Tensor(x, requires_grad=False)).data
+        apply_quant_policy(model, spec)
+        quantized = model(Tensor(x, requires_grad=False)).data
+
+    fp32_cost = hardware_cost(IdentityFormat(), r=r)
+    total_params = 0.0
+    bits_acc = 0.0
+    memory_acc = 0.0
+    area = 0.0
+    for _, module in quantizable_modules(model):
+        weight = getattr(module, "weight", None)
+        if weight is None:
+            continue
+        fmt = module.quant.weight if module.quant is not None else None
+        cost = hardware_cost(fmt, r=r) if fmt is not None else fp32_cost
+        bits = fmt.bits_per_element if fmt is not None else 32.0
+        n = float(weight.data.size)
+        total_params += n
+        bits_acc += n * bits
+        memory_acc += n * cost.memory
+        area = max(area, cost.normalized_area)
+    if total_params == 0:
+        raise ValueError(f"probe model {model_name!r} has no quantizable weights")
+    memory = memory_acc / total_params
+    return SweepPoint(
+        label=spec.label,
+        family="policy",
+        bits_per_element=bits_acc / total_params,
+        qsnr_db=qsnr(baseline, quantized),
+        normalized_area=area,
+        memory=memory,
+        cost=area * memory,
+        theorem_bound_db=None,
     )
 
 
@@ -146,12 +284,15 @@ def run_sweep(
     seed: int = 0,
     r: int = DEFAULT_R,
     n_jobs: int | None = None,
+    formats: list | None = None,
+    policies: list | None = None,
+    model: str = "mlp",
 ) -> list[SweepPoint]:
     """Evaluate QSNR and normalized hardware cost for every design point.
 
     Args:
         configs: BDR configs to include; defaults to
-            :func:`bdr_design_space`.
+            :func:`bdr_design_space`.  Pass ``[]`` to skip the grid.
         include_named: also evaluate the named Figure 7 formats.
         distribution / n_vectors / length / seed: QSNR methodology knobs
             (the paper uses 10K+ vectors; 2K keeps the default sweep fast
@@ -162,27 +303,51 @@ def run_sweep(
             workers.  ``None`` or 1 evaluates serially.  Every design point
             seeds its own RNG from ``seed``, so parallel results are
             bit-identical to the serial sweep, in the same order.
+        formats: extra design points as spec-language spellings (strings,
+            dicts, :class:`~repro.spec.grammar.FormatSpec`, or
+            spec-representable :class:`Format` instances).  Workers receive
+            the canonical *strings*, so any spec point parallelizes.
+        policies: per-layer policy design points —
+            :class:`~repro.spec.policy.PolicySpec` objects or their dict
+            forms — each evaluated on the ``model`` probe (see
+            :func:`_evaluate_policy`).  Workers receive plain dicts.
+        model: probe-model name for policy points (see
+            :func:`register_probe_model`).
+
+    Point order is always: BDR grid, named formats, spec formats, policies.
     """
+    from ..spec.grammar import parse_spec, render_spec
+    from ..spec.policy import PolicySpec, policy_from_dict
+
     if configs is None:
         configs = bdr_design_space()
     named = named_design_points() if include_named else []
+    specs = [render_spec(parse_spec(f)) for f in (formats or [])]
+    policy_dicts = [
+        p.to_dict() if isinstance(p, PolicySpec) else policy_from_dict(p).to_dict()
+        for p in (policies or [])
+    ]
 
-    if n_jobs is not None and n_jobs > 1 and (configs or named):
+    if n_jobs is not None and n_jobs > 1 and (configs or named or specs or policy_dicts):
         from concurrent.futures import ProcessPoolExecutor
         from functools import partial
 
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            eval_cfg = partial(
-                _evaluate_config, distribution=distribution,
-                n_vectors=n_vectors, length=length, seed=seed, r=r,
+            common = dict(
+                distribution=distribution, n_vectors=n_vectors,
+                length=length, seed=seed, r=r,
             )
-            eval_named = partial(
-                _evaluate_named, distribution=distribution,
-                n_vectors=n_vectors, length=length, seed=seed, r=r,
+            eval_cfg = partial(_evaluate_config, **common)
+            eval_named = partial(_evaluate_named, **common)
+            eval_spec = partial(_evaluate_spec, **common)
+            eval_policy = partial(_evaluate_policy, model_name=model, **common)
+            futures = (
+                [pool.submit(eval_cfg, c) for c in configs]
+                + [pool.submit(eval_named, f) for f in named]
+                + [pool.submit(eval_spec, s) for s in specs]
+                + [pool.submit(eval_policy, p) for p in policy_dicts]
             )
-            grid_futures = [pool.submit(eval_cfg, c) for c in configs]
-            named_futures = [pool.submit(eval_named, f) for f in named]
-            return [f.result() for f in grid_futures + named_futures]
+            return [f.result() for f in futures]
 
     points = [
         _evaluate_config(c, distribution, n_vectors, length, seed, r)
@@ -191,6 +356,14 @@ def run_sweep(
     points.extend(
         _evaluate_named(f, distribution, n_vectors, length, seed, r)
         for f in named
+    )
+    points.extend(
+        _evaluate_spec(s, distribution, n_vectors, length, seed, r)
+        for s in specs
+    )
+    points.extend(
+        _evaluate_policy(p, model, distribution, n_vectors, length, seed, r)
+        for p in policy_dicts
     )
     return points
 

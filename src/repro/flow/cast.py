@@ -16,9 +16,9 @@ Two direct-cast styles are provided:
 from __future__ import annotations
 
 from ..formats.base import Format
-from ..formats.registry import get_format
 from ..nn.layers import Embedding, Module
 from ..nn.quantized import QuantSpec
+from ..spec.grammar import as_format
 from .policy import apply_quant_policy, uniform_policy
 
 __all__ = ["direct_cast", "cast_weights", "clear_quantization"]
@@ -26,42 +26,58 @@ __all__ = ["direct_cast", "cast_weights", "clear_quantization"]
 
 def direct_cast(
     model: Module,
-    weight_format: str | None,
-    activation_format: str | None = None,
+    weight_format: "str | dict | Format | None",
+    activation_format: "str | dict | Format | None" = None,
     quantize_embeddings: bool = False,
 ) -> Module:
     """Configure a trained model for quantized inference, in place.
 
     Args:
         model: a trained model (its FP32 parameters are left untouched).
-        weight_format: format name for weights, or ``None`` for FP32.
-        activation_format: format name for activations; defaults to the
-            weight format when omitted (the paper's symmetric direct cast).
+        weight_format: weight format — any spec spelling the
+            :mod:`repro.spec` layer accepts — or ``None`` for FP32.
+        activation_format: activation format; defaults to the weight
+            format when omitted (the paper's symmetric direct cast).
         quantize_embeddings: also storage-quantize embedding tables
             (the memory-intensive recommendation-model optimization).
     """
     if weight_format is None and activation_format is None:
         return clear_quantization(model)
     act = activation_format if activation_format is not None else weight_format
-    spec = QuantSpec(
-        weight=get_format(weight_format) if weight_format else None,
-        activation=get_format(act) if act else None,
-    )
+    w_fmt = as_format(weight_format) if weight_format is not None else None
+    act_fmt = as_format(act) if act is not None else None
+    if act_fmt is not None and act_fmt is w_fmt:
+        # one Format instance was passed for both roles: re-derive a fresh
+        # activation copy so stateful scaling histories stay per-role
+        act_fmt = _fresh_copy(act_fmt)
+    spec = QuantSpec(weight=w_fmt, activation=act_fmt)
     apply_quant_policy(model, uniform_policy(spec))
-    if quantize_embeddings and weight_format:
+    if quantize_embeddings and weight_format is not None:
         for _, module in model.named_modules():
             if isinstance(module, Embedding):
-                module.storage_quant = get_format(weight_format)
+                module.storage_quant = _fresh_copy(as_format(weight_format))
     return model
 
 
-def cast_weights(model: Module, fmt: str | Format) -> Module:
+def _fresh_copy(fmt: Format) -> Format:
+    """A fresh instance of ``fmt`` when its spec spelling allows one;
+    formats outside the spec language are shared as passed (the caller
+    owns any statefulness)."""
+    from ..spec.grammar import SpecError, format_to_spec
+
+    try:
+        return as_format(format_to_spec(fmt))
+    except SpecError:
+        return fmt
+
+
+def cast_weights(model: Module, fmt: "str | dict | Format") -> Module:
     """Quantize every parameter array in place (storage quantization).
 
     Weight matrices quantize along their reduction dimension (axis 0 for
     ``(K, N)`` Linear weights); embedding tables along the feature axis.
     """
-    fmt = get_format(fmt) if isinstance(fmt, str) else fmt
+    fmt = as_format(fmt)
     for name, param in model.named_parameters():
         if param.data.ndim >= 2:
             axis = 0 if not name.endswith("embedding.weight") else -1

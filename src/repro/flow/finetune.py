@@ -15,8 +15,9 @@ from collections.abc import Iterable
 
 from ..nn.layers import Dropout, Module
 from ..nn.quantized import QuantSpec
+from ..spec.policy import PolicySpec, UniformPolicy
 from .compute_flow import TrainConfig, TrainResult, fit
-from .policy import apply_quant_policy, uniform_policy
+from .policy import apply_quant_policy
 
 __all__ = ["finetune"]
 
@@ -24,25 +25,34 @@ __all__ = ["finetune"]
 def finetune(
     model: Module,
     batches: Iterable,
-    forward_format: str,
+    forward_format: str | None = None,
     backward_format: str | None = None,
     steps: int = 50,
     lr: float = 1e-4,
+    policy: PolicySpec | dict | None = None,
 ) -> TrainResult:
     """Quantization-aware fine-tuning of a pre-trained model, in place.
 
     Args:
         model: trained model (parameters are updated).
         batches: fine-tuning batches.
-        forward_format: narrow format for forward tensor ops (e.g. "mx6").
+        forward_format: narrow format (any spec spelling) for forward
+            tensor ops (e.g. "mx6").  Ignored when ``policy`` is given.
         backward_format: backward format; ``None`` keeps FP32 backward
             (the paper's setting).
         steps: fine-tuning steps — "always much shorter than the original
             training duration".
         lr: adjusted (reduced) initial learning rate, no decay.
+        policy: a declarative :class:`~repro.spec.policy.PolicySpec` (or
+            its dict form) for mixed-precision fine-tuning; overrides the
+            uniform ``forward_format``/``backward_format`` recipe.
     """
-    spec = QuantSpec.finetune(forward_format, backward_format)
-    apply_quant_policy(model, uniform_policy(spec))
+    if policy is None:
+        if forward_format is None:
+            raise ValueError("finetune needs forward_format or policy")
+        spec = QuantSpec.finetune(forward_format, backward_format)
+        policy = UniformPolicy(quant=spec)
+    apply_quant_policy(model, policy)
     # the paper eliminates dropout during QAT fine-tuning
     for _, module in model.named_modules():
         if isinstance(module, Dropout):

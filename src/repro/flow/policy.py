@@ -4,6 +4,12 @@ Table VI's mixed-precision recommendation-model runs keep "certain layers
 (e.g., first and last layer) ... in high bit-width"; a policy maps a module
 name to the :class:`~repro.nn.quantized.QuantSpec` that layer should use
 (``None`` keeps the layer full precision).
+
+Policies come in two spellings: the classic callables built here, and the
+serializable data objects of :mod:`repro.spec.policy`
+(:class:`~repro.spec.policy.UniformPolicy` etc.), which
+:func:`apply_quant_policy` compiles on the fly.  New code should prefer
+the data objects — they pickle across process pools and serialize to JSON.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from collections.abc import Callable
 from ..nn.attention import MultiHeadAttention
 from ..nn.layers import Module
 from ..nn.quantized import QuantSpec
+from ..spec.policy import PolicySpec, compile_policy
 
 __all__ = [
     "Policy",
@@ -71,8 +78,13 @@ def first_last_high_precision(
     return policy
 
 
-def apply_quant_policy(model: Module, policy: Policy) -> int:
-    """Install specs across a model; returns the number of layers touched."""
+def apply_quant_policy(model: Module, policy: "Policy | PolicySpec | dict") -> int:
+    """Install specs across a model; returns the number of layers touched.
+
+    ``policy`` may be a classic callable, a declarative
+    :class:`~repro.spec.policy.PolicySpec`, or its ``to_dict`` form.
+    """
+    policy = compile_policy(policy, model)
     touched = 0
     for name, module in quantizable_modules(model):
         spec = policy(name, module)

@@ -3,7 +3,13 @@ uniform :class:`~repro.formats.base.Format` interface."""
 
 from .base import Format, IdentityFormat
 from .bdr_format import BDRFormat, BFPFormat, IntFormat, MXFormat, VSQFormat
-from .registry import FIGURE7_FORMATS, get_format, list_formats, register_format
+from .registry import (
+    FIGURE7_FORMATS,
+    get_format,
+    is_registered,
+    list_formats,
+    register_format,
+)
 from .scalar_float import FloatSpec, ScalarFloatFormat
 from .three_level import ThreeLevelFormat
 
@@ -17,6 +23,7 @@ __all__ = [
     "VSQFormat",
     "FIGURE7_FORMATS",
     "get_format",
+    "is_registered",
     "list_formats",
     "register_format",
     "FloatSpec",

@@ -87,24 +87,29 @@ class BDRFormat(Format):
 
 
 class MXFormat(BDRFormat):
-    """Shared-microexponent format (hardware-managed scaling)."""
+    """Shared-microexponent format (hardware-managed scaling).
+
+    ``scaling``/``window`` are accepted for option-vocabulary uniformity
+    with the software-scaled families; BDR ``pow2`` scaling ignores them.
+    """
 
     def __init__(self, m: int, k1: int = 16, k2: int = 2, d1: int = 8, d2: int = 1,
-                 name: str | None = None):
+                 name: str | None = None, scaling: str = "jit", window: int = 16):
         config = BDRConfig.mx(m=m, k1=k1, k2=k2, d1=d1, d2=d2)
         if name:
             config = config.with_name(name)
-        super().__init__(config)
+        super().__init__(config, scaling=scaling, window=window)
 
 
 class BFPFormat(BDRFormat):
     """Conventional block floating-point (MSFP-style)."""
 
-    def __init__(self, m: int, k1: int = 16, d1: int = 8, name: str | None = None):
+    def __init__(self, m: int, k1: int = 16, d1: int = 8, name: str | None = None,
+                 scaling: str = "jit", window: int = 16):
         config = BDRConfig.bfp(m=m, k1=k1, d1=d1)
         if name:
             config = config.with_name(name)
-        super().__init__(config)
+        super().__init__(config, scaling=scaling, window=window)
 
 
 class IntFormat(BDRFormat):

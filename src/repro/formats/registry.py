@@ -7,6 +7,7 @@ callers.
 
 from __future__ import annotations
 
+import difflib
 import re
 from collections.abc import Callable
 
@@ -15,17 +16,46 @@ from .base import Format, IdentityFormat
 from .bdr_format import BFPFormat, IntFormat, MXFormat, VSQFormat
 from .scalar_float import ScalarFloatFormat
 
-__all__ = ["get_format", "list_formats", "register_format", "FIGURE7_FORMATS"]
+__all__ = [
+    "get_format",
+    "is_registered",
+    "list_formats",
+    "normalize_format_name",
+    "register_format",
+    "FIGURE7_FORMATS",
+]
 
 _FACTORIES: dict[str, Callable[[], Format]] = {}
 
 
-def register_format(name: str, factory: Callable[[], Format]) -> None:
-    """Register a format factory under a (case-insensitive) name."""
-    key = name.lower()
-    if key in _FACTORIES:
-        raise ValueError(f"format {name!r} is already registered")
+def normalize_format_name(name: str) -> str:
+    """The registry's key normalization: lowercase, spaces/dashes -> '_'."""
+    return re.sub(r"[\s\-]+", "_", name.strip().lower())
+
+
+def register_format(
+    name: str, factory: Callable[[], Format], overwrite: bool = False
+) -> None:
+    """Register a format factory under a (case-insensitive) name.
+
+    Names are stored under the same normalization lookups use, so any
+    spelling that registers also resolves.  ``overwrite=True`` replaces an
+    existing registration — the escape hatch for experiments that
+    re-register tweaked factories in one process.  The default stays
+    strict so accidental collisions fail loudly.
+    """
+    key = normalize_format_name(name)
+    if key in _FACTORIES and not overwrite:
+        raise ValueError(
+            f"format {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
     _FACTORIES[key] = factory
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a registered factory."""
+    return normalize_format_name(name) in _FACTORIES
 
 
 def get_format(name: str, **overrides) -> Format:
@@ -34,12 +64,16 @@ def get_format(name: str, **overrides) -> Format:
     Keyword overrides are forwarded for formats whose factory accepts them
     (e.g. ``get_format("fp8_e4m3", scaling="delayed")``).
     """
-    key = re.sub(r"[\s\-]+", "_", name.strip().lower())
+    key = normalize_format_name(name)
     try:
         factory = _FACTORIES[key]
     except KeyError:
-        known = ", ".join(sorted(_FACTORIES))
-        raise ValueError(f"unknown format {name!r}; known formats: {known}") from None
+        close = difflib.get_close_matches(key, _FACTORIES, n=3, cutoff=0.6)
+        if close:
+            hint = f"did you mean {', '.join(repr(c) for c in close)}?"
+        else:
+            hint = f"known formats: {', '.join(sorted(_FACTORIES))}"
+        raise ValueError(f"unknown format {name!r}; {hint}") from None
     return factory(**overrides) if overrides else factory()
 
 
@@ -50,14 +84,16 @@ def list_formats() -> list[str]:
 
 def _register_defaults() -> None:
     register_format("fp32", lambda: IdentityFormat("FP32"))
-    # MX family (Table II)
-    register_format("mx9", lambda: MXFormat(m=7, name="MX9"))
-    register_format("mx6", lambda: MXFormat(m=4, name="MX6"))
-    register_format("mx4", lambda: MXFormat(m=2, name="MX4"))
+    # MX family (Table II).  The factories accept (and ignore) software
+    # scaling options so hardware- and software-scaled formats share one
+    # spec-option vocabulary.
+    register_format("mx9", lambda **kw: MXFormat(m=7, name="MX9", **kw))
+    register_format("mx6", lambda **kw: MXFormat(m=4, name="MX6", **kw))
+    register_format("mx4", lambda **kw: MXFormat(m=2, name="MX4", **kw))
     # MSFP / conventional BFP [24]; MSFP-N packs 1 sign + (N-9) mantissa
     # bits + an 8-bit shared exponent over a 16-element bounding box.
-    register_format("msfp16", lambda: BFPFormat(m=7, k1=16, name="MSFP16"))
-    register_format("msfp12", lambda: BFPFormat(m=3, k1=16, name="MSFP12"))
+    register_format("msfp16", lambda **kw: BFPFormat(m=7, k1=16, name="MSFP16", **kw))
+    register_format("msfp12", lambda **kw: BFPFormat(m=3, k1=16, name="MSFP12", **kw))
     # Software-scaled integers
     register_format(
         "int8", lambda scaling="delayed": IntFormat(8, scaling=scaling, name="scaled INT8")

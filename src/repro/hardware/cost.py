@@ -48,6 +48,7 @@ class HardwareCost:
 
 def storage_spec(fmt) -> StorageSpec:
     """Derive the packing shape of any supported format description."""
+    fmt = getattr(fmt, "inner", fmt)  # delegating wrappers (PinnedRounding)
     if isinstance(fmt, IdentityFormat):
         return StorageSpec(element_bits=32)
     if isinstance(fmt, ScalarFloatFormat):
@@ -70,6 +71,7 @@ def storage_spec(fmt) -> StorageSpec:
 
 def pipeline_area(fmt, r: int = DEFAULT_R) -> AreaBreakdown:
     """Dispatch to the right pipeline area model."""
+    fmt = getattr(fmt, "inner", fmt)  # delegating wrappers (PinnedRounding)
     if isinstance(fmt, IdentityFormat):
         return scalar_float_pipeline_area(e=8, m=23, r=r)
     if isinstance(fmt, ScalarFloatFormat):

@@ -20,15 +20,28 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..formats.base import Format
-from ..formats.registry import get_format
 from .tensor import Tensor
 
 __all__ = ["QuantSpec", "quantized_matmul", "quantized_bmm"]
 
 
+def _coerce(fmt) -> Format | None:
+    """Accept ``Format | str | dict | FormatSpec | None`` for a role."""
+    if fmt is None or isinstance(fmt, Format):
+        return fmt
+    from ..spec.grammar import as_format
+
+    return as_format(fmt)
+
+
 @dataclass
 class QuantSpec:
     """Which format each tensor role is quantized with (None = keep FP32).
+
+    Each role accepts a :class:`Format` instance or any spec spelling the
+    :mod:`repro.spec` layer understands (``"mx6"``, ``"bdr(m=4,...)"``, a
+    spec dict) — strings are coerced to fresh format instances on
+    construction.
 
     Attributes:
         activation: forward activations (quantized along the reduction dim).
@@ -39,11 +52,16 @@ class QuantSpec:
         rounding: mantissa rounding mode for all roles.
     """
 
-    activation: Format | None = None
-    weight: Format | None = None
-    backward: Format | None = None
+    activation: Format | str | dict | None = None
+    weight: Format | str | dict | None = None
+    backward: Format | str | dict | None = None
     rounding: str = "nearest"
     rng: np.random.Generator | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        self.activation = _coerce(self.activation)
+        self.weight = _coerce(self.weight)
+        self.backward = _coerce(self.backward)
 
     # ------------------------------------------------------------------
     # Constructors for the paper's standard configurations
@@ -54,39 +72,73 @@ class QuantSpec:
         return cls()
 
     @classmethod
-    def uniform(cls, name: str) -> "QuantSpec":
+    def uniform(cls, spec) -> "QuantSpec":
         """Uniform training: the same format for every tensor role.
 
         This is the paper's MX9 training mode — forward and backward
         matmuls all in MX, no heuristics.  Separate format instances per
-        role so stateful formats never share scaling history.
+        role so stateful formats never share scaling history (a
+        :class:`Format` instance is re-derived via its spec spelling to
+        keep that guarantee).
         """
-        return cls(
-            activation=get_format(name),
-            weight=get_format(name),
-            backward=get_format(name),
-        )
+        if isinstance(spec, Format):
+            from ..spec.grammar import format_to_spec
+
+            spec = format_to_spec(spec)
+        return cls(activation=_coerce(spec), weight=_coerce(spec), backward=_coerce(spec))
 
     @classmethod
-    def inference(cls, weight: str, activation: str | None = None) -> "QuantSpec":
+    def inference(cls, weight, activation=None) -> "QuantSpec":
         """Direct-cast inference: quantize weights (and optionally
         activations); no backward pass formats."""
-        return cls(
-            activation=get_format(activation) if activation else None,
-            weight=get_format(weight),
-        )
+        return cls(activation=activation, weight=weight)
 
     @classmethod
-    def finetune(cls, forward: str, backward: str | None = None) -> "QuantSpec":
+    def finetune(cls, forward, backward=None) -> "QuantSpec":
         """Quantization-aware fine-tuning: narrow forward, wide backward.
 
         The paper's QAT recipe keeps the backward pass in FP32
         (``backward=None``) while the forward pass runs MX6/MX4.
         """
+        if isinstance(forward, Format):
+            from ..spec.grammar import format_to_spec
+
+            forward = format_to_spec(forward)
+        return cls(activation=_coerce(forward), weight=_coerce(forward), backward=backward)
+
+    # ------------------------------------------------------------------
+    # Serialization (the repro.spec declarative layer)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form: role spec strings + rounding (JSON/pickle safe).
+
+        ``rng`` is runtime state and is not serialized.  Raises
+        :class:`~repro.spec.grammar.SpecError` when a role holds a format
+        with no spec spelling.
+        """
+        from ..spec.grammar import format_to_spec
+
+        def role(fmt):
+            return None if fmt is None else format_to_spec(fmt)
+
+        return {
+            "activation": role(self.activation),
+            "weight": role(self.weight),
+            "backward": role(self.backward),
+            "rounding": self.rounding,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QuantSpec":
+        """Rebuild from :meth:`to_dict` output (fresh format instances)."""
+        unknown = set(d) - {"activation", "weight", "backward", "rounding"}
+        if unknown:
+            raise ValueError(f"unknown QuantSpec keys {sorted(unknown)}")
         return cls(
-            activation=get_format(forward),
-            weight=get_format(forward),
-            backward=get_format(backward) if backward else None,
+            activation=d.get("activation"),
+            weight=d.get("weight"),
+            backward=d.get("backward"),
+            rounding=d.get("rounding", "nearest"),
         )
 
     def quantize(self, role: str, data: np.ndarray, axis: int) -> np.ndarray:

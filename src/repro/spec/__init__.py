@@ -1,0 +1,48 @@
+"""The declarative configuration layer: one serializable language for
+formats, quant specs, and per-layer policies.
+
+* :func:`parse_spec` / :func:`render_spec` — the FormatSpec mini-language
+  (``"mx6"``, ``"bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)"``,
+  ``"mx9?rounding=stochastic"``).
+* :func:`as_format` — universal coercer accepted by every public entry
+  point (``repro.quantize``, :class:`~repro.nn.quantized.QuantSpec`,
+  ``measure_qsnr``, ``run_sweep``, the flow casts).
+* :class:`PolicySpec` and friends — JSON-able per-layer precision
+  policies that compile to the classic callable form.
+"""
+
+from .grammar import (
+    FormatSpec,
+    PinnedRounding,
+    SpecError,
+    as_format,
+    format_to_spec,
+    parse_spec,
+    render_spec,
+)
+from .policy import (
+    FirstLastHighPolicy,
+    PolicyRule,
+    PolicySpec,
+    RulePolicy,
+    UniformPolicy,
+    compile_policy,
+    policy_from_dict,
+)
+
+__all__ = [
+    "FormatSpec",
+    "PinnedRounding",
+    "SpecError",
+    "as_format",
+    "format_to_spec",
+    "parse_spec",
+    "render_spec",
+    "PolicySpec",
+    "UniformPolicy",
+    "FirstLastHighPolicy",
+    "PolicyRule",
+    "RulePolicy",
+    "compile_policy",
+    "policy_from_dict",
+]

@@ -1,0 +1,541 @@
+"""The FormatSpec mini-language: one string form for every design point.
+
+The paper frames MX4/6/9, MSFP, INT and VSQ as *corners* of one BDR design
+space; this module gives every point in that space a canonical, serializable
+spelling so configs can cross process/service boundaries as plain strings::
+
+    spec        := base [ "(" params ")" ] [ "?" options ]
+    base        := registered name        ("mx6", "fp8_e4m3", "vsq4", ...)
+                 | family name            ("bdr", "mx", "bfp", "int", "vsq",
+                                           "float")
+    params      := key "=" value { "," key "=" value }      (families only)
+    options     := key "=" value { "&" key "=" value }
+
+Examples::
+
+    mx6
+    bdr(m=4,k1=16,d1=8,s=pow2,k2=2,d2=1,ss=pow2)
+    vsq(bits=4,d2=8)?scaling=jit
+    float(e=4,m=3,enc=fn)?scaling=delayed&window=8
+    mx9?rounding=stochastic&seed=7
+
+Three invariants anchor the layer:
+
+* ``parse_spec(render_spec(s)) == s`` — the canonical form is a fixed point.
+* ``as_format(name)`` is *bit-identical* to ``get_format(name)`` for every
+  registered name (the coercer routes named bases through the registry).
+* ``parse_spec(format_to_spec(fmt))`` reconstructs a format whose
+  ``quantize`` output is bit-identical to ``fmt`` (fresh state, same math).
+
+``rounding`` is special: formats take rounding per ``quantize`` call, so a
+``?rounding=...`` option *pins* the mode via a delegating wrapper (see
+:class:`PinnedRounding`) rather than configuring the constructor.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.bdr import SCALE_TYPES, SUBSCALE_TYPES, BDRConfig
+from ..core.rounding import ROUNDING_MODES
+from ..formats.base import Format, IdentityFormat
+from ..formats.bdr_format import BDRFormat, BFPFormat, IntFormat, MXFormat, VSQFormat
+from ..formats.registry import get_format, is_registered, normalize_format_name
+from ..formats.scalar_float import ENCODINGS, FloatSpec, ScalarFloatFormat
+
+__all__ = [
+    "FormatSpec",
+    "PinnedRounding",
+    "SpecError",
+    "as_format",
+    "format_to_spec",
+    "parse_spec",
+    "render_spec",
+]
+
+
+class SpecError(ValueError):
+    """A spec string/dict that does not parse or does not describe a format."""
+
+
+# ----------------------------------------------------------------------
+# The spec value object
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FormatSpec:
+    """A parsed design point: pure data, hashable, picklable, JSON-able.
+
+    ``params`` configure the format itself (family parameters); ``options``
+    configure how it is *driven* (software scaling mode, window, rounding).
+    Both are stored as sorted tuples of pairs so equal specs compare and
+    hash equal regardless of spelling order.
+    """
+
+    base: str
+    params: tuple[tuple[str, object], ...] = field(default=())
+    options: tuple[tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", tuple(sorted(dict(self.params).items())))
+        object.__setattr__(self, "options", tuple(sorted(dict(self.options).items())))
+
+    @property
+    def param_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+    @property
+    def option_dict(self) -> dict[str, object]:
+        return dict(self.options)
+
+    @property
+    def is_family(self) -> bool:
+        return self.base in FAMILIES
+
+    def canonical(self) -> str:
+        """The canonical string spelling (see :func:`render_spec`)."""
+        return render_spec(self)
+
+    def to_format(self) -> Format:
+        """Construct a fresh :class:`Format` for this design point."""
+        return as_format(self)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (for JSON payloads that prefer structure)."""
+        out: dict = {"base": self.base}
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.options:
+            out["options"] = dict(self.options)
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FormatSpec":
+        if "base" not in d:
+            raise SpecError(f"format spec dict needs a 'base' key, got {sorted(d)}")
+        unknown = set(d) - {"base", "params", "options"}
+        if unknown:
+            raise SpecError(f"unknown format spec keys {sorted(unknown)}")
+        return cls(
+            base=_normalize_name(str(d["base"])),
+            params=tuple(dict(d.get("params") or {}).items()),
+            options=tuple(dict(d.get("options") or {}).items()),
+        )
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_SPEC_RE = re.compile(
+    r"^(?P<base>[A-Za-z_][A-Za-z0-9_.\s\-]*?)"
+    r"(?:\((?P<params>[^()]*)\))?"
+    r"(?:\?(?P<options>.*))?$"
+)
+
+
+#: base names share the registry's key normalization
+_normalize_name = normalize_format_name
+
+
+def _parse_value(text: str) -> object:
+    """Ints stay ints, floats stay floats, everything else is a string."""
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text.lower()
+
+
+def _parse_pairs(text: str, pair_sep: str, what: str) -> dict[str, object]:
+    pairs: dict[str, object] = {}
+    for item in text.split(pair_sep):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise SpecError(f"{what} {item!r} is not of the form key=value")
+        key, _, value = item.partition("=")
+        key = key.strip().lower()
+        if key in pairs:
+            raise SpecError(f"duplicate {what} {key!r}")
+        pairs[key] = _parse_value(value)
+    return pairs
+
+
+def parse_spec(spec: "str | dict | FormatSpec | Format") -> FormatSpec:
+    """Parse any spec spelling into a canonical :class:`FormatSpec`.
+
+    Accepts the string mini-language, the dict form, an existing
+    :class:`FormatSpec` (returned as-is) or a :class:`Format` instance
+    (reverse-mapped via :func:`format_to_spec`).
+    """
+    if isinstance(spec, FormatSpec):
+        return spec
+    if isinstance(spec, Format):
+        return parse_spec(format_to_spec(spec))
+    if isinstance(spec, dict):
+        out = FormatSpec.from_dict(spec)
+        _validate(out)
+        return out
+    if not isinstance(spec, str):
+        raise SpecError(
+            f"cannot parse a format spec from {type(spec).__name__}: {spec!r}"
+        )
+    match = _SPEC_RE.match(spec.strip())
+    if match is None:
+        raise SpecError(f"malformed format spec {spec!r}")
+    base = _normalize_name(match.group("base"))
+    params = _parse_pairs(match.group("params") or "", ",", "parameter")
+    options = _parse_pairs(match.group("options") or "", "&", "option")
+    out = FormatSpec(base=base, params=tuple(params.items()), options=tuple(options.items()))
+    _validate(out)
+    return out
+
+
+def render_spec(spec: "FormatSpec | str | dict | Format") -> str:
+    """Render the canonical string form of a spec.
+
+    Family parameters are emitted in the family's declaration order (so the
+    output is stable and readable); options are emitted sorted by key.
+    ``parse_spec(render_spec(s)) == parse_spec(s)`` always holds.
+    """
+    spec = parse_spec(spec)
+    text = spec.base
+    if spec.params:
+        order = FAMILIES[spec.base].order if spec.is_family else ()
+        params = dict(spec.params)
+        keys = [k for k in order if k in params]
+        keys += [k for k in sorted(params) if k not in order]
+        text += "(" + ",".join(f"{k}={params[k]}" for k in keys) + ")"
+    if spec.options:
+        text += "?" + "&".join(f"{k}={v}" for k, v in spec.options)
+    return text
+
+
+# ----------------------------------------------------------------------
+# Families: the parameterized corners of the design space
+# ----------------------------------------------------------------------
+class _Family:
+    """One parameterized family: declared parameters and a builder."""
+
+    def __init__(self, order, required, build, choices=None, opt_keys=("scaling", "window")):
+        self.order = tuple(order)
+        self.required = frozenset(required)
+        self.build = build
+        self.choices = choices or {}
+        self.opt_keys = frozenset(opt_keys)
+
+    def validate(self, base: str, params: dict[str, object]) -> None:
+        unknown = set(params) - set(self.order)
+        if unknown:
+            raise SpecError(
+                f"{base}(...) does not take {sorted(unknown)}; "
+                f"parameters are {list(self.order)}"
+            )
+        missing = self.required - set(params)
+        if missing:
+            raise SpecError(f"{base}(...) requires {sorted(missing)}")
+        for key, allowed in self.choices.items():
+            if key in params and params[key] not in allowed:
+                raise SpecError(
+                    f"{base}(...): {key} must be one of {sorted(allowed)}, "
+                    f"got {params[key]!r}"
+                )
+
+
+def _int_param(params: dict, key: str, default: int | None = None) -> int:
+    value = params.get(key, default)
+    if not isinstance(value, int):
+        raise SpecError(f"parameter {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def _build_bdr(params: dict, options: dict) -> Format:
+    config = BDRConfig(
+        m=_int_param(params, "m"),
+        k1=_int_param(params, "k1"),
+        d1=_int_param(params, "d1"),
+        s_type=str(params.get("s", "pow2")),
+        k2=_int_param(params, "k2", 1),
+        d2=_int_param(params, "d2", 0),
+        ss_type=str(params.get("ss", "none")),
+    )
+    return BDRFormat(config, **_scaling_kwargs(options, default_scaling="jit"))
+
+
+def _build_mx(params: dict, options: dict) -> Format:
+    return MXFormat(
+        m=_int_param(params, "m"),
+        k1=_int_param(params, "k1", 16),
+        k2=_int_param(params, "k2", 2),
+        d1=_int_param(params, "d1", 8),
+        d2=_int_param(params, "d2", 1),
+        **_scaling_kwargs(options, default_scaling="jit"),
+    )
+
+
+def _build_bfp(params: dict, options: dict) -> Format:
+    return BFPFormat(
+        m=_int_param(params, "m"),
+        k1=_int_param(params, "k1", 16),
+        d1=_int_param(params, "d1", 8),
+        **_scaling_kwargs(options, default_scaling="jit"),
+    )
+
+
+def _build_int(params: dict, options: dict) -> Format:
+    return IntFormat(
+        _int_param(params, "bits"),
+        k1=_int_param(params, "k1", 1024),
+        **_scaling_kwargs(options, default_scaling="delayed"),
+    )
+
+
+def _build_vsq(params: dict, options: dict) -> Format:
+    return VSQFormat(
+        _int_param(params, "bits"),
+        d2=_int_param(params, "d2", 6),
+        k1=_int_param(params, "k1", 1024),
+        k2=_int_param(params, "k2", 16),
+        **_scaling_kwargs(options, default_scaling="delayed"),
+    )
+
+
+def _build_float(params: dict, options: dict) -> Format:
+    spec = FloatSpec(
+        exponent_bits=_int_param(params, "e"),
+        mantissa_bits=_int_param(params, "m"),
+        encoding=str(params.get("enc", "fnuz_all")),
+    )
+    kwargs = _scaling_kwargs(options, default_scaling="none")
+    if "k1" in options:
+        kwargs["k1"] = _int_param(options, "k1")
+    return ScalarFloatFormat(spec, **kwargs)
+
+
+def _scaling_kwargs(options: dict, default_scaling: str) -> dict:
+    kwargs = {"scaling": str(options.get("scaling", default_scaling))}
+    if "window" in options:
+        kwargs["window"] = _int_param(options, "window")
+    return kwargs
+
+
+FAMILIES: dict[str, _Family] = {
+    "bdr": _Family(
+        order=("m", "k1", "d1", "s", "k2", "d2", "ss"),
+        required=("m", "k1", "d1"),
+        build=_build_bdr,
+        choices={"s": set(SCALE_TYPES), "ss": set(SUBSCALE_TYPES)},
+    ),
+    "mx": _Family(("m", "k1", "k2", "d1", "d2"), ("m",), _build_mx),
+    "bfp": _Family(("m", "k1", "d1"), ("m",), _build_bfp),
+    "int": _Family(("bits", "k1"), ("bits",), _build_int),
+    "vsq": _Family(("bits", "d2", "k1", "k2"), ("bits",), _build_vsq),
+    "float": _Family(
+        ("e", "m", "enc"),
+        ("e", "m"),
+        _build_float,
+        choices={"enc": set(ENCODINGS)},
+        opt_keys=("scaling", "window", "k1"),
+    ),
+}
+
+#: Options understood by the driving layer rather than the constructors.
+_CALL_OPTIONS = frozenset({"rounding", "seed"})
+
+
+def _validate(spec: FormatSpec) -> None:
+    params = spec.param_dict
+    options = spec.option_dict
+    if spec.is_family:
+        FAMILIES[spec.base].validate(spec.base, params)
+    elif params:
+        raise SpecError(
+            f"parameters are only valid for family bases {sorted(FAMILIES)}; "
+            f"{spec.base!r} is a named format"
+        )
+    elif not is_registered(spec.base):
+        # surface the registry's suggestion-bearing error message
+        get_format(spec.base)
+    rounding = options.get("rounding")
+    if rounding is not None and rounding not in ROUNDING_MODES:
+        raise SpecError(
+            f"rounding must be one of {ROUNDING_MODES}, got {rounding!r}"
+        )
+    if "seed" in options:
+        if not isinstance(options["seed"], int):
+            raise SpecError(f"seed must be an integer, got {options['seed']!r}")
+        if rounding != "stochastic":
+            raise SpecError(
+                "seed only applies to '?rounding=stochastic' specs; "
+                "it would be silently ignored here"
+            )
+
+
+# ----------------------------------------------------------------------
+# The universal coercer
+# ----------------------------------------------------------------------
+def as_format(spec: "Format | FormatSpec | str | dict") -> Format:
+    """Coerce any format description into a :class:`Format` instance.
+
+    * ``Format`` instances pass through unchanged (no copy — callers own
+      any statefulness).
+    * strings / dicts / :class:`FormatSpec` construct a *fresh* instance:
+      named bases go through :func:`~repro.formats.registry.get_format`
+      (bit-identical to calling it directly), family bases through the
+      family builders above.
+    """
+    if isinstance(spec, Format):
+        return spec
+    spec = parse_spec(spec)
+    _validate(spec)  # hand-built FormatSpec objects skip the parse path
+    options = spec.option_dict
+    ctor_options = {k: v for k, v in options.items() if k not in _CALL_OPTIONS}
+    if spec.is_family:
+        family = FAMILIES[spec.base]
+        unknown = set(ctor_options) - family.opt_keys
+        if unknown:
+            raise SpecError(
+                f"{spec.base}(...) does not understand options {sorted(unknown)}; "
+                f"valid options are {sorted(family.opt_keys | _CALL_OPTIONS)}"
+            )
+        fmt = family.build(spec.param_dict, ctor_options)
+    else:
+        try:
+            fmt = get_format(spec.base, **ctor_options)
+        except TypeError as error:
+            raise SpecError(
+                f"format {spec.base!r} does not accept options "
+                f"{sorted(ctor_options)}: {error}"
+            ) from None
+    # the bare (unwrapped) format's origin must not carry call options:
+    # anyone unwrapping via `.inner` serializes the format they actually hold
+    fmt._spec_origin = render_spec(
+        FormatSpec(spec.base, spec.params, tuple(ctor_options.items()))
+    )
+    rounding = options.get("rounding")
+    if rounding is not None and rounding != "nearest":
+        fmt = PinnedRounding(fmt, rounding, seed=options.get("seed", 0))
+        fmt._spec_origin = render_spec(spec)
+    return fmt
+
+
+class PinnedRounding(Format):
+    """Delegate that pins a non-default rounding mode onto a format.
+
+    A ``?rounding=stochastic`` spec means *this format rounds
+    stochastically*; the pin overrides whatever per-call mode the consumer
+    would pass, so the spec string stays the single source of truth.  A
+    seeded generator is created per instance (``?seed=N``, default 0) so
+    results are reproducible; :meth:`reset_state` rewinds it.
+    """
+
+    def __init__(self, inner: Format, rounding: str, seed: int = 0):
+        if rounding not in ROUNDING_MODES:
+            raise SpecError(f"unknown rounding mode {rounding!r}")
+        self.inner = inner
+        self.rounding = rounding
+        self.seed = seed
+        self.name = inner.name
+        self._rng = np.random.default_rng(seed)
+
+    def quantize(self, x, axis=-1, rounding="nearest", rng=None):
+        del rounding  # pinned — the spec wins over the call site
+        return self.inner.quantize(
+            x, axis=axis, rounding=self.rounding, rng=rng if rng is not None else self._rng
+        )
+
+    @property
+    def bits_per_element(self) -> float:
+        return self.inner.bits_per_element
+
+    @property
+    def is_stateless(self) -> bool:
+        # stochastic draws advance the generator; truncate stays a pure map
+        return self.rounding == "truncate" and self.inner.is_stateless
+
+    def cache_key(self):
+        if self.rounding != "truncate":
+            return None
+        inner_key = self.inner.cache_key()
+        return None if inner_key is None else ("pinned", self.rounding, inner_key)
+
+    def reset_state(self):
+        self.inner.reset_state()
+        self._rng = np.random.default_rng(self.seed)
+
+    def __repr__(self):
+        return f"PinnedRounding({self.inner!r}, rounding={self.rounding!r})"
+
+
+# ----------------------------------------------------------------------
+# Reverse mapping: Format instance -> spec
+# ----------------------------------------------------------------------
+def format_to_spec(fmt: Format) -> str:
+    """Render the canonical spec string that reconstructs ``fmt``.
+
+    The reconstruction is *behavioral*: a freshly built format from the
+    returned spec quantizes bit-identically to a freshly reset ``fmt``
+    (display names may differ for synthesized family spellings).  Formats
+    built by :func:`as_format` remember their origin spelling and return it
+    verbatim.
+
+    Raises:
+        SpecError: for formats outside the spec language (e.g. custom
+            :class:`Format` subclasses, :class:`ThreeLevelFormat`).
+    """
+    origin = getattr(fmt, "_spec_origin", None)
+    if origin is not None:
+        return origin
+    if isinstance(fmt, PinnedRounding):
+        inner = parse_spec(format_to_spec(fmt.inner))
+        options = dict(inner.options)
+        options["rounding"] = fmt.rounding
+        if fmt.seed != 0:
+            options["seed"] = fmt.seed
+        return render_spec(
+            FormatSpec(inner.base, inner.params, tuple(options.items()))
+        )
+    if isinstance(fmt, IdentityFormat):
+        return "fp32"
+    if isinstance(fmt, ScalarFloatFormat):
+        params = {"e": fmt.spec.exponent_bits, "m": fmt.spec.mantissa_bits}
+        if fmt.spec.encoding != "fnuz_all":
+            params["enc"] = fmt.spec.encoding
+        options: dict[str, object] = {}
+        if fmt.scaling != "none":
+            options["scaling"] = fmt.scaling
+            if fmt._scaler.window != 16:
+                options["window"] = fmt._scaler.window
+            if fmt.k1 != 10240:
+                options["k1"] = fmt.k1
+        return render_spec(FormatSpec("float", tuple(params.items()), tuple(options.items())))
+    if isinstance(fmt, BDRFormat):
+        c = fmt.config
+        params = {"m": c.m, "k1": c.k1, "d1": c.d1}
+        if c.s_type != "pow2":
+            params["s"] = c.s_type
+        if c.ss_type != "none":
+            params["k2"] = c.k2
+            params["d2"] = c.d2
+            params["ss"] = c.ss_type
+        options = {}
+        if fmt._software_scaled:
+            options["scaling"] = fmt.scaling
+            if fmt.window != 16:
+                options["window"] = fmt.window
+        return render_spec(FormatSpec("bdr", tuple(params.items()), tuple(options.items())))
+    raise SpecError(
+        f"{type(fmt).__name__} ({fmt.name!r}) has no spec-language spelling; "
+        "register it as a named format or pass the instance directly"
+    )

@@ -1,0 +1,351 @@
+"""Declarative per-layer precision policies: data in, callables out.
+
+:mod:`repro.flow.policy` expresses Table VI's mixed-precision recipes as
+closures, which cannot cross a process boundary (``pickle``) or a service
+boundary (JSON).  This module replaces them with plain data objects that
+
+* serialize to/from JSON (:meth:`PolicySpec.to_json` /
+  :meth:`PolicySpec.from_json`) and pickle untouched (they hold only
+  strings, dicts and tuples);
+* still *compile* to the old ``(name, module) -> QuantSpec | None``
+  callable via :meth:`PolicySpec.build`, so
+  :func:`~repro.flow.policy.apply_quant_policy` and everything downstream
+  keeps working.
+
+Quantization payloads inside a policy are stored in the
+:meth:`~repro.nn.quantized.QuantSpec.to_dict` form — role spec strings from
+the :mod:`repro.spec.grammar` mini-language — and a bare string like
+``"mx6"`` is shorthand for the uniform payload (every role in that format,
+nearest rounding), matching :meth:`QuantSpec.uniform`.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+from ..nn.quantized import QuantSpec
+from .grammar import render_spec
+
+__all__ = [
+    "PolicySpec",
+    "UniformPolicy",
+    "FirstLastHighPolicy",
+    "PolicyRule",
+    "RulePolicy",
+    "compile_policy",
+    "policy_from_dict",
+]
+
+#: The role keys of a quant payload dict.
+_ROLES = ("activation", "weight", "backward")
+
+
+def _normalize_quant(quant) -> dict | None:
+    """Normalize any QuantSpec spelling into the canonical payload dict.
+
+    ``None`` -> None (keep the layer FP32); a spec string/dict/FormatSpec
+    -> uniform payload; a payload dict (has role keys) -> canonicalized; a
+    :class:`QuantSpec` -> its ``to_dict`` form.
+    """
+    if quant is None:
+        return None
+    if isinstance(quant, QuantSpec):
+        return quant.to_dict()
+    if isinstance(quant, dict) and "base" in quant:
+        # a format-spec dict ({"base": ...}), not a role payload
+        quant = render_spec(quant)
+    if isinstance(quant, dict):
+        unknown = set(quant) - set(_ROLES) - {"rounding"}
+        if unknown:
+            raise ValueError(f"unknown quant payload keys {sorted(unknown)}")
+        out = {
+            role: None if quant.get(role) is None else render_spec(quant[role])
+            for role in _ROLES
+        }
+        out["rounding"] = quant.get("rounding", "nearest")
+        return out
+    uniform = render_spec(quant)
+    return {role: uniform for role in _ROLES} | {"rounding": "nearest"}
+
+
+def _compile_quant(payload: dict | None) -> QuantSpec | None:
+    return None if payload is None else QuantSpec.from_dict(payload)
+
+
+def _copy_payload(payload: dict | None) -> dict | None:
+    """Shallow-copy a quant payload so serialized output never aliases the
+    (frozen) policy's internal state."""
+    return None if payload is None else dict(payload)
+
+
+def _payload_label(payload: dict | None) -> str:
+    if payload is None:
+        return "fp32"
+    roles = {payload.get(role) for role in _ROLES}
+    if len(roles) == 1:
+        return next(iter(roles)) or "fp32"
+    return "/".join(str(payload.get(role)) for role in _ROLES)
+
+
+class PolicySpec(abc.ABC):
+    """A serializable per-layer precision policy."""
+
+    #: discriminator used by :func:`policy_from_dict`
+    kind: str = ""
+    _KINDS: dict[str, type] = {}
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.kind:
+            PolicySpec._KINDS[cls.kind] = cls
+
+    @abc.abstractmethod
+    def build(self, model):
+        """Compile to the classic ``(name, module) -> QuantSpec | None``
+        callable, resolving any model-dependent structure (e.g. boundary
+        layers) against ``model``."""
+
+    @abc.abstractmethod
+    def to_dict(self) -> dict:
+        """Plain-data form including the ``kind`` discriminator."""
+
+    @property
+    def label(self) -> str:
+        """Short display name for sweeps and reports."""
+        return self.name or self._default_label()
+
+    def _default_label(self) -> str:
+        return self.kind
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @staticmethod
+    def from_dict(d: dict) -> "PolicySpec":
+        return policy_from_dict(d)
+
+    @staticmethod
+    def from_json(text: str) -> "PolicySpec":
+        return policy_from_dict(json.loads(text))
+
+
+def policy_from_dict(d: dict) -> PolicySpec:
+    """Rebuild any :class:`PolicySpec` from its ``to_dict`` form."""
+    if not isinstance(d, dict) or "kind" not in d:
+        raise ValueError(f"a policy dict needs a 'kind' key, got {d!r}")
+    kind = d["kind"]
+    cls = PolicySpec._KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown policy kind {kind!r}; known kinds: "
+            f"{sorted(PolicySpec._KINDS)}"
+        )
+    return cls._from_payload({k: v for k, v in d.items() if k != "kind"})
+
+
+def compile_policy(policy, model):
+    """Coerce a :class:`PolicySpec`, policy dict, or classic callable into
+    the callable form expected by ``apply_quant_policy``."""
+    if isinstance(policy, dict):
+        policy = policy_from_dict(policy)
+    if isinstance(policy, PolicySpec):
+        return policy.build(model)
+    return policy
+
+
+@dataclass(frozen=True)
+class UniformPolicy(PolicySpec):
+    """Every quantizable layer gets the same spec (``None`` = FP32)."""
+
+    kind = "uniform"
+    quant: object = None
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "quant", _normalize_quant(self.quant))
+
+    def build(self, model):
+        del model
+        spec = _compile_quant(self.quant)
+
+        def policy(name, module):
+            del name, module
+            return spec
+
+        return policy
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "quant": _copy_payload(self.quant)}
+        if self.name:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def _from_payload(cls, d: dict) -> "UniformPolicy":
+        return cls(quant=d.get("quant"), name=d.get("name"))
+
+    def _default_label(self) -> str:
+        return f"uniform[{_payload_label(self.quant)}]"
+
+
+@dataclass(frozen=True)
+class FirstLastHighPolicy(PolicySpec):
+    """Quantize everything except the first/last quantizable layers.
+
+    ``high`` (default FP32) lands on the boundary layers — the Table VI
+    mixed-precision recipe.
+    """
+
+    kind = "first_last_high"
+    quant: object = None
+    high: object = None
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "quant", _normalize_quant(self.quant))
+        object.__setattr__(self, "high", _normalize_quant(self.high))
+
+    def build(self, model):
+        from ..flow.policy import quantizable_modules
+
+        names = [name for name, _ in quantizable_modules(model)]
+        boundary = {names[0], names[-1]} if names else set()
+        low = _compile_quant(self.quant)
+        high = _compile_quant(self.high)
+
+        def policy(name, module):
+            del module
+            return high if name in boundary else low
+
+        return policy
+
+    def to_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "quant": _copy_payload(self.quant),
+            "high": _copy_payload(self.high),
+        }
+        if self.name:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def _from_payload(cls, d: dict) -> "FirstLastHighPolicy":
+        return cls(quant=d.get("quant"), high=d.get("high"), name=d.get("name"))
+
+    def _default_label(self) -> str:
+        return (
+            f"first_last_high[{_payload_label(self.quant)};"
+            f"high={_payload_label(self.high)}]"
+        )
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One match clause of a :class:`RulePolicy`.
+
+    A rule matches when *all* of its set criteria hold:
+
+    * ``name_glob`` — ``fnmatch`` pattern against the dotted module name
+      (``"encoder.*"``, ``"*.head"``);
+    * ``layer_type`` — class name anywhere in the module's MRO
+      (``"Linear"``, ``"Conv2d"``, ``"MultiHeadAttention"``).
+    """
+
+    quant: object = None
+    name_glob: str | None = None
+    layer_type: str | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "quant", _normalize_quant(self.quant))
+
+    def matches(self, name: str, module) -> bool:
+        if self.name_glob is not None and not fnmatchcase(name, self.name_glob):
+            return False
+        if self.layer_type is not None and not any(
+            c.__name__ == self.layer_type for c in type(module).__mro__
+        ):
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        out: dict = {"quant": _copy_payload(self.quant)}
+        if self.name_glob is not None:
+            out["name_glob"] = self.name_glob
+        if self.layer_type is not None:
+            out["layer_type"] = self.layer_type
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PolicyRule":
+        unknown = set(d) - {"quant", "name_glob", "layer_type"}
+        if unknown:
+            raise ValueError(f"unknown rule keys {sorted(unknown)}")
+        return cls(
+            quant=d.get("quant"),
+            name_glob=d.get("name_glob"),
+            layer_type=d.get("layer_type"),
+        )
+
+
+@dataclass(frozen=True)
+class RulePolicy(PolicySpec):
+    """First-matching-rule policy with a default for unmatched layers.
+
+    Layers sharing a rule share one compiled :class:`QuantSpec` instance
+    (as :func:`~repro.flow.policy.uniform_policy` shares its spec), so
+    stateful formats accumulate history per rule, not per layer.
+    """
+
+    kind = "rules"
+    rules: tuple[PolicyRule, ...] = ()
+    default: object = None
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        rules = tuple(
+            r if isinstance(r, PolicyRule) else PolicyRule.from_dict(r)
+            for r in self.rules
+        )
+        object.__setattr__(self, "rules", rules)
+        object.__setattr__(self, "default", _normalize_quant(self.default))
+
+    def build(self, model):
+        del model
+        compiled = [_compile_quant(rule.quant) for rule in self.rules]
+        default = _compile_quant(self.default)
+
+        def policy(name, module):
+            for rule, spec in zip(self.rules, compiled):
+                if rule.matches(name, module):
+                    return spec
+            return default
+
+        return policy
+
+    def to_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "rules": [rule.to_dict() for rule in self.rules],
+            "default": _copy_payload(self.default),
+        }
+        if self.name:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def _from_payload(cls, d: dict) -> "RulePolicy":
+        unknown = set(d) - {"rules", "default", "name"}
+        if unknown:
+            raise ValueError(f"unknown policy keys {sorted(unknown)}")
+        return cls(
+            rules=tuple(d.get("rules") or ()),
+            default=d.get("default"),
+            name=d.get("name"),
+        )
+
+    def _default_label(self) -> str:
+        return f"rules[{len(self.rules)};default={_payload_label(self.default)}]"

@@ -10,6 +10,7 @@ from repro.fidelity.sweep import (
     run_sweep,
     sweep_frontier,
 )
+from repro.spec import FirstLastHighPolicy, PolicyRule, RulePolicy, UniformPolicy
 
 
 class TestDesignSpace:
@@ -102,3 +103,94 @@ class TestParallelSweep:
         b = run_sweep(configs=self.CONFIGS[:1], include_named=False,
                       n_vectors=50)
         assert a == b
+
+
+class TestSpecFormatPoints:
+    """Design points given as spec-language spellings."""
+
+    SPECS = ["mx6", "bdr(m=3,k1=32,d1=8)", "vsq(bits=4,d2=8)", "int8?scaling=jit"]
+
+    def test_spec_points_match_named_points(self):
+        by_spec = run_sweep(configs=[], include_named=False,
+                            formats=["mx6"], n_vectors=100)
+        named = run_sweep(configs=[], include_named=True, n_vectors=100)
+        (mx6_named,) = [p for p in named if p.label == "MX6"]
+        assert by_spec[0] == mx6_named
+
+    def test_parallel_bit_identical(self):
+        serial = run_sweep(configs=[], include_named=False,
+                           formats=self.SPECS, n_vectors=100)
+        parallel = run_sweep(configs=[], include_named=False,
+                             formats=self.SPECS, n_vectors=100, n_jobs=2)
+        assert serial == parallel
+
+    def test_stateful_spec_points_parallelize(self):
+        # delayed-scaling formats carry history and were previously
+        # unpicklable as closures; as spec strings they fan out fine
+        serial = run_sweep(configs=[], include_named=False,
+                           formats=["int8", "vsq4"], n_vectors=100)
+        parallel = run_sweep(configs=[], include_named=False,
+                             formats=["int8", "vsq4"], n_vectors=100, n_jobs=2)
+        assert serial == parallel
+
+
+class TestPolicyPoints:
+    """Whole-model fidelity points driven by declarative policies."""
+
+    POLICIES = [
+        UniformPolicy(quant="mx6"),
+        FirstLastHighPolicy(quant="mx4", high="mx9"),
+        RulePolicy(
+            rules=(PolicyRule(quant="mx4", name_glob="layers.0*"),),
+            default="fp8_e4m3",
+        ),
+    ]
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_sweep(configs=[], include_named=False,
+                         policies=self.POLICIES, n_vectors=100)
+
+    def test_fields(self, serial):
+        assert [p.family for p in serial] == ["policy"] * 3
+        for p in serial:
+            assert 0 < p.qsnr_db < 300
+            assert p.cost > 0
+            assert p.theorem_bound_db is None
+        # the mixed policy averages storage between MX4 and MX9 layers
+        assert 4.0 < serial[1].bits_per_element < 9.0
+
+    def test_json_round_trip_drives_identical_points(self, serial):
+        import json
+
+        dicts = [json.loads(p.to_json()) for p in self.POLICIES]
+        rebuilt = run_sweep(configs=[], include_named=False,
+                            policies=dicts, n_vectors=100)
+        assert rebuilt == serial
+
+    def test_parallel_bit_identical_to_serial(self, serial):
+        """The satellite acceptance: run_sweep(n_jobs=2) with non-uniform
+        PolicySpecs is bit-identical to the serial path — impossible with
+        closure policies, which do not pickle."""
+        parallel = run_sweep(configs=[], include_named=False,
+                             policies=self.POLICIES, n_vectors=100, n_jobs=2)
+        assert parallel == serial
+
+    def test_closure_policies_really_do_not_pickle(self):
+        import pickle
+
+        from repro.flow.policy import uniform_policy
+
+        with pytest.raises(Exception):
+            pickle.dumps(uniform_policy(None))
+
+    def test_uniform_fp32_policy_is_lossless(self):
+        points = run_sweep(configs=[], include_named=False,
+                           policies=[UniformPolicy()], n_vectors=50)
+        assert points[0].qsnr_db == 300.0  # QSNR_CEILING: zero error
+        assert points[0].bits_per_element == 32.0
+
+    def test_unknown_probe_model(self):
+        with pytest.raises(ValueError, match="unknown probe model"):
+            run_sweep(configs=[], include_named=False,
+                      policies=[UniformPolicy()], model="nope", n_vectors=10)

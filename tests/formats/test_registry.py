@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.formats.registry import FIGURE7_FORMATS, get_format, list_formats, register_format
+from repro.formats.registry import (
+    FIGURE7_FORMATS,
+    get_format,
+    is_registered,
+    list_formats,
+    register_format,
+)
 
 
 class TestLookup:
@@ -44,6 +50,55 @@ class TestLookup:
         names = list_formats()
         assert names == sorted(names)
         assert "mx9" in names and "fp32" in names
+
+    def test_is_registered(self):
+        assert is_registered("mx9")
+        assert is_registered("MX-9".replace("-", ""))
+        assert not is_registered("mx5")
+
+
+class TestSuggestions:
+    def test_close_miss_suggests_neighbors(self):
+        with pytest.raises(ValueError, match="did you mean") as excinfo:
+            get_format("mx7")
+        message = str(excinfo.value)
+        assert "'mx4'" in message or "'mx6'" in message or "'mx9'" in message
+
+    def test_typo_in_scalar_float(self):
+        with pytest.raises(ValueError, match="did you mean.*fp8_e4m3"):
+            get_format("fp8_e4m2")
+
+    def test_far_miss_lists_known_formats(self):
+        with pytest.raises(ValueError, match="known formats"):
+            get_format("zzzzzz")
+
+
+class TestRegisterNormalization:
+    def test_dashed_name_registers_and_resolves(self):
+        register_format("_Test-Spaced Name", lambda: get_format("mx6"))
+        try:
+            assert is_registered("_test-spaced name")
+            assert get_format("_TEST_SPACED_NAME").name == "MX6"
+        finally:
+            from repro.formats import registry
+
+            registry._FACTORIES.pop("_test_spaced_name", None)
+
+
+class TestOverwrite:
+    def test_overwrite_replaces_factory(self):
+        register_format("_test_overwrite", lambda: get_format("mx6"))
+        try:
+            with pytest.raises(ValueError, match="overwrite=True"):
+                register_format("_test_overwrite", lambda: get_format("mx9"))
+            register_format(
+                "_test_overwrite", lambda: get_format("mx9"), overwrite=True
+            )
+            assert get_format("_test_overwrite").name == "MX9"
+        finally:
+            from repro.formats import registry
+
+            registry._FACTORIES.pop("_test_overwrite", None)
 
 
 class TestExpectedBits:

@@ -1,0 +1,122 @@
+"""Unit tests for the top-level facade and the spec-driven CLI commands."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.__main__ import main
+from repro.formats.registry import get_format
+
+
+class TestQuantizeFacade:
+    def test_matches_registry(self):
+        x = np.random.default_rng(0).normal(size=(4, 64))
+        assert np.array_equal(repro.quantize(x, "mx6"), get_format("mx6").quantize(x))
+
+    def test_family_string(self):
+        x = np.random.default_rng(1).normal(size=(4, 64))
+        assert np.array_equal(
+            repro.quantize(x, "bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)"),
+            get_format("mx6").quantize(x),
+        )
+
+    def test_axis_and_rounding_kwargs(self):
+        x = np.random.default_rng(2).normal(size=(8, 16))
+        assert np.array_equal(
+            repro.quantize(x, "mx6", axis=0, rounding="truncate"),
+            get_format("mx6").quantize(x, axis=0, rounding="truncate"),
+        )
+
+    def test_format_instance_passthrough(self):
+        x = np.random.default_rng(3).normal(size=(2, 32))
+        fmt = get_format("msfp16")
+        assert np.array_equal(repro.quantize(x, fmt), fmt.quantize(x))
+
+
+class TestSpecFacade:
+    def test_parse_shape(self):
+        assert repro.spec("mx6") == repro.parse_spec("mx6")
+
+    def test_family_kwargs_shape(self):
+        spec = repro.spec("bdr", m=4, k1=16, d1=8, scaling="jit")
+        assert spec.base == "bdr"
+        assert spec.param_dict == {"m": 4, "k1": 16, "d1": 8}
+        assert spec.option_dict == {"scaling": "jit"}
+
+    def test_reverse_maps_instances(self):
+        assert repro.spec(get_format("fp32")).base == "fp32"
+
+    def test_rejects_kwargs_on_non_string(self):
+        with pytest.raises(TypeError):
+            repro.spec(get_format("mx6"), m=4)
+
+    def test_module_still_importable(self):
+        # repro.spec the *function* shadows the subpackage attribute;
+        # from-imports keep resolving the package via sys.modules
+        from repro.spec import parse_spec as module_parse_spec
+
+        assert module_parse_spec("mx6") == repro.parse_spec("mx6")
+
+    def test_attribute_access_still_works(self):
+        # the facade function mirrors the package's public names, so
+        # `import repro.spec; repro.spec.parse_spec(...)` keeps working
+        assert repro.spec.parse_spec("mx6") == repro.parse_spec("mx6")
+        assert repro.spec.UniformPolicy is repro.UniformPolicy
+
+    def test_submodule_attribute_access(self):
+        # `import repro.spec.grammar; repro.spec.grammar.parse_spec(...)`
+        import repro.spec.grammar  # noqa: F401
+
+        assert repro.spec.grammar.parse_spec("mx6") == repro.parse_spec("mx6")
+        assert repro.spec.policy.UniformPolicy is repro.UniformPolicy
+
+
+class TestCliListFormats:
+    def test_lists_every_name(self, capsys):
+        assert main(["list-formats"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mx6", "fp8_e4m3", "vsq8"):
+            assert name in out
+
+
+class TestCliDescribe:
+    def test_named(self, capsys):
+        assert main(["describe", "mx6"]) == 0
+        out = capsys.readouterr().out
+        assert "spec:      mx6" in out
+        assert "bits/elem: 6.0000" in out
+        assert "family mx" in out
+
+    def test_family_spelling(self, capsys):
+        assert main(["describe", "bdr(d1=8,k1=16,m=4)"]) == 0
+        out = capsys.readouterr().out
+        assert "bdr(m=4,k1=16,d1=8)" in out
+
+    def test_bad_spec_is_error(self, capsys):
+        assert main(["describe", "mx7"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCliQsnr:
+    def test_reports_db(self, capsys):
+        assert main(["qsnr", "mx6", "--n-vectors", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "mx6:" in out and "dB" in out
+
+    def test_value_matches_measure_qsnr(self, capsys):
+        from repro.fidelity.qsnr import measure_qsnr
+
+        assert main(["qsnr", "mx9", "--n-vectors", "128", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        expected = measure_qsnr("mx9", n_vectors=128, seed=5)
+        assert f"{expected:.2f} dB" in out
+
+    def test_bad_spec_is_error(self, capsys):
+        assert main(["qsnr", "nope(x=1)"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCliExperimentsStillWork:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "figure7" in capsys.readouterr().out

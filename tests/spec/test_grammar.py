@@ -1,0 +1,225 @@
+"""Unit tests for the FormatSpec mini-language."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import Format
+from repro.formats.registry import get_format
+from repro.spec import (
+    FormatSpec,
+    PinnedRounding,
+    SpecError,
+    as_format,
+    format_to_spec,
+    parse_spec,
+    render_spec,
+)
+
+
+def sample_tensor(seed=0, shape=(8, 256)):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape) * np.exp2(rng.integers(-6, 7, size=(shape[0], 1)))
+
+
+class TestParse:
+    def test_named_corner(self):
+        spec = parse_spec("mx6")
+        assert spec.base == "mx6"
+        assert spec.params == () and spec.options == ()
+
+    def test_name_normalization(self):
+        assert parse_spec("MX6") == parse_spec("mx6")
+        assert parse_spec("FP8 - E4M3") == parse_spec("fp8_e4m3")
+
+    def test_family_params(self):
+        spec = parse_spec("bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)")
+        assert spec.is_family
+        assert spec.param_dict == {
+            "m": 4, "k1": 16, "d1": 8, "k2": 2, "d2": 1, "ss": "pow2"
+        }
+
+    def test_options(self):
+        spec = parse_spec("mx9?rounding=stochastic&seed=7")
+        assert spec.option_dict == {"rounding": "stochastic", "seed": 7}
+
+    def test_param_order_is_irrelevant(self):
+        a = parse_spec("mx(k1=16,m=4)")
+        b = parse_spec("mx(m=4,k1=16)")
+        assert a == b and hash(a) == hash(b)
+
+    def test_dict_form(self):
+        spec = parse_spec({"base": "mx", "params": {"m": 4}})
+        assert spec == parse_spec("mx(m=4)")
+        assert FormatSpec.from_dict(spec.to_dict()) == spec
+
+    def test_format_instance_reverse_maps(self):
+        assert parse_spec(get_format("mx6")).base == "bdr"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "mx6(m=4)",            # params on a named corner
+            "bdr(m=4)",            # missing required k1/d1
+            "mx(m=4,zz=1)",        # unknown parameter
+            "mx(m=four)",          # non-integer parameter
+            "mx9?rounding=bogus",  # unknown rounding mode
+            "bdr(m=4,k1=16,d1=8,s=fp64)",  # invalid scale type
+            "mx(m=4)?bogus=1",     # unknown option (raised on build)
+            "mx9?seed=7",          # seed without stochastic rounding
+            "",                    # empty
+            "mx(m=4",              # unbalanced parens
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises((SpecError, ValueError)):
+            as_format(bad)
+
+    def test_unknown_name_error_carries_suggestions(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            parse_spec("mx7")
+
+    def test_dict_with_params_on_named_base_rejected(self):
+        # regression: params on a named base must not be silently dropped
+        with pytest.raises(SpecError, match="named format"):
+            parse_spec({"base": "mx6", "params": {"m": 2}})
+
+    def test_dict_with_unknown_base_rejected(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            parse_spec({"base": "zzz"})
+
+    def test_handbuilt_formatspec_validated_by_as_format(self):
+        with pytest.raises(SpecError):
+            as_format(FormatSpec(base="mx", params=(("zz", 1),)))
+
+
+class TestRender:
+    def test_canonical_is_fixed_point(self):
+        for text in [
+            "mx6",
+            "bdr(d1=8,k1=16,m=4)",
+            "vsq(bits=4,d2=8)?scaling=jit",
+            "float(e=4,m=3,enc=fn)?window=8&scaling=delayed",
+            "mx9?seed=7&rounding=stochastic",
+        ]:
+            canonical = render_spec(text)
+            assert render_spec(canonical) == canonical
+            assert parse_spec(canonical) == parse_spec(text)
+
+    def test_family_params_render_in_declaration_order(self):
+        assert render_spec("bdr(ss=pow2,d2=1,k2=2,d1=8,k1=16,m=4)") == (
+            "bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)"
+        )
+
+    def test_options_render_sorted(self):
+        assert render_spec("mx9?seed=3&rounding=stochastic") == (
+            "mx9?rounding=stochastic&seed=3"
+        )
+
+
+class TestAsFormat:
+    def test_passthrough_for_instances(self):
+        fmt = get_format("mx6")
+        assert as_format(fmt) is fmt
+
+    def test_named_matches_registry_bit_identically(self):
+        x = sample_tensor()
+        assert np.array_equal(
+            as_format("mx6").quantize(x), get_format("mx6").quantize(x)
+        )
+
+    def test_family_matches_class_constructor(self):
+        from repro.formats.bdr_format import MXFormat
+
+        x = sample_tensor()
+        assert np.array_equal(
+            as_format("mx(m=4)").quantize(x), MXFormat(m=4).quantize(x)
+        )
+
+    def test_scaling_option_forwards_to_factory(self):
+        fmt = as_format("int8?scaling=jit")
+        assert fmt.scaling == "jit"
+
+    def test_inert_scaling_on_hardware_formats(self):
+        x = sample_tensor()
+        assert np.array_equal(
+            as_format("mx9?scaling=delayed").quantize(x),
+            get_format("mx9").quantize(x),
+        )
+
+    def test_fresh_instance_per_call(self):
+        assert as_format("int8") is not as_format("int8")
+
+    def test_float_family(self):
+        fmt = as_format("float(e=4,m=3,enc=fn)")
+        x = sample_tensor()
+        assert np.array_equal(fmt.quantize(x), get_format("fp8_e4m3", scaling="none").quantize(x))
+
+
+class TestPinnedRounding:
+    def test_pin_beats_call_site(self):
+        fmt = as_format("mx6?rounding=truncate")
+        assert isinstance(fmt, PinnedRounding)
+        x = sample_tensor()
+        expected = get_format("mx6").quantize(x, rounding="truncate")
+        assert np.array_equal(fmt.quantize(x, rounding="nearest"), expected)
+
+    def test_stochastic_is_seeded_and_resettable(self):
+        fmt = as_format("mx4?rounding=stochastic&seed=5")
+        x = sample_tensor()
+        first = fmt.quantize(x)
+        fmt.reset_state()
+        assert np.array_equal(fmt.quantize(x), first)
+
+    def test_stochastic_not_memoizable(self):
+        fmt = as_format("mx4?rounding=stochastic")
+        assert fmt.cache_key() is None
+        assert not fmt.is_stateless
+
+    def test_bits_delegate(self):
+        assert as_format("mx6?rounding=truncate").bits_per_element == 6.0
+
+    def test_hardware_cost_unwraps_pin(self):
+        from repro.hardware.cost import hardware_cost
+
+        pinned = hardware_cost(as_format("mx9?rounding=stochastic"))
+        plain = hardware_cost(get_format("mx9"))
+        assert pinned.area_memory_product == plain.area_memory_product
+
+    def test_inner_origin_excludes_call_options(self):
+        fmt = as_format("mx9?rounding=stochastic&seed=7")
+        assert format_to_spec(fmt.inner) == "mx9"
+        assert format_to_spec(fmt) == "mx9?rounding=stochastic&seed=7"
+
+    def test_sweep_accepts_pinned_specs(self):
+        from repro.fidelity.sweep import run_sweep
+
+        (point,) = run_sweep(configs=[], include_named=False,
+                             formats=["mx9?rounding=stochastic"], n_vectors=50)
+        assert point.cost > 0
+        # classification reads through the wrapper; the Theorem 1 bound is
+        # withheld (it assumes round-to-nearest)
+        assert point.family == "mx"
+        assert point.theorem_bound_db is None
+
+
+class TestFormatToSpec:
+    def test_identity(self):
+        assert format_to_spec(get_format("fp32")) == "fp32"
+
+    def test_as_format_origin_is_remembered(self):
+        fmt = as_format("mx9?rounding=stochastic&seed=7")
+        assert format_to_spec(fmt) == "mx9?rounding=stochastic&seed=7"
+
+    def test_unrepresentable_raises(self):
+        class Custom(Format):
+            name = "custom"
+
+            def quantize(self, x, axis=-1, rounding="nearest", rng=None):
+                return x
+
+            @property
+            def bits_per_element(self):
+                return 1.0
+
+        with pytest.raises(SpecError, match="no spec-language spelling"):
+            format_to_spec(Custom())

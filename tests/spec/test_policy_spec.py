@@ -1,0 +1,209 @@
+"""Unit tests for declarative PolicySpecs (JSON round-trip + compilation)."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.flow.policy import (
+    apply_quant_policy,
+    first_last_high_precision,
+    quantizable_modules,
+    uniform_policy,
+)
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.quantized import QuantSpec
+from repro.spec import (
+    FirstLastHighPolicy,
+    PolicyRule,
+    PolicySpec,
+    RulePolicy,
+    UniformPolicy,
+    policy_from_dict,
+)
+
+
+def build_mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(4, 8, rng=rng), ReLU(), Linear(8, 8, rng=rng), Linear(8, 2, rng=rng)
+    )
+
+
+class TestQuantPayloadNormalization:
+    def test_string_is_uniform_shorthand(self):
+        policy = UniformPolicy(quant="mx6")
+        assert policy.quant == {
+            "activation": "mx6", "weight": "mx6", "backward": "mx6",
+            "rounding": "nearest",
+        }
+
+    def test_quantspec_instance(self):
+        spec = QuantSpec.finetune("mx6")
+        policy = UniformPolicy(quant=spec)
+        assert policy.quant["backward"] is None
+        assert policy.quant["weight"] == "mx6"
+
+    def test_role_dict_canonicalizes_spellings(self):
+        policy = UniformPolicy(quant={"weight": "MX6", "activation": "bdr(d1=8,k1=16,m=4)"})
+        assert policy.quant["weight"] == "mx6"
+        assert policy.quant["activation"] == "bdr(m=4,k1=16,d1=8)"
+        assert policy.quant["backward"] is None
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown quant payload keys"):
+            UniformPolicy(quant={"weights": "mx6"})
+
+
+class TestJsonRoundTrip:
+    POLICIES = [
+        UniformPolicy(),
+        UniformPolicy(quant="mx9", name="all-mx9"),
+        FirstLastHighPolicy(quant="mx4", high="mx9"),
+        RulePolicy(
+            rules=(
+                PolicyRule(quant="mx4", name_glob="layers.0*"),
+                PolicyRule(quant="fp8_e4m3", layer_type="Linear"),
+            ),
+            default="mx9",
+        ),
+    ]
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.label)
+    def test_json_round_trip(self, policy):
+        text = policy.to_json()
+        json.loads(text)  # valid JSON
+        assert PolicySpec.from_json(text) == policy
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.label)
+    def test_pickle_round_trip(self, policy):
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown policy kind"):
+            policy_from_dict({"kind": "bogus"})
+
+    def test_to_dict_never_aliases_internal_state(self):
+        policy = UniformPolicy(quant="mx6")
+        d = policy.to_dict()
+        d["quant"]["weight"] = "mx4"
+        assert policy.quant["weight"] == "mx6"
+
+
+class TestCompilation:
+    def test_uniform_matches_closure(self):
+        a, b = build_mlp(), build_mlp()
+        apply_quant_policy(a, uniform_policy(QuantSpec.uniform("mx6")))
+        apply_quant_policy(b, UniformPolicy(quant="mx6"))
+        for (_, ma), (_, mb) in zip(quantizable_modules(a), quantizable_modules(b)):
+            assert ma.quant.weight.config == mb.quant.weight.config
+
+    def test_uniform_none_clears(self):
+        model = build_mlp()
+        apply_quant_policy(model, UniformPolicy(quant="mx6"))
+        apply_quant_policy(model, UniformPolicy())
+        assert all(m.quant is None for _, m in quantizable_modules(model))
+
+    def test_layers_share_one_compiled_spec(self):
+        model = build_mlp()
+        apply_quant_policy(model, UniformPolicy(quant="mx6"))
+        specs = {id(m.quant) for _, m in quantizable_modules(model)}
+        assert len(specs) == 1
+
+    def test_first_last_matches_closure(self):
+        a, b = build_mlp(), build_mlp()
+        apply_quant_policy(
+            a, first_last_high_precision(QuantSpec.uniform("mx4"), a)
+        )
+        apply_quant_policy(b, FirstLastHighPolicy(quant="mx4"))
+        for (_, ma), (_, mb) in zip(quantizable_modules(a), quantizable_modules(b)):
+            assert (ma.quant is None) == (mb.quant is None)
+
+    def test_rule_glob(self):
+        model = build_mlp()
+        apply_quant_policy(
+            model,
+            RulePolicy(rules=(PolicyRule(quant="mx4", name_glob="layers.0*"),)),
+        )
+        mods = quantizable_modules(model)
+        assert mods[0][1].quant is not None
+        assert all(m.quant is None for _, m in mods[1:])
+
+    def test_rule_layer_type(self):
+        model = build_mlp()
+        apply_quant_policy(
+            model, RulePolicy(rules=(PolicyRule(quant="mx9", layer_type="Linear"),))
+        )
+        assert all(m.quant is not None for _, m in quantizable_modules(model))
+
+    def test_first_matching_rule_wins(self):
+        model = build_mlp()
+        apply_quant_policy(
+            model,
+            RulePolicy(
+                rules=(
+                    PolicyRule(quant="mx4", name_glob="layers.0*"),
+                    PolicyRule(quant="mx9", layer_type="Linear"),
+                )
+            ),
+        )
+        mods = quantizable_modules(model)
+        assert mods[0][1].quant.weight.name == "MX4"
+        assert mods[1][1].quant.weight.name == "MX9"
+
+    def test_dict_form_accepted_by_apply(self):
+        model = build_mlp()
+        count = apply_quant_policy(model, UniformPolicy(quant="mx6").to_dict())
+        assert count == 3
+        assert all(m.quant is not None for _, m in quantizable_modules(model))
+
+    def test_forward_results_identical_to_closure_policy(self):
+        from repro.nn.tensor import Tensor
+
+        x = np.random.default_rng(3).normal(size=(5, 4))
+        a, b = build_mlp(), build_mlp()
+        apply_quant_policy(a, uniform_policy(QuantSpec.uniform("mx6")))
+        apply_quant_policy(b, UniformPolicy(quant="mx6"))
+        assert np.array_equal(a(Tensor(x)).data, b(Tensor(x)).data)
+
+
+class TrainableMLP(Sequential):
+    """Sequential with the ``loss(batch)`` hook :func:`fit` expects."""
+
+    def loss(self, batch):
+        from repro.nn.losses import mse_loss
+        from repro.nn.tensor import Tensor
+
+        x, y = batch
+        return mse_loss(self(Tensor(x)), y)
+
+
+def build_trainable(seed=0):
+    rng = np.random.default_rng(seed)
+    return TrainableMLP(
+        Linear(4, 8, rng=rng), ReLU(), Linear(8, 8, rng=rng), Linear(8, 2, rng=rng)
+    )
+
+
+class TestFinetuneWithPolicy:
+    def test_policy_argument(self):
+        from repro.flow.finetune import finetune
+
+        model = build_trainable()
+        rng = np.random.default_rng(0)
+        batches = [
+            (rng.normal(size=(8, 4)), rng.normal(size=(8, 2))) for _ in range(3)
+        ]
+        result = finetune(
+            model, batches, steps=3, policy=FirstLastHighPolicy(quant="mx6")
+        )
+        assert len(result.losses) == 3
+        mods = quantizable_modules(model)
+        assert mods[0][1].quant is None and mods[1][1].quant is not None
+
+    def test_requires_format_or_policy(self):
+        from repro.flow.finetune import finetune
+
+        with pytest.raises(ValueError, match="forward_format or policy"):
+            finetune(build_trainable(), [], steps=1)
