@@ -1,18 +1,19 @@
 #!/usr/bin/env python
-"""Kernel-throughput regression gate.
+"""Throughput regression gate (kernels + serving suites).
 
-Runs ``benchmarks/test_bench_kernels.py`` under ``pytest-benchmark`` with
+Runs each suite's benchmark module under ``pytest-benchmark`` with
 ``--benchmark-json``, then compares the median time of every benchmark
-against the committed baseline (``benchmarks/BENCH_kernels.json``) and
-exits nonzero if any benchmark regressed by more than the threshold
-(default 25%).
+against the committed baseline (``benchmarks/BENCH_kernels.json`` /
+``benchmarks/BENCH_serving.json``) and exits nonzero if any benchmark
+regressed by more than the threshold (default 25%).
 
 Usage::
 
-    python benchmarks/check_regression.py                  # gate vs baseline
+    python benchmarks/check_regression.py                  # gate all suites
+    python benchmarks/check_regression.py --suite serving  # one suite
     python benchmarks/check_regression.py --update-baseline
     python benchmarks/check_regression.py --threshold 0.4  # looser gate
-    python benchmarks/check_regression.py --no-run --json out.json
+    python benchmarks/check_regression.py --suite kernels --no-run --json out.json
                                             # compare an existing run
 
 Medians are wall-clock on the current machine; the committed baseline is a
@@ -33,14 +34,18 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-BASELINE = BENCH_DIR / "BENCH_kernels.json"
-BENCH_FILE = BENCH_DIR / "test_bench_kernels.py"
+
+#: suite name -> (benchmark module, committed baseline)
+SUITES = {
+    "kernels": (BENCH_DIR / "test_bench_kernels.py", BENCH_DIR / "BENCH_kernels.json"),
+    "serving": (BENCH_DIR / "test_bench_serving.py", BENCH_DIR / "BENCH_serving.json"),
+}
 
 
-def run_benchmarks(json_path: Path) -> None:
-    """Run the kernel benchmark module, writing pytest-benchmark JSON."""
+def run_benchmarks(bench_file: Path, json_path: Path) -> None:
+    """Run one suite's benchmark module, writing pytest-benchmark JSON."""
     cmd = [
-        sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+        sys.executable, "-m", "pytest", str(bench_file), "-q",
         "--benchmark-json", str(json_path),
     ]
     env = dict(os.environ)
@@ -97,21 +102,9 @@ def compare(baseline: dict[str, float], current: dict[str, float],
     return failures
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--json", type=Path, default=None,
-                        help="where to write (or with --no-run, read) the "
-                             "benchmark JSON; defaults to a temp file")
-    parser.add_argument("--baseline", type=Path, default=BASELINE,
-                        help=f"baseline JSON (default {BASELINE})")
-    parser.add_argument("--threshold", type=float, default=0.25,
-                        help="allowed fractional slowdown (default 0.25)")
-    parser.add_argument("--update-baseline", action="store_true",
-                        help="write this run as the new baseline and exit 0")
-    parser.add_argument("--no-run", action="store_true",
-                        help="skip running; compare an existing --json file")
-    args = parser.parse_args()
-
+def run_suite(name: str, bench_file: Path, baseline_path: Path,
+              args: argparse.Namespace) -> list[str]:
+    """Run/compare one suite; returns its failure messages."""
     json_path = args.json
     tmp = None
     if json_path is None:
@@ -121,33 +114,64 @@ def main() -> int:
 
     try:
         if not args.no_run:
-            run_benchmarks(json_path)
+            run_benchmarks(bench_file, json_path)
         if not json_path.exists():
             sys.exit(f"no benchmark JSON at {json_path}")
 
         if args.update_baseline:
-            shutil.copyfile(json_path, args.baseline)
-            print(f"baseline updated: {args.baseline}")
-            return 0
+            shutil.copyfile(json_path, baseline_path)
+            print(f"[{name}] baseline updated: {baseline_path}")
+            return []
 
-        if not args.baseline.exists():
+        if not baseline_path.exists():
             sys.exit(
-                f"no baseline at {args.baseline}; run with --update-baseline "
+                f"no baseline at {baseline_path}; run with --update-baseline "
                 "to create one"
             )
-        failures = compare(
-            load_medians(args.baseline), load_medians(json_path), args.threshold
+        print(f"=== suite: {name} ===")
+        return compare(
+            load_medians(baseline_path), load_medians(json_path), args.threshold
         )
-        if failures:
-            print("\nthroughput regressions detected:", file=sys.stderr)
-            for failure in failures:
-                print(f"  - {failure}", file=sys.stderr)
-            return 1
-        print("\nno throughput regressions.")
-        return 0
     finally:
         if tmp is not None:
             Path(tmp.name).unlink(missing_ok=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=sorted(SUITES), action="append",
+                        default=None,
+                        help="suite(s) to gate (default: all); repeatable")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="where to write (or with --no-run, read) the "
+                             "benchmark JSON; requires a single --suite")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write this run as the new baseline and exit 0")
+    parser.add_argument("--no-run", action="store_true",
+                        help="skip running; compare an existing --json file")
+    args = parser.parse_args()
+
+    suites = args.suite or sorted(SUITES)
+    if args.json is not None and len(suites) != 1:
+        sys.exit("--json needs exactly one --suite")
+
+    failures: list[str] = []
+    for name in suites:
+        bench_file, baseline_path = SUITES[name]
+        failures.extend(
+            f"[{name}] {message}"
+            for message in run_suite(name, bench_file, baseline_path, args)
+        )
+    if failures:
+        print("\nthroughput regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if not args.update_baseline:
+        print("\nno throughput regressions.")
+    return 0
 
 
 if __name__ == "__main__":

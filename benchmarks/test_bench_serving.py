@@ -1,0 +1,87 @@
+"""Serving-tier throughput benchmarks (the ``bench-serve`` regression gate).
+
+Two benchmarks over the same GPT-S request stream establish the serving
+headline: ``naive_per_request`` times the historical deployment (direct-cast
+model, one legacy ``score_candidates`` call per request), and
+``batched_session`` times the quantize-once compiled model behind a
+micro-batched :class:`~repro.serve.InferenceSession`.  The batched median
+must stay >= 3x the naive one (asserted here), and
+``benchmarks/check_regression.py`` gates both medians against the committed
+``benchmarks/BENCH_serving.json`` baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticLanguage
+from repro.data.tasks import make_task
+from repro.flow.cast import direct_cast
+from repro.models.gpt import GPT, GPT_SIZES, score_candidates
+from repro.serve import SessionConfig, compile_model
+
+N_REQUESTS = 48
+MAX_BATCH = 16
+FORMAT = "mx6"
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    """One GPT-S over the synthetic language plus a fixed request stream."""
+    lang = SyntheticLanguage(seed=0)
+    model = GPT(lang.vocab_size, GPT_SIZES["GPT-S"], rng=np.random.default_rng(0))
+    examples = make_task("recall", lang, n_examples=N_REQUESTS, seed=1)
+    requests = [
+        {"task": "score", "context": ex.context, "candidates": ex.candidates}
+        for ex in examples
+    ]
+    return model, requests
+
+
+def test_serving_naive_per_request(benchmark, serving_setup):
+    """The pre-serving deployment: per-request legacy calls."""
+    model, requests = serving_setup
+    direct_cast(model, FORMAT)
+    pairs = [(r["context"], r["candidates"]) for r in requests]
+    score_candidates(model, *pairs[0])  # warm weight memo outside the timer
+
+    def naive():
+        return [score_candidates(model, context, cands) for context, cands in pairs]
+
+    choices = benchmark.pedantic(naive, rounds=3, iterations=1)
+    assert len(choices) == N_REQUESTS
+
+
+def test_serving_batched_session(benchmark, serving_setup):
+    """Quantize-once + micro-batched session over the same stream."""
+    model, requests = serving_setup
+    config = SessionConfig(format=FORMAT, max_batch=MAX_BATCH, max_wait=0.05)
+    compiled = compile_model(model, config=config)
+    compiled.run(requests[:2])  # warm
+
+    def batched():
+        with compiled.session(config) as session:
+            return session.map(requests)
+
+    results = benchmark.pedantic(batched, rounds=3, iterations=1)
+    assert len(results) == N_REQUESTS
+    assert compiled.check_frozen()
+
+
+def test_serving_speedup_headline(serving_setup):
+    """Batched quantize-once serving >= 3x naive per-request throughput.
+
+    Uses the same shared measurement protocol as ``python -m repro
+    bench-serve`` (:func:`repro.serve.bench.measure_serving_speedup`), so
+    the gated number and the CLI-reported number cannot drift apart.
+    """
+    from repro.serve.bench import measure_serving_speedup
+
+    model, requests = serving_setup
+    result = measure_serving_speedup(
+        model, requests, fmt=FORMAT, max_batch=MAX_BATCH, repeats=3
+    )
+    assert result["speedup"] >= 3.0, (
+        f"batched serving only {result['speedup']:.2f}x naive "
+        f"({result['batched_rps']:.0f} vs {result['naive_rps']:.0f} req/s); "
+        "the quantize-once headline requires >= 3x"
+    )

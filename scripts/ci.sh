@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# One-command CI gate: tier-1 tests, kernel-perf regression, CLI smoke.
+# One-command CI gate: tier-1 tests, perf regression (kernels + serving),
+# CLI smoke including the serving tier.
 #
 # Usage:
 #   scripts/ci.sh                 # full gate
@@ -9,17 +10,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "=== [1/3] tier-1 pytest ==="
+echo "=== [1/4] tier-1 pytest ==="
 python -m pytest -x -q
 
 if [ -z "${SKIP_BENCH:-}" ]; then
-    echo "=== [2/3] kernel perf regression gate ==="
+    echo "=== [2/4] perf regression gate (kernels + serving) ==="
     python benchmarks/check_regression.py
 else
-    echo "=== [2/3] kernel perf regression gate (skipped: SKIP_BENCH set) ==="
+    echo "=== [2/4] perf regression gate (skipped: SKIP_BENCH set) ==="
 fi
 
-echo "=== [3/3] spec-layer CLI smoke ==="
+echo "=== [3/4] spec-layer CLI smoke ==="
 python -m repro list > /dev/null
 python -m repro list-formats > /dev/null
 python -m repro describe "bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)" > /dev/null
@@ -30,5 +31,10 @@ if python -m repro describe mx7 2> /dev/null; then
     echo "describe mx7 should have failed" >&2
     exit 1
 fi
+
+echo "=== [4/4] serving CLI smoke ==="
+# tiny model, ~2s budget: exercises compile -> session -> metrics end to end
+python -m repro serve --model gpt-xs --requests 8 --max-batch 4 > /dev/null
+python -m repro bench-serve --quick > /dev/null
 
 echo "ci: all gates passed"

@@ -13,6 +13,8 @@ Public API highlights:
 * :func:`repro.fidelity.measure_qsnr` — the paper's statistical methodology.
 * :mod:`repro.hardware` — the dot-product area and memory cost models.
 * :mod:`repro.nn` / :mod:`repro.flow` — quantized training and inference.
+* :func:`repro.compile` / :mod:`repro.serve` — the quantize-once serving
+  tier (``repro.compile(model, "mx6").session(max_batch=16)``).
 * :mod:`repro.experiments` — one runner per table and figure.
 """
 
@@ -32,6 +34,7 @@ from .spec import (
     PolicyRule,
     PolicySpec,
     RulePolicy,
+    SessionConfig,
     UniformPolicy,
     as_format,
     format_to_spec,
@@ -63,6 +66,22 @@ def quantize(x, fmt, axis: int = -1, rounding: str | None = None, rng=None):
     if rng is not None:
         kwargs["rng"] = rng
     return as_format(fmt).quantize(x, axis=axis, **kwargs)
+
+
+def compile(model, fmt=None, **kwargs):
+    """Freeze ``model`` for quantized serving, in one call.
+
+    ``repro.compile(model, "mx6")`` is the serving front door: it casts the
+    model's weights into the format once (eval mode, per-role format
+    instances, payloads memoized so requests never re-quantize them) and
+    returns a :class:`repro.serve.CompiledModel` exposing the task-adapter
+    protocol and ``.session(...)`` micro-batched serving.  See
+    :func:`repro.serve.compile_model` for all keyword arguments
+    (``activation=``, ``policy=``, ``freeze=``, ``config=``).
+    """
+    from .serve import compile_model
+
+    return compile_model(model, fmt, **kwargs)
 
 
 # NOTE: this deliberately shadows the `repro.spec` *module attribute* with
@@ -147,5 +166,7 @@ __all__ = [
     "PolicyRule",
     "quantize",
     "spec",
+    "compile",
+    "SessionConfig",
     "__version__",
 ]

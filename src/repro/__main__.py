@@ -10,6 +10,9 @@ Usage::
     python -m repro describe "bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)"
     python -m repro qsnr mx6 --distribution normal --n-vectors 2000
 
+    python -m repro serve --format mx6 --max-batch 16   # serving demo
+    python -m repro bench-serve                         # naive vs batched
+
 Everything below ``list`` is driven entirely by the declarative spec
 layer (:mod:`repro.spec`): any spelling accepted by ``repro.quantize``
 works with ``describe`` and ``qsnr``.
@@ -39,6 +42,7 @@ def _cmd_list_formats(argv: list[str]) -> int:
 
 def _cmd_describe(argv: list[str]) -> int:
     from .hardware.cost import hardware_cost
+    from .hardware.power import power_cost
     from .spec import as_format, parse_spec, render_spec
 
     parser = argparse.ArgumentParser(
@@ -65,6 +69,11 @@ def _cmd_describe(argv: list[str]) -> int:
         print(
             f"hardware:  area={cost.normalized_area:.3f} memory={cost.memory:.3f} "
             f"cost={cost.area_memory_product:.3f} (normalized to FP8)"
+        )
+        print(
+            f"           dot-product area={cost.area_ge:.1f} GE  "
+            f"packing-efficiency={cost.packing_efficiency:.4f}  "
+            f"power={power_cost(fmt):.3f}"
         )
     except TypeError:
         print("hardware:  (no cost model for this format)")
@@ -95,6 +104,127 @@ def _cmd_qsnr(argv: list[str]) -> int:
         seed=args.seed,
     )
     print(f"{render_spec(spec)}: {q:.2f} dB ({args.distribution}, n={args.n_vectors})")
+    return 0
+
+
+def _build_serving_demo(model_name: str, seed: int):
+    """(model, examples factory) for the serving CLI: a GPT ladder member
+    over the synthetic language with likelihood-ranked choice requests."""
+    import numpy as np
+
+    from .data.synthetic import SyntheticLanguage
+    from .data.tasks import make_task
+    from .models.gpt import GPT, GPT_SIZES
+
+    key = model_name.upper().replace("GPT", "GPT-") if "-" not in model_name.upper() else model_name.upper()
+    if key not in GPT_SIZES:
+        raise ValueError(f"unknown GPT ladder member {model_name!r}; choose from {sorted(GPT_SIZES)}")
+    lang = SyntheticLanguage(seed=seed)
+    model = GPT(lang.vocab_size, GPT_SIZES[key], rng=np.random.default_rng(seed))
+
+    def requests(n: int):
+        examples = make_task("recall", lang, n_examples=n, seed=seed + 1)
+        return [
+            {"task": "score", "context": ex.context, "candidates": ex.candidates}
+            for ex in examples
+        ], [ex.answer for ex in examples]
+
+    return model, requests
+
+
+def _cmd_serve(argv: list[str]) -> int:
+    """Demo server: compile a GPT ladder member, serve scored requests."""
+    from .serve import SessionConfig, compile_model
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Compile a model and serve micro-batched requests "
+        "(demonstration harness over the synthetic choice tasks).",
+    )
+    parser.add_argument("--model", default="GPT-S", help="GPT ladder member (default GPT-S)")
+    parser.add_argument("--format", default="mx6", dest="fmt",
+                        help="format spec, e.g. mx6 (default); 'fp32' serves unquantized")
+    parser.add_argument("--requests", type=int, default=32)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait", type=float, default=0.002)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--stream", action="store_true",
+                        help="also demo token-by-token streaming generation")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    model, make_requests = _build_serving_demo(args.model, args.seed)
+    fmt = None if args.fmt.strip().lower() == "fp32" else args.fmt
+    config = SessionConfig(
+        format=fmt, max_batch=args.max_batch, max_wait=args.max_wait,
+        workers=args.workers,
+    )
+    compiled = compile_model(model, config=config)
+    info = compiled.describe()
+    print(f"compiled {info['family']} ({info['parameters']} params) "
+          f"for {args.fmt}: tasks={','.join(info['tasks'])}")
+
+    requests, answers = make_requests(args.requests)
+    with compiled.session(config) as session:
+        results = session.map(requests)
+        summary = session.summary()
+    correct = sum(int(r["choice"] == a) for r, a in zip(results, answers))
+    print(f"served {len(results)} requests  accuracy={100.0 * correct / len(results):.1f}%")
+    latency = summary.get("latency_ms", {})
+    batch = summary.get("batch", {})
+    print(
+        f"throughput={summary['throughput_rps']:.1f} req/s  "
+        f"p50={latency.get('p50', 0.0):.2f}ms p99={latency.get('p99', 0.0):.2f}ms  "
+        f"mean-batch={batch.get('mean_size', 0.0):.2f} "
+        f"occupancy={batch.get('occupancy', 0.0):.2f}"
+    )
+    if args.stream:
+        import numpy as np
+
+        prompt = np.array([1, 2, 3])
+        tokens = list(compiled.stream(prompt, max_new_tokens=8))
+        print(f"stream demo: prompt={prompt.tolist()} -> {tokens}")
+    return 0
+
+
+def _cmd_bench_serve(argv: list[str]) -> int:
+    """Throughput: naive per-request inference vs batched quantize-once."""
+    from .serve.bench import measure_serving_speedup
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-serve",
+        description="Benchmark the serving tier: naive per-request direct-cast "
+        "inference vs the micro-batched quantize-once session.",
+    )
+    parser.add_argument("--model", default="GPT-S", help="GPT ladder member (default GPT-S)")
+    parser.add_argument("--format", default="mx6", dest="fmt")
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; the best (max rps) is reported")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny CI smoke: GPT-XS, few requests (~2s budget)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the result payload to this JSON file")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.model, args.requests, args.repeats = "GPT-XS", 16, 1
+
+    model, make_requests = _build_serving_demo(args.model, args.seed)
+    requests, _ = make_requests(args.requests)
+    payload = measure_serving_speedup(
+        model, requests,
+        fmt=args.fmt, max_batch=args.max_batch, repeats=args.repeats,
+    )
+    payload["model"] = args.model
+    print(f"naive per-request : {payload['naive_rps']:10.1f} req/s")
+    print(f"batched session   : {payload['batched_rps']:10.1f} req/s")
+    print(f"speedup           : {payload['speedup']:10.2f}x")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
     return 0
 
 
@@ -133,6 +263,8 @@ _COMMANDS = {
     "list-formats": _cmd_list_formats,
     "describe": _cmd_describe,
     "qsnr": _cmd_qsnr,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

@@ -19,14 +19,24 @@ from ..formats.base import Format
 from ..nn.layers import Embedding, Module
 from ..nn.quantized import QuantSpec
 from ..spec.grammar import as_format
-from .policy import apply_quant_policy, uniform_policy
+from ..spec.policy import PolicySpec, compile_policy, policy_from_dict
+from .policy import apply_quant_policy, quantizable_modules, uniform_policy
 
 __all__ = ["direct_cast", "cast_weights", "clear_quantization"]
 
 
+def _as_policy(obj) -> "PolicySpec | None":
+    """Coerce a PolicySpec or its ``to_dict`` payload; None otherwise."""
+    if isinstance(obj, PolicySpec):
+        return obj
+    if isinstance(obj, dict) and "kind" in obj:
+        return policy_from_dict(obj)
+    return None
+
+
 def direct_cast(
     model: Module,
-    weight_format: "str | dict | Format | None",
+    weight_format: "str | dict | Format | PolicySpec | None",
     activation_format: "str | dict | Format | None" = None,
     quantize_embeddings: bool = False,
 ) -> Module:
@@ -35,12 +45,24 @@ def direct_cast(
     Args:
         model: a trained model (its FP32 parameters are left untouched).
         weight_format: weight format — any spec spelling the
-            :mod:`repro.spec` layer accepts — or ``None`` for FP32.
+            :mod:`repro.spec` layer accepts — or a declarative
+            :class:`~repro.spec.policy.PolicySpec` (or its ``to_dict``
+            payload) for per-layer deployments, or ``None`` for FP32.
         activation_format: activation format; defaults to the weight
             format when omitted (the paper's symmetric direct cast).
+            Not accepted together with a policy (the policy's payloads
+            already carry per-role formats).
         quantize_embeddings: also storage-quantize embedding tables
             (the memory-intensive recommendation-model optimization).
     """
+    policy = _as_policy(weight_format)
+    if policy is not None:
+        if activation_format is not None:
+            raise ValueError("activation_format is not valid with a policy")
+        if quantize_embeddings:
+            raise ValueError("quantize_embeddings is not valid with a policy")
+        apply_quant_policy(model, policy)
+        return model
     if weight_format is None and activation_format is None:
         return clear_quantization(model)
     act = activation_format if activation_format is not None else weight_format
@@ -71,12 +93,43 @@ def _fresh_copy(fmt: Format) -> Format:
         return fmt
 
 
-def cast_weights(model: Module, fmt: "str | dict | Format") -> Module:
+def cast_weights(model: Module, fmt: "str | dict | Format | PolicySpec") -> Module:
     """Quantize every parameter array in place (storage quantization).
 
     Weight matrices quantize along their reduction dimension (axis 0 for
     ``(K, N)`` Linear weights); embedding tables along the feature axis.
+
+    ``fmt`` may also be a declarative
+    :class:`~repro.spec.policy.PolicySpec` (or its ``to_dict`` payload):
+    each quantizable module's parameters are then cast with that module's
+    weight-role format, so mixed-precision recipes
+    (:class:`~repro.spec.policy.FirstLastHighPolicy` et al.) drive
+    compile-time casting too.  Modules the policy leaves at FP32 (and
+    parameters outside quantizable modules, e.g. embeddings) are left
+    untouched.
     """
+    policy = _as_policy(fmt)
+    if policy is not None:
+        compiled = compile_policy(policy, model)
+        # Attention modules contain their projection Linears, which are
+        # quantizable themselves; apply_quant_policy visits children after
+        # parents, so the child's own spec wins at forward time.  Resolve
+        # each parameter to the spec of the *last* quantizable module that
+        # owns it, then cast every array exactly once with that spec —
+        # matching what the runtime quantization would apply.
+        resolved: dict[int, tuple] = {}
+        for name, module in quantizable_modules(model):
+            spec = compiled(name, module)
+            for _, param in module.named_parameters():
+                resolved[id(param)] = (param, spec)
+        for param, spec in resolved.values():
+            if spec is None or spec.weight is None:
+                continue
+            if param.data.ndim >= 2:
+                param.data = spec.weight.quantize(
+                    param.data, axis=0, rounding=spec.rounding, rng=spec.rng
+                )
+        return model
     fmt = as_format(fmt)
     for name, param in model.named_parameters():
         if param.data.ndim >= 2:

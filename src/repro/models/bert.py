@@ -69,6 +69,13 @@ class BertEncoder(Module):
                 losses.append(float(self.loss(batch).data))
         return float(np.exp(np.mean(losses)))
 
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Mean-pooled sentence embeddings, via the serving adapter."""
+        from ..serve.adapters import adapter_for
+
+        with no_grad():
+            return adapter_for(self).embed([{"tokens": tokens}])[0]
+
 
 class BertQA(Module):
     """Encoder + span head: start/end logits over passage positions."""
@@ -106,12 +113,15 @@ class BertQA(Module):
         return F.cross_entropy(start_logits, starts) + F.cross_entropy(end_logits, ends)
 
     def predict_spans(self, tokens: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Greedy (start, end) predictions per example."""
+        """Greedy (start, end) predictions per example.
+
+        Delegates to :class:`~repro.serve.adapters.BertSpanAdapter`, the
+        same code path the micro-batched serving session uses.
+        """
+        from ..serve.adapters import adapter_for
+
         with no_grad():
-            start_logits, end_logits = self.forward(tokens)
-        starts = np.argmax(start_logits.data, axis=-1)
-        ends = np.maximum(np.argmax(end_logits.data, axis=-1), starts)
-        return starts, ends
+            return adapter_for(self).predict_spans(np.asarray(tokens))
 
     def evaluate(self, batches) -> tuple[float, float]:
         """(EM, F1) in percent over span batches."""

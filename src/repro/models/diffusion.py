@@ -69,6 +69,8 @@ class DDPM2D(Module):
         return np.concatenate(parts, axis=1)
 
     def predict_noise(self, x: np.ndarray, t: np.ndarray, labels: np.ndarray | None) -> Tensor:
+        """Predicted epsilon; graph-capable (used by training, the sampling
+        loop, and the serving adapter's batched ``denoise`` task)."""
         h = Tensor(self._features(x, t, labels))
         h = F.gelu(self.fc1(h))
         h = F.gelu(self.fc2(h))

@@ -112,9 +112,14 @@ class DLRM(Module):
         return bce_with_logits(self.forward(dense, cats), labels)
 
     def predict_proba(self, dense: np.ndarray, cats: np.ndarray) -> np.ndarray:
+        """Click probabilities, via the serving adapter
+        (:class:`~repro.serve.adapters.CTRAdapter`)."""
+        from ..serve.adapters import adapter_for
+
         with no_grad():
-            logits = self.forward(dense, cats)
-        return 1.0 / (1.0 + np.exp(-logits.data))
+            return adapter_for(self).predict_proba(
+                np.asarray(dense, dtype=np.float64), np.asarray(cats)
+            )
 
     def quantize_embeddings(self, fmt) -> None:
         """Storage-quantize every embedding table (Section V optimization)."""

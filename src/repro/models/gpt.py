@@ -99,22 +99,35 @@ class GPT(Module):
         return float(np.mean(losses))
 
     def sequence_logprob(self, context: np.ndarray, continuation: np.ndarray) -> float:
-        """Total log-probability of ``continuation`` given ``context``."""
-        context = np.asarray(context)
-        continuation = np.asarray(continuation)
-        tokens = np.concatenate([context, continuation])[None, :]
-        tokens = tokens[:, -self.config.max_len :]
-        n = min(len(continuation), tokens.shape[1] - 1)
-        with no_grad():
-            logits = self.forward(tokens[:, :-1])
-            logp = F.log_softmax(logits, axis=-1).data[0]
-        # score the last n predicted positions against the continuation tail
-        targets = tokens[0, -n:]
-        rows = np.arange(logp.shape[0] - n, logp.shape[0])
-        return float(logp[rows, targets].sum())
+        """Total log-probability of ``continuation`` given ``context``.
+
+        Delegates to the family's serving adapter
+        (:class:`~repro.serve.adapters.CausalLMAdapter`), which owns the
+        scoring computation for both this method and the batched
+        :mod:`repro.serve` session path.
+        """
+        from ..serve.adapters import adapter_for
+
+        return adapter_for(self).sequence_logprob(context, continuation)
+
+    def generate(self, prompt: np.ndarray, max_new_tokens: int = 16, eos: int | None = None):
+        """Greedy continuation of ``prompt`` (list of generated token ids)."""
+        from ..serve.adapters import adapter_for
+
+        return list(adapter_for(self).generate_stream(prompt, max_new_tokens, eos=eos))
 
 
 def score_candidates(model: GPT, context: np.ndarray, candidates) -> int:
-    """Likelihood-ranked choice: index of the highest-scoring candidate."""
-    scores = [model.sequence_logprob(context, cand) for cand in candidates]
-    return int(np.argmax(scores))
+    """Likelihood-ranked choice: index of the highest-scoring candidate.
+
+    Delegates to the serving adapter, which scores every candidate in one
+    right-padded batch — bit-identical to the historical per-candidate
+    loop (the causal mask keeps padded positions out of real ones).
+    """
+    from ..serve.adapters import adapter_for
+
+    with no_grad():
+        result = adapter_for(model).score(
+            [{"context": context, "candidates": list(candidates)}]
+        )[0]
+    return result["choice"]

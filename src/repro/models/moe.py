@@ -112,3 +112,16 @@ class MoEGPT(Module):
             for batch in batches:
                 losses.append(float(self.loss(batch).data))
         return float(np.mean(losses))
+
+    def sequence_logprob(self, context: np.ndarray, continuation: np.ndarray) -> float:
+        """Total log-probability of ``continuation`` given ``context``
+        (served through the shared causal-LM adapter, like :class:`GPT`)."""
+        from ..serve.adapters import adapter_for
+
+        return adapter_for(self).sequence_logprob(context, continuation)
+
+    def generate(self, prompt: np.ndarray, max_new_tokens: int = 16, eos: int | None = None):
+        """Greedy continuation of ``prompt`` (list of generated token ids)."""
+        from ..serve.adapters import adapter_for
+
+        return list(adapter_for(self).generate_stream(prompt, max_new_tokens, eos=eos))

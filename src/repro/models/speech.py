@@ -53,13 +53,12 @@ class TinyWav2Vec(Module):
         return F.cross_entropy(self.forward(frames), labels)
 
     def transcribe(self, frames: np.ndarray) -> list[list[int]]:
-        """Greedy per-frame decode with repeat collapse."""
-        from ..metrics.wer import collapse_repeats
+        """Greedy per-frame decode with repeat collapse, via the serving
+        adapter (:class:`~repro.serve.adapters.SpeechAdapter`)."""
+        from ..serve.adapters import adapter_for
 
         with no_grad():
-            logits = self.forward(frames)
-        predictions = np.argmax(logits.data, axis=-1)
-        return [collapse_repeats(row) for row in predictions]
+            return adapter_for(self).transcribe(np.asarray(frames))
 
 
 def speech_wer(model: TinyWav2Vec, batches) -> float:

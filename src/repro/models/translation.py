@@ -119,35 +119,15 @@ class LSTMSeq2Seq(Module):
 
 
 def greedy_decode(model, sources: np.ndarray, max_len: int, bos: int, eos: int) -> list[list[int]]:
-    """Greedy autoregressive decoding for either seq2seq model."""
-    sources = np.asarray(sources)
-    batch = sources.shape[0]
+    """Greedy autoregressive decoding for either seq2seq model.
+
+    Delegates to :class:`~repro.serve.adapters.TranslationAdapter`, the
+    same code path the micro-batched serving session uses.
+    """
+    from ..serve.adapters import adapter_for
+
     with no_grad():
-        if isinstance(model, LSTMSeq2Seq):
-            memory, state = model.encode(sources)
-            decode = lambda t_in: model.decode(t_in, memory, state)
-        else:
-            memory = model.encode(sources)
-            decode = lambda t_in: model.decode(t_in, memory)
-        tokens = np.full((batch, 1), bos, dtype=np.int64)
-        finished = np.zeros(batch, dtype=bool)
-        for _ in range(max_len):
-            logits = decode(tokens)
-            nxt = np.argmax(logits.data[:, -1], axis=-1)
-            nxt = np.where(finished, eos, nxt)
-            tokens = np.concatenate([tokens, nxt[:, None]], axis=1)
-            finished |= nxt == eos
-            if finished.all():
-                break
-    outputs = []
-    for row in tokens[:, 1:]:
-        out = []
-        for token in row:
-            if token == eos:
-                break
-            out.append(int(token))
-        outputs.append(out)
-    return outputs
+        return adapter_for(model).greedy_decode(np.asarray(sources), max_len, bos, eos)
 
 
 def corpus_bleu(model, task, n_sentences: int = 64, seed: int = 123, length: int = 8) -> float:

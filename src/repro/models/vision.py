@@ -157,13 +157,20 @@ class TinyViT(Module):
 
 
 def classification_accuracy(model: Module, batches) -> float:
-    """Top-1 accuracy (percent) of any of the vision models."""
+    """Top-1 accuracy (percent) of any of the vision models.
+
+    Predictions run through the family's serving adapter
+    (:class:`~repro.serve.adapters.VisionAdapter`), the same code path
+    the micro-batched serving session uses.
+    """
+    from ..serve.adapters import adapter_for
+
+    adapter = adapter_for(model)
     correct = 0
     total = 0
     with no_grad():
         for images, labels in batches:
-            logits = model.forward(images)
-            predictions = np.argmax(logits.data, axis=-1)
+            predictions = adapter.classify([{"images": np.asarray(images)}])[0]["label"]
             correct += int(np.sum(predictions == labels))
             total += len(labels)
     if total == 0:

@@ -11,10 +11,25 @@ from __future__ import annotations
 import numpy as np
 
 from .layers import Module
-from .quantized import QuantSpec
-from .tensor import Tensor
+from .quantized import QuantSpec, memo_quantize
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["Conv2d", "conv2d", "avg_pool2d", "max_pool2d", "im2col", "col2im"]
+
+
+def _quantized_conv_weight(weight: Tensor, quant: QuantSpec) -> np.ndarray:
+    """The reshaped ``(K, C_out)`` weight in the forward format, memoized on
+    the weight tensor's data version (serving never re-quantizes it)."""
+    c_out = weight.shape[0]
+    return memo_quantize(
+        weight,
+        quant.weight,
+        axis=0,
+        rounding=quant.rounding,
+        rng=quant.rng,
+        prep=lambda d: d.reshape(c_out, -1).T,
+        tag="conv_w2",
+    )
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
@@ -78,13 +93,17 @@ def conv2d(
 
     if quant is not None:
         cols_q = quant.quantize("activation", cols, axis=-1)
-        w2_q = quant.quantize("weight", w2, axis=0)
+        w2_q = _quantized_conv_weight(weight, quant)
     else:
         cols_q, w2_q = cols, w2
     out_data = cols_q.reshape(-1, k) @ w2_q  # (B*OH*OW, C_out)
     out_data = out_data.reshape(b, oh, ow, c_out).transpose(0, 3, 1, 2)
     if bias is not None:
         out_data = out_data + bias.data[None, :, None, None]
+    if not is_grad_enabled():
+        # Inference fast path: skip the backward closure and its
+        # transposed/backward-format quantizations (see quantized_matmul).
+        return Tensor(out_data)
 
     def backward(grad):
         g2 = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)  # (B*OH*OW, C_out)

@@ -8,7 +8,7 @@ import numpy as np
 
 from . import functional as F
 from .precision import VectorPrecision, apply_vector_precision
-from .quantized import QuantSpec, quantized_matmul
+from .quantized import QuantSpec, memo_quantize, quantized_matmul
 from .tensor import Tensor
 
 __all__ = [
@@ -170,7 +170,11 @@ class Embedding(Module):
     def forward(self, indices: np.ndarray) -> Tensor:
         if self.storage_quant is None:
             return F.embedding(self.weight, indices)
-        quantized = self.storage_quant.quantize(self.weight.data, axis=-1)
+        # Memoized on the table's data version: the quantized table is
+        # computed once and reused until the master weights change.
+        quantized = memo_quantize(
+            self.weight, self.storage_quant, axis=-1, tag="storage"
+        )
         gathered = quantized[np.asarray(indices)]
 
         def backward(grad):

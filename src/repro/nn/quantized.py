@@ -20,9 +20,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..formats.base import Format
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
-__all__ = ["QuantSpec", "quantized_matmul", "quantized_bmm"]
+__all__ = ["QuantSpec", "quantized_matmul", "quantized_bmm", "memo_quantize"]
 
 
 def _coerce(fmt) -> Format | None:
@@ -149,44 +149,69 @@ class QuantSpec:
         return fmt.quantize(data, axis=axis, rounding=self.rounding, rng=self.rng)
 
 
-def _memo_quantize(
-    spec: QuantSpec, role: str, t: Tensor, axis: int, transpose: bool = False
+def memo_quantize(
+    t: Tensor,
+    fmt: Format | None,
+    axis: int,
+    rounding: str = "nearest",
+    rng: np.random.Generator | None = None,
+    prep=None,
+    tag: str | None = None,
 ) -> np.ndarray:
-    """Quantize a tensor role, memoized on the tensor's data version.
+    """Quantize (a derived view of) a tensor, memoized on its data version.
 
     Within one forward/backward a weight is quantized up to three times
     even though its data never changes (``Q(w)`` forward, ``Q(w^T)`` in the
     error backprop), and across inference steps or gradient-accumulation
     microbatches the same quantizations repeat verbatim.  Results are
-    cached on the tensor itself, keyed by ``(format identity, axis,
-    transpose, rounding)``; :class:`~repro.nn.tensor.Tensor`'s data version
+    cached on the tensor itself, keyed by ``(data version, format identity,
+    axis, tag, rounding)``; :class:`~repro.nn.tensor.Tensor`'s data version
     counter drops the cache whenever the data is rebound (e.g. an optimizer
     step), so stale reuse is impossible.
+
+    ``prep`` derives the array actually quantized from ``t.data`` (a
+    transpose, a conv im2col reshape, ...); callers supplying a ``prep``
+    must pick a ``tag`` that uniquely names the derivation, since the
+    cache key cannot see the callable itself.
 
     Only deterministic rounding with a memoizable format (stateless — see
     :meth:`~repro.formats.base.Format.cache_key`) on a *leaf* tensor is
     cached; every other combination quantizes directly, so results are
     always bit-identical to the uncached path.
     """
-    fmt = getattr(spec, role)
-    data = np.swapaxes(t.data, -1, -2) if transpose else t.data
+    data = t.data if prep is None else prep(t.data)
     if fmt is None:
         return data
-    key_fmt = fmt.cache_key() if spec.rounding != "stochastic" else None
+    key_fmt = fmt.cache_key() if rounding != "stochastic" else None
     if key_fmt is None or t._parents:
-        return fmt.quantize(data, axis=axis, rounding=spec.rounding, rng=spec.rng)
+        return fmt.quantize(data, axis=axis, rounding=rounding, rng=rng)
     state = t._qstate
     cache = state["cache"]
     if cache is None:
         cache = state["cache"] = {}
     # The version in the key is the correctness anchor; the setter clearing
     # the cache on rebinding merely keeps dead entries from accumulating.
-    key = (state["version"], key_fmt, axis, transpose, spec.rounding)
+    key = (state["version"], key_fmt, axis, tag, rounding)
     out = cache.get(key)
     if out is None:
-        out = fmt.quantize(data, axis=axis, rounding=spec.rounding, rng=spec.rng)
+        out = fmt.quantize(data, axis=axis, rounding=rounding, rng=rng)
         cache[key] = out
     return out
+
+
+def _memo_quantize(
+    spec: QuantSpec, role: str, t: Tensor, axis: int, transpose: bool = False
+) -> np.ndarray:
+    """Quantize one tensor role of ``spec`` through :func:`memo_quantize`."""
+    return memo_quantize(
+        t,
+        getattr(spec, role),
+        axis,
+        rounding=spec.rounding,
+        rng=spec.rng,
+        prep=(lambda d: np.swapaxes(d, -1, -2)) if transpose else None,
+        tag="T" if transpose else None,
+    )
 
 
 def quantized_matmul(a: Tensor, w: Tensor, spec: QuantSpec | None) -> Tensor:
@@ -212,6 +237,12 @@ def quantized_matmul(a: Tensor, w: Tensor, spec: QuantSpec | None) -> Tensor:
 
     a_q = spec.quantize("activation", a.data, axis=-1)
     w_q = _memo_quantize(spec, "weight", w, axis=0)
+    if not is_grad_enabled():
+        # Inference fast path: no backward closure, and in particular no
+        # allocation/quantization of the transposed backward weight copy.
+        # The forward product is computed from the exact same quantized
+        # operands, so outputs are bit-identical to the training path.
+        return Tensor(a_q @ w_q)
     out_data = a_q @ w_q
 
     def backward(grad):
@@ -253,6 +284,10 @@ def quantized_bmm(a: Tensor, b: Tensor, spec: QuantSpec | None) -> Tensor:
 
     a_q = _memo_quantize(spec, "activation", a, axis=-1)
     b_q = _memo_quantize(spec, "activation", b, axis=-2)
+    if not is_grad_enabled():
+        # Inference fast path (see quantized_matmul): skip the backward
+        # closure and its transposed-operand quantizations entirely.
+        return Tensor(a_q @ b_q)
     out_data = a_q @ b_q
 
     def backward(grad):

@@ -1,0 +1,66 @@
+"""The serving tier: compile once, batch everything, serve every family.
+
+Built on the Section V deployment story — quantize-once inference over
+shared-microexponent formats::
+
+    import repro
+    from repro.models.gpt import GPT, GPT_SIZES
+
+    compiled = repro.compile(model, "mx6")          # freeze weights once
+    compiled("score", context=ctx, candidates=[a, b])
+
+    with compiled.session(max_batch=16) as session:  # micro-batched traffic
+        futures = [session.submit(r) for r in requests]
+        results = [f.result() for f in futures]
+        print(session.summary())                     # latency/throughput
+
+    for token in compiled.stream(prompt, max_new_tokens=8):
+        ...                                          # streaming generation
+
+Layers:
+
+* :mod:`repro.serve.adapters` — the task-adapter protocol (``classify`` /
+  ``score`` / ``generate`` / ``embed`` / ``denoise``) over all eight
+  model families.
+* :mod:`repro.serve.compile` — :func:`compile_model` freezes quantized
+  weights (memoized on the data-version counter, or storage-cast).
+* :mod:`repro.serve.session` — :class:`InferenceSession`, the
+  micro-batching futures front end with worker threads.
+* :mod:`repro.serve.metrics` — per-session latency/throughput/occupancy.
+* :class:`~repro.spec.serving.SessionConfig` — the declarative (JSON)
+  serving configuration, re-exported from :mod:`repro.spec`.
+"""
+
+from ..spec.serving import SessionConfig
+from .adapters import Request, TaskAdapter, TASKS, adapter_for, register_adapter
+from .compile import CompiledModel, compile_model
+from .metrics import SessionMetrics
+from .session import InferenceSession
+
+__all__ = [
+    "TASKS",
+    "Request",
+    "TaskAdapter",
+    "adapter_for",
+    "register_adapter",
+    "CompiledModel",
+    "compile_model",
+    "InferenceSession",
+    "SessionConfig",
+    "SessionMetrics",
+    "serve",
+]
+
+
+def serve(model, config: SessionConfig | None = None, **kwargs) -> InferenceSession:
+    """One-call deployment: compile ``model`` and open a session.
+
+    ``kwargs`` build a :class:`SessionConfig` when ``config`` is omitted::
+
+        session = repro.serve.serve(model, format="mx6", max_batch=16)
+    """
+    if config is None:
+        config = SessionConfig(**kwargs)
+    elif kwargs:
+        config = config.replace(**kwargs)
+    return compile_model(model, config=config).session(config)

@@ -1,0 +1,599 @@
+"""Task adapters: one serving protocol over every model family.
+
+Each model family historically exposed a bespoke inference entry point
+(``GPT.score_candidates``, ``DLRM.predict_proba``, ``BertQA.predict_spans``,
+``TinyWav2Vec.transcribe``, ...).  Adapters collapse those onto a single
+protocol of five task verbs —
+
+* ``classify`` — discrete predictions (CTR probabilities, image labels,
+  answer spans, phone transcriptions);
+* ``score``    — likelihood-ranked multiple choice (the Table IV tasks);
+* ``generate`` — autoregressive decoding (causal LM continuations,
+  translation greedy decode);
+* ``embed``    — pooled encoder representations;
+* ``denoise``  — diffusion epsilon prediction.
+
+An adapter receives a *batch* of requests and is responsible for collating
+them so that batched execution is **bit-identical** to serial execution:
+
+* causal transformers right-pad to the longest sequence (positions of real
+  tokens are unchanged and the causal mask stops padding from leaking into
+  real positions — masked attention columns underflow to exactly 0.0);
+* bidirectional models (BERT, wav2vec) group requests by sequence length
+  instead of padding;
+* row-independent models (DLRM, vision, diffusion) concatenate rows.
+
+The legacy model methods now delegate here (see :func:`adapter_for`), so
+one implementation serves both the old per-model API and the
+:mod:`repro.serve` session layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Module
+from ..nn.tensor import no_grad
+
+__all__ = [
+    "Request",
+    "TaskAdapter",
+    "TASKS",
+    "register_adapter",
+    "adapter_for",
+    "CausalLMAdapter",
+    "BertEmbedAdapter",
+    "BertSpanAdapter",
+    "CTRAdapter",
+    "VisionAdapter",
+    "SpeechAdapter",
+    "TranslationAdapter",
+    "DiffusionAdapter",
+]
+
+#: The task verbs of the serving protocol.
+TASKS = ("classify", "score", "generate", "embed", "denoise")
+
+
+@dataclass
+class Request:
+    """One unit of serving work: a task verb plus its payload."""
+
+    task: str
+    payload: dict = field(default_factory=dict)
+
+    @staticmethod
+    def coerce(obj) -> "Request":
+        """Accept a :class:`Request` or a ``{"task": ..., **payload}`` dict."""
+        if isinstance(obj, Request):
+            return obj
+        if isinstance(obj, dict):
+            if "task" not in obj:
+                raise ValueError("a request dict needs a 'task' key")
+            payload = {k: v for k, v in obj.items() if k != "task"}
+            return Request(task=obj["task"], payload=payload)
+        raise TypeError(f"cannot coerce {type(obj).__name__} into a Request")
+
+
+def _run_grouped(items: Sequence, key_fn, run_group) -> list:
+    """Run ``items`` in groups of equal ``key_fn``, preserving order.
+
+    ``run_group(items_subset) -> list`` computes results for one group;
+    results are scattered back to the original request order.
+    """
+    groups: dict = {}
+    for i, item in enumerate(items):
+        groups.setdefault(key_fn(item), []).append(i)
+    out = [None] * len(items)
+    for indices in groups.values():
+        results = run_group([items[i] for i in indices])
+        for i, result in zip(indices, results):
+            out[i] = result
+    return out
+
+
+def _batch_rows(arrays: Sequence[np.ndarray], batched_ndim: int):
+    """Collate per-request arrays into one batch along a leading row axis.
+
+    An array with ``batched_ndim - 1`` dims is a single example (it gains a
+    leading axis); one with ``batched_ndim`` dims is a micro-batch of rows.
+    Returns ``(stacked, spans)`` with ``spans[i] = (single, start, stop)``
+    locating request ``i``'s rows in the stack.
+    """
+    spans, rows, offset = [], [], 0
+    for a in arrays:
+        single = a.ndim == batched_ndim - 1
+        n = 1 if single else a.shape[0]
+        rows.append(a[None] if single else a)
+        spans.append((single, offset, offset + n))
+        offset += n
+    return np.concatenate(rows), spans
+
+
+def _scatter_rows(row_results, spans, wrap=None) -> list:
+    """Slice row-aligned batch results back per request (inverse of
+    :func:`_batch_rows`); ``row_results`` is sliceable by row range (array
+    or list).  ``wrap(value, single)`` post-processes each result."""
+    out = []
+    for single, start, stop in spans:
+        chunk = row_results[start:stop]
+        value = chunk[0] if single else chunk
+        out.append(wrap(value, single) if wrap else value)
+    return out
+
+
+class TaskAdapter:
+    """Base adapter: task dispatch over a homogeneous model family.
+
+    Subclasses implement the task verbs they support as methods taking a
+    list of payload dicts and returning a list of results (same order).
+    """
+
+    #: task verbs this adapter serves
+    tasks: tuple[str, ...] = ()
+
+    def __init__(self, model: Module):
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def run_batch(self, requests: Sequence[Request]) -> list:
+        """Execute a mixed batch, grouped by task, in request order."""
+        requests = [Request.coerce(r) for r in requests]
+        for request in requests:
+            if request.task not in self.tasks:
+                raise ValueError(
+                    f"{type(self).__name__} serves tasks {self.tasks}, "
+                    f"got {request.task!r}"
+                )
+        return _run_grouped(
+            requests,
+            key_fn=lambda r: r.task,
+            run_group=lambda group: getattr(self, group[0].task)(
+                [r.payload for r in group]
+            ),
+        )
+
+    def run_one(self, request) -> object:
+        return self.run_batch([Request.coerce(request)])[0]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: list[tuple[type, type]] = []
+
+
+def register_adapter(model_cls: type, adapter_cls: type) -> None:
+    """Register ``adapter_cls`` as the serving adapter for ``model_cls``.
+
+    Later registrations win, so applications can override a family's
+    adapter without touching the registry order below.
+    """
+    _REGISTRY.insert(0, (model_cls, adapter_cls))
+
+
+def adapter_for(model: Module) -> TaskAdapter:
+    """Resolve (and cache on the instance) the adapter serving ``model``."""
+    cached = getattr(model, "_serve_adapter", None)
+    if cached is not None and cached.model is model:
+        return cached
+    for model_cls, adapter_cls in _REGISTRY:
+        if isinstance(model, model_cls):
+            adapter = adapter_cls(model)
+            model._serve_adapter = adapter
+            return adapter
+    raise TypeError(
+        f"no serving adapter registered for {type(model).__name__}; "
+        "use repro.serve.register_adapter"
+    )
+
+
+# ----------------------------------------------------------------------
+# Causal language models (GPT ladder, MoE)
+# ----------------------------------------------------------------------
+class CausalLMAdapter(TaskAdapter):
+    """Score and generate over decoder-only LMs (GPT, MoEGPT).
+
+    ``score`` payloads: ``{"context": tokens, "candidates": [tokens, ...]}``
+    -> ``{"choice": int, "scores": [float, ...]}``; a payload with a single
+    ``continuation`` instead returns its total log-probability.
+
+    ``generate`` payloads: ``{"prompt": tokens, "max_new_tokens": int}``
+    -> ``{"tokens": [int, ...]}`` (greedy decoding, optional ``eos``).
+    """
+
+    tasks = ("score", "generate")
+
+    # -- scoring -------------------------------------------------------
+    def _pair_rows(self, pairs: Sequence[tuple[np.ndarray, np.ndarray]]):
+        """Per (context, continuation) pair: the (input_row, rows, targets)
+        triple replicating ``sequence_logprob``'s indexing exactly."""
+        max_len = self.model.config.max_len
+        prepared = []
+        for context, continuation in pairs:
+            context = np.asarray(context)
+            continuation = np.asarray(continuation)
+            tokens = np.concatenate([context, continuation])[-max_len:]
+            n = min(len(continuation), len(tokens) - 1)
+            rows = np.arange(len(tokens) - 1 - n, len(tokens) - 1)
+            prepared.append((tokens[:-1], rows, tokens[-n:] if n else tokens[:0]))
+        return prepared
+
+    def _pair_logprobs(self, pairs) -> list[float]:
+        """Batched ``sequence_logprob`` over (context, continuation) pairs.
+
+        Rows are right-padded to the longest input; the causal mask keeps
+        real positions bit-identical to unpadded per-pair execution.
+        """
+        prepared = self._pair_rows(pairs)
+        if not prepared:
+            return []
+        width = max(len(inp) for inp, _, _ in prepared)
+        batch = np.zeros((len(prepared), width), dtype=np.int64)
+        for i, (inp, _, _) in enumerate(prepared):
+            batch[i, : len(inp)] = inp
+        logits = self.model.forward(batch)
+        logp = F.log_softmax(logits, axis=-1).data
+        return [
+            float(logp[i, rows, targets].sum())
+            for i, (_, rows, targets) in enumerate(prepared)
+        ]
+
+    def sequence_logprob(self, context, continuation) -> float:
+        """Total log-probability of ``continuation`` given ``context``."""
+        with no_grad():
+            return self._pair_logprobs([(context, continuation)])[0]
+
+    def score(self, items: Sequence[dict]) -> list:
+        pairs, spans = [], []
+        for item in items:
+            context = item["context"]
+            if "candidates" in item:
+                candidates = item["candidates"]
+            else:
+                candidates = [item["continuation"]]
+            spans.append((len(pairs), len(candidates), "candidates" in item))
+            pairs.extend((context, candidate) for candidate in candidates)
+        logprobs = self._pair_logprobs(pairs)
+        results = []
+        for start, count, multiple in spans:
+            scores = logprobs[start : start + count]
+            if multiple:
+                results.append({"choice": int(np.argmax(scores)), "scores": scores})
+            else:
+                results.append({"logprob": scores[0]})
+        return results
+
+    # -- generation ----------------------------------------------------
+    def _step_logits(self, tokens: np.ndarray) -> np.ndarray:
+        """Next-token logits for one (1, T) window."""
+        logits = self.model.forward(tokens[None, -self.model.config.max_len :])
+        return logits.data[0, -1]
+
+    def generate_stream(
+        self, prompt, max_new_tokens: int, eos: int | None = None
+    ) -> Iterator[int]:
+        """Greedy continuation, yielded token by token.
+
+        ``no_grad`` is scoped per step, never held across a ``yield`` — a
+        suspended generator must not leave the consumer's thread with
+        autograd silently disabled.
+        """
+        tokens = np.asarray(prompt, dtype=np.int64)
+        if tokens.ndim != 1:
+            raise ValueError(f"prompt must be 1-D, got shape {tokens.shape}")
+        for _ in range(max_new_tokens):
+            with no_grad():
+                nxt = int(np.argmax(self._step_logits(tokens)))
+            tokens = np.append(tokens, nxt)
+            yield nxt
+            if eos is not None and nxt == eos:
+                return
+
+    def generate(self, items: Sequence[dict]) -> list:
+        results = []
+        for item in items:
+            produced = list(
+                self.generate_stream(
+                    item["prompt"],
+                    int(item.get("max_new_tokens", 16)),
+                    eos=item.get("eos"),
+                )
+            )
+            results.append({"tokens": produced})
+        return results
+
+
+# ----------------------------------------------------------------------
+# Encoder models (BERT)
+# ----------------------------------------------------------------------
+class BertEmbedAdapter(TaskAdapter):
+    """Mean-pooled encoder representations from :class:`BertEncoder`.
+
+    ``embed`` payloads: ``{"tokens": (T,) or (B, T)}`` -> ``(D,)`` or
+    ``(B, D)`` arrays.  The encoder is bidirectional, so requests batch by
+    sequence length rather than padding.
+    """
+
+    tasks = ("embed",)
+
+    def embed(self, items: Sequence[dict]) -> list:
+        def run_group(group):
+            stacked, spans = _batch_rows(
+                [np.asarray(item["tokens"]) for item in group], batched_ndim=2
+            )
+            hidden = self.model.encode(stacked).data.mean(axis=1)
+            return _scatter_rows(hidden, spans)
+
+        return _run_grouped(
+            items, key_fn=lambda item: np.asarray(item["tokens"]).shape[-1],
+            run_group=run_group,
+        )
+
+
+class BertSpanAdapter(TaskAdapter):
+    """Span extraction over :class:`BertQA` (the SQuAD-style head).
+
+    ``classify`` payloads: ``{"tokens": (B, T)}`` -> ``(starts, ends)``
+    integer arrays, exactly the legacy ``predict_spans`` contract.
+    """
+
+    tasks = ("classify",)
+
+    def predict_spans(self, tokens: np.ndarray):
+        start_logits, end_logits = self.model.forward(tokens)
+        starts = np.argmax(start_logits.data, axis=-1)
+        ends = np.maximum(np.argmax(end_logits.data, axis=-1), starts)
+        return starts, ends
+
+    def classify(self, items: Sequence[dict]) -> list:
+        def run_group(group):
+            stacked, spans = _batch_rows(
+                [np.asarray(item["tokens"]) for item in group], batched_ndim=2
+            )
+            starts, ends = self.predict_spans(stacked)
+            return list(zip(_scatter_rows(starts, spans), _scatter_rows(ends, spans)))
+
+        return _run_grouped(
+            items, key_fn=lambda item: np.asarray(item["tokens"]).shape[-1],
+            run_group=run_group,
+        )
+
+
+# ----------------------------------------------------------------------
+# Recommendation (DLRM)
+# ----------------------------------------------------------------------
+class CTRAdapter(TaskAdapter):
+    """Click-probability prediction over :class:`DLRM`.
+
+    ``classify`` payloads: ``{"dense": (D,) or (B, D), "cats": (F,) or
+    (B, F)}`` -> probability scalar / ``(B,)`` array.  Rows are
+    independent, so requests concatenate into one forward.
+    """
+
+    tasks = ("classify",)
+
+    def predict_proba(self, dense, cats) -> np.ndarray:
+        logits = self.model.forward(dense, cats)
+        return 1.0 / (1.0 + np.exp(-logits.data))
+
+    def classify(self, items: Sequence[dict]) -> list:
+        dense, spans = _batch_rows(
+            [np.asarray(item["dense"], dtype=np.float64) for item in items],
+            batched_ndim=2,
+        )
+        cats, _ = _batch_rows([np.asarray(item["cats"]) for item in items], 2)
+        probs = self.predict_proba(dense, cats)
+        return _scatter_rows(
+            probs, spans, wrap=lambda value, single: float(value) if single else value
+        )
+
+
+# ----------------------------------------------------------------------
+# Vision (ResNet / MobileNet / ViT stand-ins)
+# ----------------------------------------------------------------------
+class VisionAdapter(TaskAdapter):
+    """Image classification over the vision family.
+
+    ``classify`` payloads: ``{"images": (C, H, W) or (B, C, H, W)}`` ->
+    ``{"label": int, "logits": (K,)}`` or batched arrays.
+    """
+
+    tasks = ("classify",)
+
+    def classify(self, items: Sequence[dict]) -> list:
+        def run_group(group):
+            stacked, spans = _batch_rows(
+                [np.asarray(item["images"], dtype=np.float64) for item in group],
+                batched_ndim=4,
+            )
+            logits = self.model.forward(stacked).data
+            labels = np.argmax(logits, axis=-1)
+            return [
+                {"label": int(label) if single else label, "logits": chunk}
+                for label, chunk, single in zip(
+                    _scatter_rows(labels, spans),
+                    _scatter_rows(logits, spans),
+                    (single for single, _, _ in spans),
+                )
+            ]
+
+        return _run_grouped(
+            items,
+            key_fn=lambda item: np.asarray(item["images"]).shape[-3:],
+            run_group=run_group,
+        )
+
+
+# ----------------------------------------------------------------------
+# Speech (wav2vec stand-in)
+# ----------------------------------------------------------------------
+class SpeechAdapter(TaskAdapter):
+    """Frame classification + repeat collapse over :class:`TinyWav2Vec`.
+
+    ``classify`` payloads: ``{"frames": (T, F) or (B, T, F)}`` -> a phone
+    sequence (list of ints) or a list of sequences.  The context network
+    is bidirectional, so requests group by frame count.
+    """
+
+    tasks = ("classify",)
+
+    def transcribe(self, frames: np.ndarray) -> list[list[int]]:
+        from ..metrics.wer import collapse_repeats
+
+        logits = self.model.forward(frames)
+        predictions = np.argmax(logits.data, axis=-1)
+        return [collapse_repeats(row) for row in predictions]
+
+    def classify(self, items: Sequence[dict]) -> list:
+        def run_group(group):
+            stacked, spans = _batch_rows(
+                [np.asarray(item["frames"], dtype=np.float64) for item in group],
+                batched_ndim=3,
+            )
+            return _scatter_rows(self.transcribe(stacked), spans)
+
+        return _run_grouped(
+            items,
+            key_fn=lambda item: np.asarray(item["frames"]).shape[-2:],
+            run_group=run_group,
+        )
+
+
+# ----------------------------------------------------------------------
+# Translation (seq2seq transformer / LSTM)
+# ----------------------------------------------------------------------
+class TranslationAdapter(TaskAdapter):
+    """Greedy autoregressive decoding over the seq2seq family.
+
+    ``generate`` payloads: ``{"sources": (Ts,) or (B, Ts), "max_len": int,
+    "bos": int, "eos": int}`` -> token list / list of token lists.  Rows
+    decode independently, so same-length sources batch together.
+    """
+
+    tasks = ("generate",)
+
+    def greedy_decode(
+        self, sources: np.ndarray, max_len: int, bos: int, eos: int
+    ) -> list[list[int]]:
+        from ..models.translation import LSTMSeq2Seq
+
+        model = self.model
+        sources = np.asarray(sources)
+        batch = sources.shape[0]
+        if isinstance(model, LSTMSeq2Seq):
+            memory, state = model.encode(sources)
+            decode = lambda t_in: model.decode(t_in, memory, state)
+        else:
+            memory = model.encode(sources)
+            decode = lambda t_in: model.decode(t_in, memory)
+        tokens = np.full((batch, 1), bos, dtype=np.int64)
+        finished = np.zeros(batch, dtype=bool)
+        for _ in range(max_len):
+            logits = decode(tokens)
+            nxt = np.argmax(logits.data[:, -1], axis=-1)
+            nxt = np.where(finished, eos, nxt)
+            tokens = np.concatenate([tokens, nxt[:, None]], axis=1)
+            finished |= nxt == eos
+            if finished.all():
+                break
+        outputs = []
+        for row in tokens[:, 1:]:
+            out = []
+            for token in row:
+                if token == eos:
+                    break
+                out.append(int(token))
+            outputs.append(out)
+        return outputs
+
+    def generate(self, items: Sequence[dict]) -> list:
+        def run_group(group):
+            stacked, spans = _batch_rows(
+                [np.asarray(item["sources"]) for item in group], batched_ndim=2
+            )
+            first = group[0]
+            decoded = self.greedy_decode(
+                stacked, int(first["max_len"]), int(first["bos"]), int(first["eos"])
+            )
+            return _scatter_rows(decoded, spans)
+
+        return _run_grouped(
+            items,
+            key_fn=lambda item: (
+                np.asarray(item["sources"]).shape[-1],
+                int(item["max_len"]),
+                int(item["bos"]),
+                int(item["eos"]),
+            ),
+            run_group=run_group,
+        )
+
+
+# ----------------------------------------------------------------------
+# Diffusion (DDPM stand-in)
+# ----------------------------------------------------------------------
+class DiffusionAdapter(TaskAdapter):
+    """Epsilon prediction over :class:`DDPM2D`.
+
+    ``denoise`` payloads: ``{"x": (n, 2), "t": int array, "labels":
+    optional}`` -> predicted-noise ``(n, 2)`` array.  Rows (and therefore
+    whole requests) are independent and concatenate into one forward
+    through the model's public ``predict_noise``.
+    """
+
+    tasks = ("denoise",)
+
+    def denoise(self, items: Sequence[dict]) -> list:
+        conditioned = bool(self.model.num_classes)
+        x, spans = _batch_rows(
+            [np.asarray(item["x"], dtype=np.float64) for item in items], batched_ndim=2
+        )
+
+        def per_row(key):
+            return np.concatenate(
+                [
+                    np.broadcast_to(np.asarray(item[key]), (stop - start,))
+                    for item, (_, start, stop) in zip(items, spans)
+                ]
+            )
+
+        eps = self.model.predict_noise(
+            x, per_row("t"), per_row("labels") if conditioned else None
+        ).data
+        return _scatter_rows(eps, spans)
+
+
+# ----------------------------------------------------------------------
+# Default registrations (order matters only for overlapping classes;
+# register_adapter prepends, so later entries here take precedence).
+# ----------------------------------------------------------------------
+def _register_defaults() -> None:
+    from ..models.bert import BertEncoder, BertQA
+    from ..models.diffusion import DDPM2D
+    from ..models.dlrm import DLRM
+    from ..models.gpt import GPT
+    from ..models.moe import MoEGPT
+    from ..models.speech import TinyWav2Vec
+    from ..models.translation import LSTMSeq2Seq, Seq2SeqTransformer
+    from ..models.vision import TinyMobileNet, TinyResNet, TinyViT
+
+    register_adapter(GPT, CausalLMAdapter)
+    register_adapter(MoEGPT, CausalLMAdapter)
+    register_adapter(BertEncoder, BertEmbedAdapter)
+    register_adapter(BertQA, BertSpanAdapter)
+    register_adapter(DLRM, CTRAdapter)
+    register_adapter(TinyResNet, VisionAdapter)
+    register_adapter(TinyMobileNet, VisionAdapter)
+    register_adapter(TinyViT, VisionAdapter)
+    register_adapter(TinyWav2Vec, SpeechAdapter)
+    register_adapter(Seq2SeqTransformer, TranslationAdapter)
+    register_adapter(LSTMSeq2Seq, TranslationAdapter)
+    register_adapter(DDPM2D, DiffusionAdapter)
+
+
+_register_defaults()

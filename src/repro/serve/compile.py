@@ -1,0 +1,255 @@
+"""Compile once, serve forever: the quantize-once deployment path.
+
+``compile_model`` is the paper's Section V deployment story as an API: a
+trained FP32 model is cast into a BDR format a single time, and every
+subsequent request reuses the frozen quantized weights.  Concretely it
+
+1. puts the model in eval mode;
+2. installs inference :class:`~repro.nn.quantized.QuantSpec`\\ s (per-role
+   format instances, no backward role) from a format spec string — or any
+   declarative :class:`~repro.spec.policy.PolicySpec` for mixed-precision
+   deployments;
+3. freezes the quantized weights: ``freeze="memo"`` (default) warms the
+   data-version-keyed memo caches so no request ever re-quantizes a
+   weight; ``freeze="cast"`` additionally bakes the quantization into the
+   stored arrays via :func:`~repro.flow.cast.cast_weights`;
+4. resolves the family's task adapter and returns a :class:`CompiledModel`.
+
+A ``CompiledModel`` executes requests directly (``run`` / ``run_one`` /
+``stream``) or spawns an :class:`~repro.serve.session.InferenceSession`
+for micro-batched concurrent traffic.
+"""
+
+from __future__ import annotations
+
+from ..flow.cast import cast_weights
+from ..flow.policy import apply_quant_policy, quantizable_modules
+from ..nn.layers import Embedding, Linear, Module
+from ..nn.quantized import memo_quantize
+from ..nn.tensor import no_grad
+from ..spec.grammar import as_format, format_to_spec, parse_spec, render_spec
+from ..spec.policy import PolicySpec, UniformPolicy, policy_from_dict
+from ..spec.serving import SessionConfig
+from .adapters import Request, TaskAdapter, adapter_for
+
+__all__ = ["CompiledModel", "compile_model"]
+
+
+def _spec_string(fmt) -> str:
+    """Canonical spec string for any format spelling."""
+    from ..formats.base import Format
+
+    if isinstance(fmt, Format):
+        return format_to_spec(fmt)
+    return render_spec(parse_spec(fmt))
+
+
+def _inference_policy(fmt, activation) -> UniformPolicy:
+    """The uniform direct-cast policy: weight+activation, no backward."""
+    weight_spec = _spec_string(fmt)
+    act_spec = _spec_string(activation) if activation is not None else weight_spec
+    return UniformPolicy(
+        quant={"activation": act_spec, "weight": weight_spec, "backward": None},
+        name=f"serve[{weight_spec}]",
+    )
+
+
+def _coerce_policy(policy) -> PolicySpec:
+    if isinstance(policy, PolicySpec):
+        return policy
+    if isinstance(policy, dict):
+        return policy_from_dict(policy)
+    raise TypeError(
+        f"policy must be a PolicySpec or its to_dict payload, got {type(policy).__name__}"
+    )
+
+
+def _warm_weight_caches(model: Module) -> int:
+    """Pre-quantize every frozen weight into its memo cache.
+
+    Returns the number of parameters warmed.  Linear weights quantize
+    along their reduction dim; conv weights through the same reshaped-
+    transposed derivation the forward uses.  Stateful (non-memoizable)
+    formats are skipped — they re-quantize by design.
+    """
+    from ..nn.conv import Conv2d, _quantized_conv_weight
+
+    warmed = 0
+    for _, module in quantizable_modules(model):
+        spec = module.quant
+        if spec is None or spec.weight is None:
+            continue
+        if spec.rounding == "stochastic" or spec.weight.cache_key() is None:
+            continue
+        if isinstance(module, Conv2d):
+            if module.groups == 1:
+                _quantized_conv_weight(module.weight, spec)
+                warmed += 1
+        elif isinstance(module, Linear) or (
+            hasattr(module, "weight") and getattr(module.weight, "ndim", 0) == 2
+        ):
+            memo_quantize(
+                module.weight, spec.weight, axis=0,
+                rounding=spec.rounding, rng=spec.rng,
+            )
+            warmed += 1
+    for _, module in model.named_modules():
+        if isinstance(module, Embedding) and module.storage_quant is not None:
+            if module.storage_quant.cache_key() is not None:
+                memo_quantize(module.weight, module.storage_quant, axis=-1, tag="storage")
+                warmed += 1
+    return warmed
+
+
+class CompiledModel:
+    """A model frozen for inference behind its task adapter.
+
+    Execution always runs under ``no_grad`` (the inference fast path in
+    :func:`~repro.nn.quantized.quantized_matmul`), and quantized weight
+    payloads are memoized — :meth:`check_frozen` verifies no parameter
+    changed since compile.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        adapter: TaskAdapter,
+        config: SessionConfig,
+        warmed: int = 0,
+    ):
+        self.model = model
+        self.adapter = adapter
+        self.config = config
+        self.warmed = warmed
+        self._weight_versions = {
+            name: param.version for name, param in model.named_parameters()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> tuple[str, ...]:
+        """Task verbs this compiled model serves."""
+        return self.adapter.tasks
+
+    def run(self, requests) -> list:
+        """Execute a batch of requests serially under ``no_grad``."""
+        with no_grad():
+            return self.adapter.run_batch([Request.coerce(r) for r in requests])
+
+    def run_one(self, request):
+        return self.run([request])[0]
+
+    def __call__(self, task: str, **payload):
+        """One-request convenience: ``compiled("score", context=..., ...)``."""
+        return self.run_one(Request(task=task, payload=payload))
+
+    def stream(self, prompt, max_new_tokens: int = 16, eos: int | None = None):
+        """Token-by-token greedy generation (causal LM families only).
+
+        The adapter scopes ``no_grad`` per step, so the caller's grad mode
+        is untouched while the generator is suspended between tokens.
+        """
+        if not hasattr(self.adapter, "generate_stream"):
+            raise TypeError(
+                f"{type(self.adapter).__name__} does not support streaming"
+            )
+        yield from self.adapter.generate_stream(prompt, max_new_tokens, eos=eos)
+
+    def session(self, config: SessionConfig | None = None, **overrides):
+        """Spawn an :class:`~repro.serve.session.InferenceSession`.
+
+        ``overrides`` patch the compile-time config (``max_batch=16``, ...).
+        """
+        from .session import InferenceSession
+
+        config = config or self.config
+        if overrides:
+            config = config.replace(**overrides)
+        return InferenceSession(self, config)
+
+    # ------------------------------------------------------------------
+    def check_frozen(self) -> bool:
+        """True when no parameter data changed since compile."""
+        current = {name: p.version for name, p in self.model.named_parameters()}
+        return current == self._weight_versions
+
+    def describe(self) -> dict:
+        """Plain-data summary: family, tasks, config, parameter count."""
+        return {
+            "family": type(self.model).__name__,
+            "adapter": type(self.adapter).__name__,
+            "tasks": list(self.tasks),
+            "parameters": self.model.num_parameters(),
+            "warmed_weights": self.warmed,
+            "config": self.config.to_dict(),
+        }
+
+
+def compile_model(
+    model: Module,
+    fmt=None,
+    *,
+    activation=None,
+    policy=None,
+    freeze: str | None = None,
+    quantize_embeddings: bool = False,
+    config: SessionConfig | None = None,
+) -> CompiledModel:
+    """Freeze ``model`` for quantized serving; see the module docstring.
+
+    Args:
+        model: a trained model from any of the eight families.
+        fmt: weight format spelling (``"mx6"``, a spec dict, a Format);
+            ``None`` with no policy keeps whatever the model has installed
+            (including full FP32).
+        activation: activation format override (defaults to ``fmt``).
+        policy: a declarative :class:`~repro.spec.policy.PolicySpec` (or
+            payload dict) for per-layer deployments; exclusive with ``fmt``.
+        freeze: ``"memo"`` or ``"cast"`` (see :data:`FREEZE_MODES`).
+        quantize_embeddings: also storage-quantize embedding tables (the
+            DLRM memory optimization).
+        config: a full :class:`SessionConfig`; its format/policy fields are
+            used when the direct arguments are omitted.
+    """
+    if config is not None:
+        fmt = fmt if fmt is not None else config.format
+        activation = activation if activation is not None else config.activation
+        policy = policy if policy is not None else config.policy
+        freeze = freeze if freeze is not None else config.freeze
+        quantize_embeddings = quantize_embeddings or config.quantize_embeddings
+    freeze = freeze if freeze is not None else "memo"
+    if fmt is not None and policy is not None:
+        raise ValueError("fmt and policy are mutually exclusive")
+
+    model.eval()
+    applied: PolicySpec | None = None
+    if policy is not None:
+        applied = _coerce_policy(policy)
+    elif fmt is not None:
+        applied = _inference_policy(fmt, activation)
+    if applied is not None:
+        apply_quant_policy(model, applied)
+    if quantize_embeddings and fmt is not None:
+        for _, module in model.named_modules():
+            if isinstance(module, Embedding):
+                module.storage_quant = as_format(_spec_string(fmt))
+
+    if freeze == "cast":
+        if applied is None:
+            raise ValueError("freeze='cast' requires a format or policy")
+        cast_weights(model, applied)
+    elif freeze != "memo":
+        raise ValueError(f"freeze must be 'memo' or 'cast', got {freeze!r}")
+    warmed = _warm_weight_caches(model)
+
+    resolved = SessionConfig(
+        format=_spec_string(fmt) if fmt is not None else None,
+        activation=_spec_string(activation) if activation is not None else None,
+        policy=applied.to_dict() if policy is not None and applied is not None else None,
+        freeze=freeze,
+        quantize_embeddings=quantize_embeddings,
+        max_batch=config.max_batch if config else SessionConfig.max_batch,
+        max_wait=config.max_wait if config else SessionConfig.max_wait,
+        workers=config.workers if config else SessionConfig.workers,
+    )
+    return CompiledModel(model, adapter_for(model), resolved, warmed=warmed)

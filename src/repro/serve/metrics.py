@@ -1,0 +1,99 @@
+"""Per-session serving metrics: latency percentiles, throughput, occupancy.
+
+Counters are updated by the session workers under a lock and summarized on
+demand; everything is plain floats/ints so a summary can be logged as JSON
+by the CLI and the benches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+__all__ = ["SessionMetrics", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample list."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(np.ceil(q / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
+
+class SessionMetrics:
+    """Thread-safe accumulator for one :class:`InferenceSession`."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._start = clock()
+        self._latencies: list[float] = []
+        self._batch_sizes: list[int] = []
+        self._requests = 0
+        self._errors = 0
+        self._tokens = 0
+
+    # ------------------------------------------------------------------
+    def record_batch(self, batch_size: int, latencies: list[float]) -> None:
+        """One executed micro-batch: its size and per-request latencies."""
+        with self._lock:
+            self._batch_sizes.append(int(batch_size))
+            self._latencies.extend(float(l) for l in latencies)
+            self._requests += int(batch_size)
+
+    def record_error(self, batch_size: int) -> None:
+        with self._lock:
+            self._errors += int(batch_size)
+
+    def record_tokens(self, n: int) -> None:
+        """Tokens produced by streaming generation."""
+        with self._lock:
+            self._tokens += int(n)
+
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._requests
+
+    def summary(self, max_batch: int | None = None) -> dict:
+        """Snapshot of everything recorded so far.
+
+        Keys: ``requests``, ``errors``, ``throughput_rps``, ``tokens``,
+        ``latency_ms`` (mean/p50/p90/p99), ``batch`` (count, mean_size,
+        max_size, occupancy when ``max_batch`` is given).
+        """
+        with self._lock:
+            elapsed = max(self._clock() - self._start, 1e-12)
+            latencies = list(self._latencies)
+            batch_sizes = list(self._batch_sizes)
+            requests, errors, tokens = self._requests, self._errors, self._tokens
+        out: dict = {
+            "requests": requests,
+            "errors": errors,
+            "tokens": tokens,
+            "elapsed_s": elapsed,
+            "throughput_rps": requests / elapsed,
+        }
+        if latencies:
+            ms = [l * 1e3 for l in latencies]
+            out["latency_ms"] = {
+                "mean": float(np.mean(ms)),
+                "p50": percentile(ms, 50),
+                "p90": percentile(ms, 90),
+                "p99": percentile(ms, 99),
+            }
+        if batch_sizes:
+            batch = {
+                "count": len(batch_sizes),
+                "mean_size": float(np.mean(batch_sizes)),
+                "max_size": int(max(batch_sizes)),
+            }
+            if max_batch:
+                batch["occupancy"] = float(np.mean(batch_sizes)) / max_batch
+            out["batch"] = batch
+        return out

@@ -1,0 +1,260 @@
+"""The inference session: micro-batched, futures-based request serving.
+
+An :class:`InferenceSession` owns a compiled model, a request queue, and a
+pool of worker threads.  Each worker pops a request, waits up to
+``max_wait`` seconds for co-riders (up to ``max_batch`` per batch), runs
+the coalesced batch through the model's task adapter under ``no_grad``,
+and resolves each request's future.  Shared-scale formats make this cheap:
+the quantized weights were frozen at compile time, so a batch pays one
+activation quantization per tensor op regardless of how many requests ride
+in it.
+
+Streaming generation (the GPT ladder) runs as singleton jobs whose tokens
+are handed to the consumer through a queue as they are produced.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from ..nn.tensor import no_grad
+from ..spec.serving import SessionConfig
+from .adapters import Request
+from .metrics import SessionMetrics
+
+__all__ = ["InferenceSession"]
+
+_SHUTDOWN = object()
+_STREAM_END = object()
+
+
+@dataclass
+class _Job:
+    request: Request
+    future: Future
+    enqueued: float
+    stream: "queue.Queue | None" = None
+    stream_kwargs: dict = field(default_factory=dict)
+
+
+class InferenceSession:
+    """Micro-batching front end over a :class:`~repro.serve.CompiledModel`.
+
+    Use as a context manager, or call :meth:`close` when done::
+
+        with compiled.session(max_batch=16) as session:
+            futures = [session.submit(r) for r in requests]
+            results = [f.result() for f in futures]
+    """
+
+    def __init__(self, compiled, config: SessionConfig | None = None):
+        self.compiled = compiled
+        self.config = config or SessionConfig()
+        self.metrics = SessionMetrics()
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        # serializes submit/close so no job can be enqueued behind the
+        # shutdown sentinel (where workers would never see it)
+        self._submit_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"serve-worker-{i}", daemon=True)
+            for i in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def _enqueue(self, job: _Job) -> None:
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            self._queue.put(job)
+
+    def submit(self, request) -> Future:
+        """Enqueue one request; the returned future resolves to its result.
+
+        Unknown tasks are rejected here, before enqueueing — one bad
+        request must never ride in (and poison) a batch of valid ones.
+        """
+        coerced = Request.coerce(request)
+        if coerced.task not in self.compiled.tasks:
+            raise ValueError(
+                f"{type(self.compiled.adapter).__name__} serves tasks "
+                f"{self.compiled.tasks}, got {coerced.task!r}"
+            )
+        job = _Job(
+            request=coerced,
+            future=Future(),
+            enqueued=time.perf_counter(),
+        )
+        self._enqueue(job)
+        return job.future
+
+    def map(self, requests, timeout: float | None = None) -> list:
+        """Submit many requests and wait for all results, in order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def stream(self, request):
+        """Submit a streaming generation request; yields tokens as produced.
+
+        Only meaningful for adapters exposing ``generate_stream`` (the
+        causal LM families).  The request runs as a singleton job on a
+        worker thread; this generator blocks on its token queue.
+        """
+        coerced = Request.coerce(request)
+        if coerced.task != "generate":
+            raise ValueError(f"streaming requires task 'generate', got {coerced.task!r}")
+        if not hasattr(self.compiled.adapter, "generate_stream"):
+            raise TypeError(
+                f"{type(self.compiled.adapter).__name__} does not support streaming"
+            )
+        job = _Job(
+            request=coerced,
+            future=Future(),
+            enqueued=time.perf_counter(),
+            stream=queue.Queue(),
+        )
+        self._enqueue(job)
+
+        def consume():
+            while True:
+                item = job.stream.get()
+                if item is _STREAM_END:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+            # surface any terminal state (also marks the future consumed)
+            job.future.result()
+
+        return consume()
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _collect_batch(self, first: _Job) -> tuple[list[_Job], _Job | None]:
+        """Coalesce up to ``max_batch`` jobs, waiting at most ``max_wait``.
+
+        Returns ``(batch, stream_job)``; a stream job encountered while
+        collecting stops the batch and is carried out-of-band (never
+        re-queued: after close() a re-queued job could land behind the
+        shutdown sentinel and be dropped with its future unresolved).
+        """
+        batch = [first]
+        if first.stream is not None:
+            return [], first  # streams run as singletons
+        deadline = time.perf_counter() + self.config.max_wait
+        while len(batch) < self.config.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                nxt = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if nxt is _SHUTDOWN:
+                # repost for the other workers and stop collecting
+                self._queue.put(_SHUTDOWN)
+                break
+            if nxt.stream is not None:
+                # don't mix a stream into a batch: run the batch first,
+                # then the carried stream
+                return batch, nxt
+            batch.append(nxt)
+        return batch, None
+
+    def _execute_batch(self, batch: list[_Job]) -> None:
+        try:
+            with no_grad():
+                results = self.compiled.adapter.run_batch(
+                    [job.request for job in batch]
+                )
+        except BaseException as error:  # noqa: BLE001
+            # a bad payload must not poison its co-riders: retry each job
+            # alone so only the offender(s) fail
+            if len(batch) > 1:
+                for job in batch:
+                    self._execute_batch([job])
+            else:
+                self.metrics.record_error(1)
+                batch[0].future.set_exception(error)
+            return
+        done = time.perf_counter()
+        for job, result in zip(batch, results):
+            job.future.set_result(result)
+        self.metrics.record_batch(
+            len(batch), [done - job.enqueued for job in batch]
+        )
+
+    def _execute_stream(self, job: _Job) -> None:
+        tokens = 0
+        try:
+            # generate_stream scopes no_grad per step itself
+            payload = dict(job.request.payload)
+            iterator = self.compiled.adapter.generate_stream(
+                payload.pop("prompt"),
+                int(payload.pop("max_new_tokens", 16)),
+                eos=payload.pop("eos", None),
+            )
+            produced = []
+            for token in iterator:
+                produced.append(token)
+                tokens += 1
+                self.metrics.record_tokens(1)
+                job.stream.put(token)
+        except BaseException as error:  # noqa: BLE001
+            self.metrics.record_error(1)
+            job.future.set_exception(error)
+            job.stream.put(error)
+            job.stream.put(_STREAM_END)
+            return
+        done = time.perf_counter()
+        job.future.set_result({"tokens": produced})
+        job.stream.put(_STREAM_END)
+        self.metrics.record_batch(1, [done - job.enqueued])
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _SHUTDOWN:
+                self._queue.put(_SHUTDOWN)  # let sibling workers exit too
+                return
+            batch, stream_job = self._collect_batch(job)
+            if batch:
+                self._execute_batch(batch)
+            if stream_job is not None:
+                self._execute_stream(stream_job)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting work, drain the queue, and join the workers."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # under the lock: every accepted job is already in the queue
+            # ahead of the sentinel, so the drain covers all of them
+            self._queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def summary(self) -> dict:
+        """Metrics snapshot including the session configuration label."""
+        out = self.metrics.summary(max_batch=self.config.max_batch)
+        out["config"] = self.config.to_dict()
+        return out

@@ -9,6 +9,8 @@ formats, quant specs, and per-layer policies.
   ``measure_qsnr``, ``run_sweep``, the flow casts).
 * :class:`PolicySpec` and friends — JSON-able per-layer precision
   policies that compile to the classic callable form.
+* :class:`SessionConfig` — the declarative serving configuration consumed
+  by :mod:`repro.serve` (compile format/policy + micro-batching knobs).
 """
 
 from .grammar import (
@@ -29,6 +31,7 @@ from .policy import (
     compile_policy,
     policy_from_dict,
 )
+from .serving import SessionConfig
 
 __all__ = [
     "FormatSpec",
@@ -45,4 +48,5 @@ __all__ = [
     "RulePolicy",
     "compile_policy",
     "policy_from_dict",
+    "SessionConfig",
 ]

@@ -1,0 +1,140 @@
+"""Declarative serving configuration (the :mod:`repro.serve` input language).
+
+A serving deployment is fully described by plain data: which format (or
+per-layer policy) the model is compiled with, how weights are frozen, and
+how the micro-batcher coalesces traffic.  :class:`SessionConfig` is that
+description — spec strings from :mod:`repro.spec.grammar` for the formats,
+a :class:`~repro.spec.policy.PolicySpec` payload dict for mixed-precision
+deployments, and scalar batching knobs — so a config can live in a JSON
+file, cross a service boundary, or be rebuilt from a CLI flag without ever
+pickling live objects.
+
+The runtime that consumes this lives in :mod:`repro.serve`
+(:func:`repro.serve.compile_model` / :class:`repro.serve.InferenceSession`);
+this module only defines and validates the data.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, fields
+
+from .grammar import parse_spec, render_spec
+from .policy import PolicySpec, policy_from_dict
+
+__all__ = ["SessionConfig", "FREEZE_MODES"]
+
+#: How compile freezes quantized weights: ``memo`` keeps FP32 masters and
+#: memoizes quantized payloads on the data-version counter; ``cast``
+#: additionally bakes the quantization into the stored arrays.
+FREEZE_MODES = ("memo", "cast")
+
+
+def _canonical_spec(value) -> str | None:
+    """Canonicalize a format spelling to its spec string (None passes)."""
+    if value is None:
+        return None
+    return render_spec(parse_spec(value))
+
+
+def _canonical_policy(value) -> dict | None:
+    """Canonicalize a policy spelling to its ``to_dict`` payload."""
+    if value is None:
+        return None
+    if isinstance(value, PolicySpec):
+        return value.to_dict()
+    if isinstance(value, dict):
+        # validate by round-tripping through the registry
+        return policy_from_dict(value).to_dict()
+    raise TypeError(
+        f"policy must be a PolicySpec or its to_dict payload, got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a serving session needs, as plain data.
+
+    Attributes:
+        format: weight/activation format spec string (``"mx6"``); ``None``
+            serves full precision (or whatever the model already has
+            installed when ``policy`` is also ``None``).
+        activation: activation format override; defaults to ``format``.
+        policy: a :class:`~repro.spec.policy.PolicySpec` payload dict for
+            per-layer deployments (mutually exclusive with ``format``).
+        freeze: one of :data:`FREEZE_MODES`.
+        quantize_embeddings: also storage-quantize embedding tables.
+        max_batch: micro-batcher coalescing limit (requests per batch).
+        max_wait: seconds the batcher waits for co-riders after the first
+            request of a batch arrives.
+        workers: worker threads executing batches.
+    """
+
+    format: str | None = None
+    activation: str | None = None
+    policy: object = None
+    freeze: str = "memo"
+    quantize_embeddings: bool = False
+    max_batch: int = 8
+    max_wait: float = 0.002
+    workers: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "format", _canonical_spec(self.format))
+        object.__setattr__(self, "activation", _canonical_spec(self.activation))
+        object.__setattr__(self, "policy", _canonical_policy(self.policy))
+        if self.format is not None and self.policy is not None:
+            raise ValueError("format and policy are mutually exclusive")
+        if self.activation is not None and self.format is None:
+            raise ValueError("activation override requires a format")
+        if self.freeze not in FREEZE_MODES:
+            raise ValueError(f"freeze must be one of {FREEZE_MODES}, got {self.freeze!r}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON/pickle safe); the (nested) policy payload
+        is deep-copied so callers can never mutate the frozen config."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = copy.deepcopy(value) if f.name == "policy" and value else value
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SessionConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown SessionConfig keys {sorted(unknown)}")
+        return cls(**d)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionConfig":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes) -> "SessionConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        payload = self.to_dict()
+        payload.update(changes)
+        return SessionConfig.from_dict(payload)
+
+    @property
+    def label(self) -> str:
+        """Short display name for benches and reports."""
+        if self.policy is not None:
+            quant = f"policy[{self.policy.get('kind', '?')}]"
+        else:
+            quant = self.format or "fp32"
+        return f"{quant}@b{self.max_batch}x{self.workers}w"

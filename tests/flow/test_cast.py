@@ -85,3 +85,172 @@ class TestCastWeights:
     def test_format_instance_accepted(self):
         model = build_model()
         cast_weights(model, get_format("mx9"))
+
+
+class TestPolicyCasting:
+    """direct_cast / cast_weights accept declarative PolicySpecs."""
+
+    def _three_layer(self):
+        rng = np.random.default_rng(7)
+        return Sequential(
+            Linear(32, 16, rng=rng), Linear(16, 16, rng=rng), Linear(16, 4, rng=rng)
+        )
+
+    def test_direct_cast_with_policy(self):
+        from repro.spec import FirstLastHighPolicy
+
+        model = self._three_layer()
+        direct_cast(model, FirstLastHighPolicy(quant="mx4", high=None))
+        modules = [m for _, m in quantizable_modules(model)]
+        assert modules[0].quant is None
+        assert modules[-1].quant is None
+        assert modules[1].quant.weight.name == "MX4"
+
+    def test_direct_cast_policy_dict(self):
+        from repro.spec import UniformPolicy
+
+        model = self._three_layer()
+        direct_cast(model, UniformPolicy(quant="mx6").to_dict())
+        assert all(m.quant.weight.name == "MX6" for _, m in quantizable_modules(model))
+
+    def test_direct_cast_policy_rejects_extras(self):
+        from repro.spec import UniformPolicy
+
+        model = self._three_layer()
+        with pytest.raises(ValueError, match="activation_format"):
+            direct_cast(model, UniformPolicy(quant="mx6"), "mx9")
+        with pytest.raises(ValueError, match="quantize_embeddings"):
+            direct_cast(model, UniformPolicy(quant="mx6"), quantize_embeddings=True)
+
+    def test_cast_weights_with_policy_spares_boundary(self):
+        from repro.spec import FirstLastHighPolicy
+
+        model = self._three_layer()
+        before = model.state_dict()
+        cast_weights(model, FirstLastHighPolicy(quant="mx4", high=None))
+        after = model.state_dict()
+        # boundary layers stay FP32-exact, middle layer is cast
+        np.testing.assert_array_equal(before["layers.0.weight"], after["layers.0.weight"])
+        np.testing.assert_array_equal(before["layers.2.weight"], after["layers.2.weight"])
+        assert not np.allclose(before["layers.1.weight"], after["layers.1.weight"])
+        fmt = get_format("mx4")
+        np.testing.assert_array_equal(
+            fmt.quantize(after["layers.1.weight"], axis=0), after["layers.1.weight"]
+        )
+
+    def test_cast_weights_policy_matches_uniform_format(self):
+        """A uniform policy casts Linear weights exactly like the format
+        path (embeddings excluded: they sit outside quantizable modules)."""
+        from repro.spec import UniformPolicy
+
+        model_a = self._three_layer()
+        model_b = self._three_layer()
+        model_b.load_state_dict(model_a.state_dict())
+        cast_weights(model_a, "mx6")
+        cast_weights(model_b, UniformPolicy(quant="mx6"))
+        for (name, a), (_, b) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+    def test_cast_weights_policy_dict_per_role(self):
+        """Each module casts with its own weight-role format."""
+        from repro.spec import PolicyRule, RulePolicy
+
+        model = self._three_layer()
+        before = model.state_dict()
+        policy = RulePolicy(
+            rules=(PolicyRule(quant="mx4", name_glob="layers.0"),),
+            default=None,
+        )
+        cast_weights(model, policy)
+        after = model.state_dict()
+        assert not np.allclose(before["layers.0.weight"], after["layers.0.weight"])
+        np.testing.assert_array_equal(before["layers.1.weight"], after["layers.1.weight"])
+
+    def test_attention_params_cast_once(self):
+        """MHA owns its projection Linears; each array casts exactly once."""
+        from repro.nn.attention import MultiHeadAttention
+        from repro.spec import UniformPolicy
+
+        rng = np.random.default_rng(8)
+        model = MultiHeadAttention(16, 2, rng=rng)
+        cast_weights(model, UniformPolicy(quant="mx6"))
+        fmt = get_format("mx6")
+        w = model.q_proj.weight.data
+        np.testing.assert_array_equal(fmt.quantize(w, axis=0), w)
+
+    def test_child_rule_beats_parent_spec(self):
+        """cast_weights must bake the same format the forward pass would
+        apply: the child module's own rule, not the parent attention's."""
+        from repro.flow.policy import apply_quant_policy
+        from repro.nn.attention import MultiHeadAttention
+        from repro.spec import PolicyRule, RulePolicy
+
+        policy = RulePolicy(
+            rules=(PolicyRule(quant="mx4", name_glob="*q_proj*"),),
+            default="mx9",
+        )
+        rng = np.random.default_rng(9)
+        runtime = MultiHeadAttention(16, 2, rng=rng)
+        apply_quant_policy(runtime, policy)
+        assert runtime.q_proj.quant.weight.name == "MX4"  # child rule wins
+
+        baked = MultiHeadAttention(16, 2, rng=np.random.default_rng(9))
+        baked.load_state_dict(runtime.state_dict())
+        cast_weights(baked, policy)
+        mx4 = get_format("mx4")
+        np.testing.assert_array_equal(
+            baked.q_proj.weight.data,
+            mx4.quantize(runtime.q_proj.weight.data, axis=0),
+        )
+
+    def test_child_fp32_rule_not_cast_by_parent(self):
+        """A child the policy leaves FP32 stays exact even when its parent
+        attention module resolves to a quantized spec."""
+        from repro.nn.attention import MultiHeadAttention
+        from repro.spec import PolicyRule, RulePolicy
+
+        policy = RulePolicy(
+            rules=(PolicyRule(quant=None, name_glob="*q_proj*"),),
+            default="mx4",
+        )
+        model = MultiHeadAttention(16, 2, rng=np.random.default_rng(10))
+        before_q = model.q_proj.weight.data.copy()
+        before_k = model.k_proj.weight.data.copy()
+        cast_weights(model, policy)
+        np.testing.assert_array_equal(model.q_proj.weight.data, before_q)
+        mx4 = get_format("mx4")
+        np.testing.assert_array_equal(
+            model.k_proj.weight.data, mx4.quantize(before_k, axis=0)
+        )
+
+    def test_policy_rounding_honored(self):
+        """A policy payload declaring a rounding mode must bake with that
+        mode, not silently fall back to nearest."""
+        from repro.nn.quantized import QuantSpec
+        from repro.spec import UniformPolicy
+
+        payload = QuantSpec(weight="mx4", rounding="truncate").to_dict()
+        model_a = self._three_layer()
+        model_b = self._three_layer()
+        model_b.load_state_dict(model_a.state_dict())
+        cast_weights(model_a, UniformPolicy(quant=payload))
+        cast_weights(model_b, UniformPolicy(quant=dict(payload, rounding="nearest")))
+        # truncate vs nearest rounding must produce different castings
+        assert any(
+            not np.array_equal(a.data, b.data)
+            for (_, a), (_, b) in zip(
+                model_a.named_parameters(), model_b.named_parameters()
+            )
+        )
+
+    def test_policy_stochastic_without_rng_fails_loudly(self):
+        """Stochastic payloads without a generator error (matching the
+        runtime path) instead of silently casting with nearest."""
+        from repro.nn.quantized import QuantSpec
+        from repro.spec import UniformPolicy
+
+        payload = QuantSpec(weight="mx4", rounding="stochastic").to_dict()
+        with pytest.raises(ValueError, match="stochastic rounding requires"):
+            cast_weights(self._three_layer(), UniformPolicy(quant=payload))

@@ -1,0 +1,145 @@
+"""The no_grad inference fast path of the quantized tensor ops.
+
+Under ``no_grad`` the quantized ops must skip the backward machinery —
+in particular the allocation and quantization of the transposed backward
+weight copy — while producing bit-identical forward outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import get_format
+from repro.nn.conv import Conv2d, conv2d
+from repro.nn.quantized import QuantSpec, quantized_bmm, quantized_matmul
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture()
+def spec():
+    return QuantSpec.uniform("mx6")
+
+
+class CountingFormat:
+    """Wraps a format, counting quantize calls (not memoizable)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def quantize(self, x, axis=-1, rounding="nearest", rng=None):
+        self.calls += 1
+        return self.inner.quantize(x, axis=axis, rounding=rounding, rng=rng)
+
+    def cache_key(self):
+        return None
+
+
+class TestMatmulFastPath:
+    def test_forward_bit_identical_with_and_without_skip(self, spec):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(3, 7, 16)))
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        slow = quantized_matmul(a, w, spec)  # grad enabled: full training path
+        with no_grad():
+            fast = quantized_matmul(a, w, spec)
+        np.testing.assert_array_equal(fast.data, slow.data)
+
+    def test_fast_path_has_no_graph(self, spec):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(4, 16)))
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        with no_grad():
+            out = quantized_matmul(a, w, spec)
+        assert out._backward is None
+        assert out._parents == ()
+        assert not out.requires_grad
+
+    def test_no_backward_weight_quantization_under_no_grad(self):
+        """The transposed backward weight copy is never quantized."""
+        backward_fmt = CountingFormat(get_format("mx6"))
+        spec = QuantSpec(activation="mx6", weight="mx6", backward=None)
+        spec.backward = backward_fmt
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=(4, 16)), requires_grad=True)
+        w = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+
+        with no_grad():
+            quantized_matmul(a, w, spec)
+        assert backward_fmt.calls == 0
+
+        # sanity: the training path does hit the backward role
+        out = quantized_matmul(a, w, spec)
+        out.backward(np.ones_like(out.data))
+        assert backward_fmt.calls > 0
+
+
+class TestBmmFastPath:
+    def test_forward_bit_identical(self, spec):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(2, 4, 5, 8)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 8, 5)), requires_grad=True)
+        slow = quantized_bmm(a, b, spec)
+        with no_grad():
+            fast = quantized_bmm(a, b, spec)
+        np.testing.assert_array_equal(fast.data, slow.data)
+        assert fast._backward is None
+
+    def test_backward_role_untouched(self):
+        backward_fmt = CountingFormat(get_format("mx6"))
+        spec = QuantSpec(activation="mx6", weight="mx6")
+        spec.backward = backward_fmt
+        rng = np.random.default_rng(4)
+        a = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 8, 3)), requires_grad=True)
+        with no_grad():
+            quantized_bmm(a, b, spec)
+        assert backward_fmt.calls == 0
+
+
+class TestConvFastPath:
+    def test_forward_bit_identical(self, spec):
+        rng = np.random.default_rng(5)
+        layer = Conv2d(3, 4, 3, padding=1, rng=rng, quant=spec)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)), requires_grad=True)
+        slow = layer(x)
+        with no_grad():
+            fast = layer(x)
+        np.testing.assert_array_equal(fast.data, slow.data)
+        assert fast._backward is None
+
+    def test_conv_weight_memoized_across_calls(self, spec):
+        """The reshaped conv weight quantizes once, then hits the cache."""
+        rng = np.random.default_rng(6)
+        layer = Conv2d(3, 4, 3, padding=1, rng=rng, quant=spec)
+        x = Tensor(rng.normal(size=(1, 3, 6, 6)))
+        with no_grad():
+            first = layer(x).data
+        cache = layer.weight._qstate["cache"]
+        assert cache is not None and any("conv_w2" in k for k in cache)
+        with no_grad():
+            second = layer(x).data
+        np.testing.assert_array_equal(first, second)
+        # mutating the weight invalidates the memo
+        layer.weight.data = layer.weight.data * 2.0
+        with no_grad():
+            third = layer(x).data
+        assert not np.array_equal(first, third)
+
+
+class TestEmbeddingStorageMemo:
+    def test_storage_table_quantizes_once(self):
+        from repro.nn.layers import Embedding
+
+        emb = Embedding(16, 8, rng=np.random.default_rng(7))
+        emb.storage_quant = get_format("mx6")
+        indices = np.array([[0, 3, 5]])
+        with no_grad():
+            first = emb(indices).data
+        assert any("storage" in k for k in emb.weight._qstate["cache"])
+        with no_grad():
+            second = emb(indices).data
+        np.testing.assert_array_equal(first, second)
+        emb.weight.data = emb.weight.data * 2.0
+        with no_grad():
+            third = emb(indices).data
+        assert not np.array_equal(first, third)

@@ -1,0 +1,309 @@
+"""Every model family through the one serving protocol.
+
+The load-bearing claim: batched adapter execution is bit-identical to the
+legacy per-model entry points (which now delegate to the same adapters),
+and every one of the eight families is servable through
+``repro.compile(...)`` + the task verbs.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.synthetic import (
+    CTRLogs,
+    FrameAudio,
+    GaussianMixture2D,
+    ImageClasses,
+    QACorpus,
+    SyntheticLanguage,
+    TranslationTask,
+)
+from repro.models.bert import BertEncoder, BertQA
+from repro.models.diffusion import DDPM2D
+from repro.models.dlrm import DLRM
+from repro.models.gpt import GPT, GPTConfig, score_candidates
+from repro.models.moe import MoEGPT
+from repro.models.speech import TinyWav2Vec
+from repro.models.translation import LSTMSeq2Seq, Seq2SeqTransformer, greedy_decode
+from repro.models.vision import TinyMobileNet, TinyResNet, TinyViT
+from repro.serve import Request, TASKS, adapter_for, compile_model, register_adapter
+from repro.serve.adapters import CausalLMAdapter, TaskAdapter
+
+
+SMALL = GPTConfig(dim=16, num_layers=1, num_heads=2, max_len=64)
+
+
+def test_request_coercion():
+    request = Request.coerce({"task": "score", "context": [1, 2]})
+    assert request.task == "score"
+    assert request.payload == {"context": [1, 2]}
+    assert Request.coerce(request) is request
+    with pytest.raises(ValueError, match="task"):
+        Request.coerce({"context": [1]})
+    with pytest.raises(TypeError):
+        Request.coerce(42)
+
+
+def test_unknown_model_raises():
+    from repro.nn.layers import Linear
+
+    with pytest.raises(TypeError, match="no serving adapter"):
+        adapter_for(Linear(4, 4))
+
+
+def test_adapter_cached_on_instance():
+    lang = SyntheticLanguage(seed=0)
+    model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+    assert adapter_for(model) is adapter_for(model)
+
+
+def test_register_adapter_override():
+    class Custom(CausalLMAdapter):
+        pass
+
+    lang = SyntheticLanguage(seed=0)
+    model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+    register_adapter(GPT, Custom)
+    try:
+        assert isinstance(adapter_for(model), Custom)
+    finally:
+        from repro.serve import adapters
+
+        adapters._REGISTRY.remove((GPT, Custom))
+        model._serve_adapter = None
+
+
+def test_wrong_task_rejected():
+    lang = SyntheticLanguage(seed=0)
+    compiled = compile_model(GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0)), "mx6")
+    with pytest.raises(ValueError, match="serves tasks"):
+        compiled("denoise", x=np.zeros(2), t=0)
+
+
+class TestCausalLM:
+    @pytest.fixture(scope="class")
+    def lang(self):
+        return SyntheticLanguage(seed=0)
+
+    @pytest.fixture(scope="class", params=["gpt", "moe"])
+    def model(self, request, lang):
+        rng = np.random.default_rng(1)
+        if request.param == "gpt":
+            return GPT(lang.vocab_size, SMALL, rng=rng)
+        return MoEGPT(lang.vocab_size, SMALL, num_experts=2, rng=rng)
+
+    def test_batched_score_matches_legacy_loop(self, model, lang):
+        """Right-padded batched scoring == per-candidate serial scoring."""
+        compiled = compile_model(model, "mx6")
+        rng = np.random.default_rng(2)
+        requests = []
+        for _ in range(5):
+            context = lang.sample_sequence(10, rng)
+            candidates = [
+                lang.sample_sequence(int(n), rng) for n in rng.integers(1, 6, size=3)
+            ]
+            requests.append({"task": "score", "context": context, "candidates": candidates})
+        results = compiled.run(requests)
+        for request, result in zip(requests, results):
+            serial = [
+                model.sequence_logprob(request["context"], candidate)
+                for candidate in request["candidates"]
+            ]
+            assert result["scores"] == serial
+            assert result["choice"] == int(np.argmax(serial))
+
+    def test_score_single_continuation_logprob(self, model, lang):
+        compiled = compile_model(model, "mx6")
+        context = np.array([1, 2, 3])
+        continuation = np.array([4, 5])
+        out = compiled("score", context=context, continuation=continuation)
+        assert out["logprob"] == model.sequence_logprob(context, continuation)
+
+    def test_generate_matches_stream(self, model):
+        compiled = compile_model(model, "mx6")
+        prompt = np.array([1, 2, 3])
+        generated = compiled("generate", prompt=prompt, max_new_tokens=6)
+        streamed = list(compiled.stream(prompt, max_new_tokens=6))
+        assert generated["tokens"] == streamed
+        assert model.generate(prompt, max_new_tokens=6) == streamed
+
+
+class TestScoreCandidatesDelegation:
+    def test_matches_sequence_logprob_argmax(self):
+        lang = SyntheticLanguage(seed=0)
+        model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(3))
+        rng = np.random.default_rng(4)
+        context = lang.sample_sequence(8, rng)
+        candidates = [lang.sample_sequence(int(n), rng) for n in (2, 4, 1)]
+        idx = score_candidates(model, context, candidates)
+        scores = [model.sequence_logprob(context, c) for c in candidates]
+        assert idx == int(np.argmax(scores))
+
+
+class TestBert:
+    def test_embed_shapes_and_batching(self):
+        corpus = QACorpus(seed=0)
+        model = BertEncoder(corpus.vocab_size, dim=16, num_layers=1, num_heads=2,
+                            rng=np.random.default_rng(5))
+        compiled = compile_model(model, "mx6")
+        rng = np.random.default_rng(6)
+        tokens_a = rng.integers(corpus.vocab_size, size=12)
+        tokens_b = rng.integers(corpus.vocab_size, size=12)
+        tokens_c = rng.integers(corpus.vocab_size, size=7)  # different length
+        results = compiled.run(
+            [{"task": "embed", "tokens": t} for t in (tokens_a, tokens_b, tokens_c)]
+        )
+        # identical to per-request model calls (mixed lengths group safely)
+        for tokens, result in zip((tokens_a, tokens_b, tokens_c), results):
+            np.testing.assert_array_equal(result, model.embed(tokens))
+
+    def test_span_prediction_matches_legacy(self):
+        corpus = QACorpus(seed=0)
+        model = BertQA(corpus.vocab_size, dim=16, num_layers=1, num_heads=2,
+                       rng=np.random.default_rng(7))
+        tokens, starts, ends = corpus.batch(4, np.random.default_rng(8))
+        del starts, ends
+        legacy = model.predict_spans(tokens)
+        compiled = compile_model(model, "mx6")
+        legacy_q = model.predict_spans(tokens)
+        served = compiled.run_one({"task": "classify", "tokens": tokens})
+        np.testing.assert_array_equal(served[0], legacy_q[0])
+        np.testing.assert_array_equal(served[1], legacy_q[1])
+        # quantization actually changed something vs FP32 at least sometimes
+        assert legacy[0].shape == legacy_q[0].shape
+
+
+class TestDLRM:
+    def test_proba_matches_legacy_and_batches(self):
+        logs = CTRLogs(seed=0)
+        model = DLRM(rng=np.random.default_rng(9))
+        dense, cats, labels = logs.sample(6, np.random.default_rng(10))
+        del labels
+        legacy = model.predict_proba(dense, cats)
+        compiled = compile_model(model, "mx6", quantize_embeddings=True)
+        legacy_q = model.predict_proba(dense, cats)
+        # one batched request
+        batched = compiled.run_one({"task": "classify", "dense": dense, "cats": cats})
+        np.testing.assert_array_equal(batched, legacy_q)
+        # six single-row requests coalesced
+        singles = compiled.run(
+            [{"task": "classify", "dense": dense[i], "cats": cats[i]} for i in range(6)]
+        )
+        np.testing.assert_array_equal(np.array(singles), legacy_q)
+        assert not np.array_equal(legacy, legacy_q)  # mx6 changed the outputs
+
+
+class TestVision:
+    @pytest.mark.parametrize("cls", [TinyResNet, TinyMobileNet, TinyViT])
+    def test_classify_matches_forward(self, cls):
+        data = ImageClasses(seed=0)
+        kwargs = {"num_classes": data.num_classes, "rng": np.random.default_rng(11)}
+        if cls is TinyViT:
+            kwargs.update(image_size=data.size, dim=16, num_layers=1, num_heads=2)
+        model = cls(**kwargs)
+        images, labels = data.sample(5, np.random.default_rng(12))
+        del labels
+        compiled = compile_model(model, "mx6")
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            expected = model.forward(images).data
+        result = compiled.run_one({"task": "classify", "images": images})
+        np.testing.assert_array_equal(result["logits"], expected)
+        np.testing.assert_array_equal(result["label"], np.argmax(expected, axis=-1))
+        singles = compiled.run(
+            [{"task": "classify", "images": images[i]} for i in range(5)]
+        )
+        np.testing.assert_array_equal(
+            np.array([s["logits"] for s in singles]), expected
+        )
+
+
+class TestSpeech:
+    def test_transcribe_matches_legacy(self):
+        audio = FrameAudio(seed=0)
+        model = TinyWav2Vec(frame_dim=audio.frame_dim, num_phones=audio.num_phones,
+                            dim=16, num_layers=1, num_heads=2,
+                            rng=np.random.default_rng(13))
+        frames, labels = next(iter(audio.batches(4, 20, 1, seed=14)))
+        del labels
+        compiled = compile_model(model, "mx6")
+        legacy = model.transcribe(frames)
+        served = compiled.run_one({"task": "classify", "frames": frames})
+        assert served == legacy
+        singles = compiled.run(
+            [{"task": "classify", "frames": frames[i]} for i in range(frames.shape[0])]
+        )
+        assert singles == legacy
+
+
+class TestTranslation:
+    @pytest.mark.parametrize("cls", [Seq2SeqTransformer, LSTMSeq2Seq])
+    def test_generate_matches_greedy_decode(self, cls):
+        task = TranslationTask(seed=0)
+        kwargs = {"dim": 16}
+        if cls is Seq2SeqTransformer:
+            kwargs.update(num_layers=1, num_heads=2)
+        model = cls(task.vocab_size, rng=np.random.default_rng(15), **kwargs)
+        sources, _ = task.batch(4, np.random.default_rng(16))
+        compiled = compile_model(model, "mx6")
+        legacy = greedy_decode(model, sources, max_len=10, bos=task.bos, eos=task.eos)
+        served = compiled.run_one(
+            {"task": "generate", "sources": sources, "max_len": 10,
+             "bos": task.bos, "eos": task.eos}
+        )
+        assert served == legacy
+        singles = compiled.run(
+            [{"task": "generate", "sources": sources[i], "max_len": 10,
+              "bos": task.bos, "eos": task.eos} for i in range(sources.shape[0])]
+        )
+        assert singles == legacy
+
+
+class TestDiffusion:
+    @pytest.mark.parametrize("num_classes", [0, 3])
+    def test_denoise_matches_predict_noise(self, num_classes):
+        mixture = GaussianMixture2D(seed=0)
+        del mixture
+        model = DDPM2D(num_classes=num_classes, steps=20,
+                       rng=np.random.default_rng(17))
+        compiled = compile_model(model, "mx6")
+        rng = np.random.default_rng(18)
+        x = rng.normal(size=(5, 2))
+        t = rng.integers(model.steps, size=5)
+        labels = rng.integers(3, size=5) if num_classes else None
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            expected = model.predict_noise(x, t, labels).data
+        payload = {"task": "denoise", "x": x, "t": t}
+        if num_classes:
+            payload["labels"] = labels
+        served = compiled.run_one(payload)
+        np.testing.assert_array_equal(served, expected)
+        # rows split across requests coalesce identically
+        singles = compiled.run(
+            [
+                {"task": "denoise", "x": x[i], "t": int(t[i]),
+                 **({"labels": int(labels[i])} if num_classes else {})}
+                for i in range(5)
+            ]
+        )
+        np.testing.assert_array_equal(np.array(singles), expected)
+
+    def test_sampling_still_trains_and_runs(self):
+        model = DDPM2D(steps=10, rng=np.random.default_rng(19))
+        points = np.random.default_rng(20).normal(size=(8, 2))
+        loss = model.loss((points, np.zeros(8, dtype=np.int64)))
+        loss.backward()  # predict_noise delegation keeps the graph
+        assert any(p.grad is not None for p in model.parameters())
+        samples = model.sample(4, np.random.default_rng(21))
+        assert samples.shape == (4, 2)
+
+
+def test_tasks_constant_covers_all_adapters():
+    assert set(TASKS) == {"classify", "score", "generate", "embed", "denoise"}
+    for adapter_cls in (CausalLMAdapter,):
+        assert set(adapter_cls.tasks) <= set(TASKS)
+    assert issubclass(CausalLMAdapter, TaskAdapter)

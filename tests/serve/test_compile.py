@@ -1,0 +1,178 @@
+"""compile_model: freezing semantics, policies, cast mode, facade."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.synthetic import SyntheticLanguage
+from repro.flow.policy import quantizable_modules
+from repro.formats.registry import get_format
+from repro.models.gpt import GPT, GPTConfig
+from repro.nn.tensor import no_grad
+from repro.serve import CompiledModel, SessionConfig, compile_model
+from repro.spec import FirstLastHighPolicy
+
+SMALL = GPTConfig(dim=16, num_layers=1, num_heads=2, max_len=64)
+
+
+@pytest.fixture()
+def lang():
+    return SyntheticLanguage(seed=0)
+
+
+@pytest.fixture()
+def model(lang):
+    return GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+
+
+def test_compile_installs_inference_specs(model):
+    compiled = compile_model(model, "mx6")
+    assert isinstance(compiled, CompiledModel)
+    for _, module in quantizable_modules(model):
+        assert module.quant.weight.name == "MX6"
+        assert module.quant.activation.name == "MX6"
+        assert module.quant.backward is None
+        # per-role format instances, never shared
+        assert module.quant.weight is not module.quant.activation
+    assert not model.training  # eval mode
+    assert compiled.warmed > 0
+
+
+def test_compile_activation_override(model):
+    compiled = compile_model(model, "mx4", activation="mx9")
+    del compiled
+    for _, module in quantizable_modules(model):
+        assert module.quant.weight.name == "MX4"
+        assert module.quant.activation.name == "MX9"
+
+
+def test_compile_facade_is_compile_model(model):
+    compiled = repro.compile(model, "mx6")
+    assert isinstance(compiled, CompiledModel)
+    assert compiled.config.format == "mx6"
+
+
+def test_compile_with_policy(model):
+    policy = FirstLastHighPolicy(quant="mx4", high=None)
+    compiled = compile_model(model, policy=policy)
+    names = [name for name, _ in quantizable_modules(model)]
+    modules = dict(quantizable_modules(model))
+    assert modules[names[0]].quant is None
+    assert modules[names[-1]].quant is None
+    inner = [n for n in names if n not in (names[0], names[-1])]
+    assert all(modules[n].quant.weight.name == "MX4" for n in inner)
+    assert compiled.config.policy["kind"] == "first_last_high"
+
+
+def test_compile_fmt_and_policy_exclusive(model):
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        compile_model(model, "mx6", policy=FirstLastHighPolicy(quant="mx4"))
+
+
+def test_compile_none_keeps_existing_config(model, lang):
+    """compile(model) freezes whatever is already installed (here FP32)."""
+    compiled = compile_model(model)
+    assert compiled.config.format is None
+    assert all(m.quant is None for _, m in quantizable_modules(model))
+    tokens = lang.sample_sequence(8, np.random.default_rng(1))
+    with no_grad():
+        expected = model.forward(tokens[None, :-1]).data
+    out = compiled("score", context=tokens[:4], continuation=tokens[4:])
+    assert np.isfinite(out["logprob"])
+    del expected
+
+
+def test_quantize_once_no_requantization(model, lang):
+    """After the first request, weight quantization is never recomputed."""
+    compiled = compile_model(model, "mx6")
+    context = lang.sample_sequence(8, np.random.default_rng(2))
+    compiled("score", context=context, continuation=context[:2])
+
+    calls = {"n": 0}
+    fmt = get_format("mx6")
+    original = type(fmt).quantize
+
+    for _, module in quantizable_modules(model):
+        if module.quant is not None and module.quant.weight is not None:
+            real = module.quant.weight.quantize
+
+            def counting(x, axis=-1, rounding="nearest", rng=None, _real=real, **kw):
+                calls["n"] += 1
+                return _real(x, axis=axis, rounding=rounding, rng=rng, **kw)
+
+            module.quant.weight.quantize = counting
+    del original
+    compiled("score", context=context, continuation=context[:2])
+    assert calls["n"] == 0, "frozen weights were re-quantized"
+
+
+def test_check_frozen_detects_mutation(model):
+    compiled = compile_model(model, "mx6")
+    assert compiled.check_frozen()
+    model.head.weight.data = model.head.weight.data * 1.5
+    assert not compiled.check_frozen()
+
+
+def test_freeze_cast_bakes_storage(model):
+    before = {k: v.copy() for k, v in model.state_dict().items()}
+    compiled = compile_model(model, "mx6", freeze="cast")
+    after = model.state_dict()
+    changed = [k for k in before if not np.array_equal(before[k], after[k])]
+    assert changed, "cast mode must rewrite stored weights"
+    fmt = get_format("mx6")
+    w = after["head.weight"]
+    np.testing.assert_array_equal(fmt.quantize(w, axis=0), w)
+    assert compiled.config.freeze == "cast"
+
+
+def test_freeze_cast_requires_format(model):
+    with pytest.raises(ValueError, match="cast"):
+        compile_model(model, freeze="cast")
+
+
+def test_bad_freeze_mode(model):
+    with pytest.raises(ValueError, match="freeze"):
+        compile_model(model, "mx6", freeze="banana")
+
+
+def test_compile_from_session_config(model):
+    config = SessionConfig(format="mx6", max_batch=4, max_wait=0.01, workers=2)
+    compiled = compile_model(model, config=config)
+    assert compiled.config.max_batch == 4
+    assert compiled.config.workers == 2
+    assert compiled.describe()["config"]["format"] == "mx6"
+
+
+def test_describe_payload(model):
+    compiled = compile_model(model, "mx6")
+    info = compiled.describe()
+    assert info["family"] == "GPT"
+    assert info["adapter"] == "CausalLMAdapter"
+    assert set(info["tasks"]) == {"score", "generate"}
+    assert info["parameters"] == model.num_parameters()
+    import json
+
+    json.dumps(info)  # plain data
+
+
+def test_serve_one_call(lang):
+    from repro.serve import serve
+
+    model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(3))
+    with serve(model, format="mx6", max_batch=4) as session:
+        context = lang.sample_sequence(8, np.random.default_rng(4))
+        result = session.map(
+            [{"task": "score", "context": context, "candidates": [context[:2], context[2:4]]}]
+        )[0]
+    assert result["choice"] in (0, 1)
+
+
+def test_explicit_freeze_wins_over_config(model):
+    """freeze='cast' must not be silently discarded when config= is given."""
+    before = {k: v.copy() for k, v in model.state_dict().items()}
+    compile_model(model, freeze="cast",
+                  config=SessionConfig(format="mx6"))  # config freeze: memo
+    after = model.state_dict()
+    assert any(not np.array_equal(before[k], after[k]) for k in before), (
+        "explicit freeze='cast' was ignored in favor of config.freeze"
+    )

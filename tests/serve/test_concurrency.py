@@ -1,0 +1,182 @@
+"""Concurrency: one CompiledModel hammered from N threads.
+
+Exercises the kernel plan-cache lock and the weight-memoization path under
+contention; results must be identical to serial execution, and the frozen
+weights must never be re-quantized into inconsistency.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import CTRLogs, SyntheticLanguage
+from repro.models.dlrm import DLRM
+from repro.models.gpt import GPT, GPTConfig
+from repro.serve import compile_model
+
+SMALL = GPTConfig(dim=16, num_layers=1, num_heads=2, max_len=64)
+N_THREADS = 8
+PER_THREAD = 6
+
+
+def _hammer(n_threads, worker):
+    """Run ``worker(thread_index)`` across threads, re-raising any error."""
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def wrapped(index):
+        try:
+            barrier.wait(timeout=30)
+            worker(index)
+        except BaseException as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    if errors:
+        raise errors[0]
+
+
+class TestCompiledModelContention:
+    def test_gpt_scores_identical_to_serial(self):
+        lang = SyntheticLanguage(seed=0)
+        model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+        compiled = compile_model(model, "mx6")
+
+        rng = np.random.default_rng(1)
+        requests = [
+            {
+                "task": "score",
+                "context": lang.sample_sequence(10, rng),
+                "candidates": [lang.sample_sequence(3, rng), lang.sample_sequence(3, rng)],
+            }
+            for _ in range(N_THREADS * PER_THREAD)
+        ]
+        serial = compiled.run(requests)
+
+        results = [None] * len(requests)
+
+        def worker(index):
+            for j in range(PER_THREAD):
+                k = index * PER_THREAD + j
+                results[k] = compiled.run_one(requests[k])
+
+        _hammer(N_THREADS, worker)
+        assert compiled.check_frozen()
+        for got, expected in zip(results, serial):
+            assert got["scores"] == expected["scores"]
+
+    def test_dlrm_probas_identical_to_serial(self):
+        logs = CTRLogs(seed=0)
+        model = DLRM(rng=np.random.default_rng(2))
+        compiled = compile_model(model, "mx6", quantize_embeddings=True)
+        dense, cats, _ = logs.sample(N_THREADS * PER_THREAD, np.random.default_rng(3))
+        requests = [
+            {"task": "classify", "dense": dense[i], "cats": cats[i]}
+            for i in range(dense.shape[0])
+        ]
+        serial = compiled.run(requests)
+
+        results = [None] * len(requests)
+
+        def worker(index):
+            for j in range(PER_THREAD):
+                k = index * PER_THREAD + j
+                results[k] = compiled.run_one(requests[k])
+
+        _hammer(N_THREADS, worker)
+        assert results == serial
+
+
+class TestSessionContention:
+    def test_threaded_submitters_one_session(self):
+        """Many client threads submitting into one micro-batched session."""
+        lang = SyntheticLanguage(seed=4)
+        model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(5))
+        compiled = compile_model(model, "mx6")
+        rng = np.random.default_rng(6)
+        requests = [
+            {
+                "task": "score",
+                "context": lang.sample_sequence(10, rng),
+                "candidates": [lang.sample_sequence(2, rng), lang.sample_sequence(4, rng)],
+            }
+            for _ in range(N_THREADS * PER_THREAD)
+        ]
+        serial = compiled.run(requests)
+
+        results = [None] * len(requests)
+        with compiled.session(max_batch=8, max_wait=0.01, workers=2) as session:
+
+            def worker(index):
+                futures = []
+                for j in range(PER_THREAD):
+                    k = index * PER_THREAD + j
+                    futures.append((k, session.submit(requests[k])))
+                for k, future in futures:
+                    results[k] = future.result(timeout=30)
+
+            _hammer(N_THREADS, worker)
+            summary = session.summary()
+
+        assert summary["requests"] == len(requests)
+        assert summary["errors"] == 0
+        for got, expected in zip(results, serial):
+            assert got["scores"] == expected["scores"]
+
+
+class TestGradModeIsolation:
+    def test_no_grad_is_thread_local(self):
+        """A serving thread under no_grad must not disable grad elsewhere,
+        and interleaved contexts across threads must not corrupt the flag."""
+        from repro.nn.tensor import is_grad_enabled, no_grad
+
+        entered = threading.Event()
+        release = threading.Event()
+        inside = {}
+
+        def worker():
+            with no_grad():
+                inside["enabled"] = is_grad_enabled()
+                entered.set()
+                release.wait(timeout=30)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=30)
+        # the worker sits inside no_grad; this thread is unaffected
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        release.set()
+        thread.join(timeout=30)
+        assert inside["enabled"] is False
+        assert is_grad_enabled()
+
+    def test_training_backward_while_session_serves(self):
+        """Gradients flow on the main thread while workers serve no_grad
+        batches concurrently (the bug this pins: a shared global flag)."""
+        lang = SyntheticLanguage(seed=7)
+        model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(8))
+        compiled = compile_model(model, "mx6")
+        trainer = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(9))
+        requests = [
+            {
+                "task": "score",
+                "context": lang.sample_sequence(10, np.random.default_rng(10)),
+                "candidates": [np.array([1]), np.array([2])],
+            }
+            for _ in range(12)
+        ]
+        with compiled.session(max_batch=4, max_wait=0.05) as session:
+            futures = [session.submit(r) for r in requests]
+            batch = next(iter(lang.batches(2, 8, 1, seed=11)))
+            loss = trainer.loss(batch)
+            loss.backward()  # must build a graph despite concurrent no_grad
+            assert any(p.grad is not None for p in trainer.parameters())
+            for future in futures:
+                future.result(timeout=30)

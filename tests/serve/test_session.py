@@ -1,0 +1,239 @@
+"""InferenceSession: micro-batching, futures, streaming, metrics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticLanguage
+from repro.models.gpt import GPT, GPTConfig
+from repro.serve import SessionConfig, compile_model
+
+SMALL = GPTConfig(dim=16, num_layers=1, num_heads=2, max_len=64)
+
+
+@pytest.fixture(scope="module")
+def lang():
+    return SyntheticLanguage(seed=0)
+
+
+@pytest.fixture(scope="module")
+def compiled(lang):
+    model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+    return compile_model(model, "mx6")
+
+
+def make_requests(lang, n, seed=1):
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(n):
+        context = lang.sample_sequence(10, rng)
+        candidates = [lang.sample_sequence(int(k), rng) for k in rng.integers(1, 5, size=2)]
+        requests.append({"task": "score", "context": context, "candidates": candidates})
+    return requests
+
+
+class TestBatching:
+    def test_map_matches_serial_run(self, compiled, lang):
+        requests = make_requests(lang, 12)
+        serial = compiled.run(requests)
+        with compiled.session(max_batch=4, max_wait=0.05) as session:
+            batched = session.map(requests)
+        assert [r["scores"] for r in batched] == [r["scores"] for r in serial]
+
+    def test_requests_actually_coalesce(self, compiled, lang):
+        requests = make_requests(lang, 16)
+        with compiled.session(max_batch=8, max_wait=0.2) as session:
+            session.map(requests)
+            summary = session.summary()
+        assert summary["requests"] == 16
+        assert summary["batch"]["max_size"] > 1
+
+    def test_max_batch_respected(self, compiled, lang):
+        requests = make_requests(lang, 10)
+        with compiled.session(max_batch=3, max_wait=0.2) as session:
+            session.map(requests)
+            summary = session.summary()
+        assert summary["batch"]["max_size"] <= 3
+
+    def test_submit_returns_future(self, compiled, lang):
+        request = make_requests(lang, 1)[0]
+        with compiled.session(max_batch=2, max_wait=0.001) as session:
+            future = session.submit(request)
+            result = future.result(timeout=10)
+        assert set(result) == {"choice", "scores"}
+
+    def test_mixed_tasks_in_one_session(self, compiled, lang):
+        rng = np.random.default_rng(7)
+        context = lang.sample_sequence(8, rng)
+        requests = [
+            {"task": "score", "context": context, "candidates": [context[:2], context[2:4]]},
+            {"task": "generate", "prompt": context[:3], "max_new_tokens": 4},
+            {"task": "score", "context": context, "continuation": context[:2]},
+        ]
+        serial = compiled.run(requests)
+        with compiled.session(max_batch=4, max_wait=0.05) as session:
+            batched = session.map(requests)
+        assert batched[0]["scores"] == serial[0]["scores"]
+        assert batched[1]["tokens"] == serial[1]["tokens"]
+        assert batched[2]["logprob"] == serial[2]["logprob"]
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, compiled, lang):
+        session = compiled.session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit(make_requests(lang, 1)[0])
+
+    def test_close_drains_pending(self, compiled, lang):
+        session = compiled.session(max_batch=4, max_wait=0.01)
+        futures = [session.submit(r) for r in make_requests(lang, 8)]
+        session.close()
+        for future in futures:
+            assert future.result(timeout=10) is not None
+
+    def test_close_idempotent(self, compiled):
+        session = compiled.session()
+        session.close()
+        session.close()
+
+    def test_multiple_workers(self, compiled, lang):
+        requests = make_requests(lang, 12)
+        serial = compiled.run(requests)
+        with compiled.session(max_batch=2, max_wait=0.005, workers=3) as session:
+            batched = session.map(requests)
+        assert [r["scores"] for r in batched] == [r["scores"] for r in serial]
+
+
+class TestErrors:
+    def test_unknown_task_rejected_at_submit(self, compiled):
+        """Task validation happens before enqueueing, so a bad task can
+        never ride in (and poison) a batch of valid requests."""
+        with compiled.session(max_batch=2, max_wait=0.001) as session:
+            with pytest.raises(ValueError, match="serves tasks"):
+                session.submit({"task": "denoise", "x": [0.0, 0.0], "t": 0})
+
+    def test_payload_error_propagates_to_future(self, compiled):
+        with compiled.session(max_batch=2, max_wait=0.001) as session:
+            # valid task, broken payload: fails inside the adapter
+            future = session.submit({"task": "score", "wrong_key": 1})
+            with pytest.raises(KeyError):
+                future.result(timeout=10)
+            summary = session.summary()
+        assert summary["errors"] >= 1
+
+    def test_bad_payload_does_not_poison_co_riders(self, compiled, lang):
+        """A failing request in a coalesced batch fails alone; its valid
+        co-riders are retried and succeed."""
+        good_requests = make_requests(lang, 3)
+        serial = compiled.run(good_requests)
+        with compiled.session(max_batch=8, max_wait=0.2, workers=1) as session:
+            futures = [session.submit(r) for r in good_requests[:2]]
+            bad = session.submit({"task": "score", "wrong_key": 1})
+            futures.append(session.submit(good_requests[2]))
+            with pytest.raises(KeyError):
+                bad.result(timeout=10)
+            results = [f.result(timeout=10) for f in futures]
+        assert [r["scores"] for r in results] == [r["scores"] for r in serial]
+
+    def test_error_batch_does_not_kill_worker(self, compiled, lang):
+        with compiled.session(max_batch=1, max_wait=0.001) as session:
+            bad = session.submit({"task": "score", "wrong_key": 1})
+            with pytest.raises(KeyError):
+                bad.result(timeout=10)
+            good = session.submit(make_requests(lang, 1)[0])
+            assert good.result(timeout=10) is not None
+
+
+class TestStreaming:
+    def test_stream_tokens_match_direct(self, compiled):
+        prompt = np.array([1, 2, 3])
+        direct = list(compiled.stream(prompt, max_new_tokens=5))
+        with compiled.session() as session:
+            streamed = list(
+                session.stream({"task": "generate", "prompt": prompt, "max_new_tokens": 5})
+            )
+        assert streamed == direct
+        assert len(streamed) == 5
+
+    def test_stream_interleaves_with_batches(self, compiled, lang):
+        requests = make_requests(lang, 6)
+        serial = compiled.run(requests)
+        prompt = np.array([1, 2, 3])
+        direct = list(compiled.stream(prompt, max_new_tokens=4))
+        with compiled.session(max_batch=4, max_wait=0.02) as session:
+            futures = [session.submit(r) for r in requests[:3]]
+            stream = session.stream(
+                {"task": "generate", "prompt": prompt, "max_new_tokens": 4}
+            )
+            futures += [session.submit(r) for r in requests[3:]]
+            tokens = list(stream)
+            results = [f.result(timeout=10) for f in futures]
+        assert tokens == direct
+        assert [r["scores"] for r in results] == [r["scores"] for r in serial]
+
+    def test_stream_requires_generate_task(self, compiled):
+        with compiled.session() as session:
+            with pytest.raises(ValueError, match="generate"):
+                session.stream({"task": "score", "context": [1], "candidates": [[2]]})
+
+    def test_stream_counts_tokens(self, compiled):
+        with compiled.session() as session:
+            list(session.stream({"task": "generate", "prompt": np.array([1, 2]),
+                                 "max_new_tokens": 3}))
+            summary = session.summary()
+        assert summary["tokens"] == 3
+
+
+class TestMetrics:
+    def test_summary_shape(self, compiled, lang):
+        with compiled.session(max_batch=4, max_wait=0.05) as session:
+            session.map(make_requests(lang, 8))
+            summary = session.summary()
+        assert summary["requests"] == 8
+        assert summary["throughput_rps"] > 0
+        latency = summary["latency_ms"]
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert 0 < summary["batch"]["occupancy"] <= 1
+        assert summary["config"]["max_batch"] == 4
+
+    def test_percentile_helper(self):
+        from repro.serve.metrics import percentile
+
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestReviewRegressions:
+    """Pins for lifecycle bugs found in review."""
+
+    def test_stream_submitted_before_close_still_completes(self, compiled, lang):
+        """A stream job arriving while a batch is collecting must not be
+        dropped behind the shutdown sentinel (it used to be re-queued)."""
+        session = compiled.session(max_batch=4, max_wait=0.5, workers=1)
+        normal = session.submit(make_requests(lang, 1)[0])  # worker collects
+        stream = session.stream(
+            {"task": "generate", "prompt": np.array([1, 2]), "max_new_tokens": 3}
+        )
+        session.close()  # sentinel lands after both jobs
+        assert normal.result(timeout=10) is not None
+        assert len(list(stream)) == 3
+
+    def test_stream_generator_does_not_hold_no_grad(self, compiled):
+        """A suspended stream generator must leave the caller's grad mode
+        untouched between tokens."""
+        from repro.nn.tensor import is_grad_enabled
+
+        gen = compiled.stream(np.array([1, 2, 3]), max_new_tokens=4)
+        next(gen)
+        assert is_grad_enabled()
+        next(gen)
+        assert is_grad_enabled()
+        gen.close()
+        assert is_grad_enabled()

@@ -1,0 +1,115 @@
+"""SessionConfig: validation, canonicalization, JSON round-trips."""
+
+import pickle
+
+import pytest
+
+from repro.spec import FirstLastHighPolicy, SessionConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = SessionConfig()
+        assert config.format is None
+        assert config.max_batch == 8
+        assert config.workers == 1
+        assert config.freeze == "memo"
+
+    def test_format_canonicalized(self):
+        config = SessionConfig(format="MX6")
+        assert config.format == "mx6"
+        config = SessionConfig(format="bdr(k1=16, m=4, d1=8)")
+        assert config.format == "bdr(m=4,k1=16,d1=8)"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(Exception, match="mx7"):
+            SessionConfig(format="mx7")
+
+    def test_policy_accepts_spec_and_dict(self):
+        policy = FirstLastHighPolicy(quant="mx4", high="mx9")
+        a = SessionConfig(policy=policy)
+        b = SessionConfig(policy=policy.to_dict())
+        assert a.policy == b.policy == policy.to_dict()
+
+    def test_policy_and_format_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SessionConfig(format="mx6", policy=FirstLastHighPolicy(quant="mx4"))
+
+    def test_activation_requires_format(self):
+        with pytest.raises(ValueError, match="activation"):
+            SessionConfig(activation="mx9")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_wait": -1.0},
+            {"workers": 0},
+            {"freeze": "nope"},
+        ],
+    )
+    def test_bad_scalars(self, kwargs):
+        with pytest.raises(ValueError):
+            SessionConfig(**kwargs)
+
+    def test_bad_policy_type(self):
+        with pytest.raises(TypeError):
+            SessionConfig(policy="mx6")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SessionConfig(),
+            SessionConfig(format="mx6", max_batch=16, max_wait=0.01, workers=2),
+            SessionConfig(format="mx4", activation="mx9", freeze="cast",
+                          quantize_embeddings=True),
+            SessionConfig(policy=FirstLastHighPolicy(quant="mx4", high=None)),
+        ],
+    )
+    def test_dict_and_json(self, config):
+        assert SessionConfig.from_dict(config.to_dict()) == config
+        assert SessionConfig.from_json(config.to_json()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SessionConfig.from_dict({"max_batchez": 2})
+
+    def test_to_dict_detached_from_policy(self):
+        config = SessionConfig(policy=FirstLastHighPolicy(quant="mx4"))
+        payload = config.to_dict()
+        payload["policy"]["kind"] = "mutated"
+        assert config.policy["kind"] == "first_last_high"
+
+    def test_pickles(self):
+        config = SessionConfig(format="mx6", max_batch=4)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_replace(self):
+        config = SessionConfig(format="mx6")
+        patched = config.replace(max_batch=32)
+        assert patched.max_batch == 32
+        assert patched.format == "mx6"
+        assert config.max_batch == 8
+
+    def test_label(self):
+        assert SessionConfig(format="mx6", max_batch=16).label == "mx6@b16x1w"
+        assert SessionConfig().label == "fp32@b8x1w"
+        assert "first_last_high" in SessionConfig(
+            policy=FirstLastHighPolicy(quant="mx4")
+        ).label
+
+    def test_exported_from_repro_root(self):
+        import repro
+
+        assert repro.SessionConfig is SessionConfig
+        assert repro.spec.SessionConfig is SessionConfig
+
+
+def test_to_dict_deep_copies_nested_policy():
+    """Mutating a nested role payload must not reach the frozen config."""
+    config = SessionConfig(policy=FirstLastHighPolicy(quant="mx4"))
+    payload = config.to_dict()
+    payload["policy"]["quant"]["weight"] = "mx9"
+    assert config.policy["quant"]["weight"] == "mx4"
