@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Throughput regression gate (kernels + serving suites).
+"""Throughput regression gate (kernels + serving + decode suites).
 
 Runs each suite's benchmark module under ``pytest-benchmark`` with
 ``--benchmark-json``, then compares the median time of every benchmark
@@ -39,6 +39,7 @@ REPO_ROOT = BENCH_DIR.parent
 SUITES = {
     "kernels": (BENCH_DIR / "test_bench_kernels.py", BENCH_DIR / "BENCH_kernels.json"),
     "serving": (BENCH_DIR / "test_bench_serving.py", BENCH_DIR / "BENCH_serving.json"),
+    "decode": (BENCH_DIR / "test_bench_decode.py", BENCH_DIR / "BENCH_decode.json"),
 }
 
 

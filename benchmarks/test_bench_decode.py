@@ -1,0 +1,126 @@
+"""Decode-tier throughput benchmarks (the ``bench-decode`` regression gate).
+
+Four benchmarks time greedy autoregressive decoding over fixed token
+streams: GPT-S (batch of equal-length prompts through
+``CausalLMAdapter._greedy_batch``) and the Seq2Seq transformer (batched
+``TranslationAdapter.greedy_decode``), each with the historical
+full-prefix-recompute loop and with block-aligned quantized KV caches.
+The headline assertion requires the cached GPT-S path to sustain >= 3x
+the full-recompute tokens/sec, using the same shared measurement protocol
+as ``python -m repro bench-decode``
+(:func:`repro.serve.bench.measure_decode_speedup`), and
+``benchmarks/check_regression.py`` gates every median against the
+committed ``benchmarks/BENCH_decode.json`` baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.gpt import GPT, GPT_SIZES
+from repro.models.translation import Seq2SeqTransformer
+from repro.serve.adapters import adapter_for
+from repro.serve.compile import compile_model
+
+FORMAT = "mx6"
+BATCH = 8
+PROMPT_LEN = 64
+MAX_NEW = 32
+S2S_SRC_LEN = 16
+S2S_MAX_LEN = 24
+
+
+@pytest.fixture(scope="module")
+def gpt_setup():
+    """A compiled GPT-S plus a fixed batch of equal-length prompts."""
+    from repro.data.synthetic import SyntheticLanguage
+
+    lang = SyntheticLanguage(seed=0)
+    model = GPT(lang.vocab_size, GPT_SIZES["GPT-S"], rng=np.random.default_rng(0))
+    compile_model(model, FORMAT)
+    adapter = adapter_for(model)
+    prompts = np.random.default_rng(1).integers(
+        0, lang.vocab_size, size=(BATCH, PROMPT_LEN), dtype=np.int64
+    )
+    adapter._greedy_batch(prompts, 2, eos=None, use_cache=True)  # warm
+    adapter._greedy_batch(prompts, 2, eos=None, use_cache=False)
+    return adapter, prompts
+
+
+@pytest.fixture(scope="module")
+def seq2seq_setup():
+    """A compiled Seq2Seq transformer plus a fixed batch of sources."""
+    model = Seq2SeqTransformer(vocab_size=24, rng=np.random.default_rng(2))
+    compile_model(model, FORMAT)
+    adapter = adapter_for(model)
+    sources = np.random.default_rng(3).integers(
+        0, 24, size=(BATCH, S2S_SRC_LEN), dtype=np.int64
+    )
+    adapter.greedy_decode(sources, max_len=4, bos=0, eos=-1, use_cache=True)  # warm
+    adapter.greedy_decode(sources, max_len=4, bos=0, eos=-1, use_cache=False)
+    return adapter, sources
+
+
+def test_decode_gpt_full_recompute(benchmark, gpt_setup):
+    """The pre-cache decode loop: one full-prefix forward per token."""
+    adapter, prompts = gpt_setup
+    out = benchmark.pedantic(
+        lambda: adapter._greedy_batch(prompts, MAX_NEW, eos=None, use_cache=False),
+        rounds=3, iterations=1,
+    )
+    assert len(out) == BATCH and all(len(row) == MAX_NEW for row in out)
+
+
+def test_decode_gpt_kv_cached(benchmark, gpt_setup):
+    """Block-aligned quantized KV caches: open-block suffix per token."""
+    adapter, prompts = gpt_setup
+    out = benchmark.pedantic(
+        lambda: adapter._greedy_batch(prompts, MAX_NEW, eos=None, use_cache=True),
+        rounds=3, iterations=1,
+    )
+    assert len(out) == BATCH and all(len(row) == MAX_NEW for row in out)
+
+
+def test_decode_seq2seq_full_recompute(benchmark, seq2seq_setup):
+    adapter, sources = seq2seq_setup
+    out = benchmark.pedantic(
+        lambda: adapter.greedy_decode(
+            sources, max_len=S2S_MAX_LEN, bos=0, eos=-1, use_cache=False
+        ),
+        rounds=3, iterations=1,
+    )
+    assert len(out) == BATCH
+
+
+def test_decode_seq2seq_kv_cached(benchmark, seq2seq_setup):
+    adapter, sources = seq2seq_setup
+    out = benchmark.pedantic(
+        lambda: adapter.greedy_decode(
+            sources, max_len=S2S_MAX_LEN, bos=0, eos=-1, use_cache=True
+        ),
+        rounds=3, iterations=1,
+    )
+    assert len(out) == BATCH
+
+
+def test_decode_speedup_headline():
+    """KV-cached GPT-S greedy generation >= 3x full-recompute tokens/sec.
+
+    Uses the same shared measurement protocol as ``python -m repro
+    bench-decode`` (:func:`repro.serve.bench.measure_decode_speedup`), so
+    the gated number and the CLI-reported number cannot drift apart.
+    """
+    from repro.data.synthetic import SyntheticLanguage
+    from repro.serve.bench import measure_decode_speedup
+
+    lang = SyntheticLanguage(seed=0)
+    model = GPT(lang.vocab_size, GPT_SIZES["GPT-S"], rng=np.random.default_rng(0))
+    result = measure_decode_speedup(
+        model, fmt=FORMAT, batch=BATCH, prompt_len=PROMPT_LEN,
+        max_new_tokens=MAX_NEW, repeats=3,
+    )
+    assert result["speedup"] >= 3.0, (
+        f"KV-cached decoding only {result['speedup']:.2f}x full recompute "
+        f"({result['cached_tokens_per_sec']:.0f} vs "
+        f"{result['full_tokens_per_sec']:.0f} tok/s); "
+        "the incremental-decoding headline requires >= 3x"
+    )

@@ -71,6 +71,18 @@ def main():
         print(token, end=" ", flush=True)
     print()
 
+    # -- incremental decoding: KV caches vs full recompute -------------
+    from repro.serve.bench import measure_decode_speedup
+
+    decode = measure_decode_speedup(
+        model, fmt=None, batch=4, prompt_len=48, max_new_tokens=16, repeats=1
+    )
+    print(
+        f"decode          : {decode['cached_tokens_per_sec']:8.1f} tok/s cached vs "
+        f"{decode['full_tokens_per_sec']:8.1f} full "
+        f"({decode['speedup']:.1f}x, bit-identical tokens)"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -14,7 +14,7 @@ echo "=== [1/4] tier-1 pytest ==="
 python -m pytest -x -q
 
 if [ -z "${SKIP_BENCH:-}" ]; then
-    echo "=== [2/4] perf regression gate (kernels + serving) ==="
+    echo "=== [2/4] perf regression gate (kernels + serving + decode) ==="
     python benchmarks/check_regression.py
 else
     echo "=== [2/4] perf regression gate (skipped: SKIP_BENCH set) ==="
@@ -36,5 +36,6 @@ echo "=== [4/4] serving CLI smoke ==="
 # tiny model, ~2s budget: exercises compile -> session -> metrics end to end
 python -m repro serve --model gpt-xs --requests 8 --max-batch 4 > /dev/null
 python -m repro bench-serve --quick > /dev/null
+python -m repro bench-decode --quick > /dev/null
 
 echo "ci: all gates passed"

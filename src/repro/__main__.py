@@ -12,6 +12,7 @@ Usage::
 
     python -m repro serve --format mx6 --max-batch 16   # serving demo
     python -m repro bench-serve                         # naive vs batched
+    python -m repro bench-decode                        # full recompute vs KV cache
 
 Everything below ``list`` is driven entirely by the declarative spec
 layer (:mod:`repro.spec`): any spelling accepted by ``repro.quantize``
@@ -182,8 +183,18 @@ def _cmd_serve(argv: list[str]) -> int:
         import numpy as np
 
         prompt = np.array([1, 2, 3])
-        tokens = list(compiled.stream(prompt, max_new_tokens=8))
+        with compiled.session(config) as session:
+            tokens = list(
+                session.stream({"task": "generate", "prompt": prompt, "max_new_tokens": 8})
+            )
+            decode = session.summary().get("decode", {})
+        latency = decode.get("token_latency_ms", {})
         print(f"stream demo: prompt={prompt.tolist()} -> {tokens}")
+        print(
+            f"decode: {decode.get('tokens_per_sec', 0.0):.1f} tok/s  "
+            f"token-latency p50={latency.get('p50', 0.0):.2f}ms "
+            f"p99={latency.get('p99', 0.0):.2f}ms"
+        )
     return 0
 
 
@@ -221,9 +232,84 @@ def _cmd_bench_serve(argv: list[str]) -> int:
     print(f"naive per-request : {payload['naive_rps']:10.1f} req/s")
     print(f"batched session   : {payload['batched_rps']:10.1f} req/s")
     print(f"speedup           : {payload['speedup']:10.2f}x")
+    decode = payload.get("decode", {})
+    if decode:
+        latency = decode.get("token_latency_ms", {})
+        print(
+            f"stream decode     : {decode.get('tokens_per_sec', 0.0):10.1f} tok/s  "
+            f"(token p50={latency.get('p50', 0.0):.2f}ms "
+            f"p99={latency.get('p99', 0.0):.2f}ms)"
+        )
     if args.json_path:
         with open(args.json_path, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _cmd_bench_decode(argv: list[str]) -> int:
+    """Tokens/sec: full-prefix recompute vs KV-cached incremental decoding."""
+    import numpy as np
+
+    from .serve.bench import measure_decode_speedup
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-decode",
+        description="Benchmark autoregressive decoding: the historical "
+        "full-prefix recompute loop vs block-aligned quantized KV caches "
+        "(GPT ladder greedy generation and seq2seq greedy decode).",
+    )
+    parser.add_argument("--model", default="GPT-S", help="GPT ladder member (default GPT-S)")
+    parser.add_argument("--format", default="mx6", dest="fmt",
+                        help="format spec (default mx6); 'fp32' decodes unquantized")
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--prompt-len", type=int, default=64)
+    parser.add_argument("--max-new", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; the best (max tok/s) is reported")
+    parser.add_argument("--no-seq2seq", action="store_true",
+                        help="skip the Seq2SeqTransformer measurement")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny CI smoke: GPT-XS, short prompts (~2s budget)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the result payloads to this JSON file")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.model, args.batch, args.prompt_len = "GPT-XS", 2, 16
+        args.max_new, args.repeats = 8, 1
+
+    fmt = None if args.fmt.strip().lower() == "fp32" else args.fmt
+    model, _ = _build_serving_demo(args.model, args.seed)
+    payloads = {}
+
+    gpt = measure_decode_speedup(
+        model, fmt=fmt, batch=args.batch, prompt_len=args.prompt_len,
+        max_new_tokens=args.max_new, repeats=args.repeats, seed=args.seed,
+    )
+    payloads["gpt"] = gpt
+    print(f"[{gpt['family']}] full recompute : {gpt['full_tokens_per_sec']:10.1f} tok/s")
+    print(f"[{gpt['family']}] KV-cached      : {gpt['cached_tokens_per_sec']:10.1f} tok/s")
+    print(f"[{gpt['family']}] speedup        : {gpt['speedup']:10.2f}x")
+
+    if not args.no_seq2seq:
+        from .models.translation import Seq2SeqTransformer
+
+        seq2seq = Seq2SeqTransformer(vocab_size=24, rng=np.random.default_rng(args.seed))
+        s2s = measure_decode_speedup(
+            seq2seq, fmt=fmt, batch=args.batch,
+            prompt_len=min(args.prompt_len, 16),
+            max_new_tokens=min(args.max_new, 24),
+            repeats=args.repeats, seed=args.seed,
+        )
+        payloads["seq2seq"] = s2s
+        print(f"[{s2s['family']}] full recompute : {s2s['full_tokens_per_sec']:10.1f} tok/s")
+        print(f"[{s2s['family']}] KV-cached      : {s2s['cached_tokens_per_sec']:10.1f} tok/s")
+        print(f"[{s2s['family']}] speedup        : {s2s['speedup']:10.2f}x")
+
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(payloads, fh, indent=2, sort_keys=True)
         print(f"wrote {args.json_path}")
     return 0
 
@@ -265,6 +351,7 @@ _COMMANDS = {
     "qsnr": _cmd_qsnr,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "bench-decode": _cmd_bench_decode,
 }
 
 

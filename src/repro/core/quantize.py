@@ -36,7 +36,12 @@ from ..kernels.base import QuantizeResult
 from ..kernels.registry import get_backend
 from .bdr import BDRConfig
 
-__all__ = ["QuantizeResult", "bdr_quantize", "bdr_quantize_detailed"]
+__all__ = [
+    "QuantizeResult",
+    "bdr_quantize",
+    "bdr_quantize_detailed",
+    "bdr_quantize_partial",
+]
 
 
 def bdr_quantize(
@@ -77,6 +82,35 @@ def bdr_quantize_detailed(
 ) -> QuantizeResult:
     """Like :func:`bdr_quantize` but returns the full decomposition."""
     return _quantize(x, config, axis, rounding, rng, scale_override, detailed=True)
+
+
+def bdr_quantize_partial(
+    x: np.ndarray,
+    config: BDRConfig,
+    axis: int = -1,
+    rounding: str = "nearest",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Quantize a single (possibly partial) block per row along ``axis``.
+
+    The decode-path entry point for KV caches: the caller's length along
+    ``axis`` must not exceed ``config.k1`` (one block, zero-padded by the
+    backend as needed).  Bit-identical to :func:`bdr_quantize` on the same
+    input — partial blocks are block-local, so quantizing the growing tail
+    of a cached tensor alone reproduces exactly what a full-tensor
+    quantization would produce for those rows — but dispatched through
+    :meth:`~repro.kernels.base.KernelBackend.quantize_partial`, which
+    backends implement without per-shape plan-cache traffic.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[axis] > config.k1:
+        raise ValueError(
+            f"partial-block quantize needs length <= k1={config.k1} along "
+            f"axis {axis}, got shape {x.shape}"
+        )
+    if x.size == 0:
+        return x.copy()
+    return get_backend().quantize_partial(x, config, axis, rounding, rng)
 
 
 def _quantize(x, config, axis, rounding, rng, scale_override, detailed):

@@ -63,6 +63,32 @@ class Format(abc.ABC):
         """
         return None
 
+    def quantize_partial(
+        self,
+        x: np.ndarray,
+        axis: int = -1,
+        rounding: str = "nearest",
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Quantize a single (possibly partial) block along ``axis``.
+
+        Callers guarantee the length along ``axis`` does not exceed one
+        block of this format; the result must be bit-identical to
+        :meth:`quantize` on the same input.  Block formats override this
+        with a kernel path that skips full-tensor blocking machinery (the
+        KV-cache tail requantization hot path); the default just delegates.
+        """
+        return self.quantize(x, axis=axis, rounding=rounding, rng=rng)
+
+    def block_size(self) -> int | None:
+        """Elements per level-1 block along the quantization axis.
+
+        ``1`` means element-wise (scalar formats), ``None`` means unknown —
+        consumers that need block alignment (the quantized KV cache) must
+        then treat the whole axis as one unsealed block.
+        """
+        return None
+
     def __call__(self, x: np.ndarray, axis: int = -1, **kwargs) -> np.ndarray:
         return self.quantize(x, axis=axis, **kwargs)
 
@@ -82,6 +108,12 @@ class IdentityFormat(Format):
     @property
     def is_stateless(self) -> bool:
         return True
+
+    def cache_key(self):
+        return ("identity",)
+
+    def block_size(self) -> int | None:
+        return 1
 
     @property
     def bits_per_element(self) -> float:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.bdr import BDRConfig
-from ..core.quantize import bdr_quantize
+from ..core.quantize import bdr_quantize, bdr_quantize_partial
 from ..core.scaling import DelayedScaler
 from .base import Format
 
@@ -64,6 +64,24 @@ class BDRFormat(Format):
         return bdr_quantize(
             x, self.config, axis=axis, rounding=rounding, rng=rng, scale_override=override
         )
+
+    def quantize_partial(self, x, axis=-1, rounding="nearest", rng=None):
+        """Single-block quantize for the KV-cache tail (bit-identical).
+
+        Delayed scaling derives the level-1 scale from a cross-call amax
+        history, so it must keep the exact observation semantics of
+        :meth:`quantize`; everything else goes through the lean
+        partial-block kernel entry.
+        """
+        if self._scaler is not None:
+            return self.quantize(x, axis=axis, rounding=rounding, rng=rng)
+        x = np.asarray(x, dtype=np.float64)
+        return bdr_quantize_partial(
+            x, self.config, axis=axis, rounding=rounding, rng=rng
+        )
+
+    def block_size(self) -> int | None:
+        return self.config.k1
 
     @property
     def bits_per_element(self) -> float:

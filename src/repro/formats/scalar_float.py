@@ -198,6 +198,11 @@ class ScalarFloatFormat(Format):
             return None
         return ("scalar_float", self.spec)
 
+    def block_size(self) -> int | None:
+        """Element-wise when unscaled; scaled modes normalize over the
+        whole tensor, so there is no block alignment to exploit."""
+        return 1 if self.scaling == "none" else None
+
     def reset_state(self):
         self._scaler = DelayedScaler(qmax=self.spec.max_value, window=self._scaler.window)
 

@@ -68,5 +68,25 @@ class KernelBackend(abc.ABC):
         when ``detailed`` is set.
         """
 
+    def quantize_partial(
+        self,
+        x: np.ndarray,
+        config: BDRConfig,
+        axis: int,
+        rounding: str,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Quantize a single (possibly partial) block per row along ``axis``.
+
+        The partial-block entry point of the KV-cache decode path: callers
+        guarantee ``x.shape[axis] <= config.k1``.  The contract is strict
+        bit-identity with :meth:`quantize` (zero padding to ``k1`` is
+        numerically inert, so a partial block quantized alone equals the
+        same block inside a longer tensor); backends may override with a
+        leaner execution strategy.  This default simply delegates, which
+        keeps the reference backend's oracle status trivially intact.
+        """
+        return self.quantize(x, config, axis, rounding, rng, None, False)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -50,6 +50,11 @@ __all__ = ["NumpyBackend"]
 
 _REFERENCE = ReferenceBackend()
 
+#: Below this element count the plan/scratch machinery (LRU lock traffic,
+#: checkout bookkeeping) costs more than it saves; such calls run through
+#: the plan-free kernel instead.  Single-token decode steps live here.
+_SMALL_SIZE = 8192
+
 #: Adding then subtracting 1.5 * 2^52 rounds float64 to the nearest integer
 #: (ties to even) using two adds instead of a libm rint pass.
 _MAGIC = 1.5 * 2.0**52
@@ -73,18 +78,25 @@ class NumpyBackend(KernelBackend):
                 x, config, axis, rounding, rng, scale_override, detailed
             )
         if config.s_type == "pow2":
-            lo, hi = exponent_range(config.d1)
-            if lo - (config.m - 1) < -_EXP_LIMIT or hi - (config.m - 1) + 1 > _EXP_LIMIT:
+            if not _pow2_exponents_safe(config):
                 return _REFERENCE.quantize(
                     x, config, axis, rounding, rng, scale_override, detailed
                 )
+            if x.size <= _SMALL_SIZE:
+                try:
+                    return _pow2_noplan(x, config, axis, rounding, rng)
+                except _NonFiniteInput:
+                    return _REFERENCE.quantize(
+                        x, config, axis, rounding, rng, scale_override, detailed
+                    )
 
         plan = get_plan(x.shape, axis, config.k1, config.k2, x.dtype)
         blocked = plan.block(x)
         work = plan.checkout()
         try:
             if config.s_type == "pow2":
-                values = _pow2_fused(blocked, work, plan, config, rounding, rng)
+                values = _pow2_fused(blocked, work, plan.sub_shape, config,
+                                     rounding, rng)
             elif config.ss_type == "int":
                 values = _vsq_fused(blocked, work, plan, config, rounding, rng,
                                     scale_override)
@@ -100,6 +112,60 @@ class NumpyBackend(KernelBackend):
                 x, config, axis, rounding, rng, scale_override, detailed
             )
         return plan.restore(values)
+
+    def quantize_partial(self, x, config, axis, rounding, rng):
+        """Partial-block entry point (see :meth:`KernelBackend.quantize_partial`).
+
+        Routes pow2 configs through the plan-free fused kernel regardless of
+        size: KV-cache tail shapes change every decode step, and feeding
+        them to the plan LRU would evict the steady-state training/serving
+        plans.  Software-scaled and wide-exponent configs fall back to the
+        generic path (bit-identical by the backend contract).
+        """
+        if config.m > 50 or config.s_type != "pow2":
+            return self.quantize(x, config, axis, rounding, rng, None, False)
+        if not _pow2_exponents_safe(config):
+            return _REFERENCE.quantize(x, config, axis, rounding, rng, None, False)
+        try:
+            return _pow2_noplan(x, config, axis, rounding, rng)
+        except _NonFiniteInput:
+            return _REFERENCE.quantize(x, config, axis, rounding, rng, None, False)
+
+
+def _pow2_exponents_safe(config) -> bool:
+    """True when every derived step/reciprocal stays a normal float64."""
+    lo, hi = exponent_range(config.d1)
+    return lo - (config.m - 1) >= -_EXP_LIMIT and hi - (config.m - 1) + 1 <= _EXP_LIMIT
+
+
+def _pow2_noplan(x, config, axis, rounding, rng):
+    """Plan-free pow2 kernel: same fused math, no LRU/scratch traffic.
+
+    Used for small arrays and the partial-block entry point; blocking is a
+    local moveaxis + zero-pad + reshape, so nothing is cached and nothing
+    contends on the plan lock.  Bit-identical to the planful path (it runs
+    the same :func:`_pow2_fused` body on identically padded blocks).
+    """
+    ndim = x.ndim
+    needs_move = axis % ndim != ndim - 1
+    moved = np.moveaxis(x, axis, -1) if needs_move else x
+    n = moved.shape[-1]
+    pad = (-n) % config.k1
+    lead = moved.shape[:-1]
+    blocks = (n + pad) // config.k1
+    if pad:
+        padded = np.zeros(lead + (n + pad,), dtype=np.float64)
+        padded[..., :n] = moved
+    else:
+        padded = moved
+    blocked = padded.reshape(lead + (blocks, config.k1))
+    work = np.empty(blocked.shape, dtype=np.float64)
+    sub_shape = lead + (blocks, config.k1 // config.k2, config.k2)
+    values = _pow2_fused(blocked, work, sub_shape, config, rounding, rng)
+    flat = values.reshape(lead + (n + pad,))
+    if pad:
+        flat = flat[..., :n]
+    return np.moveaxis(flat, -1, axis) if needs_move else flat
 
 
 def _last_axis_max(a: np.ndarray) -> np.ndarray:
@@ -166,13 +232,21 @@ def _pow2_and_reciprocal(e: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return bits.view(np.float64), ((2046 << 52) - bits).view(np.float64)
 
 
-def _pow2_fused(blocked, work, plan, config, rounding, rng):
-    """BFP and MX: hardware power-of-two scaling, fused."""
+def _pow2_fused(blocked, work, sub_shape, config, rounding, rng):
+    """BFP and MX: hardware power-of-two scaling, fused.
+
+    ``blocked``/``work`` have the blocked shape ``(..., blocks, k1)``;
+    ``sub_shape`` is the matching ``(..., blocks, k1/k2, k2)``.  Shared by
+    the plan-cached path and the plan-free small/partial-block path.
+    Clamps run as ``maximum``/``minimum`` pairs — identical to ``np.clip``
+    for finite ordered bounds, without its Python dispatch overhead.
+    """
     lo, hi = exponent_range(config.d1)
+    blocked_shape = blocked.shape
     np.abs(blocked, out=work)
 
     if config.ss_type == "pow2":
-        sub_exp = _floor_exponents(_last_axis_max(work.reshape(plan.sub_shape)))
+        sub_exp = _floor_exponents(_last_axis_max(work.reshape(sub_shape)))
         raw_block = _last_axis_max(sub_exp)
         # inf and NaN carry exponent field 0x7ff (raw 1024): the bit trick
         # would clamp their blocks to the top exponent where the reference
@@ -181,29 +255,31 @@ def _pow2_fused(blocked, work, plan, config, rounding, rng):
         # full-size pass.
         if raw_block.size and int(raw_block.max()) >= 1024:
             raise _NonFiniteInput
-        exp = np.clip(raw_block, lo, hi)
-        np.clip(sub_exp, lo, hi, out=sub_exp)
+        exp = np.minimum(np.maximum(raw_block, lo), hi)
+        np.maximum(sub_exp, lo, out=sub_exp)
+        np.minimum(sub_exp, hi, out=sub_exp)
         # step exponent: E - tau - (m-1) with tau = min(E - sub_exp, beta)
         e = np.maximum(sub_exp, exp[..., None] - config.beta)
         e -= config.m - 1
         step, inv_step = _pow2_and_reciprocal(e)
-        _mul_subscale(blocked.reshape(plan.sub_shape), inv_step,
-                      work.reshape(plan.sub_shape))
+        _mul_subscale(blocked.reshape(sub_shape), inv_step,
+                      work.reshape(sub_shape))
     else:
         raw = _floor_exponents(_last_axis_max(work))
         if raw.size and int(raw.max()) >= 1024:
             raise _NonFiniteInput
-        exp = np.clip(raw, lo, hi)
+        exp = np.minimum(np.maximum(raw, lo), hi)
         step, inv_step = _pow2_and_reciprocal(exp - (config.m - 1))
         _mul_subscale(blocked, inv_step, work)
 
     _round_inplace(work, rounding, rng)
-    np.clip(work, -config.qmax, config.qmax, out=work)
+    np.maximum(work, -config.qmax, out=work)
+    np.minimum(work, config.qmax, out=work)
     if config.ss_type == "pow2":
-        values = np.empty(plan.sub_shape)
-        _mul_subscale(work.reshape(plan.sub_shape), step, values)
-        return values.reshape(plan.blocked_shape)
-    values = np.empty(plan.blocked_shape)
+        values = np.empty(sub_shape)
+        _mul_subscale(work.reshape(sub_shape), step, values)
+        return values.reshape(blocked_shape)
+    values = np.empty(blocked_shape)
     return _mul_subscale(work, step, values)
 
 

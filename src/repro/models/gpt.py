@@ -84,6 +84,27 @@ class GPT(Module):
             x = block(x, mask=mask)
         return self.head(self.ln_f(x))
 
+    # ------------------------------------------------------------------
+    # Incremental decoding (the KV-cache serving path)
+    # ------------------------------------------------------------------
+    def init_decode_state(self, batch: int = 1):
+        """Fresh per-layer KV caches for :meth:`forward_step`."""
+        from ..nn.decode import init_causal_decode_state
+
+        return init_causal_decode_state(self, batch)
+
+    def forward_step(self, tokens: np.ndarray, state) -> Tensor:
+        """Cached next-token logits over the current window ``tokens`` (B, T).
+
+        Re-runs only the open-block suffix against the state's frozen
+        quantized K/V payloads; ``logits[:, -1]`` is bit-identical to
+        ``forward(tokens)[:, -1]`` for models passing
+        :func:`~repro.nn.decode.supports_cached_decode` (inference only).
+        """
+        from ..nn.decode import causal_decode_step
+
+        return causal_decode_step(self, tokens, state)
+
     def loss(self, batch: np.ndarray) -> Tensor:
         """Next-token cross entropy over a (B, T+1) token batch."""
         batch = np.asarray(batch)

@@ -63,8 +63,8 @@ class _MoEBlock(Module):
         self.ln2 = LayerNorm(dim)
         self.moe = MoEFeedForward(dim, num_experts, rng=rng, quant=quant)
 
-    def forward(self, x, mask=None):
-        x = x + self.attn(self.ln1(x), mask=mask)
+    def forward(self, x, mask=None, cache=None):
+        x = x + self.attn(self.ln1(x), mask=mask, cache=cache)
         return x + self.moe(self.ln2(x))
 
 
@@ -125,3 +125,18 @@ class MoEGPT(Module):
         from ..serve.adapters import adapter_for
 
         return list(adapter_for(self).generate_stream(prompt, max_new_tokens, eos=eos))
+
+    # ------------------------------------------------------------------
+    # Incremental decoding (shared with GPT via the causal decode helpers)
+    # ------------------------------------------------------------------
+    def init_decode_state(self, batch: int = 1):
+        """Fresh per-layer KV caches for :meth:`forward_step`."""
+        from ..nn.decode import init_causal_decode_state
+
+        return init_causal_decode_state(self, batch)
+
+    def forward_step(self, tokens: np.ndarray, state) -> Tensor:
+        """Cached next-token logits over the current window (see :class:`GPT`)."""
+        from ..nn.decode import causal_decode_step
+
+        return causal_decode_step(self, tokens, state)

@@ -33,6 +33,9 @@ class Seq2SeqTransformer(Module):
         super().__init__()
         rng = rng or np.random.default_rng()
         self.vocab_size = vocab_size
+        self.dim = dim
+        self.num_heads = num_heads
+        self.max_len = max_len
         self.src_emb = Embedding(vocab_size, dim, rng=rng)
         self.tgt_emb = Embedding(vocab_size, dim, rng=rng)
         self.positions = sinusoidal_positions(max_len, dim)
@@ -71,6 +74,46 @@ class Seq2SeqTransformer(Module):
         sources, targets = batch
         logits = self.forward(sources, targets[:, :-1])
         return F.cross_entropy(logits, targets[:, 1:])
+
+    # ------------------------------------------------------------------
+    # Incremental decoding (the KV-cache serving path)
+    # ------------------------------------------------------------------
+    def init_decode_state(self, batch: int, capacity: int | None = None):
+        """Per-decoder-block self + cross KV caches for :meth:`decode_step`."""
+        from ..nn.decode import CrossKV, DecodeState, DecoderLayerKV, KVCache
+
+        capacity = self.max_len if capacity is None else capacity
+        head_dim = self.dim // self.num_heads
+        layers = [
+            DecoderLayerKV(
+                KVCache(batch, self.num_heads, head_dim, capacity, block.self_attn.quant),
+                CrossKV(),
+            )
+            for block in self.decoder
+        ]
+        return DecodeState(layers, capacity=capacity)
+
+    def decode_step(self, targets: np.ndarray, memory: Tensor, state) -> Tensor:
+        """Cached decoder logits over the current target window (B, Tt).
+
+        Self-attention re-runs only the open-block suffix against frozen
+        quantized payloads; the cross-attention K/V of ``memory`` are
+        quantized exactly once per decode.  ``logits[:, -1]`` is
+        bit-identical to ``decode(targets, memory)[:, -1]`` for models
+        passing :func:`~repro.nn.decode.supports_cached_decode`.
+        """
+        targets = np.asarray(targets)
+        t = targets.shape[-1]
+        boundary = state.rewind()
+        if t > state.capacity:
+            raise ValueError(f"decode length {t} exceeds cache capacity {state.capacity}")
+        window = targets[..., boundary:]
+        x = self.tgt_emb(window) + Tensor(self.positions[boundary:t])
+        mask = causal_mask(t)[boundary:] if t - boundary > 1 else None
+        for block, layer in zip(self.decoder, state.layers):
+            x = block(x, memory, self_mask=mask, cache=layer)
+        state.position = t
+        return self.head(self.ln_f(x))
 
 
 class LSTMSeq2Seq(Module):
@@ -116,6 +159,36 @@ class LSTMSeq2Seq(Module):
         sources, targets = batch
         logits = self.forward(sources, targets[:, :-1])
         return F.cross_entropy(logits, targets[:, 1:])
+
+    # ------------------------------------------------------------------
+    # Incremental decoding: carry (h, c) instead of re-running the prefix
+    # ------------------------------------------------------------------
+    def init_decode_state(self, encoder_state):
+        """Wrap the encoder's final (h, c) for :meth:`decode_step`."""
+        from ..nn.decode import RecurrentDecodeState
+
+        return RecurrentDecodeState(encoder_state)
+
+    def decode_step(self, targets: np.ndarray, memory: Tensor, state) -> Tensor:
+        """Logits for the yet-unfed suffix of the target window (B, Tt).
+
+        The LSTM consumes each position exactly once, carrying (h, c)
+        across calls — the same cell applications the full :meth:`decode`
+        would re-run, so results match it position for position (exactly
+        for quantized gate projections, to BLAS kernel-selection noise for
+        pure FP32).  The Luong attention and head are position-local.
+        """
+        targets = np.asarray(targets)
+        window = targets[..., state.position :]
+        embedded = self.tgt_emb(window)
+        hidden, carried = self.decoder(embedded, state.state)
+        state.state = carried
+        state.position = targets.shape[-1]
+        queries = self.attn_proj(hidden)
+        scores = queries @ memory.transpose(0, 2, 1)
+        weights = F.softmax(scores, axis=-1)
+        context = weights @ memory
+        return self.head(concat([hidden, context], axis=-1))
 
 
 def greedy_decode(model, sources: np.ndarray, max_len: int, bos: int, eos: int) -> list[list[int]]:

@@ -4,6 +4,14 @@ quantized compute flow of Figure 8."""
 from . import functional
 from .attention import MultiHeadAttention, causal_mask
 from .conv import Conv2d, avg_pool2d, conv2d, im2col, max_pool2d
+from .decode import (
+    CrossKV,
+    DecodeState,
+    DecoderLayerKV,
+    KVCache,
+    RecurrentDecodeState,
+    supports_cached_decode,
+)
 from .layers import (
     GELU,
     Dropout,
@@ -55,6 +63,12 @@ __all__ = [
     "QuantSpec",
     "quantized_bmm",
     "quantized_matmul",
+    "KVCache",
+    "CrossKV",
+    "DecoderLayerKV",
+    "DecodeState",
+    "RecurrentDecodeState",
+    "supports_cached_decode",
     "LSTM",
     "LSTMCell",
     "Tensor",

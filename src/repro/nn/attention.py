@@ -7,20 +7,29 @@ runs in the scalar vector precision (BF16 by default in the paper).
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from . import functional as F
 from .layers import Linear, Module
 from .precision import VectorPrecision, apply_vector_precision
-from .quantized import QuantSpec, quantized_bmm
+from .quantized import QuantSpec, quantized_bmm, quantized_bmm_prequant
 from .tensor import Tensor
 
 __all__ = ["MultiHeadAttention", "causal_mask"]
 
 
+@functools.lru_cache(maxsize=128)
 def causal_mask(t: int) -> np.ndarray:
-    """Upper-triangular True mask blocking attention to future positions."""
-    return np.triu(np.ones((t, t), dtype=bool), k=1)
+    """Upper-triangular True mask blocking attention to future positions.
+
+    Memoized — every layer of every forward asks for the same mask — and
+    returned read-only so the shared array cannot be mutated in place.
+    """
+    mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+    mask.setflags(write=False)
+    return mask
 
 
 class MultiHeadAttention(Module):
@@ -65,12 +74,21 @@ class MultiHeadAttention(Module):
         x: Tensor,
         context: Tensor | None = None,
         mask: np.ndarray | None = None,
+        cache=None,
     ) -> Tensor:
         """Attend ``x`` to ``context`` (defaults to self-attention).
 
         ``mask`` is a boolean array broadcastable to (T_q, T_k); True
-        positions are blocked.
+        positions are blocked.  With ``cache`` (a
+        :class:`~repro.nn.decode.KVCache` or
+        :class:`~repro.nn.decode.CrossKV`), ``x`` holds only *new*
+        positions: K/V come from the cache's frozen quantized payloads and
+        only the single-operand side of each product is quantized here —
+        the incremental-decoding fast path, bit-identical to the uncached
+        computation over the full prefix.
         """
+        if cache is not None:
+            return self._forward_cached(x, context, mask, cache)
         context = x if context is None else context
         q = self._split_heads(self.q_proj(x))
         k = self._split_heads(self.k_proj(context))
@@ -82,4 +100,22 @@ class MultiHeadAttention(Module):
             scores = F.masked_fill(scores, mask, -1e9)
         weights = apply_vector_precision(F.softmax(scores, axis=-1), self.vector_precision)
         attended = quantized_bmm(weights, v, self.quant)
+        return self.out_proj(self._merge_heads(attended))
+
+    def _forward_cached(self, x, context, mask, cache) -> Tensor:
+        """One incremental step against cached quantized K/V payloads.
+
+        Inference-only (the prequant products refuse to run under grad).
+        The op sequence mirrors :meth:`forward` exactly — scale, mask,
+        softmax, vector precision — so a query row here is bit-identical
+        to the same row of the full-prefix computation.
+        """
+        q = self._split_heads(self.q_proj(x))
+        kT_q, v_q = cache.project(self, x if context is None else context)
+        scores = quantized_bmm_prequant(q, kT_q, self.quant)
+        scores = scores * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            scores = F.masked_fill(scores, mask, -1e9)
+        weights = apply_vector_precision(F.softmax(scores, axis=-1), self.vector_precision)
+        attended = quantized_bmm_prequant(weights, v_q, self.quant)
         return self.out_proj(self._merge_heads(attended))

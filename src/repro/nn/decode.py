@@ -1,0 +1,438 @@
+"""Incremental decoding state: block-aligned quantized KV caches.
+
+Autoregressive generation re-run through ``model.forward`` is O(T²·L): every
+emitted token pays a full-prefix forward, and every step requantizes the
+entire K/V history.  The classes here let the attention stack re-run only a
+``k1``-bounded suffix per step (O(T·k1·L) total work instead of O(T²·L))
+while caching K/V **as quantized payloads**, bit-identical to full-prefix
+recompute.  The argument has three parts:
+
+* **K is position-local.**  The scores product quantizes ``K^T`` along
+  ``head_dim`` (the reduction axis), so each position's column is blocked
+  independently of its neighbours along the sequence.
+* **V is block-local along the sequence.**  The context product quantizes
+  ``V`` along the *growing* sequence axis in level-1 blocks of ``k1``
+  positions.  BDR quantization is block-local (a block's shared scales and
+  codes depend only on that block's contents; zero padding of a partial
+  block is inert), so a **sealed** (complete) block's payload is frozen
+  forever, and appending a token only dirties the unsealed tail block —
+  requantized alone through the kernels' partial-block entry point.
+* **Stability stops at the sealed boundary.**  Full recompute is *not*
+  prefix-stable position by position: while a V block is open, each append
+  shifts its shared exponents, which perturbs the attention context of the
+  positions inside that block, which perturbs the *inputs* (and hence the
+  cached K/V) of every later layer at those positions.  Positions in
+  sealed blocks, however, are exactly stable — by induction over layers,
+  a sealed row's score row, softmax weights (masked columns underflow to
+  exact zeros), context product, and MLP depend only on sealed rows.  A
+  decode step therefore rewinds every cache to the sealed boundary and
+  re-feeds the open block's rows (at most ``k1`` of them) through the
+  stack; everything older is served from frozen quantized payloads.
+
+Bit-identity additionally requires every quantization to be idempotent
+under recomputation — stateless formats (``cache_key() is not None``),
+deterministic rounding — which :func:`supports_cached_decode` gates; the
+serving adapters fall back to full recompute otherwise.  For BDR-quantized
+models the dot products themselves are exact in float64 (products of
+low-mantissa operands), making them accumulation-order independent; purely
+FP32 models instead agree only to BLAS kernel-selection noise (~1 ulp),
+since an (1, k) @ (k, n) product may accumulate in a different order than
+one row of an (m, k) @ (k, n) product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention, causal_mask
+from .quantized import QuantSpec, quantize_partial_block
+from .tensor import Tensor
+
+__all__ = [
+    "KVCache",
+    "CrossKV",
+    "DecoderLayerKV",
+    "DecodeState",
+    "RecurrentDecodeState",
+    "supports_cached_decode",
+    "init_causal_decode_state",
+    "causal_forward_step",
+    "causal_decode_step",
+]
+
+
+def _activation_format(spec: QuantSpec | None):
+    """(format, rounding, rng) of the activation role, or passthrough."""
+    if spec is None or spec.activation is None:
+        return None, "nearest", None
+    return spec.activation, spec.rounding, spec.rng
+
+
+class KVCache:
+    """Quantized K/V history of one self-attention layer.
+
+    Buffers are preallocated to ``capacity`` positions and written in
+    place; the quantized K payload is stored pre-transposed (``(B, H,
+    head_dim, T)``) so the scores product consumes it without a per-step
+    transpose.  ``sealed`` tracks the block-aligned frozen prefix: entries
+    beyond it are recomputed each step (see the module docstring), so
+    :meth:`rewind` simply drops them and lets the next append overwrite.
+
+    The cache is keyed to the owning attention module's
+    :class:`~repro.nn.quantized.QuantSpec` *instance*: re-casting the
+    model mid-decode would silently desynchronize payloads, so
+    :meth:`append` rejects a changed spec.
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        num_heads: int,
+        head_dim: int,
+        capacity: int,
+        spec: QuantSpec | None,
+    ):
+        self.spec = spec
+        fmt, rounding, rng = _activation_format(spec)
+        if fmt is not None and (rounding == "stochastic" or fmt.cache_key() is None):
+            raise ValueError(
+                "KV caching requires a stateless activation format with "
+                f"deterministic rounding; got {fmt!r} with rounding "
+                f"{rounding!r} (fall back to full-prefix recompute)"
+            )
+        self.fmt = fmt
+        self.rounding = rounding
+        self.rng = rng
+        #: level-1 block length along the sequence axis (None = unknown,
+        #: nothing can seal and every step recomputes the whole prefix)
+        self.block = fmt.block_size() if fmt is not None else 1
+        self.head_dim = head_dim
+        self.capacity = capacity
+        self.kT = np.zeros((batch, num_heads, head_dim, capacity))
+        self.v = np.zeros((batch, num_heads, capacity, head_dim))
+        if fmt is None or self.block == 1:
+            self.v_raw = None  # rows are position-local, no tail to requantize
+        else:
+            tail = capacity if self.block is None else self.block
+            self.v_raw = np.zeros((batch, num_heads, tail, head_dim))
+        self.length = 0
+        self.sealed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def keys_t(self) -> np.ndarray:
+        """Quantized ``K^T`` payload, shape (B, H, head_dim, length)."""
+        return self.kT[:, :, :, : self.length]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Quantized ``V`` payload, shape (B, H, length, head_dim)."""
+        return self.v[:, :, : self.length]
+
+    def reset(self) -> None:
+        """Forget the history (sliding-window eviction keeps the buffers)."""
+        self.length = 0
+        self.sealed = 0
+
+    def rewind(self) -> None:
+        """Drop the unsealed suffix; the next append recomputes it."""
+        self.length = self.sealed
+
+    # ------------------------------------------------------------------
+    def _quantize_k(self, k_new: np.ndarray) -> np.ndarray:
+        """Per-position quantization along ``head_dim``."""
+        if self.fmt is None:
+            return k_new
+        if self.block is not None and self.head_dim <= self.block:
+            return quantize_partial_block(
+                k_new, self.fmt, axis=-1, rounding=self.rounding, rng=self.rng
+            )
+        return self.fmt.quantize(k_new, axis=-1, rounding=self.rounding, rng=self.rng)
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray, spec=...) -> None:
+        """Extend the cache with raw projections of new positions.
+
+        ``k_new``/``v_new`` are (B, H, T_new, head_dim) arrays.  K columns
+        quantize per position; V seals every completed ``block``-row span
+        (frozen until :meth:`reset`) and requantizes only the partial tail.
+        """
+        if spec is not ... and spec is not self.spec:
+            raise ValueError(
+                "attention quant spec changed since this KVCache was built; "
+                "create a fresh decode state after re-casting a model"
+            )
+        t_new = k_new.shape[2]
+        t0 = self.length
+        if t0 + t_new > self.capacity:
+            raise ValueError(
+                f"KV cache overflow: {t0} cached + {t_new} new > "
+                f"capacity {self.capacity}"
+            )
+        self.kT[:, :, :, t0 : t0 + t_new] = np.swapaxes(self._quantize_k(k_new), -1, -2)
+
+        if self.fmt is None:
+            self.v[:, :, t0 : t0 + t_new] = v_new
+            self.length = self.sealed = t0 + t_new
+            return
+        if self.block == 1:
+            self.v[:, :, t0 : t0 + t_new] = self.fmt.quantize(
+                v_new, axis=-2, rounding=self.rounding, rng=self.rng
+            )
+            self.length = self.sealed = t0 + t_new
+            return
+        if self.block is None:
+            # no block structure to exploit: requantize the whole history
+            self.v_raw[:, :, t0 : t0 + t_new] = v_new
+            self.length = t0 + t_new
+            self.v[:, :, : self.length] = self.fmt.quantize(
+                self.v_raw[:, :, : self.length],
+                axis=-2, rounding=self.rounding, rng=self.rng,
+            )
+            return
+
+        block = self.block
+        consumed = 0
+        while consumed < t_new:
+            tail_len = self.length - self.sealed
+            remaining = t_new - consumed
+            if tail_len == 0 and remaining >= block:
+                # whole blocks seal in one aligned quantization
+                whole = (remaining // block) * block
+                chunk = v_new[:, :, consumed : consumed + whole]
+                self.v[:, :, self.sealed : self.sealed + whole] = self.fmt.quantize(
+                    chunk, axis=-2, rounding=self.rounding, rng=self.rng
+                )
+                self.sealed += whole
+                self.length += whole
+                consumed += whole
+                continue
+            take = min(block - tail_len, remaining)
+            self.v_raw[:, :, tail_len : tail_len + take] = v_new[
+                :, :, consumed : consumed + take
+            ]
+            self.length += take
+            consumed += take
+            tail_len += take
+            if tail_len == block:
+                self.v[:, :, self.sealed : self.sealed + block] = (
+                    quantize_partial_block(
+                        self.v_raw, self.fmt, axis=-2,
+                        rounding=self.rounding, rng=self.rng,
+                    )
+                )
+                self.sealed += block
+        tail_len = self.length - self.sealed
+        if tail_len:
+            self.v[:, :, self.sealed : self.length] = quantize_partial_block(
+                self.v_raw[:, :, :tail_len], self.fmt, axis=-2,
+                rounding=self.rounding, rng=self.rng,
+            )
+
+    # ------------------------------------------------------------------
+    def project(self, attn, source) -> tuple[np.ndarray, np.ndarray]:
+        """Append ``source``'s K/V projections; return the full payloads."""
+        k = attn._split_heads(attn.k_proj(source))
+        v = attn._split_heads(attn.v_proj(source))
+        self.append(k.data, v.data, spec=attn.quant)
+        return self.keys_t, self.values
+
+
+class CrossKV:
+    """Frozen quantized K/V of a static cross-attention memory.
+
+    An encoder-decoder step recomputes (and requantizes) the memory's key
+    and value projections for every emitted token; they only depend on the
+    encoder output, so this cache builds them exactly once per decode.
+    """
+
+    def __init__(self):
+        self.kT: np.ndarray | None = None
+        self.v: np.ndarray | None = None
+
+    def reset(self) -> None:
+        self.kT = None
+        self.v = None
+
+    def project(self, attn, memory) -> tuple[np.ndarray, np.ndarray]:
+        if self.kT is None:
+            k = attn._split_heads(attn.k_proj(memory)).data
+            v = attn._split_heads(attn.v_proj(memory)).data
+            fmt, rounding, rng = _activation_format(attn.quant)
+            if fmt is None:
+                self.kT, self.v = np.swapaxes(k, -1, -2), v
+            else:
+                # mirror the uncached operand quantizations exactly:
+                # K^T along head_dim, V along the (static) sequence axis
+                self.kT = fmt.quantize(
+                    np.swapaxes(k, -1, -2), axis=-2, rounding=rounding, rng=rng
+                )
+                self.v = fmt.quantize(v, axis=-2, rounding=rounding, rng=rng)
+        return self.kT, self.v
+
+
+class DecoderLayerKV:
+    """Per-decoder-block pair: self-attention cache + cross-attention cache."""
+
+    def __init__(self, self_kv: KVCache, cross_kv: CrossKV):
+        self.self_kv = self_kv
+        self.cross_kv = cross_kv
+
+    def reset(self) -> None:
+        self.self_kv.reset()
+        self.cross_kv.reset()
+
+    def rewind(self) -> None:
+        self.self_kv.rewind()  # the cross memory is static — never rewinds
+
+
+class DecodeState:
+    """Positional + per-layer KV state for one incremental decode.
+
+    ``layers`` holds one cache object per attention-bearing block (a
+    :class:`KVCache` for causal LMs, a :class:`DecoderLayerKV` for
+    encoder-decoder stacks); ``position`` is the number of positions the
+    caches currently cover.  :meth:`reset` implements sliding-window
+    eviction: once a window must shift, absolute positional encodings
+    change for every cached entry, so the only bit-identical option is to
+    drop the history and prefill the shifted window (buffers are reused).
+    """
+
+    def __init__(self, layers: list, capacity: int):
+        self.layers = layers
+        self.capacity = capacity
+        self.position = 0
+
+    def _kv(self, layer) -> KVCache:
+        return layer.self_kv if isinstance(layer, DecoderLayerKV) else layer
+
+    def reset(self) -> None:
+        self.position = 0
+        for layer in self.layers:
+            layer.reset()
+
+    def rewind(self) -> int:
+        """Drop every layer's unsealed suffix; returns the stable boundary.
+
+        The boundary is the largest block-aligned prefix sealed in *every*
+        layer — positions below it are exactly stable under full-prefix
+        recompute (module docstring), so only ``position - boundary`` rows
+        (at most one block) need re-feeding.  With layers whose formats
+        disagree on block alignment, the boundary conservatively degrades
+        toward zero (full recompute through the cache API stays correct).
+        """
+        boundary = min((self._kv(layer).sealed for layer in self.layers), default=0)
+        for layer in self.layers:
+            kv = self._kv(layer)
+            if kv.block is None or boundary % max(kv.block, 1):
+                boundary = 0
+                break
+        for layer in self.layers:
+            kv = self._kv(layer)
+            kv.length = min(kv.length, boundary)
+            kv.sealed = min(kv.sealed, boundary)
+        self.position = boundary
+        return boundary
+
+
+class RecurrentDecodeState:
+    """Carried (h, c) decoder state for LSTM seq2seq incremental decoding."""
+
+    def __init__(self, initial):
+        self.initial = initial
+        self.state = initial
+        self.position = 0
+
+    def reset(self) -> None:
+        self.state = self.initial
+        self.position = 0
+
+
+# ----------------------------------------------------------------------
+# Gating and generic causal stepping
+# ----------------------------------------------------------------------
+def supports_cached_decode(model) -> bool:
+    """True when incremental decoding of ``model`` is bit-identical.
+
+    Full-prefix recompute quantizes every past position again on each
+    step; an incremental step quantizes each position once.  The two agree
+    exactly iff every quantization in the model is idempotent under
+    recomputation: stateless formats (``cache_key() is not None``) with
+    deterministic rounding, for activations and weights alike (a delayed
+    scaler's history would advance differently, and stochastic rounding
+    would redraw).  Embedding storage tables are held to the same bar, and
+    attention activations additionally need a known block size so the
+    sealed-boundary bookkeeping has alignment to work with.
+    """
+    for _, module in model.named_modules():
+        spec = getattr(module, "quant", None)
+        if spec is not None:
+            quantized_roles = [
+                getattr(spec, role)
+                for role in ("activation", "weight")
+                if getattr(spec, role) is not None
+            ]
+            if quantized_roles and spec.rounding == "stochastic":
+                return False
+            if any(fmt.cache_key() is None for fmt in quantized_roles):
+                return False
+        if isinstance(module, MultiHeadAttention):
+            fmt = module.quant.activation if module.quant is not None else None
+            if fmt is not None and fmt.block_size() is None:
+                return False
+        storage = getattr(module, "storage_quant", None)
+        if storage is not None and storage.cache_key() is None:
+            return False
+    return True
+
+
+def init_causal_decode_state(model, batch: int = 1) -> DecodeState:
+    """A fresh :class:`DecodeState` for a GPT-shaped causal LM.
+
+    Works for any model exposing ``config`` (dim/num_heads/max_len) and
+    ``blocks`` whose elements carry an ``attn`` attention module.
+    """
+    config = model.config
+    head_dim = config.dim // config.num_heads
+    layers = [
+        KVCache(batch, config.num_heads, head_dim, config.max_len, block.attn.quant)
+        for block in model.blocks
+    ]
+    return DecodeState(layers, capacity=config.max_len)
+
+
+def causal_forward_step(model, tokens: np.ndarray, state: DecodeState) -> Tensor:
+    """Logits for ``tokens`` appended at ``state.position``.
+
+    ``tokens`` is (B, T_new): the rows beyond the caches' current
+    coverage.  Callers normally go through :func:`causal_decode_step`,
+    which handles the rewind bookkeeping.
+    """
+    tokens = np.asarray(tokens)
+    t_new = tokens.shape[-1]
+    position = state.position
+    total = position + t_new
+    if total > state.capacity:
+        raise ValueError(
+            f"decode position {total} exceeds cache capacity {state.capacity}"
+        )
+    x = model.token_emb(tokens) + Tensor(model.positions[position:total])
+    mask = causal_mask(total)[position:] if t_new > 1 else None
+    for block, layer in zip(model.blocks, state.layers):
+        x = block(x, mask=mask, cache=layer)
+    state.position = total
+    return model.head(model.ln_f(x))
+
+
+def causal_decode_step(model, tokens: np.ndarray, state: DecodeState) -> Tensor:
+    """One cached decode step over the full current window ``tokens``.
+
+    ``tokens`` is (B, T): the whole token window so far (identical across
+    calls except for the appended columns).  The state rewinds to the
+    sealed boundary and only the open-block suffix re-runs; the returned
+    logits cover the re-fed rows, so the next-token distribution is
+    ``logits[:, -1]`` — bit-identical to ``model.forward(tokens)[:, -1]``
+    for models passing :func:`supports_cached_decode`.
+    """
+    tokens = np.asarray(tokens)
+    boundary = state.rewind()
+    return causal_forward_step(model, tokens[..., boundary:], state)

@@ -22,7 +22,14 @@ import numpy as np
 from ..formats.base import Format
 from .tensor import Tensor, is_grad_enabled
 
-__all__ = ["QuantSpec", "quantized_matmul", "quantized_bmm", "memo_quantize"]
+__all__ = [
+    "QuantSpec",
+    "quantized_matmul",
+    "quantized_bmm",
+    "quantized_bmm_prequant",
+    "quantize_partial_block",
+    "memo_quantize",
+]
 
 
 def _coerce(fmt) -> Format | None:
@@ -301,3 +308,52 @@ def quantized_bmm(a: Tensor, b: Tensor, spec: QuantSpec | None) -> Tensor:
             b._accumulate(_unbroadcast(at_q @ g_q, b.shape))
 
     return Tensor._make(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Incremental-decoding entry points (the KV-cache fast paths)
+# ----------------------------------------------------------------------
+def quantized_bmm_prequant(a: Tensor, b_q: np.ndarray, spec: QuantSpec | None) -> Tensor:
+    """Single-new-operand ``a @ b_q`` against a cached quantized payload.
+
+    The decode-step form of :func:`quantized_bmm`: ``b_q`` is a raw array
+    already holding quantized values (a KV-cache payload frozen at append
+    time), so only ``a`` — the one new query row or softmax row — is
+    quantized here, along its trailing reduction dim.  Bit-identical to
+    ``quantized_bmm(a, Tensor(b_raw), spec)`` whenever ``b_q`` equals the
+    spec's activation quantization of ``b_raw`` (the KV-cache invariant).
+
+    Inference only: caches hold no autograd history, so this path refuses
+    to run with gradients enabled rather than silently detach the graph.
+    """
+    if is_grad_enabled():
+        raise RuntimeError(
+            "quantized_bmm_prequant serves the inference decode path; "
+            "run it under no_grad()"
+        )
+    if spec is None:
+        return Tensor(a.data @ b_q)
+    a_q = spec.quantize("activation", a.data, axis=-1)
+    return Tensor(a_q @ b_q)
+
+
+def quantize_partial_block(
+    data: np.ndarray,
+    fmt: Format | None,
+    axis: int,
+    rounding: str = "nearest",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Quantize a single (possibly partial) block of a growing tensor.
+
+    The KV-cache tail path: when a decode step appends a token, only the
+    unsealed tail block of the sequence-blocked V cache changes, and this
+    entry requantizes exactly that slice (``data`` no longer than one
+    block along ``axis``).  Dispatches to
+    :meth:`~repro.formats.base.Format.quantize_partial`, which block
+    formats route through the kernels' plan-free partial-block path; the
+    result is bit-identical to a full-tensor quantize of the same rows.
+    """
+    if fmt is None:
+        return data
+    return fmt.quantize_partial(data, axis=axis, rounding=rounding, rng=rng)

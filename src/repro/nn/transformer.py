@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from . import functional as F
@@ -13,13 +15,19 @@ from .tensor import Tensor
 __all__ = ["FeedForward", "TransformerBlock", "DecoderBlock", "sinusoidal_positions"]
 
 
+@functools.lru_cache(maxsize=64)
 def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
-    """Standard fixed sinusoidal positional encodings (length, dim)."""
+    """Standard fixed sinusoidal positional encodings (length, dim).
+
+    Memoized — every model instance of a given geometry rebuilds the same
+    table — and returned read-only so the shared array stays immutable.
+    """
     position = np.arange(length)[:, None]
     div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
     out = np.zeros((length, dim))
     out[:, 0::2] = np.sin(position * div)
     out[:, 1::2] = np.cos(position * div[: (dim + 1) // 2])
+    out.setflags(write=False)
     return out
 
 
@@ -62,8 +70,10 @@ class TransformerBlock(Module):
         self.mlp = FeedForward(dim, hidden, rng=rng, quant=quant)
         self.drop = Dropout(dropout, rng=rng)
 
-    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
-        x = x + self.drop(self.attn(self.ln1(x), mask=mask))
+    def forward(self, x: Tensor, mask: np.ndarray | None = None, cache=None) -> Tensor:
+        """``cache`` is a :class:`~repro.nn.decode.KVCache` for incremental
+        decoding: ``x`` then carries only the new positions."""
+        x = x + self.drop(self.attn(self.ln1(x), mask=mask, cache=cache))
         return x + self.drop(self.mlp(self.ln2(x)))
 
 
@@ -94,7 +104,15 @@ class DecoderBlock(Module):
         memory: Tensor,
         self_mask: np.ndarray | None = None,
         cross_mask: np.ndarray | None = None,
+        cache=None,
     ) -> Tensor:
-        x = x + self.drop(self.self_attn(self.ln1(x), mask=self_mask))
-        x = x + self.drop(self.cross_attn(self.ln2(x), context=memory, mask=cross_mask))
+        """``cache`` is a :class:`~repro.nn.decode.DecoderLayerKV` pairing a
+        self-attention KV cache with the frozen cross-attention memory
+        payloads; ``x`` then carries only the new target positions."""
+        self_kv = cache.self_kv if cache is not None else None
+        cross_kv = cache.cross_kv if cache is not None else None
+        x = x + self.drop(self.self_attn(self.ln1(x), mask=self_mask, cache=self_kv))
+        x = x + self.drop(
+            self.cross_attn(self.ln2(x), context=memory, mask=cross_mask, cache=cross_kv)
+        )
         return x + self.drop(self.mlp(self.ln3(x)))

@@ -269,43 +269,155 @@ class CausalLMAdapter(TaskAdapter):
         return results
 
     # -- generation ----------------------------------------------------
-    def _step_logits(self, tokens: np.ndarray) -> np.ndarray:
-        """Next-token logits for one (1, T) window."""
-        logits = self.model.forward(tokens[None, -self.model.config.max_len :])
-        return logits.data[0, -1]
+    def _use_cache(self, use_cache: bool | None) -> bool:
+        """Resolve the caching decision (None = auto via the decode gate)."""
+        if use_cache is not None:
+            return bool(use_cache)
+        from ..nn.decode import supports_cached_decode
+
+        return supports_cached_decode(self.model)
+
+    def _decode_loop(self, batch: int, use_cache: bool):
+        """The one stepping engine behind streamed and batched generation.
+
+        Returns ``step(tokens_2d, n) -> (B, V) next-token logit rows`` over
+        the buffer prefix ``tokens_2d[:, :n]``, owning the decode-state
+        lifecycle: lazy init, and sliding-window eviction (a window shift
+        moves every cached entry's absolute position, so the state resets
+        and the shifted window prefills from scratch).  Keeping streamed
+        and batched generation on this single closure means an eviction or
+        caching fix can never desynchronize the two paths.
+        """
+        model = self.model
+        max_len = model.config.max_len
+        state, start = None, 0
+
+        def step(tokens_2d: np.ndarray, n: int) -> np.ndarray:
+            nonlocal state, start
+            window_start = max(0, n - max_len)
+            if not use_cache:
+                return model.forward(tokens_2d[:, window_start:n]).data[:, -1]
+            if state is None:
+                state = model.init_decode_state(batch=batch)
+                start = window_start
+            elif window_start != start:
+                state.reset()
+                start = window_start
+            return model.forward_step(tokens_2d[:, start:n], state).data[:, -1]
+
+        return step
 
     def generate_stream(
-        self, prompt, max_new_tokens: int, eos: int | None = None
+        self,
+        prompt,
+        max_new_tokens: int,
+        eos: int | None = None,
+        use_cache: bool | None = None,
     ) -> Iterator[int]:
         """Greedy continuation, yielded token by token.
+
+        ``use_cache=None`` auto-selects KV-cached incremental decoding when
+        it is bit-identical to full recompute
+        (:func:`~repro.nn.decode.supports_cached_decode`); ``False`` forces
+        the historical full-prefix path.  Prompts longer than the model
+        window decode over the trailing ``max_len`` tokens; once the window
+        must slide, absolute positions shift for every cached entry, so the
+        cache is evicted wholesale and rebuilt over the shifted window.
 
         ``no_grad`` is scoped per step, never held across a ``yield`` — a
         suspended generator must not leave the consumer's thread with
         autograd silently disabled.
         """
-        tokens = np.asarray(prompt, dtype=np.int64)
-        if tokens.ndim != 1:
-            raise ValueError(f"prompt must be 1-D, got shape {tokens.shape}")
+        prompt = np.asarray(prompt, dtype=np.int64)
+        if prompt.ndim != 1:
+            raise ValueError(f"prompt must be 1-D, got shape {prompt.shape}")
+        step = self._decode_loop(batch=1, use_cache=self._use_cache(use_cache))
+        # preallocated token buffer: np.append per token is O(T^2) churn
+        tokens = np.empty((1, len(prompt) + max_new_tokens), dtype=np.int64)
+        tokens[0, : len(prompt)] = prompt
+        n = len(prompt)
         for _ in range(max_new_tokens):
             with no_grad():
-                nxt = int(np.argmax(self._step_logits(tokens)))
-            tokens = np.append(tokens, nxt)
+                nxt = int(np.argmax(step(tokens, n)[0]))
+            tokens[0, n] = nxt
+            n += 1
             yield nxt
             if eos is not None and nxt == eos:
                 return
 
+    def _greedy_batch(
+        self,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        eos: int | None,
+        use_cache: bool | None = None,
+    ) -> list[list[int]]:
+        """Greedy-decode equal-length prompts together (B, P) -> token lists.
+
+        Rows are batch-independent, so each row's output matches its
+        serial :meth:`generate_stream` run; a finished row keeps riding in
+        the batch (its continuation is discarded at truncation), exactly
+        like the translation adapter's finished-row handling.
+        """
+        batch, n_prompt = prompts.shape
+        step = self._decode_loop(batch=batch, use_cache=self._use_cache(use_cache))
+        tokens = np.empty((batch, n_prompt + max_new_tokens), dtype=np.int64)
+        tokens[:, :n_prompt] = prompts
+        n = n_prompt
+        finished = np.zeros(batch, dtype=bool)
+        steps = 0
+        for _ in range(max_new_tokens):
+            with no_grad():
+                nxt = np.argmax(step(tokens, n), axis=-1)
+            tokens[:, n] = nxt
+            n += 1
+            steps += 1
+            if eos is not None:
+                finished |= nxt == eos
+                if finished.all():
+                    break
+        outputs = []
+        for row in tokens[:, n_prompt : n_prompt + steps]:
+            out = []
+            for token in row:
+                out.append(int(token))
+                if eos is not None and token == eos:
+                    break
+            outputs.append(out)
+        return outputs
+
     def generate(self, items: Sequence[dict]) -> list:
-        results = []
-        for item in items:
-            produced = list(
-                self.generate_stream(
-                    item["prompt"],
-                    int(item.get("max_new_tokens", 16)),
-                    eos=item.get("eos"),
-                )
+        """Batched greedy decoding: equal-shape requests step together.
+
+        Grouping by (prompt length, budget, eos) keeps collation trivial —
+        rows decode in lockstep and stay bit-identical to serial streaming
+        (batch independence of every op in the stack).
+        """
+
+        def run_group(group):
+            prompts = []
+            for item in group:
+                prompt = np.asarray(item["prompt"], dtype=np.int64)
+                if prompt.ndim != 1:
+                    raise ValueError(f"prompt must be 1-D, got shape {prompt.shape}")
+                prompts.append(prompt)
+            first = group[0]
+            produced = self._greedy_batch(
+                np.stack(prompts),
+                int(first.get("max_new_tokens", 16)),
+                first.get("eos"),
             )
-            results.append({"tokens": produced})
-        return results
+            return [{"tokens": row} for row in produced]
+
+        return _run_grouped(
+            items,
+            key_fn=lambda item: (
+                np.asarray(item["prompt"]).shape,
+                int(item.get("max_new_tokens", 16)),
+                item.get("eos"),
+            ),
+            run_group=run_group,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -478,31 +590,62 @@ class TranslationAdapter(TaskAdapter):
     tasks = ("generate",)
 
     def greedy_decode(
-        self, sources: np.ndarray, max_len: int, bos: int, eos: int
+        self,
+        sources: np.ndarray,
+        max_len: int,
+        bos: int,
+        eos: int,
+        use_cache: bool | None = None,
     ) -> list[list[int]]:
+        """Greedy decode with incremental caching when bit-identical.
+
+        ``use_cache=None`` auto-selects the cached path via
+        :func:`~repro.nn.decode.supports_cached_decode`: the transformer
+        decoder then re-runs only its open-block suffix against frozen
+        quantized self-attention payloads (cross-attention K/V of the
+        encoder memory quantize exactly once), and the LSTM carries its
+        (h, c) instead of re-running the whole target prefix per step.
+        ``False`` forces the historical full-recompute loop.
+        """
         from ..models.translation import LSTMSeq2Seq
+        from ..nn.decode import supports_cached_decode
 
         model = self.model
         sources = np.asarray(sources)
         batch = sources.shape[0]
-        if isinstance(model, LSTMSeq2Seq):
-            memory, state = model.encode(sources)
-            decode = lambda t_in: model.decode(t_in, memory, state)
-        else:
-            memory = model.encode(sources)
-            decode = lambda t_in: model.decode(t_in, memory)
-        tokens = np.full((batch, 1), bos, dtype=np.int64)
-        finished = np.zeros(batch, dtype=bool)
-        for _ in range(max_len):
-            logits = decode(tokens)
-            nxt = np.argmax(logits.data[:, -1], axis=-1)
-            nxt = np.where(finished, eos, nxt)
-            tokens = np.concatenate([tokens, nxt[:, None]], axis=1)
-            finished |= nxt == eos
-            if finished.all():
-                break
+        if use_cache is None:
+            use_cache = supports_cached_decode(model)
+        with no_grad():
+            if isinstance(model, LSTMSeq2Seq):
+                memory, enc_state = model.encode(sources)
+                if use_cache:
+                    state = model.init_decode_state(enc_state)
+                    decode = lambda t_in: model.decode_step(t_in, memory, state)
+                else:
+                    decode = lambda t_in: model.decode(t_in, memory, enc_state)
+            else:
+                memory = model.encode(sources)
+                if use_cache:
+                    state = model.init_decode_state(batch, capacity=max_len)
+                    decode = lambda t_in: model.decode_step(t_in, memory, state)
+                else:
+                    decode = lambda t_in: model.decode(t_in, memory)
+            # preallocated token buffer (np.concatenate per step is O(T^2))
+            tokens = np.empty((batch, max_len + 1), dtype=np.int64)
+            tokens[:, 0] = bos
+            n = 1
+            finished = np.zeros(batch, dtype=bool)
+            for _ in range(max_len):
+                logits = decode(tokens[:, :n])
+                nxt = np.argmax(logits.data[:, -1], axis=-1)
+                nxt = np.where(finished, eos, nxt)
+                tokens[:, n] = nxt
+                n += 1
+                finished |= nxt == eos
+                if finished.all():
+                    break
         outputs = []
-        for row in tokens[:, 1:]:
+        for row in tokens[:, 1:n]:
             out = []
             for token in row:
                 if token == eos:

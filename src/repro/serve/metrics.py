@@ -33,6 +33,7 @@ class SessionMetrics:
         self._start = clock()
         self._latencies: list[float] = []
         self._batch_sizes: list[int] = []
+        self._token_latencies: list[float] = []
         self._requests = 0
         self._errors = 0
         self._tokens = 0
@@ -49,10 +50,17 @@ class SessionMetrics:
         with self._lock:
             self._errors += int(batch_size)
 
-    def record_tokens(self, n: int) -> None:
-        """Tokens produced by streaming generation."""
+    def record_tokens(self, n: int, latency: float | None = None) -> None:
+        """Tokens produced by streaming generation.
+
+        ``latency`` is the wall-clock gap since the previous token of the
+        same stream (or since the stream started, for its first token) —
+        the per-token decode latency surfaced in :meth:`summary`.
+        """
         with self._lock:
             self._tokens += int(n)
+            if latency is not None:
+                self._token_latencies.append(float(latency))
 
     # ------------------------------------------------------------------
     @property
@@ -65,12 +73,15 @@ class SessionMetrics:
 
         Keys: ``requests``, ``errors``, ``throughput_rps``, ``tokens``,
         ``latency_ms`` (mean/p50/p90/p99), ``batch`` (count, mean_size,
-        max_size, occupancy when ``max_batch`` is given).
+        max_size, occupancy when ``max_batch`` is given), and — once any
+        stream produced tokens — ``decode`` (``tokens_per_sec`` plus
+        ``token_latency_ms`` percentiles of the inter-token gaps).
         """
         with self._lock:
             elapsed = max(self._clock() - self._start, 1e-12)
             latencies = list(self._latencies)
             batch_sizes = list(self._batch_sizes)
+            token_latencies = list(self._token_latencies)
             requests, errors, tokens = self._requests, self._errors, self._tokens
         out: dict = {
             "requests": requests,
@@ -96,4 +107,23 @@ class SessionMetrics:
             if max_batch:
                 batch["occupancy"] = float(np.mean(batch_sizes)) / max_batch
             out["batch"] = batch
+        if tokens:
+            decode = {"tokens": tokens}
+            if token_latencies:
+                # rate over time actually spent decoding (the sum of
+                # inter-token gaps), not the whole session lifetime — a
+                # long-lived mixed-traffic session would otherwise report
+                # a near-zero tok/s for its occasional streams
+                decode_time = max(sum(token_latencies), 1e-12)
+                decode["tokens_per_sec"] = len(token_latencies) / decode_time
+                ms = [l * 1e3 for l in token_latencies]
+                decode["token_latency_ms"] = {
+                    "mean": float(np.mean(ms)),
+                    "p50": percentile(ms, 50),
+                    "p90": percentile(ms, 90),
+                    "p99": percentile(ms, 99),
+                }
+            else:
+                decode["tokens_per_sec"] = tokens / elapsed
+            out["decode"] = decode
         return out

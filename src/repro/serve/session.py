@@ -204,10 +204,13 @@ class InferenceSession:
                 eos=payload.pop("eos", None),
             )
             produced = []
+            last = time.perf_counter()
             for token in iterator:
+                now = time.perf_counter()
                 produced.append(token)
                 tokens += 1
-                self.metrics.record_tokens(1)
+                self.metrics.record_tokens(1, latency=now - last)
+                last = now
                 job.stream.put(token)
         except BaseException as error:  # noqa: BLE001
             self.metrics.record_error(1)

@@ -455,6 +455,15 @@ class PinnedRounding(Format):
             x, axis=axis, rounding=self.rounding, rng=rng if rng is not None else self._rng
         )
 
+    def quantize_partial(self, x, axis=-1, rounding="nearest", rng=None):
+        del rounding  # pinned — the spec wins over the call site
+        return self.inner.quantize_partial(
+            x, axis=axis, rounding=self.rounding, rng=rng if rng is not None else self._rng
+        )
+
+    def block_size(self):
+        return self.inner.block_size()
+
     @property
     def bits_per_element(self) -> float:
         return self.inner.bits_per_element

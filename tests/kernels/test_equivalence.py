@@ -165,6 +165,58 @@ def test_detailed_decomposition_matches(config):
         np.testing.assert_array_equal(ref.sub_scale, fast.sub_scale)
 
 
+@pytest.mark.parametrize("config", DESIGN_SPACE[::5], ids=lambda c: c.label)
+def test_partial_block_entry_bit_exact(config):
+    """The decode-path partial-block entry == the generic quantize, on both
+    backends, for every partial length up to one full block."""
+    from repro.core.quantize import bdr_quantize_partial
+
+    rng = np.random.default_rng(9)
+    for length in {1, config.k1 // 2 or 1, config.k1}:
+        x = rng.normal(size=(3, length)) * np.exp2(
+            rng.integers(-40, 40, size=(3, 1)).astype(np.float64)
+        )
+        for backend in ("numpy", "reference"):
+            with use_backend(backend):
+                generic = bdr_quantize(x, config)
+                partial = bdr_quantize_partial(x, config)
+            np.testing.assert_array_equal(
+                generic, partial, err_msg=f"{config.label} len={length} {backend}"
+            )
+
+
+def test_partial_block_entry_rejects_overlong_axis():
+    from repro.core.quantize import bdr_quantize_partial
+
+    config = BDRConfig.mx(m=4, k1=16)
+    with pytest.raises(ValueError, match="k1"):
+        bdr_quantize_partial(np.zeros((2, 17)), config)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")  # deliberate inf corner
+def test_partial_block_nonfinite_falls_back_to_reference():
+    from repro.core.quantize import bdr_quantize_partial
+
+    config = BDRConfig.mx(m=4, k1=16)
+    x = np.ones((2, 8))
+    x[0, 3] = np.inf
+    with use_backend("reference"):
+        ref = bdr_quantize(x, config)
+    with use_backend("numpy"):
+        part = bdr_quantize_partial(x, config)
+    np.testing.assert_array_equal(ref, part)
+
+
+def test_small_array_plan_free_path_bit_exact():
+    """Small inputs route through the plan-free kernel; still bit-exact."""
+    rng = np.random.default_rng(10)
+    for config in REPRESENTATIVE:
+        for shape in [(1, 1, 24), (2, 3, 5), (1, config.k1 * 2 + 1)]:
+            x = rng.normal(size=shape)
+            assert_bit_exact(x, config)
+            assert_bit_exact(x, config, axis=0)
+
+
 def test_fast_values_match_detailed_reconstruction():
     """codes * step from the reference decomposition reproduces the fast
     path's dequantized values exactly."""

@@ -74,7 +74,8 @@ class TestCache:
         assert plan_cache_info()["size"] == MAX_PLANS
 
     def test_quantize_populates_cache(self):
-        x = np.random.default_rng(1).normal(size=(8, 64))
+        # large enough to clear the small-array plan-free path
+        x = np.random.default_rng(1).normal(size=(256, 64))
         config = BDRConfig.mx(m=4)
         with use_backend("numpy"):
             bdr_quantize(x, config)

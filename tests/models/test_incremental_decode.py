@@ -1,0 +1,216 @@
+"""Cached decode vs full-prefix recompute: the bit-identity contract.
+
+For BDR-quantized models (the paper's formats) incremental decoding must
+reproduce the full-recompute logits *bit for bit*, under both the fast
+``numpy`` kernel backend and the ``reference`` oracle.  Pure-FP32 models
+agree to BLAS kernel-selection noise (a (1, k) x (k, n) product may
+accumulate in a different order than one row of an (m, k) x (k, n)
+product), so they are asserted to near-machine tolerance instead; the
+quantized exactness comes from low-mantissa products being exactly
+representable in float64, making every dot product order-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticLanguage
+from repro.flow.cast import direct_cast
+from repro.kernels import use_backend
+from repro.models.gpt import GPT, GPT_SIZES
+from repro.models.moe import MoEGPT
+from repro.models.translation import LSTMSeq2Seq, Seq2SeqTransformer
+from repro.nn.decode import supports_cached_decode
+from repro.nn.tensor import no_grad
+from repro.serve.adapters import adapter_for
+
+BACKENDS = ("numpy", "reference")
+
+
+@pytest.fixture(scope="module")
+def lang():
+    return SyntheticLanguage(seed=0)
+
+
+def make_gpt(lang, fmt):
+    model = GPT(lang.vocab_size, GPT_SIZES["GPT-S"], rng=np.random.default_rng(0))
+    if fmt is not None:
+        direct_cast(model, fmt)
+    return model
+
+
+# ----------------------------------------------------------------------
+# Causal LM: per-step logits
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("fmt", ["mx6", "mx9"])
+def test_gpt_step_logits_bit_identical(lang, backend, fmt):
+    model = make_gpt(lang, fmt)
+    tokens = (np.arange(48) * 7 + 1) % lang.vocab_size
+    with use_backend(backend), no_grad():
+        state = model.init_decode_state(batch=1)
+        for t in range(4, 48):
+            step = model.forward_step(tokens[None, :t], state)
+            full = model.forward(tokens[None, :t])
+            np.testing.assert_array_equal(
+                step.data[0, -1], full.data[0, -1], err_msg=f"{fmt} t={t}"
+            )
+
+
+def test_gpt_fp32_step_logits_near_identical(lang):
+    model = make_gpt(lang, None)
+    tokens = (np.arange(32) * 5 + 2) % lang.vocab_size
+    with no_grad():
+        state = model.init_decode_state(batch=1)
+        for t in range(4, 32):
+            step = model.forward_step(tokens[None, :t], state)
+            full = model.forward(tokens[None, :t])
+            np.testing.assert_allclose(
+                step.data[0, -1], full.data[0, -1], rtol=1e-11, atol=1e-12
+            )
+
+
+# ----------------------------------------------------------------------
+# Greedy generation through the serving adapter
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_gpt_generate_stream_matches_full_recompute(lang, backend):
+    model = make_gpt(lang, "mx6")
+    adapter = adapter_for(model)
+    prompt = (np.arange(20) * 3 + 1) % lang.vocab_size
+    with use_backend(backend):
+        cached = list(adapter.generate_stream(prompt, 24, use_cache=True))
+        full = list(adapter.generate_stream(prompt, 24, use_cache=False))
+    assert cached == full
+
+
+def test_gpt_generate_eos_early_exit(lang):
+    model = make_gpt(lang, "mx6")
+    adapter = adapter_for(model)
+    prompt = (np.arange(12) * 3 + 1) % lang.vocab_size
+    full = list(adapter.generate_stream(prompt, 24, use_cache=False))
+    eos = full[5]  # force an early exit on a token the model will emit
+    a = list(adapter.generate_stream(prompt, 24, eos=eos, use_cache=False))
+    b = list(adapter.generate_stream(prompt, 24, eos=eos, use_cache=True))
+    assert a == b
+    assert a[-1] == eos and len(a) <= 24
+
+
+def test_gpt_prompt_longer_than_window(lang):
+    """Sliding-window eviction: prompts beyond max_len rebuild the cache."""
+    model = make_gpt(lang, "mx6")
+    max_len = model.config.max_len
+    adapter = adapter_for(model)
+    prompt = (np.arange(max_len + 30) * 3 + 1) % lang.vocab_size
+    a = list(adapter.generate_stream(prompt, 10, use_cache=False))
+    b = list(adapter.generate_stream(prompt, 10, use_cache=True))
+    assert a == b
+    # generation that *crosses* the window boundary mid-stream
+    near = prompt[: max_len - 4]
+    a = list(adapter.generate_stream(near, 12, use_cache=False))
+    b = list(adapter.generate_stream(near, 12, use_cache=True))
+    assert a == b
+
+
+def test_gpt_batch_decode_matches_serial(lang):
+    model = make_gpt(lang, "mx6")
+    adapter = adapter_for(model)
+    prompts = np.stack(
+        [(np.arange(16) * k + 3) % lang.vocab_size for k in (2, 3, 5, 7)]
+    )
+    serial = [list(adapter.generate_stream(p, 12, use_cache=False)) for p in prompts]
+    assert adapter._greedy_batch(prompts, 12, eos=None, use_cache=True) == serial
+    assert adapter._greedy_batch(prompts, 12, eos=None, use_cache=False) == serial
+    # the adapter protocol path (mixed lengths -> grouped batches)
+    items = [
+        {"prompt": prompts[0], "max_new_tokens": 12},
+        {"prompt": prompts[1][:10], "max_new_tokens": 12},
+        {"prompt": prompts[2], "max_new_tokens": 12},
+    ]
+    results = adapter.generate(items)
+    assert results[0]["tokens"] == serial[0]
+    assert results[2]["tokens"] == serial[2]
+    assert results[1]["tokens"] == list(
+        adapter.generate_stream(prompts[1][:10], 12, use_cache=False)
+    )
+
+
+def test_moe_generate_matches_full_recompute(lang):
+    from repro.models.gpt import GPTConfig
+
+    model = MoEGPT(
+        lang.vocab_size,
+        GPTConfig(dim=16, num_layers=2, num_heads=2),
+        num_experts=2,
+        rng=np.random.default_rng(1),
+    )
+    direct_cast(model, "mx6")
+    adapter = adapter_for(model)
+    prompt = (np.arange(14) * 5 + 1) % lang.vocab_size
+    a = list(adapter.generate_stream(prompt, 16, use_cache=False))
+    b = list(adapter.generate_stream(prompt, 16, use_cache=True))
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# Seq2seq families
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("family", [Seq2SeqTransformer, LSTMSeq2Seq])
+def test_seq2seq_greedy_decode_matches_full_recompute(backend, family):
+    model = family(24, rng=np.random.default_rng(2))
+    direct_cast(model, "mx6")
+    adapter = adapter_for(model)
+    sources = np.stack([(np.arange(12) * k + 2) % 24 for k in (1, 2, 3, 4, 5)])
+    with use_backend(backend):
+        full = adapter.greedy_decode(sources, max_len=20, bos=1, eos=2, use_cache=False)
+        cached = adapter.greedy_decode(sources, max_len=20, bos=1, eos=2, use_cache=True)
+    assert cached == full
+
+
+@pytest.mark.parametrize("family", [Seq2SeqTransformer, LSTMSeq2Seq])
+def test_seq2seq_step_logits_bit_identical(family):
+    """Not just tokens: the per-step distributions match exactly (mx6)."""
+    model = family(24, rng=np.random.default_rng(3))
+    direct_cast(model, "mx6")
+    sources = np.stack([(np.arange(10) * k + 1) % 24 for k in (1, 3)])
+    with no_grad():
+        if isinstance(model, LSTMSeq2Seq):
+            memory, enc_state = model.encode(sources)
+            state = model.init_decode_state(enc_state)
+            decode_full = lambda t_in: model.decode(t_in, memory, enc_state)
+        else:
+            memory = model.encode(sources)
+            state = model.init_decode_state(batch=2, capacity=24)
+            decode_full = lambda t_in: model.decode(t_in, memory)
+        tokens = np.ones((2, 24), dtype=np.int64)
+        for n in range(1, 24):
+            step = model.decode_step(tokens[:, :n], memory, state)
+            full = decode_full(tokens[:, :n])
+            np.testing.assert_array_equal(step.data[:, -1], full.data[:, -1])
+
+
+def test_seq2seq_fp32_near_identical():
+    model = Seq2SeqTransformer(24, rng=np.random.default_rng(4))
+    adapter = adapter_for(model)
+    sources = np.stack([(np.arange(12) * k + 2) % 24 for k in (1, 2, 3)])
+    full = adapter.greedy_decode(sources, max_len=16, bos=1, eos=2, use_cache=False)
+    cached = adapter.greedy_decode(sources, max_len=16, bos=1, eos=2, use_cache=True)
+    assert cached == full  # argmax robust to ~1 ulp accumulation noise
+
+
+# ----------------------------------------------------------------------
+# Gating: unsafe formats fall back to full recompute
+# ----------------------------------------------------------------------
+def test_stochastic_models_auto_fall_back(lang):
+    model = make_gpt(lang, "mx6?rounding=stochastic")
+    assert not supports_cached_decode(model)
+    adapter = adapter_for(model)
+    prompt = (np.arange(10) * 3 + 1) % lang.vocab_size
+    # use_cache=None resolves to the full-recompute path for this model
+    auto = list(adapter.generate_stream(prompt, 6))
+    assert len(auto) == 6
+
+
+def test_delayed_scaling_models_auto_fall_back(lang):
+    model = make_gpt(lang, "int8")
+    assert not supports_cached_decode(model)

@@ -186,6 +186,18 @@ class TestStreaming:
             summary = session.summary()
         assert summary["tokens"] == 3
 
+    def test_stream_decode_metrics(self, compiled):
+        """Streaming surfaces tokens/sec and per-token latency percentiles."""
+        with compiled.session() as session:
+            list(session.stream({"task": "generate", "prompt": np.array([1, 2]),
+                                 "max_new_tokens": 5}))
+            summary = session.summary()
+        decode = summary["decode"]
+        assert decode["tokens"] == 5
+        assert decode["tokens_per_sec"] > 0
+        latency = decode["token_latency_ms"]
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+
 
 class TestMetrics:
     def test_summary_shape(self, compiled, lang):
