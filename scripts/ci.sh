@@ -14,7 +14,7 @@ echo "=== [1/4] tier-1 pytest ==="
 python -m pytest -x -q
 
 if [ -z "${SKIP_BENCH:-}" ]; then
-    echo "=== [2/4] perf regression gate (kernels + serving + decode) ==="
+    echo "=== [2/4] perf regression gate (kernels + serving + decode + forward) ==="
     python benchmarks/check_regression.py
 else
     echo "=== [2/4] perf regression gate (skipped: SKIP_BENCH set) ==="
@@ -37,5 +37,8 @@ echo "=== [4/4] serving CLI smoke ==="
 python -m repro serve --model gpt-xs --requests 8 --max-batch 4 > /dev/null
 python -m repro bench-serve --quick > /dev/null
 python -m repro bench-decode --quick > /dev/null
+python -m repro bench-forward --quick > /dev/null
+# the pre-residency schedule must stay a working end-to-end configuration
+REPRO_FUSION=0 python -m repro bench-forward --quick > /dev/null
 
 echo "ci: all gates passed"

@@ -229,8 +229,10 @@ def _cmd_bench_serve(argv: list[str]) -> int:
         fmt=args.fmt, max_batch=args.max_batch, repeats=args.repeats,
     )
     payload["model"] = args.model
-    print(f"naive per-request : {payload['naive_rps']:10.1f} req/s")
-    print(f"batched session   : {payload['batched_rps']:10.1f} req/s")
+    print(f"naive per-request : {payload['naive_rps']:10.1f} req/s  "
+          f"({payload['naive_quant_calls_per_request']:.1f} quantize calls/req)")
+    print(f"batched session   : {payload['batched_rps']:10.1f} req/s  "
+          f"({payload['batched_quant_calls_per_request']:.1f} quantize calls/req)")
     print(f"speedup           : {payload['speedup']:10.2f}x")
     decode = payload.get("decode", {})
     if decode:
@@ -288,8 +290,10 @@ def _cmd_bench_decode(argv: list[str]) -> int:
         max_new_tokens=args.max_new, repeats=args.repeats, seed=args.seed,
     )
     payloads["gpt"] = gpt
-    print(f"[{gpt['family']}] full recompute : {gpt['full_tokens_per_sec']:10.1f} tok/s")
-    print(f"[{gpt['family']}] KV-cached      : {gpt['cached_tokens_per_sec']:10.1f} tok/s")
+    print(f"[{gpt['family']}] full recompute : {gpt['full_tokens_per_sec']:10.1f} tok/s  "
+          f"({gpt['full_quant_calls_per_token']:.1f} quantize calls/tok)")
+    print(f"[{gpt['family']}] KV-cached      : {gpt['cached_tokens_per_sec']:10.1f} tok/s  "
+          f"({gpt['cached_quant_calls_per_token']:.1f} quantize calls/tok)")
     print(f"[{gpt['family']}] speedup        : {gpt['speedup']:10.2f}x")
 
     if not args.no_seq2seq:
@@ -306,6 +310,76 @@ def _cmd_bench_decode(argv: list[str]) -> int:
         print(f"[{s2s['family']}] full recompute : {s2s['full_tokens_per_sec']:10.1f} tok/s")
         print(f"[{s2s['family']}] KV-cached      : {s2s['cached_tokens_per_sec']:10.1f} tok/s")
         print(f"[{s2s['family']}] speedup        : {s2s['speedup']:10.2f}x")
+
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(payloads, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _cmd_bench_forward(argv: list[str]) -> int:
+    """Batched forward throughput: pre-residency vs fused schedule."""
+    import numpy as np
+
+    from .serve.bench import measure_forward_speedup
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-forward",
+        description="Benchmark the batched scored-forward path: the "
+        "pre-residency schedule (REPRO_FUSION=0 semantics) vs quantized "
+        "activation residency + the fused projection/epilogue pipeline.",
+    )
+    parser.add_argument("--model", default="GPT-S", help="GPT ladder member (default GPT-S)")
+    parser.add_argument("--format", default="mx6", dest="fmt")
+    parser.add_argument("--requests", type=int, default=48)
+    parser.add_argument("--repeats", type=int, default=8,
+                        help="interleaved baseline/fused repeats; the "
+                             "median per-repeat ratio is the speedup")
+    parser.add_argument("--no-moe", action="store_true",
+                        help="skip the MoE measurement")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny CI smoke: GPT-XS, few requests (~2s budget)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the result payloads to this JSON file")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.model, args.requests, args.repeats = "GPT-XS", 8, 2
+
+    model, _ = _build_serving_demo(args.model, args.seed)
+    payloads = {}
+
+    def report(result):
+        fam = result["family"]
+        print(f"[{fam}] pre-residency  : {result['baseline_rps']:10.1f} req/s  "
+              f"({result['baseline_quant_calls_per_request']:.1f} quantize calls/req)")
+        print(f"[{fam}] fused/resident : {result['fused_rps']:10.1f} req/s  "
+              f"({result['fused_quant_calls_per_request']:.1f} quantize calls/req)")
+        print(f"[{fam}] speedup        : {result['speedup']:10.2f}x "
+              f"(best-of {result['speedup_best']:.2f}x)")
+
+    gpt = measure_forward_speedup(
+        model, fmt=args.fmt, requests=args.requests,
+        repeats=args.repeats, seed=args.seed,
+    )
+    payloads["gpt"] = gpt
+    report(gpt)
+
+    if not args.no_moe:
+        from .data.synthetic import SyntheticLanguage
+        from .models.gpt import GPT_SIZES
+        from .models.moe import MoEGPT
+
+        lang = SyntheticLanguage(seed=args.seed)
+        key = args.model.upper() if "-" in args.model.upper() else args.model.upper().replace("GPT", "GPT-")
+        moe = MoEGPT(lang.vocab_size, GPT_SIZES[key], rng=np.random.default_rng(args.seed))
+        result = measure_forward_speedup(
+            moe, fmt=args.fmt, requests=args.requests,
+            repeats=args.repeats, seed=args.seed,
+        )
+        payloads["moe"] = result
+        report(result)
 
     if args.json_path:
         with open(args.json_path, "w") as fh:
@@ -352,6 +426,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "bench-decode": _cmd_bench_decode,
+    "bench-forward": _cmd_bench_forward,
 }
 
 

@@ -30,6 +30,8 @@ by the property suite — because the saturating element also contributes
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..kernels.base import QuantizeResult
@@ -41,7 +43,43 @@ __all__ = [
     "bdr_quantize",
     "bdr_quantize_detailed",
     "bdr_quantize_partial",
+    "quantize_call_count",
+    "reset_quantize_calls",
 ]
+
+# ----------------------------------------------------------------------
+# Engine-invocation counter (the activation-residency observable)
+# ----------------------------------------------------------------------
+# Every non-empty entry into the BDR engine bumps this process-wide
+# counter, so callers can assert *structural* properties — "this forward
+# quantized each unique activation exactly once" — instead of inferring
+# them from wall-clock.  Memo/residency cache hits never reach the engine
+# and therefore never count.  The lock keeps the count exact under the
+# serving session's worker threads; its cost is noise next to even the
+# smallest kernel call.
+_CALL_LOCK = threading.Lock()
+_CALLS = 0
+
+
+def _count_call() -> None:
+    global _CALLS
+    with _CALL_LOCK:
+        _CALLS += 1
+
+
+def quantize_call_count() -> int:
+    """Total BDR engine invocations since process start (or last reset)."""
+    with _CALL_LOCK:
+        return _CALLS
+
+
+def reset_quantize_calls() -> int:
+    """Zero the engine-invocation counter; returns the previous count."""
+    global _CALLS
+    with _CALL_LOCK:
+        previous = _CALLS
+        _CALLS = 0
+        return previous
 
 
 def bdr_quantize(
@@ -110,6 +148,7 @@ def bdr_quantize_partial(
         )
     if x.size == 0:
         return x.copy()
+    _count_call()
     return get_backend().quantize_partial(x, config, axis, rounding, rng)
 
 
@@ -120,6 +159,7 @@ def _quantize(x, config, axis, rounding, rng, scale_override, detailed):
         if not detailed:
             return empty
         return QuantizeResult(empty, empty, empty, None, empty)
+    _count_call()
     return get_backend().quantize(
         x, config, axis, rounding, rng, scale_override, detailed
     )

@@ -1,0 +1,26 @@
+"""Process-start environment toggles shared across layers.
+
+The fusion schedule is consulted from two places that must agree — the
+:mod:`repro.nn` switchboard flags and the kernel execution strategy in
+:mod:`repro.kernels.numpy_backend` — so both read their defaults through
+this one parser.  The module imports nothing from the package, keeping it
+usable from any layer without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["FUSION_ENV_VAR", "fusion_env_enabled"]
+
+#: Environment variable selecting the process-start fusion schedule:
+#: ``0`` / ``off`` / ``false`` / ``no`` start with every fusion stage
+#: disabled (the pre-residency execution); anything else enables them.
+FUSION_ENV_VAR = "REPRO_FUSION"
+
+_OFF_TOKENS = ("0", "off", "false", "no")
+
+
+def fusion_env_enabled() -> bool:
+    """Whether the fusion schedule starts enabled for this process."""
+    return os.environ.get(FUSION_ENV_VAR, "1").strip().lower() not in _OFF_TOKENS

@@ -13,8 +13,15 @@ Select with ``REPRO_KERNEL_BACKEND``, :func:`set_backend`, or the
 :func:`use_backend` context manager.  See ``docs/PERFORMANCE.md``.
 """
 
-from .base import KernelBackend, QuantizeResult
-from .plan import QuantPlan, clear_plan_cache, get_plan, plan_cache_info
+from .base import EPILOGUES, KernelBackend, QuantizeResult, gelu_reference
+from .plan import (
+    QuantPlan,
+    checkout_scratch,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_info,
+    release_scratch,
+)
 from .registry import (
     DEFAULT_BACKEND,
     ENV_VAR,
@@ -28,10 +35,14 @@ from .registry import (
 __all__ = [
     "KernelBackend",
     "QuantizeResult",
+    "EPILOGUES",
+    "gelu_reference",
     "QuantPlan",
     "get_plan",
     "clear_plan_cache",
     "plan_cache_info",
+    "checkout_scratch",
+    "release_scratch",
     "DEFAULT_BACKEND",
     "ENV_VAR",
     "get_backend",

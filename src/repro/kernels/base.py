@@ -18,7 +18,36 @@ import numpy as np
 
 from ..core.bdr import BDRConfig
 
-__all__ = ["QuantizeResult", "KernelBackend"]
+__all__ = ["QuantizeResult", "KernelBackend", "EPILOGUES"]
+
+#: Epilogue names understood by :meth:`KernelBackend.matmul_epilogue`.
+#: ``"bias"`` adds a broadcast bias row; ``"gelu"`` applies the
+#: tanh-approximated GELU; ``"bias_gelu"`` chains both.
+EPILOGUES = ("bias", "gelu", "bias_gelu")
+
+#: tanh-GELU constant, identical to :data:`repro.nn.functional._SQRT_2_OVER_PI`
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu_reference(x: np.ndarray) -> np.ndarray:
+    """Unfused tanh-GELU on a raw array.
+
+    The exact ufunc sequence of :func:`repro.nn.functional.gelu` — same
+    operations, same association order — so a fused in-place epilogue can
+    be validated bit-for-bit against it.
+    """
+    inner = (x + x * x * x * 0.044715) * _SQRT_2_OVER_PI
+    return x * (np.tanh(inner) + 1.0) * 0.5
+
+
+def check_epilogue(epilogue: str | None, bias: np.ndarray | None) -> None:
+    """Validate an epilogue request (shared by every backend)."""
+    if epilogue is not None and epilogue not in EPILOGUES:
+        raise ValueError(
+            f"unknown epilogue {epilogue!r}; known epilogues: {EPILOGUES}"
+        )
+    if epilogue in ("bias", "bias_gelu") and bias is None:
+        raise ValueError(f"epilogue {epilogue!r} requires a bias array")
 
 
 @dataclass
@@ -87,6 +116,35 @@ class KernelBackend(abc.ABC):
         keeps the reference backend's oracle status trivially intact.
         """
         return self.quantize(x, config, axis, rounding, rng, None, False)
+
+    def matmul_epilogue(
+        self,
+        a: np.ndarray,
+        w: np.ndarray,
+        epilogue: str | None = None,
+        bias: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``a @ w`` followed by an optional fused epilogue (inference only).
+
+        ``a`` is ``(..., K)`` (typically an already-quantized activation
+        payload), ``w`` is ``(K, N)``, ``bias`` broadcasts over the trailing
+        output axis.  Epilogue names are listed in :data:`EPILOGUES`.
+
+        The contract is strict bit-identity with the unfused op sequence
+        (``out = a @ w``; ``out = out + bias``; ``out = gelu(out)`` as
+        separate full-array passes): epilogues are pure elementwise
+        chains, so a backend fusing them into its output loop via ``out=``
+        / in-place ufuncs produces the same bits.  This default *is* the
+        unfused sequence, which keeps the reference backend an oracle for
+        the fused paths.
+        """
+        check_epilogue(epilogue, bias)
+        out = a @ w
+        if epilogue in ("bias", "bias_gelu"):
+            out = out + bias
+        if epilogue in ("gelu", "bias_gelu"):
+            out = gelu_reference(out)
+        return out
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

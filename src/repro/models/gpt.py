@@ -72,8 +72,8 @@ class GPT(Module):
         self.ln_f = LayerNorm(config.dim)
         self.head = Linear(config.dim, vocab_size, rng=rng, quant=quant)
 
-    def forward(self, tokens: np.ndarray) -> Tensor:
-        """Logits (B, T, V) for next-token prediction."""
+    def _trunk(self, tokens: np.ndarray) -> Tensor:
+        """Final-block hidden states (B, T, D) for a token batch."""
         tokens = np.asarray(tokens)
         t = tokens.shape[-1]
         if t > self.config.max_len:
@@ -82,7 +82,28 @@ class GPT(Module):
         mask = causal_mask(t)
         for block in self.blocks:
             x = block(x, mask=mask)
-        return self.head(self.ln_f(x))
+        return x
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Logits (B, T, V) for next-token prediction."""
+        return self.head(self.ln_f(self._trunk(tokens)))
+
+    def forward_rows(self, tokens: np.ndarray, batch_idx, row_idx) -> Tensor:
+        """Logits only at the ``(batch_idx[j], row_idx[j])`` positions.
+
+        The serving scorer reads a handful of continuation rows out of the
+        full (B, T, V) logit block; this entry point runs the transformer
+        trunk as usual, then gathers the requested rows *before* the final
+        LayerNorm and LM head, skipping their cost for every unread
+        position.  LayerNorm and the head product are row-local, so each
+        returned row is bit-identical to the same row of
+        ``forward(tokens)`` whenever the head's dot products are exact
+        (the :func:`~repro.nn.residency.supports_fused_projection` gate
+        callers apply).  Inference-only: the gather detaches the graph.
+        """
+        x = self._trunk(tokens)
+        picked = Tensor(x.data[np.asarray(batch_idx), np.asarray(row_idx)])
+        return self.head(self.ln_f(picked))
 
     # ------------------------------------------------------------------
     # Incremental decoding (the KV-cache serving path)

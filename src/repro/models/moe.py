@@ -15,10 +15,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.registry import get_backend
 from ..nn import functional as F
 from ..nn.attention import MultiHeadAttention, causal_mask
 from ..nn.layers import Embedding, LayerNorm, Linear, Module
-from ..nn.quantized import QuantSpec
+from ..nn.precision import VectorPrecision
+from ..nn.quantized import QuantSpec, memo_quantize
+from ..nn.residency import (
+    FusedWeightCache,
+    acquire,
+    supports_epilogue,
+    supports_fused_projection,
+)
 from ..nn.tensor import Tensor, no_grad
 from ..nn.transformer import sinusoidal_positions
 from .gpt import GPTConfig
@@ -27,7 +35,17 @@ __all__ = ["MoEFeedForward", "MoEGPT"]
 
 
 class MoEFeedForward(Module):
-    """Dense softmax-gated mixture of GELU-MLP experts."""
+    """Dense softmax-gated mixture of GELU-MLP experts.
+
+    At inference the expert ``fc1`` layers all consume the same block
+    input: the router input is quantized **once** (the resident payload is
+    shared by the gate and every expert), and when the installed formats
+    make concatenated products exact (see
+    :func:`~repro.nn.residency.supports_fused_projection`) the expert
+    up-projections fuse into a single ``x_q @ [W_1 | ... | W_E]`` matmul
+    with a ``bias_gelu`` kernel epilogue — bit-identical to the
+    per-expert loop, which training always uses.
+    """
 
     def __init__(
         self,
@@ -43,16 +61,73 @@ class MoEFeedForward(Module):
         self.gate = Linear(dim, num_experts, rng=rng, quant=quant)
         self.experts_fc1 = [Linear(dim, hidden, rng=rng, quant=quant) for _ in range(num_experts)]
         self.experts_fc2 = [Linear(hidden, dim, rng=rng, quant=quant) for _ in range(num_experts)]
+        self._fused_fc1 = FusedWeightCache()
+
+    def _can_fuse_experts(self) -> bool:
+        spec = self.experts_fc1[0].quant
+        if not all(
+            fc1.quant is spec and fc2.quant is spec
+            for fc1, fc2 in zip(self.experts_fc1, self.experts_fc2)
+        ):
+            return False  # a per-layer policy split the experts apart
+        # the fused path concatenates projections AND runs kernel
+        # epilogues (bias_gelu, the in-place mixture), so both stages
+        # must be enabled for the toggles to isolate what they claim
+        if not (supports_fused_projection(spec) and supports_epilogue(spec)):
+            return False
+        return all(
+            layer.bias is not None and layer.vector_precision == VectorPrecision.FP32
+            for layer in (*self.experts_fc1, *self.experts_fc2)
+        )
 
     def forward(self, x: Tensor) -> Tensor:
-        # gating softmax stays FP32 (the paper's explicit exception)
+        # gating softmax stays FP32 (the paper's explicit exception); the
+        # gate's product also makes x's quantized payload resident, so the
+        # experts below reuse it instead of requantizing
         weights = F.softmax(self.gate(x), axis=-1)
+        if self._can_fuse_experts():
+            return self._forward_fused(x, weights)
         out = None
         for i, (fc1, fc2) in enumerate(zip(self.experts_fc1, self.experts_fc2)):
             expert_out = fc2(F.gelu(fc1(x)))
             gated = expert_out * weights[:, :, i : i + 1]
             out = gated if out is None else out + gated
         return out
+
+    def _forward_fused(self, x: Tensor, weights: Tensor) -> Tensor:
+        """One concatenated up-projection for every expert (inference).
+
+        The whole mixture runs on raw arrays: one ``bias_gelu`` epilogue
+        produces every expert's hidden block, each down-projection
+        consumes its slice through the fused-bias kernel (per-expert
+        quantizes keep the kernel's working set cache-sized — faster than
+        one ``(…, E*hidden)`` call despite the extra engine entries, and
+        bit-identical either way), and the gate weighting/accumulation
+        run as in-place ufuncs replaying the Tensor chain exactly.
+        """
+        spec = self.experts_fc1[0].quant
+        backend = get_backend()
+        w_cat, b_cat = self._fused_fc1.payload(self.experts_fc1, spec)
+        payload = acquire(x, spec.activation, -1, rounding=spec.rounding, rng=spec.rng)
+        hidden_all = backend.matmul_epilogue(payload.data, w_cat, "bias_gelu", b_cat)
+        hidden = self.experts_fc1[0].out_features
+        gates = weights.data
+        out = None
+        for i, fc2 in enumerate(self.experts_fc2):
+            h_i = hidden_all[..., i * hidden : (i + 1) * hidden]
+            a_q = spec.activation.quantize(
+                h_i, axis=-1, rounding=spec.rounding, rng=spec.rng
+            )
+            w_q = memo_quantize(
+                fc2.weight, spec.weight, 0, rounding=spec.rounding, rng=spec.rng
+            )
+            expert_out = backend.matmul_epilogue(a_q, w_q, "bias", fc2.bias.data)
+            expert_out *= gates[:, :, i : i + 1]
+            if out is None:
+                out = expert_out
+            else:
+                out += expert_out
+        return Tensor(out)
 
 
 class _MoEBlock(Module):
@@ -92,14 +167,24 @@ class MoEGPT(Module):
         self.ln_f = LayerNorm(config.dim)
         self.head = Linear(config.dim, vocab_size, rng=rng, quant=quant)
 
-    def forward(self, tokens: np.ndarray) -> Tensor:
+    def _trunk(self, tokens: np.ndarray) -> Tensor:
+        """Final-block hidden states (B, T, D) for a token batch."""
         tokens = np.asarray(tokens)
         t = tokens.shape[-1]
         x = self.token_emb(tokens) + Tensor(self.positions[:t])
         mask = causal_mask(t)
         for block in self.blocks:
             x = block(x, mask=mask)
-        return self.head(self.ln_f(x))
+        return x
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        return self.head(self.ln_f(self._trunk(tokens)))
+
+    def forward_rows(self, tokens: np.ndarray, batch_idx, row_idx) -> Tensor:
+        """Logits only at selected positions (see :meth:`GPT.forward_rows`)."""
+        x = self._trunk(tokens)
+        picked = Tensor(x.data[np.asarray(batch_idx), np.asarray(row_idx)])
+        return self.head(self.ln_f(picked))
 
     def loss(self, batch: np.ndarray) -> Tensor:
         batch = np.asarray(batch)

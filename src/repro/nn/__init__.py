@@ -28,6 +28,16 @@ from .optim import SGD, Adam, Optimizer
 from .precision import VectorPrecision, apply_vector_precision, round_bf16, round_fp16
 from .quantized import QuantSpec, quantized_bmm, quantized_matmul
 from .recurrent import LSTM, LSTMCell
+from .residency import (
+    QuantizedActivation,
+    acquire,
+    configure_fusion,
+    fusion_configured,
+    fusion_disabled,
+    fusion_enabled,
+    quantize_call_count,
+    reset_quantize_calls,
+)
 from .tensor import Tensor, concat, no_grad, stack
 from .transformer import DecoderBlock, FeedForward, TransformerBlock, sinusoidal_positions
 
@@ -63,6 +73,14 @@ __all__ = [
     "QuantSpec",
     "quantized_bmm",
     "quantized_matmul",
+    "QuantizedActivation",
+    "acquire",
+    "configure_fusion",
+    "fusion_configured",
+    "fusion_disabled",
+    "fusion_enabled",
+    "quantize_call_count",
+    "reset_quantize_calls",
     "KVCache",
     "CrossKV",
     "DecoderLayerKV",

@@ -3,6 +3,15 @@
 All four projections *and* the two attention products (scores, context) are
 tensor reductions and run quantized; the softmax is an element-wise op and
 runs in the scalar vector precision (BF16 by default in the paper).
+
+Inference runs a fused schedule (see :mod:`repro.nn.residency`): the three
+Q/K/V projections collapse into one concatenated-weight matmul over the
+*resident* quantized input payload, and the element-wise pipeline between
+the two attention products (scale → mask → softmax → vector precision)
+executes as in-place ufuncs on the raw score array instead of a chain of
+autograd Tensor ops.  Both stages replay the exact unfused operation
+sequence, so outputs are bit-identical; training always takes the unfused
+autograd path.
 """
 
 from __future__ import annotations
@@ -11,10 +20,22 @@ import functools
 
 import numpy as np
 
+from ..kernels.registry import get_backend
 from . import functional as F
 from .layers import Linear, Module
-from .precision import VectorPrecision, apply_vector_precision
-from .quantized import QuantSpec, quantized_bmm, quantized_bmm_prequant
+from .precision import VectorPrecision, apply_vector_precision, round_bf16, round_fp16
+from .quantized import (
+    QuantSpec,
+    memo_quantize,
+    quantized_bmm,
+    quantized_bmm_prequant,
+)
+from .residency import (
+    FusedWeightCache,
+    acquire,
+    supports_epilogue,
+    supports_fused_projection,
+)
 from .tensor import Tensor
 
 __all__ = ["MultiHeadAttention", "causal_mask"]
@@ -24,12 +45,30 @@ __all__ = ["MultiHeadAttention", "causal_mask"]
 def causal_mask(t: int) -> np.ndarray:
     """Upper-triangular True mask blocking attention to future positions.
 
-    Memoized — every layer of every forward asks for the same mask — and
-    returned read-only so the shared array cannot be mutated in place.
+    Memoized with an explicit bound — every layer of every forward asks
+    for the same mask, and :func:`causal_mask.cache_info` feeds the
+    serving metrics — and returned read-only so the shared array cannot
+    be mutated in place.
     """
     mask = np.triu(np.ones((t, t), dtype=bool), k=1)
     mask.setflags(write=False)
     return mask
+
+
+def _activation_role(spec: QuantSpec | None):
+    """(format, rounding, rng) of the activation role, or passthrough."""
+    if spec is None or spec.activation is None:
+        return None, "nearest", None
+    return spec.activation, spec.rounding, spec.rng
+
+
+def _round_vector(data: np.ndarray, precision: str) -> np.ndarray:
+    """Array form of :func:`~repro.nn.precision.apply_vector_precision`."""
+    if precision == VectorPrecision.BF16:
+        return round_bf16(data)
+    if precision == VectorPrecision.FP16:
+        return round_fp16(data)
+    return data
 
 
 class MultiHeadAttention(Module):
@@ -55,11 +94,13 @@ class MultiHeadAttention(Module):
         self.out_proj = Linear(dim, dim, rng=rng, quant=quant)
         self.quant = quant
         self.vector_precision = VectorPrecision.FP32
+        self._fused_qkv = FusedWeightCache()
 
     def set_quant(self, quant: QuantSpec | None) -> None:
         self.quant = quant
         for proj in (self.q_proj, self.k_proj, self.v_proj, self.out_proj):
             proj.quant = quant
+        self._fused_qkv.invalidate()
 
     def _split_heads(self, x: Tensor) -> Tensor:
         b, t, _ = x.shape
@@ -69,6 +110,88 @@ class MultiHeadAttention(Module):
         b, h, t, d = x.shape
         return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
 
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    def _can_fuse_projections(self) -> bool:
+        """All three input projections may collapse into one matmul."""
+        spec = self.q_proj.quant
+        if not (self.k_proj.quant is spec and self.v_proj.quant is spec):
+            return False  # a per-layer policy split the projections apart
+        if not supports_fused_projection(spec):
+            return False
+        projections = (self.q_proj, self.k_proj, self.v_proj)
+        with_bias = [proj.bias is not None for proj in projections]
+        if any(with_bias) and not all(with_bias):
+            return False
+        return all(
+            proj.vector_precision == VectorPrecision.FP32 for proj in projections
+        )
+
+    def _project_qkv(self, x: Tensor, context: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+        """Head-split (q, k, v) projections.
+
+        Self-attention at inference fuses the three projections into one
+        ``x_q @ [W_q | W_k | W_v]`` product over the resident quantized
+        payload of ``x`` (plus a fused bias epilogue) and splits the output
+        columns — bit-identical to three separate matmuls because the
+        concatenated weight is the concatenation of the *same memoized*
+        per-projection payloads and pow2-scaled BDR dot products are exact
+        (order-independent) in float64.  Every other case — training,
+        cross-attention, non-eligible formats — runs the historical three
+        projections.
+        """
+        if context is x and self._can_fuse_projections():
+            spec = self.q_proj.quant
+            weight, bias = self._fused_qkv.payload(
+                (self.q_proj, self.k_proj, self.v_proj), spec
+            )
+            payload = acquire(
+                x, spec.activation, -1, rounding=spec.rounding, rng=spec.rng
+            )
+            fused = get_backend().matmul_epilogue(
+                payload.data, weight, None if bias is None else "bias", bias
+            )
+            d = self.dim
+            q = Tensor(fused[..., :d])
+            k = Tensor(fused[..., d : 2 * d])
+            v = Tensor(fused[..., 2 * d :])
+        else:
+            q = self.q_proj(x)
+            k = self.k_proj(context)
+            v = self.v_proj(context)
+        return self._split_heads(q), self._split_heads(k), self._split_heads(v)
+
+    # ------------------------------------------------------------------
+    # The element-wise pipeline between the two attention products
+    # ------------------------------------------------------------------
+    def _pipeline_tail(self, scores: np.ndarray, mask, v_payload) -> Tensor:
+        """scale → mask → softmax → vector precision → context, fused.
+
+        ``scores`` is the raw (owned) score array, mutated in place;
+        ``v_payload`` is a thunk producing the quantized V operand, called
+        *after* the softmax weights are quantized so the engine-call order
+        matches the unfused path exactly (stochastic rounding and delayed
+        scaling observe tensors in the same sequence).  Every ufunc
+        mirrors the Tensor-op chain of :meth:`forward` — identical
+        operations and association order, hence identical bits.  Returns
+        the head-merged ``(B, T, D)`` context, ready for ``out_proj``.
+        """
+        scores *= 1.0 / np.sqrt(self.head_dim)
+        if mask is not None:
+            np.copyto(scores, -1e9, where=mask)
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        weights = _round_vector(scores, self.vector_precision)
+        fmt, rounding, rng = _activation_role(self.quant)
+        if fmt is not None:
+            weights = fmt.quantize(weights, axis=-1, rounding=rounding, rng=rng)
+        context = np.matmul(weights, v_payload())
+        b, h, t, d = context.shape
+        return Tensor(context.transpose(0, 2, 1, 3).reshape(b, t, h * d))
+
+    # ------------------------------------------------------------------
     def forward(
         self,
         x: Tensor,
@@ -90,9 +213,32 @@ class MultiHeadAttention(Module):
         if cache is not None:
             return self._forward_cached(x, context, mask, cache)
         context = x if context is None else context
-        q = self._split_heads(self.q_proj(x))
-        k = self._split_heads(self.k_proj(context))
-        v = self._split_heads(self.v_proj(context))
+        if (
+            context is x
+            and self._can_fuse_projections()
+            and supports_fused_projection(self.quant)
+            and supports_epilogue(self.quant)
+        ):
+            return self._forward_fused_self(x, mask)
+        q, k, v = self._project_qkv(x, context)
+
+        if supports_epilogue(self.quant):
+            # inference: quantize q and k (resident payloads), then run
+            # the element-wise pipeline in place on the raw score array.
+            # k quantizes along its trailing head_dim axis and the payload
+            # is view-transposed: blocks are head_dim fibers either way, so
+            # this equals quantizing K^T along axis -2 bit-for-bit while
+            # skipping the kernel's moveaxis copy.
+            fmt, rounding, rng = _activation_role(self.quant)
+            q_q = memo_quantize(q, fmt, -1, rounding=rounding, rng=rng)
+            k_q = memo_quantize(k, fmt, -1, rounding=rounding, rng=rng)
+            return self.out_proj(
+                self._pipeline_tail(
+                    np.matmul(q_q, np.swapaxes(k_q, -1, -2)),
+                    mask,
+                    lambda: memo_quantize(v, fmt, -2, rounding=rounding, rng=rng),
+                )
+            )
 
         scores = quantized_bmm(q, k.transpose(0, 1, 3, 2), self.quant)
         scores = scores * (1.0 / np.sqrt(self.head_dim))
@@ -102,16 +248,70 @@ class MultiHeadAttention(Module):
         attended = quantized_bmm(weights, v, self.quant)
         return self.out_proj(self._merge_heads(attended))
 
+    def _forward_fused_self(self, x: Tensor, mask) -> Tensor:
+        """Fully fused self-attention step (inference, eligible formats).
+
+        One concatenated Q/K/V matmul over the resident payload of ``x``,
+        then head splitting as pure views on the raw output: q and k
+        quantize along their trailing head_dim axis straight off the head
+        grid (no intermediate Tensor copies; the transposed payloads are
+        views, bit-identical to quantizing after transposition because
+        blocks are head_dim fibers either way), and the element-wise
+        pipeline runs in place.  Engaged only when
+        :func:`~repro.nn.residency.supports_fused_projection` holds for
+        the product spec, so every dot product is exact and the schedule
+        change cannot alter a single output bit.
+        """
+        spec = self.q_proj.quant
+        weight, bias = self._fused_qkv.payload(
+            (self.q_proj, self.k_proj, self.v_proj), spec
+        )
+        payload = acquire(x, spec.activation, -1, rounding=spec.rounding, rng=spec.rng)
+        fused = get_backend().matmul_epilogue(
+            payload.data, weight, None if bias is None else "bias", bias
+        )
+        b, t, _ = fused.shape
+        h, hd = self.num_heads, self.head_dim
+        grid = fused.reshape(b, t, 3 * h, hd)
+        fmt, rounding, rng = _activation_role(self.quant)
+        q_q = fmt.quantize(grid[:, :, :h], axis=-1, rounding=rounding, rng=rng)
+        k_q = fmt.quantize(grid[:, :, h : 2 * h], axis=-1, rounding=rounding, rng=rng)
+        scores = np.matmul(q_q.transpose(0, 2, 1, 3), k_q.transpose(0, 2, 3, 1))
+
+        def v_payload():
+            v_view = grid[:, :, 2 * h :].transpose(0, 2, 1, 3)
+            return fmt.quantize(v_view, axis=-2, rounding=rounding, rng=rng)
+
+        return self.out_proj(self._pipeline_tail(scores, mask, v_payload))
+
     def _forward_cached(self, x, context, mask, cache) -> Tensor:
         """One incremental step against cached quantized K/V payloads.
 
         Inference-only (the prequant products refuse to run under grad).
         The op sequence mirrors :meth:`forward` exactly — scale, mask,
         softmax, vector precision — so a query row here is bit-identical
-        to the same row of the full-prefix computation.
+        to the same row of the full-prefix computation.  Self-attention
+        caches (anything exposing ``append``) receive projections through
+        :meth:`_project_qkv`, so the fused Q/K/V matmul also feeds the
+        decode path; cross-attention memories keep their frozen-payload
+        ``project`` protocol.
         """
-        q = self._split_heads(self.q_proj(x))
-        kT_q, v_q = cache.project(self, x if context is None else context)
+        source = x if context is None else context
+        if hasattr(cache, "append") and source is x:
+            q, k, v = self._project_qkv(x, x)
+            cache.append(k.data, v.data, spec=self.quant)
+            kT_q, v_q = cache.keys_t, cache.values
+        else:
+            q = self._split_heads(self.q_proj(x))
+            kT_q, v_q = cache.project(self, source)
+
+        if supports_epilogue(self.quant):
+            fmt, rounding, rng = _activation_role(self.quant)
+            q_q = memo_quantize(q, fmt, -1, rounding=rounding, rng=rng)
+            return self.out_proj(
+                self._pipeline_tail(np.matmul(q_q, kT_q), mask, lambda: v_q)
+            )
+
         scores = quantized_bmm_prequant(q, kT_q, self.quant)
         scores = scores * (1.0 / np.sqrt(self.head_dim))
         if mask is not None:

@@ -230,7 +230,13 @@ class KVCache:
 
     # ------------------------------------------------------------------
     def project(self, attn, source) -> tuple[np.ndarray, np.ndarray]:
-        """Append ``source``'s K/V projections; return the full payloads."""
+        """Append ``source``'s K/V projections; return the full payloads.
+
+        Kept for direct cache users;
+        :meth:`~repro.nn.attention.MultiHeadAttention._forward_cached` now
+        feeds self-attention caches through the fused Q/K/V projection
+        path and calls :meth:`append` itself.
+        """
         k = attn._split_heads(attn.k_proj(source))
         v = attn._split_heads(attn.v_proj(source))
         self.append(k.data, v.data, spec=attn.quant)

@@ -6,10 +6,12 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from ..kernels.plan import checkout_scratch, release_scratch
 from . import functional as F
 from .precision import VectorPrecision, apply_vector_precision
 from .quantized import QuantSpec, memo_quantize, quantized_matmul
-from .tensor import Tensor
+from .residency import fusion_enabled, supports_epilogue
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "Module",
@@ -139,6 +141,16 @@ class Linear(Module):
         self.vector_precision = VectorPrecision.FP32
 
     def forward(self, x: Tensor) -> Tensor:
+        if (
+            self.bias is not None
+            and self.vector_precision == VectorPrecision.FP32
+            and supports_epilogue(self.quant)
+        ):
+            # inference fast path: the bias add runs inside the kernel's
+            # output loop (bit-identical to the separate pass below)
+            return quantized_matmul(
+                x, self.weight, self.quant, epilogue=("bias", self.bias.data)
+            )
         out = quantized_matmul(x, self.weight, self.quant)
         if self.bias is not None:
             out = out + self.bias
@@ -198,6 +210,34 @@ class LayerNorm(Module):
         self.vector_precision = VectorPrecision.FP32
 
     def forward(self, x: Tensor) -> Tensor:
+        if (
+            self.vector_precision == VectorPrecision.FP32
+            and fusion_enabled("epilogue")
+            and not is_grad_enabled()
+        ):
+            # inference: replay F.layer_norm's exact ufunc sequence on the
+            # raw array (same operations, same association order — mean as
+            # sum times reciprocal, centering as adding the negation), so
+            # the output is bit-identical without ~10 autograd Tensor ops;
+            # one full-size allocation (the output) plus pooled scratch
+            data = x.data
+            inv_n = 1.0 / float(data.shape[-1])
+            mu = data.sum(axis=-1, keepdims=True)
+            mu *= inv_n
+            out = np.add(data, -mu)
+            scratch = checkout_scratch(out.shape)
+            try:
+                np.multiply(out, out, out=scratch)
+                var = scratch.sum(axis=-1, keepdims=True)
+            finally:
+                release_scratch(scratch)
+            var *= inv_n
+            var += self.eps
+            np.sqrt(var, out=var)
+            out /= var
+            out *= self.weight.data
+            out += self.bias.data
+            return Tensor(out)
         out = F.layer_norm(x, self.weight, self.bias, self.eps)
         return apply_vector_precision(out, self.vector_precision)
 

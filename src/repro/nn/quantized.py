@@ -22,9 +22,14 @@ import numpy as np
 from ..formats.base import Format
 from .tensor import Tensor, is_grad_enabled
 
+# late binding would cost a sys.modules lookup per matmul; residency has no
+# module-level dependency back on this module, so the import is cycle-free
+from .residency import fusion_enabled
+
 __all__ = [
     "QuantSpec",
     "quantized_matmul",
+    "quantized_matmul_prequant",
     "quantized_bmm",
     "quantized_bmm_prequant",
     "quantize_partial_block",
@@ -221,10 +226,19 @@ def _memo_quantize(
     )
 
 
-def quantized_matmul(a: Tensor, w: Tensor, spec: QuantSpec | None) -> Tensor:
+def quantized_matmul(
+    a: Tensor,
+    w: Tensor,
+    spec: QuantSpec | None,
+    epilogue: tuple[str, np.ndarray | None] | None = None,
+) -> Tensor:
     """``a @ w`` with Figure 8 quantization; ``a: (..., K)``, ``w: (K, N)``.
 
     Forward: ``Q(a) @ Q(w)`` with both operands quantized along ``K``.
+    ``Q(a)`` is *resident*: under the residency fusion stage the payload
+    is memoized on ``a``'s data version (leaf tensors, stateless formats,
+    deterministic rounding — every activation under ``no_grad``), so
+    sibling consumers of the same activation share one quantization.
     Backward:
 
     * ``dA = Q(g) @ Q(w^T)`` — error quantized along ``N``; the weight is
@@ -234,21 +248,40 @@ def quantized_matmul(a: Tensor, w: Tensor, spec: QuantSpec | None) -> Tensor:
 
     Accumulation inside each product is full precision, matching the
     wide fixed-point accumulators of the Figure 6 pipeline.
+
+    ``epilogue`` is an inference-only ``(name, operand)`` pair (e.g.
+    ``("bias_gelu", b)``) executed inside the kernel's output loop via
+    :meth:`~repro.kernels.base.KernelBackend.matmul_epilogue` —
+    bit-identical to running the same ops as separate passes.
     """
     if spec is None:
+        if epilogue is not None:
+            raise ValueError("epilogue fusion requires a QuantSpec (quantized layers)")
         return a @ w
     if w.ndim != 2:
         raise ValueError(f"weights must be 2-D (K, N); got shape {w.shape}")
     if a.shape[-1] != w.shape[0]:
         raise ValueError(f"reduction mismatch: {a.shape} @ {w.shape}")
+    if epilogue is not None and is_grad_enabled():
+        raise RuntimeError(
+            "epilogue fusion serves the inference path; run under no_grad()"
+        )
 
-    a_q = spec.quantize("activation", a.data, axis=-1)
+    if fusion_enabled("residency"):
+        a_q = _memo_quantize(spec, "activation", a, axis=-1)
+    else:
+        a_q = spec.quantize("activation", a.data, axis=-1)
     w_q = _memo_quantize(spec, "weight", w, axis=0)
     if not is_grad_enabled():
         # Inference fast path: no backward closure, and in particular no
         # allocation/quantization of the transposed backward weight copy.
         # The forward product is computed from the exact same quantized
         # operands, so outputs are bit-identical to the training path.
+        if epilogue is not None:
+            from ..kernels.registry import get_backend
+
+            name, operand = epilogue
+            return Tensor(get_backend().matmul_epilogue(a_q, w_q, name, operand))
         return Tensor(a_q @ w_q)
     out_data = a_q @ w_q
 
@@ -308,6 +341,36 @@ def quantized_bmm(a: Tensor, b: Tensor, spec: QuantSpec | None) -> Tensor:
             b._accumulate(_unbroadcast(at_q @ g_q, b.shape))
 
     return Tensor._make(out_data, (a, b), backward)
+
+
+def quantized_matmul_prequant(
+    a_q: np.ndarray,
+    w: Tensor,
+    spec: QuantSpec,
+    epilogue: tuple[str, np.ndarray | None] | None = None,
+) -> Tensor:
+    """``a_q @ Q(w)`` against an already-quantized activation payload.
+
+    The residency form of :func:`quantized_matmul`: ``a_q`` is a raw array
+    that already holds the spec's activation quantization of the logical
+    input (e.g. one slice of a fused sibling-projection output quantized
+    in a single block-aligned call), so only the memoized weight payload
+    is fetched here.  Bit-identical to ``quantized_matmul(Tensor(a_raw),
+    w, spec)`` whenever ``a_q == spec.quantize("activation", a_raw)`` —
+    the caller's invariant.  Inference only.
+    """
+    if is_grad_enabled():
+        raise RuntimeError(
+            "quantized_matmul_prequant serves the inference path; "
+            "run it under no_grad()"
+        )
+    w_q = _memo_quantize(spec, "weight", w, axis=0)
+    if epilogue is not None:
+        from ..kernels.registry import get_backend
+
+        name, operand = epilogue
+        return Tensor(get_backend().matmul_epilogue(a_q, w_q, name, operand))
+    return Tensor(a_q @ w_q)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,298 @@
+"""Quantized activation residency: quantize once, consume everywhere.
+
+The BDR compute flow makes dot products cheap because operands live in
+shared-exponent payload form — yet the historical forward path re-derived
+that payload from FP32 at every consumer: the Q/K/V projections each
+quantized the same LayerNorm output, every MoE expert re-quantized the
+router input, and each decode step quantized the step activations once per
+op.  This module makes the quantized payload *resident*: it is produced at
+most once per tensor per step and shared by every consumer that asks for
+the same ``(format, axis, rounding)`` role.
+
+Residency rides on the same data-version memoization as the frozen
+weights (:func:`repro.nn.quantized.memo_quantize`): the payload is cached
+on the activation tensor itself, keyed by its monotonic data version, so
+it dies with the tensor and can never serve stale data.  Caching only
+engages where it is provably bit-identical — leaf tensors (every
+activation under ``no_grad``), stateless formats, deterministic rounding;
+all other combinations quantize exactly as before.
+
+The module also owns the **fusion switchboard**.  Three independently
+toggleable stages build on residency:
+
+* ``residency`` — share quantized activation payloads across consumers;
+* ``epilogue`` — run bias-add / GELU inside the kernel's output loop
+  (:meth:`repro.kernels.base.KernelBackend.matmul_epilogue`) instead of
+  as separate full-array passes, and run the attention pipeline
+  (scale → mask → softmax → context) on raw arrays under ``no_grad``;
+* ``projections`` — fuse sibling projections that consume the same
+  activation (attention Q/K/V, MoE expert ``fc1``\\ s) into one
+  concatenated-weight matmul.
+
+``REPRO_FUSION=0`` (or ``off``/``false``) disables all three at process
+start, restoring the exact pre-residency execution; tests and benchmarks
+toggle stages programmatically via :func:`configure_fusion` /
+:func:`fusion_disabled`.  Every stage is bit-identical to its unfused
+counterpart for the formats it engages on, so the toggle changes
+*schedules*, never values.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.quantize import quantize_call_count, reset_quantize_calls
+from ..core.runtime_env import FUSION_ENV_VAR
+from .tensor import Tensor, is_grad_enabled
+
+# NOTE: :mod:`repro.nn.quantized` imports this module for the fusion
+# switchboard, so ``memo_quantize`` is imported lazily inside the two
+# functions that need it (neither is on a per-op hot path: ``acquire``
+# runs once per tensor role, ``FusedWeightCache.payload`` once per weight
+# version).
+
+__all__ = [
+    "QuantizedActivation",
+    "acquire",
+    "FusedWeightCache",
+    "fusion_enabled",
+    "configure_fusion",
+    "fusion_disabled",
+    "fusion_configured",
+    "supports_epilogue",
+    "supports_fused_projection",
+    "quantize_call_count",
+    "reset_quantize_calls",
+    "FUSION_ENV_VAR",
+]
+
+_STAGES = ("residency", "epilogue", "projections")
+
+# process-wide stage flags (serving worker threads share one schedule);
+# the dict lives in the tensor module — the lowest layer that consults a
+# flag — so no import cycle forms, but this module owns the public API
+from .tensor import _FUSION_FLAGS as _FLAGS
+
+
+def fusion_enabled(stage: str = "epilogue") -> bool:
+    """Whether one fusion stage (``residency``/``epilogue``/``projections``)
+    is currently enabled."""
+    try:
+        return _FLAGS[stage]
+    except KeyError:
+        raise ValueError(f"unknown fusion stage {stage!r}; stages: {_STAGES}") from None
+
+
+def _sync_kernel_schedule() -> None:
+    """Propagate the epilogue stage into the kernel execution strategy.
+
+    The fast backend's single-buffer/tiled pow2 schedule is part of this
+    fusion work; with the epilogue stage off it reverts to the historical
+    two-buffer body so a ``REPRO_FUSION=0`` baseline reproduces the
+    pre-residency execution end to end (values identical either way).
+    """
+    from ..kernels.numpy_backend import set_legacy_schedule
+
+    set_legacy_schedule(not _FLAGS["epilogue"])
+
+
+def configure_fusion(
+    enabled: bool | None = None,
+    *,
+    residency: bool | None = None,
+    epilogue: bool | None = None,
+    projections: bool | None = None,
+) -> dict:
+    """Set fusion stages; returns the previous flags (for restoring).
+
+    ``enabled`` sets every stage at once; the keyword flags override
+    individual stages.  Process-wide — a serving session's workers all
+    observe the change.
+    """
+    previous = dict(_FLAGS)
+    if enabled is not None:
+        for stage in _STAGES:
+            _FLAGS[stage] = bool(enabled)
+    for stage, value in (
+        ("residency", residency), ("epilogue", epilogue), ("projections", projections)
+    ):
+        if value is not None:
+            _FLAGS[stage] = bool(value)
+    _sync_kernel_schedule()
+    return previous
+
+
+@contextlib.contextmanager
+def fusion_disabled():
+    """Run with every fusion stage off — the pre-residency schedule."""
+    previous = configure_fusion(False)
+    try:
+        yield
+    finally:
+        _FLAGS.update(previous)
+        _sync_kernel_schedule()
+
+
+@contextlib.contextmanager
+def fusion_configured(**stages):
+    """Context-managed :func:`configure_fusion` (keyword stages only)."""
+    previous = configure_fusion(**stages)
+    try:
+        yield
+    finally:
+        _FLAGS.update(previous)
+        _sync_kernel_schedule()
+
+
+# ----------------------------------------------------------------------
+# The resident payload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QuantizedActivation:
+    """One activation's quantized payload for one consumption role.
+
+    Attributes:
+        source: the FP32 activation tensor the payload derives from.
+        data: the fake-quantized array (shared with the residency cache —
+            treat as read-only).
+        axis: the reduction axis the payload was quantized along.
+        version: ``source.version`` at acquisition; :attr:`fresh` is False
+            once the source data was rebound, after which the payload must
+            not be used.
+    """
+
+    source: Tensor = field(repr=False)
+    data: np.ndarray = field(repr=False)
+    axis: int
+    version: int
+
+    @property
+    def fresh(self) -> bool:
+        return self.version == self.source.version
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+
+def acquire(
+    t: Tensor,
+    fmt,
+    axis: int,
+    rounding: str = "nearest",
+    rng: np.random.Generator | None = None,
+) -> QuantizedActivation:
+    """The resident quantized payload of ``t`` for ``(fmt, axis)``.
+
+    Computed at most once per data version for memoizable roles (see
+    :func:`~repro.nn.quantized.memo_quantize`); every later ``acquire``
+    with the same role returns the same array.  ``fmt=None`` wraps the
+    raw data (an FP32 'payload'), so consumers can treat quantized and
+    full-precision operands uniformly.
+    """
+    from .quantized import memo_quantize
+
+    data = memo_quantize(t, fmt, axis, rounding=rounding, rng=rng)
+    return QuantizedActivation(source=t, data=data, axis=axis, version=t.version)
+
+
+# ----------------------------------------------------------------------
+# Fusion eligibility
+# ----------------------------------------------------------------------
+def supports_epilogue(spec) -> bool:
+    """True when a matmul on ``spec`` may run with a fused kernel epilogue.
+
+    Inference-only (the fused kernel returns a raw array with no backward
+    closure) and only for quantized specs: the epilogue replays the exact
+    unfused elementwise sequence in place, so no format constraints apply
+    beyond having a spec at all — full-FP32 layers keep the historical
+    Tensor-op path untouched.
+    """
+    if spec is None or is_grad_enabled():
+        return False
+    return _FLAGS["epilogue"]
+
+
+def _pow2_scaled(fmt) -> bool:
+    """Hardware power-of-two scaling: operand products are exactly
+    representable in float64, which makes dot-product accumulation
+    order-independent — the property concatenated matmuls rely on."""
+    config = getattr(fmt, "config", None)
+    return config is not None and getattr(config, "s_type", None) == "pow2"
+
+
+def supports_fused_projection(spec) -> bool:
+    """True when sibling projections of one activation may fuse into a
+    single concatenated-weight matmul.
+
+    Demands more than :func:`supports_epilogue`: splitting columns out of
+    a wider product is bit-identical to separate products only when every
+    dot product is exact (order-independent), which holds for pow2-scaled
+    BDR operands (MX/BFP) with deterministic rounding on both roles.
+    Software-scaled formats (INT/VSQ), stochastic rounding, stateful
+    scaling, and FP32 layers all keep their per-projection matmuls.
+    """
+    if spec is None or is_grad_enabled() or not _FLAGS["projections"]:
+        return False
+    act, weight = spec.activation, spec.weight
+    if act is None or weight is None:
+        return False
+    if spec.rounding == "stochastic":
+        return False
+    if act.cache_key() is None or weight.cache_key() is None:
+        return False
+    return _pow2_scaled(act) and _pow2_scaled(weight)
+
+
+class FusedWeightCache:
+    """Concatenated quantized payload of sibling :class:`Linear` layers.
+
+    Attention Q/K/V and MoE expert ``fc1`` weights all multiply the same
+    resident activation; this cache concatenates their *individually
+    memoized* quantized payloads (so the fused operand is trivially
+    bit-identical to the unfused ones) along the output axis, plus the
+    matching bias row.  Keyed on every member's weight/bias data version
+    and the weight format identity — an optimizer step or re-cast builds
+    a fresh payload on the next use.  Rebuilds are idempotent, so a data
+    race between serving workers at worst duplicates work.
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self):
+        self._entry = None
+
+    def invalidate(self) -> None:
+        self._entry = None
+
+    def payload(self, layers, spec) -> tuple[np.ndarray, np.ndarray | None]:
+        """(concatenated quantized weight, concatenated bias or None)."""
+        from .quantized import memo_quantize
+
+        key = (
+            tuple(layer.weight.version for layer in layers),
+            tuple(-1 if layer.bias is None else layer.bias.version for layer in layers),
+            spec.weight.cache_key(),
+            spec.rounding,
+        )
+        entry = self._entry
+        if entry is not None and entry[0] == key:
+            return entry[1], entry[2]
+        weight = np.concatenate(
+            [
+                memo_quantize(
+                    layer.weight, spec.weight, axis=0,
+                    rounding=spec.rounding, rng=spec.rng,
+                )
+                for layer in layers
+            ],
+            axis=1,
+        )
+        bias = None
+        if all(layer.bias is not None for layer in layers):
+            bias = np.concatenate([layer.bias.data for layer in layers])
+        self._entry = (key, weight, bias)
+        return weight, bias

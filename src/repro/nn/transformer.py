@@ -9,7 +9,9 @@ import numpy as np
 from . import functional as F
 from .attention import MultiHeadAttention
 from .layers import Dropout, GELU, LayerNorm, Linear, Module
-from .quantized import QuantSpec
+from .precision import VectorPrecision
+from .quantized import QuantSpec, quantized_matmul
+from .residency import supports_epilogue
 from .tensor import Tensor
 
 __all__ = ["FeedForward", "TransformerBlock", "DecoderBlock", "sinusoidal_positions"]
@@ -19,8 +21,10 @@ __all__ = ["FeedForward", "TransformerBlock", "DecoderBlock", "sinusoidal_positi
 def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
     """Standard fixed sinusoidal positional encodings (length, dim).
 
-    Memoized — every model instance of a given geometry rebuilds the same
-    table — and returned read-only so the shared array stays immutable.
+    Memoized with an explicit bound — every model instance of a given
+    geometry rebuilds the same table, and :func:`sinusoidal_positions
+    .cache_info` feeds the serving metrics — and returned read-only so
+    the shared array stays immutable.
     """
     position = np.arange(length)[:, None]
     div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
@@ -48,6 +52,19 @@ class FeedForward(Module):
         self.act = GELU()
 
     def forward(self, x: Tensor) -> Tensor:
+        fc1 = self.fc1
+        if (
+            type(self.act) is GELU
+            and fc1.bias is not None
+            and fc1.vector_precision == VectorPrecision.FP32
+            and supports_epilogue(fc1.quant)
+        ):
+            # inference: bias add + tanh-GELU run inside the kernel's
+            # output loop, bit-identical to the separate passes below
+            hidden = quantized_matmul(
+                x, fc1.weight, fc1.quant, epilogue=("bias_gelu", fc1.bias.data)
+            )
+            return self.fc2(hidden)
         return self.fc2(self.act(self.fc1(x)))
 
 

@@ -37,7 +37,8 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.layers import Module
-from ..nn.tensor import no_grad
+from ..nn.residency import fusion_enabled
+from ..nn.tensor import is_grad_enabled, no_grad
 
 __all__ = [
     "Request",
@@ -232,6 +233,8 @@ class CausalLMAdapter(TaskAdapter):
         prepared = self._pair_rows(pairs)
         if not prepared:
             return []
+        if fusion_enabled("epilogue") and not is_grad_enabled():
+            return self._pair_logprobs_fused(prepared)
         width = max(len(inp) for inp, _, _ in prepared)
         batch = np.zeros((len(prepared), width), dtype=np.int64)
         for i, (inp, _, _) in enumerate(prepared):
@@ -242,6 +245,88 @@ class CausalLMAdapter(TaskAdapter):
             float(logp[i, rows, targets].sum())
             for i, (_, rows, targets) in enumerate(prepared)
         ]
+
+    def _pair_logprobs_fused(self, prepared) -> list[float]:
+        """Residency-scheduled scoring over prepared (input, rows, targets).
+
+        Three row-local savings, each bit-identical to the plain path:
+
+        * **cross-pair row residency** — candidates of one request share
+          their context verbatim, so their model *input rows* are often
+          byte-identical; with exact dot products (the
+          :meth:`_rows_forward_exact` gate) batch rows are fully
+          independent bitwise, so each unique row runs the forward once
+          and its activations are quantized once for every pair it serves;
+        * **row-pruned head** — ``forward_rows`` gathers the continuation
+          rows before the final LayerNorm/LM head, skipping both for
+          every unread position;
+        * **gather-first log-softmax** — normalization runs along the
+          vocab axis only, so normalizing just the gathered rows replays
+          the full-tensor result exactly (needs no format gate).
+        """
+        exact = self._rows_forward_exact()
+        if exact:
+            unique: dict[bytes, int] = {}
+            inputs, pair_to_row = [], []
+            for inp, _, _ in prepared:
+                key = inp.tobytes()
+                row = unique.get(key)
+                if row is None:
+                    row = unique[key] = len(inputs)
+                    inputs.append(inp)
+                pair_to_row.append(row)
+        else:
+            inputs = [inp for inp, _, _ in prepared]
+            pair_to_row = list(range(len(prepared)))
+        width = max(len(inp) for inp in inputs)
+        batch = np.zeros((len(inputs), width), dtype=np.int64)
+        for i, inp in enumerate(inputs):
+            batch[i, : len(inp)] = inp
+
+        pair_idx = np.concatenate(
+            [
+                np.full(len(rows), pair_to_row[i])
+                for i, (_, rows, _) in enumerate(prepared)
+            ]
+        )
+        row_idx = np.concatenate([rows for _, rows, _ in prepared])
+        target_idx = np.concatenate([targets for _, _, targets in prepared])
+        if len(row_idx) == 0:
+            return [0.0 for _ in prepared]
+        if exact:
+            sel = self.model.forward_rows(batch, pair_idx, row_idx).data
+        else:
+            sel = self.model.forward(batch).data[pair_idx, row_idx]
+        shifted = sel - sel.max(axis=-1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        picked = logp[np.arange(len(row_idx)), target_idx]
+        out, offset = [], 0
+        for _, rows, _ in prepared:
+            out.append(float(picked[offset : offset + len(rows)].sum()))
+            offset += len(rows)
+        return out
+
+    def _rows_forward_exact(self) -> bool:
+        """Whether row-subset evaluation is bit-identical for this model.
+
+        Row dedup shrinks the batch fed through *every* layer and
+        ``forward_rows`` prunes the head, so bit-identity needs exact
+        (order-independent) dot products throughout: every quantized
+        module in the model must pass
+        :func:`~repro.nn.residency.supports_fused_projection` — a single
+        FP32 or software-scaled layer (e.g. a first/last-layer-high
+        policy) disables the row schedule, since its matmul bits may
+        depend on the BLAS M-partition."""
+        from ..nn.residency import supports_fused_projection
+
+        if not hasattr(self.model, "forward_rows"):
+            return False
+        specs = [
+            module.quant
+            for module in self.model.modules()
+            if hasattr(module, "quant")
+        ]
+        return bool(specs) and all(supports_fused_projection(spec) for spec in specs)
 
     def sequence_logprob(self, context, continuation) -> float:
         """Total log-probability of ``continuation`` given ``context``."""

@@ -18,9 +18,14 @@ import time
 
 import numpy as np
 
+from ..core.quantize import quantize_call_count
 from ..spec.serving import SessionConfig
 
-__all__ = ["measure_serving_speedup", "measure_decode_speedup"]
+__all__ = [
+    "measure_serving_speedup",
+    "measure_decode_speedup",
+    "measure_forward_speedup",
+]
 
 #: requests scored before the timed passes, per path
 WARMUP_REQUESTS = 2
@@ -57,24 +62,34 @@ def measure_serving_speedup(
     for context, candidates in pairs[:WARMUP_REQUESTS]:
         score_candidates(model, context, candidates)
     naive_rps = 0.0
-    for _ in range(repeats):
+    naive_quant_calls = 0
+    for repeat in range(repeats):
+        # the quantize-call count piggybacks on the first timed pass (two
+        # counter reads, no extra benchmark work)
+        calls_before = quantize_call_count()
         start = time.perf_counter()
         for context, candidates in pairs:
             score_candidates(model, context, candidates)
         naive_rps = max(naive_rps, len(pairs) / (time.perf_counter() - start))
+        if repeat == 0:
+            naive_quant_calls = quantize_call_count() - calls_before
 
     # --- batched path: compile once, serve through a session ------------
     config = SessionConfig(format=fmt, max_batch=max_batch, max_wait=max_wait)
     compiled = compile_model(model, config=config)
     compiled.run(requests[:WARMUP_REQUESTS])
     batched_rps = 0.0
-    for _ in range(repeats):
+    batched_quant_calls = 0
+    for repeat in range(repeats):
         with compiled.session(config) as session:
+            calls_before = quantize_call_count()
             start = time.perf_counter()
             session.map(requests)
             batched_rps = max(
                 batched_rps, len(requests) / (time.perf_counter() - start)
             )
+            if repeat == 0:
+                batched_quant_calls = quantize_call_count() - calls_before
 
     # --- decode metrics: a short stream through a session ---------------
     prompt = np.asarray(requests[0]["context"], dtype=np.int64)[:8]
@@ -86,15 +101,110 @@ def measure_serving_speedup(
             pass
         decode = session.summary().get("decode", {})
 
+    n = len(requests)
     return {
         "format": fmt,
-        "requests": len(requests),
+        "requests": n,
         "max_batch": max_batch,
         "repeats": repeats,
         "naive_rps": naive_rps,
         "batched_rps": batched_rps,
         "speedup": batched_rps / naive_rps if naive_rps else float("inf"),
+        # engine invocations per request on each path: the residency
+        # observable — regressions here surface even when wall-clock noise
+        # hides them
+        "naive_quant_calls_per_request": naive_quant_calls / n if n else 0.0,
+        "batched_quant_calls_per_request": batched_quant_calls / n if n else 0.0,
         "decode": decode,
+    }
+
+
+def measure_forward_speedup(
+    model,
+    *,
+    fmt: str = "mx6",
+    requests: int = 48,
+    repeats: int = 8,
+    seed: int = 0,
+) -> dict:
+    """Batched scored-forward throughput: pre-residency vs fused schedule.
+
+    The forward-path headline (``BENCH_forward.json``): one compiled model
+    serves the same batched score stream twice per repeat — once with
+    every fusion stage disabled (:func:`~repro.nn.residency
+    .fusion_disabled` restores the pre-residency execution end to end,
+    kernels included) and once with the resident/fused schedule.  The two
+    passes alternate within each repeat, so machine-load drift hits both
+    sides equally; the reported ``speedup`` is the *median of the
+    per-repeat ratios* (the drift-cancelling estimator), with best-of
+    throughputs reported alongside.  Outputs of the two schedules are
+    bit-identical — asserted here on every run, so the speedup can never
+    come from computing something else.
+
+    Also reports the quantize-call counts of one pass per schedule: the
+    structural residency observable (each unique activation quantized at
+    most once per step).
+    """
+    from ..data.synthetic import SyntheticLanguage
+    from ..data.tasks import make_task
+    from ..nn.residency import fusion_disabled
+    from .compile import compile_model
+
+    lang_vocab = getattr(model, "vocab_size", None)
+    lang = SyntheticLanguage(seed=seed)
+    if lang_vocab is not None and lang_vocab < lang.vocab_size:
+        raise ValueError(
+            f"model vocab {lang_vocab} smaller than the benchmark "
+            f"language's {lang.vocab_size}"
+        )
+    examples = make_task("recall", lang, n_examples=requests, seed=seed + 1)
+    stream = [
+        {"task": "score", "context": ex.context, "candidates": ex.candidates}
+        for ex in examples
+    ]
+
+    compiled = compile_model(model, fmt)
+    # the identity check doubles as warmup and as the quantize-call
+    # measurement for each schedule (counter deltas cost nothing)
+    calls_before = quantize_call_count()
+    fused_results = compiled.run(stream)
+    fused_quant_calls = quantize_call_count() - calls_before
+    with fusion_disabled():
+        calls_before = quantize_call_count()
+        baseline_results = compiled.run(stream)
+        baseline_quant_calls = quantize_call_count() - calls_before
+    if fused_results != baseline_results:
+        raise AssertionError(
+            "fused and pre-residency schedules disagree; refusing to "
+            "benchmark a speedup that changes results"
+        )
+
+    n = len(stream)
+    baseline_rps = fused_rps = 0.0
+    ratios = []
+    for _ in range(repeats):
+        with fusion_disabled():
+            start = time.perf_counter()
+            compiled.run(stream)
+            base = n / (time.perf_counter() - start)
+        start = time.perf_counter()
+        compiled.run(stream)
+        fused = n / (time.perf_counter() - start)
+        baseline_rps = max(baseline_rps, base)
+        fused_rps = max(fused_rps, fused)
+        ratios.append(fused / base)
+
+    return {
+        "family": type(model).__name__,
+        "format": fmt,
+        "requests": n,
+        "repeats": repeats,
+        "baseline_rps": baseline_rps,
+        "fused_rps": fused_rps,
+        "speedup": sorted(ratios)[len(ratios) // 2],
+        "speedup_best": fused_rps / baseline_rps if baseline_rps else float("inf"),
+        "baseline_quant_calls_per_request": baseline_quant_calls / n,
+        "fused_quant_calls_per_request": fused_quant_calls / n,
     }
 
 
@@ -152,14 +262,26 @@ def measure_decode_speedup(
     run(True)  # warm both weight memos and the decode-state allocation path
     run(False)
     full_tps = cached_tps = 0.0
-    for _ in range(repeats):
+    full_quant_calls = cached_quant_calls = 0
+    produced_tokens = 1
+    for repeat in range(repeats):
+        # quantize-call counts piggyback on the first timed pass of each
+        # path (two counter reads, no extra generations)
+        calls_before = quantize_call_count()
         start = time.perf_counter()
         produced = run(False)
         full_tps = max(full_tps, produced / (time.perf_counter() - start))
+        if repeat == 0:
+            full_quant_calls = quantize_call_count() - calls_before
+        calls_before = quantize_call_count()
         start = time.perf_counter()
         produced = run(True)
         cached_tps = max(cached_tps, produced / (time.perf_counter() - start))
+        if repeat == 0:
+            cached_quant_calls = quantize_call_count() - calls_before
+            produced_tokens = produced
 
+    per_token = max(produced_tokens, 1)
     return {
         "family": type(model).__name__,
         "format": fmt,
@@ -170,4 +292,8 @@ def measure_decode_speedup(
         "full_tokens_per_sec": full_tps,
         "cached_tokens_per_sec": cached_tps,
         "speedup": cached_tps / full_tps if full_tps else float("inf"),
+        # engine invocations per generated token on each path — the
+        # residency observable alongside the latency numbers
+        "full_quant_calls_per_token": full_quant_calls / per_token,
+        "cached_quant_calls_per_token": cached_quant_calls / per_token,
     }

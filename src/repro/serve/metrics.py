@@ -2,7 +2,10 @@
 
 Counters are updated by the session workers under a lock and summarized on
 demand; everything is plain floats/ints so a summary can be logged as JSON
-by the CLI and the benches.
+by the CLI and the benches.  Summaries also snapshot the process-wide
+cache layer — the bounded ``causal_mask`` / ``sinusoidal_positions`` LRUs,
+the kernel plan cache, and the quantize-call counter — so residency
+regressions show up in serving telemetry, not just wall-clock.
 """
 
 from __future__ import annotations
@@ -12,7 +15,38 @@ import time
 
 import numpy as np
 
-__all__ = ["SessionMetrics", "percentile"]
+from ..core.quantize import quantize_call_count
+
+__all__ = ["SessionMetrics", "percentile", "cache_stats"]
+
+
+def _lru_info(cached_fn) -> dict:
+    info = cached_fn.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "max_size": info.maxsize,
+    }
+
+
+def cache_stats() -> dict:
+    """Process-wide cache snapshot (the residency observables).
+
+    Keys: ``causal_mask`` and ``sinusoidal_positions`` (bounded LRU
+    stats), ``quant_plans`` (kernel plan cache + scratch accounting), and
+    ``quantize_calls`` (total BDR engine invocations so far).
+    """
+    from ..kernels.plan import plan_cache_info
+    from ..nn.attention import causal_mask
+    from ..nn.transformer import sinusoidal_positions
+
+    return {
+        "causal_mask": _lru_info(causal_mask),
+        "sinusoidal_positions": _lru_info(sinusoidal_positions),
+        "quant_plans": plan_cache_info(),
+        "quantize_calls": quantize_call_count(),
+    }
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -37,6 +71,10 @@ class SessionMetrics:
         self._requests = 0
         self._errors = 0
         self._tokens = 0
+        # baseline for the per-session quantize-call delta; process-wide,
+        # so concurrent sessions each see every session's calls — the
+        # counter is a residency observable, not an accounting ledger
+        self._quant_calls_start = quantize_call_count()
 
     # ------------------------------------------------------------------
     def record_batch(self, batch_size: int, latencies: list[float]) -> None:
@@ -73,9 +111,11 @@ class SessionMetrics:
 
         Keys: ``requests``, ``errors``, ``throughput_rps``, ``tokens``,
         ``latency_ms`` (mean/p50/p90/p99), ``batch`` (count, mean_size,
-        max_size, occupancy when ``max_batch`` is given), and — once any
-        stream produced tokens — ``decode`` (``tokens_per_sec`` plus
-        ``token_latency_ms`` percentiles of the inter-token gaps).
+        max_size, occupancy when ``max_batch`` is given), ``quantize_calls``
+        (BDR engine invocations since this accumulator was created, plus
+        per-request mean), ``caches`` (see :func:`cache_stats`), and —
+        once any stream produced tokens — ``decode`` (``tokens_per_sec``
+        plus ``token_latency_ms`` percentiles of the inter-token gaps).
         """
         with self._lock:
             elapsed = max(self._clock() - self._start, 1e-12)
@@ -83,12 +123,20 @@ class SessionMetrics:
             batch_sizes = list(self._batch_sizes)
             token_latencies = list(self._token_latencies)
             requests, errors, tokens = self._requests, self._errors, self._tokens
+            # clamped: a bench calling reset_quantize_calls() mid-session
+            # would otherwise drive the delta negative
+            quant_calls = max(0, quantize_call_count() - self._quant_calls_start)
         out: dict = {
             "requests": requests,
             "errors": errors,
             "tokens": tokens,
             "elapsed_s": elapsed,
             "throughput_rps": requests / elapsed,
+            "quantize_calls": {
+                "total": quant_calls,
+                "per_request": quant_calls / requests if requests else 0.0,
+            },
+            "caches": cache_stats(),
         }
         if latencies:
             ms = [l * 1e3 for l in latencies]
