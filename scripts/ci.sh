@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # One-command CI gate: tier-1 tests, perf regression (kernels + serving),
-# CLI smoke including the serving tier.
+# CLI smoke including the serving tier, seeded chaos smoke.
 #
 # Usage:
 #   scripts/ci.sh                 # full gate
@@ -10,17 +10,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "=== [1/4] tier-1 pytest ==="
+echo "=== [1/5] tier-1 pytest ==="
 python -m pytest -x -q
 
 if [ -z "${SKIP_BENCH:-}" ]; then
-    echo "=== [2/4] perf regression gate (kernels + serving + decode + forward) ==="
+    echo "=== [2/5] perf regression gate (kernels + serving + decode + forward) ==="
     python benchmarks/check_regression.py
 else
-    echo "=== [2/4] perf regression gate (skipped: SKIP_BENCH set) ==="
+    echo "=== [2/5] perf regression gate (skipped: SKIP_BENCH set) ==="
 fi
 
-echo "=== [3/4] spec-layer CLI smoke ==="
+echo "=== [3/5] spec-layer CLI smoke ==="
 python -m repro list > /dev/null
 python -m repro list-formats > /dev/null
 python -m repro describe "bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)" > /dev/null
@@ -32,7 +32,7 @@ if python -m repro describe mx7 2> /dev/null; then
     exit 1
 fi
 
-echo "=== [4/4] serving CLI smoke ==="
+echo "=== [4/5] serving CLI smoke ==="
 # tiny model, ~2s budget: exercises compile -> session -> metrics end to end
 python -m repro serve --model gpt-xs --requests 8 --max-batch 4 > /dev/null
 python -m repro bench-serve --quick > /dev/null
@@ -40,5 +40,15 @@ python -m repro bench-decode --quick > /dev/null
 python -m repro bench-forward --quick > /dev/null
 # the pre-residency schedule must stay a working end-to-end configuration
 REPRO_FUSION=0 python -m repro bench-forward --quick > /dev/null
+
+echo "=== [5/5] seeded chaos smoke ==="
+# fixed seed: the same faults inject at the same sites on every CI run.
+# the session must stay available, isolate the failures, retry the
+# transients, and leave zero unresolved futures (asserted by the suite).
+REPRO_FAULTS="seed=11 adapter.run_batch:kind=transient,rate=0.2" \
+    python -m pytest tests/serve/test_chaos.py -q
+# CLI under injected transients: served N/N with retries absorbed
+python -m repro serve --model gpt-xs --requests 16 --max-batch 4 --retries 3 \
+    --faults "seed=7 adapter.run_batch:kind=transient,rate=0.3" > /dev/null
 
 echo "ci: all gates passed"

@@ -135,7 +135,7 @@ def _build_serving_demo(model_name: str, seed: int):
 
 def _cmd_serve(argv: list[str]) -> int:
     """Demo server: compile a GPT ladder member, serve scored requests."""
-    from .serve import SessionConfig, compile_model
+    from .serve import SessionConfig, compile_model, configure_faults
 
     parser = argparse.ArgumentParser(
         prog="repro serve",
@@ -152,13 +152,44 @@ def _cmd_serve(argv: list[str]) -> int:
     parser.add_argument("--stream", action="store_true",
                         help="also demo token-by-token streaming generation")
     parser.add_argument("--seed", type=int, default=0)
+    # reliability surface
+    parser.add_argument("--max-queue", type=int, default=0,
+                        help="bound on queued requests (0 = unbounded)")
+    parser.add_argument("--shed-policy", default="reject", choices=("reject", "oldest"))
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="default per-request deadline in seconds")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-executions of transiently-failing batches")
+    parser.add_argument("--retry-backoff", type=float, default=0.05)
+    parser.add_argument("--watchdog", type=float, default=0.0,
+                        help="hung-worker watchdog interval in seconds (0 = off)")
+    parser.add_argument("--hang-timeout", type=float, default=5.0)
+    parser.add_argument("--degrade", default=None,
+                        help="comma-separated degradation ladder, e.g. mx6,mx4")
+    parser.add_argument("--degrade-queue-depth", type=int, default=0,
+                        help="queue depth that triggers degraded serving")
+    parser.add_argument("--breaker-threshold", type=int, default=0,
+                        help="consecutive failures that trip the circuit breaker")
+    parser.add_argument("--breaker-cooldown", type=float, default=1.0)
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault-injection plan (REPRO_FAULTS grammar), "
+                        'e.g. "seed=7 adapter.run_batch:kind=transient,rate=0.3"')
     args = parser.parse_args(argv)
 
+    if args.faults:
+        configure_faults(args.faults)
     model, make_requests = _build_serving_demo(args.model, args.seed)
     fmt = None if args.fmt.strip().lower() == "fp32" else args.fmt
+    ladder = tuple(s for s in (args.degrade or "").split(",") if s.strip())
     config = SessionConfig(
         format=fmt, max_batch=args.max_batch, max_wait=args.max_wait,
-        workers=args.workers,
+        workers=args.workers, max_queue=args.max_queue,
+        shed_policy=args.shed_policy, default_timeout=args.timeout,
+        max_retries=args.retries, retry_backoff=args.retry_backoff,
+        watchdog_interval=args.watchdog, hang_timeout=args.hang_timeout,
+        degrade_ladder=ladder, degrade_queue_depth=args.degrade_queue_depth,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     compiled = compile_model(model, config=config)
     info = compiled.describe()
@@ -166,11 +197,43 @@ def _cmd_serve(argv: list[str]) -> int:
           f"for {args.fmt}: tasks={','.join(info['tasks'])}")
 
     requests, answers = make_requests(args.requests)
+    # fault-tolerant drain: submit everything, harvest each future
+    # individually so one failed request never loses the rest
+    served, failed, degraded = [], 0, 0
     with compiled.session(config) as session:
-        results = session.map(requests)
+        futures = []
+        for request in requests:
+            try:
+                futures.append(session.submit(request))
+            except Exception as error:
+                failed += 1
+                print(f"  rejected at admission: {type(error).__name__}: {error}")
+                futures.append(None)
+        for future, answer in zip(futures, answers):
+            if future is None:
+                continue
+            try:
+                result = future.result()
+            except Exception as error:
+                failed += 1
+                print(f"  request failed: {type(error).__name__}: {error}")
+                continue
+            if result.get("served_format"):
+                degraded += 1
+            served.append((result, answer))
+        health = session.health()
         summary = session.summary()
-    correct = sum(int(r["choice"] == a) for r, a in zip(results, answers))
-    print(f"served {len(results)} requests  accuracy={100.0 * correct / len(results):.1f}%")
+    if not served:
+        print("no requests served")
+        return 1
+    correct = sum(int(r["choice"] == a) for r, a in served)
+    line = f"served {len(served)}/{len(requests)} requests  " \
+           f"accuracy={100.0 * correct / len(served):.1f}%"
+    if failed:
+        line += f"  failed={failed}"
+    if degraded:
+        line += f"  degraded={degraded}"
+    print(line)
     latency = summary.get("latency_ms", {})
     batch = summary.get("batch", {})
     print(
@@ -178,6 +241,16 @@ def _cmd_serve(argv: list[str]) -> int:
         f"p50={latency.get('p50', 0.0):.2f}ms p99={latency.get('p99', 0.0):.2f}ms  "
         f"mean-batch={batch.get('mean_size', 0.0):.2f} "
         f"occupancy={batch.get('occupancy', 0.0):.2f}"
+    )
+    taxonomy = summary.get("reliability", {})
+    nonzero = {k: v for k, v in taxonomy.items() if v}
+    if nonzero:
+        print("reliability: " + "  ".join(f"{k}={v}" for k, v in sorted(nonzero.items())))
+    workers = health.get("workers", {})
+    print(
+        f"health: state={health['state']}  fidelity={health['fidelity']}  "
+        f"workers={workers.get('alive', '?')}/{workers.get('configured', '?')} "
+        f"(replaced={workers.get('replaced', 0)})"
     )
     if args.stream:
         import numpy as np
@@ -242,6 +315,10 @@ def _cmd_bench_serve(argv: list[str]) -> int:
             f"(token p50={latency.get('p50', 0.0):.2f}ms "
             f"p99={latency.get('p99', 0.0):.2f}ms)"
         )
+    taxonomy = {k: v for k, v in payload.get("reliability", {}).items() if v}
+    if taxonomy:
+        print("reliability       : "
+              + "  ".join(f"{k}={v}" for k, v in sorted(taxonomy.items())))
     if args.json_path:
         with open(args.json_path, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

@@ -45,6 +45,7 @@ __all__ = [
     "bdr_quantize_partial",
     "quantize_call_count",
     "reset_quantize_calls",
+    "set_fault_probe",
 ]
 
 # ----------------------------------------------------------------------
@@ -80,6 +81,28 @@ def reset_quantize_calls() -> int:
         previous = _CALLS
         _CALLS = 0
         return previous
+
+
+# ----------------------------------------------------------------------
+# Fault probe (chaos testing; see repro.serve.faults)
+# ----------------------------------------------------------------------
+# When a fault plan watching kernel sites is active, the serving layer
+# installs a probe here; every engine entry then calls it with the site
+# name "kernel.quantize" and the probe may raise or stall.  Without a
+# probe the engine pays a single module-global None-check.
+_FAULT_PROBE = None
+
+
+def set_fault_probe(probe) -> object | None:
+    """Install (or with ``None`` remove) the kernel-site fault probe.
+
+    Returns the previous probe.  The probe is called as
+    ``probe("kernel.quantize")`` on every non-empty engine invocation.
+    """
+    global _FAULT_PROBE
+    previous = _FAULT_PROBE
+    _FAULT_PROBE = probe
+    return previous
 
 
 def bdr_quantize(
@@ -149,6 +172,8 @@ def bdr_quantize_partial(
     if x.size == 0:
         return x.copy()
     _count_call()
+    if _FAULT_PROBE is not None:
+        _FAULT_PROBE("kernel.quantize")
     return get_backend().quantize_partial(x, config, axis, rounding, rng)
 
 
@@ -160,6 +185,8 @@ def _quantize(x, config, axis, rounding, rng, scale_override, detailed):
             return empty
         return QuantizeResult(empty, empty, empty, None, empty)
     _count_call()
+    if _FAULT_PROBE is not None:
+        _FAULT_PROBE("kernel.quantize")
     return get_backend().quantize(
         x, config, axis, rounding, rng, scale_override, detailed
     )

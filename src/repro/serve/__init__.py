@@ -26,7 +26,13 @@ Layers:
   weights (memoized on the data-version counter, or storage-cast).
 * :mod:`repro.serve.session` — :class:`InferenceSession`, the
   micro-batching futures front end with worker threads.
-* :mod:`repro.serve.metrics` — per-session latency/throughput/occupancy.
+* :mod:`repro.serve.metrics` — per-session latency/throughput/occupancy
+  plus the reliability-event taxonomy
+  (:data:`~repro.serve.metrics.RELIABILITY_EVENTS`).
+* :mod:`repro.serve.faults` — the serving error taxonomy and the
+  deterministic seeded fault-injection framework (``REPRO_FAULTS``).
+* :mod:`repro.serve.degrade` — fidelity-ladder graceful degradation and
+  the execution circuit breaker.
 * :class:`~repro.spec.serving.SessionConfig` — the declarative (JSON)
   serving configuration, re-exported from :mod:`repro.spec`.
 """
@@ -34,7 +40,25 @@ Layers:
 from ..spec.serving import SessionConfig
 from .adapters import Request, TaskAdapter, TASKS, adapter_for, register_adapter
 from .compile import CompiledModel, compile_model
-from .metrics import SessionMetrics
+from .degrade import CircuitBreaker, DegradationPolicy
+from .faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    QueueFull,
+    RequestShed,
+    ServingError,
+    SessionClosed,
+    TransientFault,
+    WorkerHung,
+    active_faults,
+    configure_faults,
+    inject_faults,
+    is_transient,
+    parse_faults,
+)
+from .metrics import RELIABILITY_EVENTS, SessionMetrics
 from .session import InferenceSession
 
 __all__ = [
@@ -48,7 +72,28 @@ __all__ = [
     "InferenceSession",
     "SessionConfig",
     "SessionMetrics",
+    "RELIABILITY_EVENTS",
     "serve",
+    # error taxonomy
+    "ServingError",
+    "SessionClosed",
+    "DeadlineExceeded",
+    "QueueFull",
+    "RequestShed",
+    "WorkerHung",
+    "InjectedFault",
+    "TransientFault",
+    "is_transient",
+    # fault injection
+    "FaultPlan",
+    "FaultRule",
+    "parse_faults",
+    "configure_faults",
+    "inject_faults",
+    "active_faults",
+    # graceful degradation
+    "CircuitBreaker",
+    "DegradationPolicy",
 ]
 
 

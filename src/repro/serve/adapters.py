@@ -39,6 +39,7 @@ from ..nn import functional as F
 from ..nn.layers import Module
 from ..nn.residency import fusion_enabled
 from ..nn.tensor import is_grad_enabled, no_grad
+from .faults import fault_point
 
 __all__ = [
     "Request",
@@ -143,6 +144,7 @@ class TaskAdapter:
     # ------------------------------------------------------------------
     def run_batch(self, requests: Sequence[Request]) -> list:
         """Execute a mixed batch, grouped by task, in request order."""
+        fault_point("adapter.run_batch")
         requests = [Request.coerce(r) for r in requests]
         for request in requests:
             if request.task not in self.tasks:
@@ -422,6 +424,7 @@ class CausalLMAdapter(TaskAdapter):
         tokens[0, : len(prompt)] = prompt
         n = len(prompt)
         for _ in range(max_new_tokens):
+            fault_point("adapter.decode_step")
             with no_grad():
                 nxt = int(np.argmax(step(tokens, n)[0]))
             tokens[0, n] = nxt

@@ -80,6 +80,7 @@ def measure_serving_speedup(
     compiled.run(requests[:WARMUP_REQUESTS])
     batched_rps = 0.0
     batched_quant_calls = 0
+    reliability: dict = {}
     for repeat in range(repeats):
         with compiled.session(config) as session:
             calls_before = quantize_call_count()
@@ -90,6 +91,10 @@ def measure_serving_speedup(
             )
             if repeat == 0:
                 batched_quant_calls = quantize_call_count() - calls_before
+            # the error/recovery taxonomy of the last timed pass: all-zero
+            # on a healthy run, and the first place injected faults or
+            # shed/retry behavior shows up in bench output
+            reliability = session.summary()["reliability"]
 
     # --- decode metrics: a short stream through a session ---------------
     prompt = np.asarray(requests[0]["context"], dtype=np.int64)[:8]
@@ -116,6 +121,7 @@ def measure_serving_speedup(
         "naive_quant_calls_per_request": naive_quant_calls / n if n else 0.0,
         "batched_quant_calls_per_request": batched_quant_calls / n if n else 0.0,
         "decode": decode,
+        "reliability": reliability,
     }
 
 

@@ -124,6 +124,8 @@ class CompiledModel:
         self._weight_versions = {
             name: param.version for name, param in model.named_parameters()
         }
+        # reduced-fidelity replicas, compiled once per spec (degradation)
+        self._replicas: dict[str, "CompiledModel"] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -166,6 +168,39 @@ class CompiledModel:
         if overrides:
             config = config.replace(**overrides)
         return InferenceSession(self, config)
+
+    @property
+    def fidelity(self) -> str | None:
+        """The format spec this model serves at (None = policy/FP32)."""
+        return self.config.format
+
+    def replica(self, fmt) -> "CompiledModel":
+        """A reduced-fidelity copy of this model, compiled exactly once.
+
+        The degradation ladder's workhorse: the model (weights included)
+        is deep-copied so the full-fidelity deployment is untouched, then
+        compiled for ``fmt`` with the same freeze mode.  Replicas are
+        cached per canonical spec string, so repeated requests for the
+        same rung never recompile.
+        """
+        import copy as _copy
+
+        spec = _spec_string(fmt)
+        cached = self._replicas.get(spec)
+        if cached is not None:
+            return cached
+        model_copy = _copy.deepcopy(self.model)
+        # the deep copy carries the cached adapter; drop it so the replica
+        # resolves a fresh one bound to its own model object
+        model_copy.__dict__.pop("_serve_adapter", None)
+        replica = compile_model(
+            model_copy,
+            spec,
+            freeze=self.config.freeze,
+            quantize_embeddings=self.config.quantize_embeddings,
+        )
+        self._replicas[spec] = replica
+        return replica
 
     # ------------------------------------------------------------------
     def check_frozen(self) -> bool:

@@ -1,0 +1,156 @@
+"""Graceful degradation: shed fidelity, not requests.
+
+The shared-microexponent ladder (mx9 → mx6 → mx4) is a set of
+pre-compilable accuracy/cost points over the *same* trained weights, so
+an overloaded server has a better option than rejecting work: route
+requests to a cheaper :class:`~repro.serve.compile.CompiledModel` replica
+down the format ladder and tag each response with the fidelity actually
+served.  Two triggers drive the routing:
+
+* **overload** — the session queue depth crossing multiples of
+  ``degrade_queue_depth`` steps the ladder down one level per multiple
+  (deeper backlog, cheaper format), recovering automatically as the
+  queue drains;
+* a tripped **circuit breaker** — ``breaker_threshold`` consecutive
+  execution failures open the breaker, routing traffic down-ladder for
+  ``breaker_cooldown`` seconds; the first request after the cool-down is
+  a half-open probe served at full fidelity, and its outcome closes or
+  re-opens the breaker.
+
+Replicas are compiled exactly once (at session startup, from a deep copy
+of the model, so the full-fidelity weights are never touched) and reused
+for every degraded batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "DegradationPolicy"]
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker over execution outcomes.
+
+    ``closed``: normal service; ``threshold`` *consecutive* failures trip
+    it open.  ``open``: degraded routing for ``cooldown`` seconds.
+    ``half-open``: the cool-down elapsed; traffic runs at full fidelity
+    as a probe — the next recorded success closes the breaker, the next
+    failure re-opens it (and restarts the cool-down).
+    """
+
+    def __init__(self, threshold: int, cooldown: float, clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._trips = 0
+        self._opened_at: float | None = None  # None = closed
+
+    # ------------------------------------------------------------------
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` (time-lazy)."""
+        with self._lock:
+            return self._state_locked()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == "half-open":
+                # failed probe: re-open and restart the cool-down
+                self._opened_at = self._clock()
+                self._trips += 1
+                return
+            self._failures += 1
+            if state == "closed" and self._failures >= self.threshold:
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state_locked() == "half-open":
+                self._opened_at = None  # probe succeeded: close
+            self._failures = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._failures,
+                "trips": self._trips,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown,
+            }
+
+
+class DegradationPolicy:
+    """Routes executions across the fidelity ladder under stress.
+
+    ``ladder`` is an ordered sequence of format spec strings, cheapest
+    last; each entry is compiled once into a replica via
+    :meth:`CompiledModel.replica`.  :meth:`select` maps the instantaneous
+    queue depth and breaker state to a ladder level and returns the
+    compiled model to execute on plus the spec string to tag responses
+    with (``None`` at full fidelity).
+    """
+
+    def __init__(
+        self,
+        base,
+        ladder=(),
+        *,
+        breaker: CircuitBreaker | None = None,
+        queue_trigger: int = 0,
+    ):
+        self.base = base
+        self.ladder = [(spec, base.replica(spec)) for spec in ladder]
+        self.breaker = breaker
+        self.queue_trigger = int(queue_trigger)
+
+    # ------------------------------------------------------------------
+    def level_for(self, queue_depth: int) -> int:
+        """Ladder level (0 = full fidelity) for the current stress state."""
+        if not self.ladder:
+            return 0
+        level = 0
+        if self.queue_trigger > 0 and queue_depth >= self.queue_trigger:
+            level = min(queue_depth // self.queue_trigger, len(self.ladder))
+        if self.breaker is not None and self.breaker.state == "open":
+            level = max(level, 1)
+        return level
+
+    def select(self, queue_depth: int):
+        """``(compiled, served_format | None)`` for the next execution."""
+        level = self.level_for(queue_depth)
+        if level == 0:
+            return self.base, None
+        spec, replica = self.ladder[level - 1]
+        return replica, spec
+
+    def record_result(self, success: bool) -> None:
+        """Feed one execution outcome to the breaker (if configured)."""
+        if self.breaker is None:
+            return
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+
+    def snapshot(self) -> dict:
+        return {
+            "ladder": [spec for spec, _ in self.ladder],
+            "queue_trigger": self.queue_trigger,
+            "breaker": self.breaker.snapshot() if self.breaker is not None else None,
+        }

@@ -1,0 +1,361 @@
+"""Deterministic, seeded fault injection and the serving error taxonomy.
+
+Chaos testing only works when a failure can be *scheduled*: the same seed
+must inject the same faults at the same sites on every run, so a test (or
+the CI chaos gate) can assert recovery behavior instead of hoping to
+catch a race.  This module provides that substrate:
+
+* a typed **error taxonomy** for everything the reliability layer can do
+  to a request (:class:`DeadlineExceeded`, :class:`QueueFull`,
+  :class:`RequestShed`, :class:`SessionClosed`, :class:`WorkerHung`) plus
+  the injected-fault types (:class:`InjectedFault`,
+  :class:`TransientFault`);
+* a :class:`FaultPlan` — an ordered list of :class:`FaultRule`\\ s, each
+  targeting a named **site** with a kind (``error`` / ``transient`` /
+  ``latency`` / ``hang``), an injection ``rate``, and scheduling knobs
+  (``after``, ``limit``).  Decisions are drawn from a counter-keyed
+  seeded stream, so a plan replays identically run to run;
+* :func:`fault_point` — the probe the serving/kernel layers call at the
+  instrumented sites.  With no active plan it is a single global read,
+  so production traffic pays nothing.
+
+Instrumented sites:
+
+=====================  ====================================================
+``kernel.quantize``    every BDR engine invocation (installed as a probe
+                       into :mod:`repro.core.quantize` only while a plan
+                       watching ``kernel`` is active)
+``adapter.run_batch``  entry of every task-adapter batch execution
+``adapter.decode_step``each streamed decode step (causal LM families)
+``worker.batch``       a session worker about to execute a batch
+``worker.stream``      a session worker about to execute a stream job
+=====================  ====================================================
+
+Activate a plan programmatically (:func:`configure_faults`, or the
+:func:`inject_faults` context manager for tests) or through the
+``REPRO_FAULTS`` environment variable, e.g.::
+
+    REPRO_FAULTS="seed=7 adapter.run_batch:kind=transient,rate=0.25"
+
+Grammar: whitespace-separated clauses.  ``seed=N`` sets the plan seed;
+every other clause is ``site`` or ``site:key=value,key=value`` with keys
+``kind`` (default ``error``), ``rate`` (default 1.0), ``after`` (skip the
+first N matches), ``limit`` (max injections), ``latency`` (sleep seconds
+for ``kind=latency``), and ``hang`` (stall seconds for ``kind=hang``).
+A rule site matches a probe site exactly or as a dotted prefix
+(``adapter`` matches ``adapter.run_batch``); ``*`` matches everything.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "ServingError",
+    "SessionClosed",
+    "DeadlineExceeded",
+    "QueueFull",
+    "RequestShed",
+    "WorkerHung",
+    "InjectedFault",
+    "TransientFault",
+    "is_transient",
+    "FaultRule",
+    "FaultPlan",
+    "parse_faults",
+    "configure_faults",
+    "inject_faults",
+    "active_faults",
+    "faults_from_env",
+    "ensure_env_faults",
+    "fault_point",
+]
+
+#: Environment variable holding a fault-plan spec (see module docstring).
+ENV_VAR = "REPRO_FAULTS"
+
+#: What an injected fault does at its site.
+FAULT_KINDS = ("error", "transient", "latency", "hang")
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+class ServingError(RuntimeError):
+    """Base of every typed error the serving reliability layer raises."""
+
+
+class SessionClosed(ServingError):
+    """The session closed before (or while) the request could be served."""
+
+
+class DeadlineExceeded(ServingError, TimeoutError):
+    """The request's deadline passed before a result was produced."""
+
+
+class QueueFull(ServingError):
+    """Admission control rejected the request (bounded queue, shed=reject)."""
+
+
+class RequestShed(ServingError):
+    """The request was dropped by the shed policy to admit newer work."""
+
+
+class WorkerHung(ServingError):
+    """The worker executing the request stalled and was replaced."""
+
+
+class InjectedFault(ServingError):
+    """A fault injected by the active :class:`FaultPlan` (chaos testing)."""
+
+    #: retriable by the session's transient-retry policy?
+    transient = False
+
+
+class TransientFault(InjectedFault):
+    """An injected fault classified transient: retry-with-backoff applies."""
+
+    transient = True
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether the retry policy may re-execute after ``error``.
+
+    True for :class:`TransientFault` and for any exception carrying a
+    truthy ``transient`` attribute — applications can mark their own
+    retriable error types without registering anything.
+    """
+    return bool(getattr(error, "transient", False))
+
+
+# ----------------------------------------------------------------------
+# Fault rules and plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule of a :class:`FaultPlan` (see module docstring)."""
+
+    site: str
+    kind: str = "error"
+    rate: float = 1.0
+    after: int = 0
+    limit: int | None = None
+    latency: float = 0.05
+    hang: float = 1.0
+
+    def __post_init__(self):
+        if not self.site:
+            raise ValueError("a fault rule needs a site")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.limit is not None and self.limit < 0:
+            raise ValueError(f"limit must be >= 0, got {self.limit}")
+        if self.latency < 0 or self.hang < 0:
+            raise ValueError("latency and hang must be >= 0")
+
+    def matches(self, site: str) -> bool:
+        """Exact, dotted-prefix, or ``*`` site match."""
+        return self.site == "*" or site == self.site or site.startswith(self.site + ".")
+
+
+@dataclass
+class _RuleState:
+    hits: int = 0
+    injected: int = 0
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injections across named sites.
+
+    Each rule keeps a private hit counter; the decision for hit ``n`` of a
+    rule is drawn from ``random.Random(f"{seed}:{site}:{kind}:{n}")``, so
+    the injection schedule is a pure function of (seed, rule, hit index) —
+    independent of wall clock and of *which* thread reaches the site.
+    The first rule that fires wins; rules are consulted in order.
+    """
+
+    def __init__(self, rules, seed: int = 0):
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._states = [_RuleState() for _ in self.rules]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, rules={list(self.rules)!r})"
+
+    def watches(self, prefix: str) -> bool:
+        """Whether any rule could fire at sites under ``prefix``."""
+        return any(
+            r.site == "*" or r.site == prefix or r.site.startswith(prefix + ".")
+            for r in self.rules
+        )
+
+    def decide(self, site: str) -> FaultRule | None:
+        """The rule injecting at this ``site`` visit, or None."""
+        with self._lock:
+            for rule, state in zip(self.rules, self._states):
+                if not rule.matches(site):
+                    continue
+                n = state.hits
+                state.hits += 1
+                if n < rule.after:
+                    continue
+                if rule.limit is not None and state.injected >= rule.limit:
+                    continue
+                draw = random.Random(f"{self.seed}:{rule.site}:{rule.kind}:{n}").random()
+                if draw < rule.rate:
+                    state.injected += 1
+                    return rule
+        return None
+
+    def stats(self) -> list[dict]:
+        """Per-rule ``{site, kind, hits, injected}`` counters (snapshot)."""
+        with self._lock:
+            return [
+                {"site": r.site, "kind": r.kind, "hits": s.hits, "injected": s.injected}
+                for r, s in zip(self.rules, self._states)
+            ]
+
+
+_COERCERS = {
+    "kind": str,
+    "rate": float,
+    "after": int,
+    "limit": int,
+    "latency": float,
+    "hang": float,
+}
+
+
+def parse_faults(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`.
+
+    See the module docstring for the grammar.  A ``seed=N`` clause in the
+    spec overrides the ``seed`` argument.
+    """
+    rules: list[FaultRule] = []
+    for token in spec.replace(";", " ").split():
+        if token.startswith("seed="):
+            seed = int(token[len("seed="):])
+            continue
+        site, _, options = token.partition(":")
+        kwargs: dict = {}
+        if options:
+            for option in options.split(","):
+                key, sep, value = option.partition("=")
+                if not sep or key not in _COERCERS:
+                    raise ValueError(
+                        f"bad fault option {option!r} in clause {token!r}; "
+                        f"known keys: {sorted(_COERCERS)}"
+                    )
+                kwargs[key] = _COERCERS[key](value)
+        rules.append(FaultRule(site=site, **kwargs))
+    if not rules:
+        raise ValueError(f"fault spec {spec!r} declares no rules")
+    return FaultPlan(rules, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Active-plan management and the probe
+# ----------------------------------------------------------------------
+_ACTIVE: FaultPlan | None = None
+
+
+def _sync_kernel_probe() -> None:
+    """(Un)install :func:`fault_point` into the quantize engine.
+
+    The kernel probe costs one ``None``-check per engine call, but only
+    while a plan watching ``kernel`` sites is active — otherwise the hot
+    path stays untouched.
+    """
+    from ..core.quantize import set_fault_probe
+
+    if _ACTIVE is not None and _ACTIVE.watches("kernel"):
+        set_fault_probe(fault_point)
+    else:
+        set_fault_probe(None)
+
+
+def configure_faults(plan: FaultPlan | str | None, seed: int = 0) -> FaultPlan | None:
+    """Install ``plan`` process-wide; returns the previously active plan.
+
+    Accepts a :class:`FaultPlan`, a spec string (parsed with ``seed``), or
+    ``None`` to disable injection entirely.
+    """
+    global _ACTIVE
+    if isinstance(plan, str):
+        plan = parse_faults(plan, seed=seed)
+    previous = _ACTIVE
+    _ACTIVE = plan
+    _sync_kernel_probe()
+    return previous
+
+
+@contextlib.contextmanager
+def inject_faults(plan: FaultPlan | str, seed: int = 0):
+    """Scoped fault injection for tests; restores the previous plan."""
+    previous = configure_faults(plan, seed=seed)
+    try:
+        yield _ACTIVE
+    finally:
+        configure_faults(previous)
+
+
+def active_faults() -> FaultPlan | None:
+    """The currently installed plan, if any."""
+    return _ACTIVE
+
+
+def faults_from_env(environ=os.environ) -> FaultPlan | None:
+    """A plan parsed from ``REPRO_FAULTS``, or None when unset/empty."""
+    spec = environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return parse_faults(spec)
+
+
+def ensure_env_faults() -> FaultPlan | None:
+    """Install the ``REPRO_FAULTS`` plan unless a plan is already active.
+
+    Called by :class:`~repro.serve.session.InferenceSession` on startup so
+    chaos runs need no code changes; programmatic plans always win.
+    """
+    if _ACTIVE is None:
+        plan = faults_from_env()
+        if plan is not None:
+            configure_faults(plan)
+    return _ACTIVE
+
+
+def fault_point(site: str) -> None:
+    """Probe called by instrumented code; injects per the active plan.
+
+    ``error`` / ``transient`` raise; ``latency`` sleeps briefly; ``hang``
+    stalls the calling thread long enough for hung-worker detection to
+    observe a missed heartbeat.  No-op (one global read) without a plan.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    rule = plan.decide(site)
+    if rule is None:
+        return
+    if rule.kind == "latency":
+        time.sleep(rule.latency)
+    elif rule.kind == "hang":
+        time.sleep(rule.hang)
+    elif rule.kind == "transient":
+        raise TransientFault(f"injected transient fault at {site}")
+    else:
+        raise InjectedFault(f"injected fault at {site}")

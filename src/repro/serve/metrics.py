@@ -17,7 +17,29 @@ import numpy as np
 
 from ..core.quantize import quantize_call_count
 
-__all__ = ["SessionMetrics", "percentile", "cache_stats"]
+__all__ = ["SessionMetrics", "RELIABILITY_EVENTS", "percentile", "cache_stats"]
+
+#: The serving error/recovery taxonomy tracked per session (disjoint from
+#: ``errors``, which counts terminal adapter/payload failures):
+#: ``timeouts`` — requests failed with DeadlineExceeded;
+#: ``sheds`` — requests rejected or dropped by admission control;
+#: ``retries`` — transient-failure batch re-executions;
+#: ``cancelled`` — requests cancelled before/while running (map timeout,
+#: abandoned stream consumers);
+#: ``degraded`` — responses served by a reduced-fidelity ladder replica;
+#: ``hung`` — requests failed because their worker hung;
+#: ``workers_replaced`` — workers the watchdog replaced;
+#: ``closed`` — futures resolved with SessionClosed at forced shutdown.
+RELIABILITY_EVENTS = (
+    "timeouts",
+    "sheds",
+    "retries",
+    "cancelled",
+    "degraded",
+    "hung",
+    "workers_replaced",
+    "closed",
+)
 
 
 def _lru_info(cached_fn) -> dict:
@@ -71,6 +93,7 @@ class SessionMetrics:
         self._requests = 0
         self._errors = 0
         self._tokens = 0
+        self._events = dict.fromkeys(RELIABILITY_EVENTS, 0)
         # baseline for the per-session quantize-call delta; process-wide,
         # so concurrent sessions each see every session's calls — the
         # counter is a residency observable, not an accounting ledger
@@ -84,9 +107,41 @@ class SessionMetrics:
             self._latencies.extend(float(l) for l in latencies)
             self._requests += int(batch_size)
 
+    def record_execution(self, batch_size: int) -> None:
+        """One model execution of ``batch_size`` requests (occupancy stat).
+
+        Split from :meth:`record_done` so the bisection path can account
+        each job's terminal outcome exactly once while still counting
+        every real model call toward batch-size/occupancy statistics.
+        """
+        with self._lock:
+            self._batch_sizes.append(int(batch_size))
+
+    def record_done(self, latency: float) -> None:
+        """One request served successfully, ``latency`` seconds after
+        submission.  Every job is recorded exactly once, at the moment its
+        future resolves — never per retry level or re-execution."""
+        with self._lock:
+            self._latencies.append(float(latency))
+            self._requests += 1
+
     def record_error(self, batch_size: int) -> None:
         with self._lock:
             self._errors += int(batch_size)
+
+    def record_event(self, kind: str, n: int = 1) -> None:
+        """Bump one reliability-taxonomy counter (see RELIABILITY_EVENTS)."""
+        if kind not in self._events:
+            raise ValueError(
+                f"unknown reliability event {kind!r}; known: {RELIABILITY_EVENTS}"
+            )
+        with self._lock:
+            self._events[kind] += int(n)
+
+    def events(self) -> dict:
+        """Snapshot of the reliability-event counters."""
+        with self._lock:
+            return dict(self._events)
 
     def record_tokens(self, n: int, latency: float | None = None) -> None:
         """Tokens produced by streaming generation.
@@ -123,6 +178,7 @@ class SessionMetrics:
             batch_sizes = list(self._batch_sizes)
             token_latencies = list(self._token_latencies)
             requests, errors, tokens = self._requests, self._errors, self._tokens
+            events = dict(self._events)
             # clamped: a bench calling reset_quantize_calls() mid-session
             # would otherwise drive the delta negative
             quant_calls = max(0, quantize_call_count() - self._quant_calls_start)
@@ -137,6 +193,9 @@ class SessionMetrics:
                 "per_request": quant_calls / requests if requests else 0.0,
             },
             "caches": cache_stats(),
+            # the full error/recovery taxonomy in one place ("errors"
+            # repeated here so dashboards need a single key)
+            "reliability": {"errors": errors, **events},
         }
         if latencies:
             ms = [l * 1e3 for l in latencies]

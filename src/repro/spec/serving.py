@@ -23,12 +23,18 @@ from dataclasses import dataclass, fields
 from .grammar import parse_spec, render_spec
 from .policy import PolicySpec, policy_from_dict
 
-__all__ = ["SessionConfig", "FREEZE_MODES"]
+__all__ = ["SessionConfig", "FREEZE_MODES", "SHED_POLICIES"]
 
 #: How compile freezes quantized weights: ``memo`` keeps FP32 masters and
 #: memoizes quantized payloads on the data-version counter; ``cast``
 #: additionally bakes the quantization into the stored arrays.
 FREEZE_MODES = ("memo", "cast")
+
+#: What admission control does when the bounded queue is full: ``reject``
+#: raises :class:`~repro.serve.faults.QueueFull` at submit; ``oldest``
+#: sheds the oldest queued request (its future fails with
+#: :class:`~repro.serve.faults.RequestShed`) to admit the new one.
+SHED_POLICIES = ("reject", "oldest")
 
 
 def _canonical_spec(value) -> str | None:
@@ -69,6 +75,32 @@ class SessionConfig:
         max_wait: seconds the batcher waits for co-riders after the first
             request of a batch arrives.
         workers: worker threads executing batches.
+        max_queue: bound on *queued* (not yet executing) requests; 0 keeps
+            the queue unbounded (no admission control).
+        shed_policy: one of :data:`SHED_POLICIES`; what admission does when
+            the bounded queue is full.
+        default_timeout: per-request deadline (seconds from submission)
+            applied to requests that carry no explicit ``timeout``; None
+            disables deadlines by default.
+        max_retries: how many times a batch whose failure is classified
+            transient (:func:`~repro.serve.faults.is_transient`) is
+            re-executed before the failure becomes terminal.
+        retry_backoff: base of the exponential backoff between retries
+            (sleep ``retry_backoff * 2**attempt`` seconds).
+        watchdog_interval: heartbeat-check period of the hung-worker
+            watchdog; 0 disables the watchdog thread.
+        hang_timeout: a worker whose heartbeat is older than this while a
+            batch is in flight is declared hung and replaced.
+        degrade_ladder: ordered format spec strings (cheapest last) the
+            session may degrade to under overload / a tripped breaker;
+            None/empty disables graceful degradation.
+        degrade_queue_depth: queue depth at which degraded serving starts
+            (each further multiple steps one more ladder rung down); 0
+            disables overload-triggered degradation.
+        breaker_threshold: consecutive execution failures that trip the
+            circuit breaker; 0 disables the breaker.
+        breaker_cooldown: seconds the tripped breaker stays open before
+            probing full fidelity again (half-open).
     """
 
     format: str | None = None
@@ -79,6 +111,17 @@ class SessionConfig:
     max_batch: int = 8
     max_wait: float = 0.002
     workers: int = 1
+    max_queue: int = 0
+    shed_policy: str = "reject"
+    default_timeout: float | None = None
+    max_retries: int = 0
+    retry_backoff: float = 0.05
+    watchdog_interval: float = 0.0
+    hang_timeout: float = 5.0
+    degrade_ladder: tuple = ()
+    degrade_queue_depth: int = 0
+    breaker_threshold: int = 0
+    breaker_cooldown: float = 1.0
 
     def __post_init__(self):
         object.__setattr__(self, "format", _canonical_spec(self.format))
@@ -96,6 +139,46 @@ class SessionConfig:
             raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        ladder = self.degrade_ladder or ()
+        if isinstance(ladder, str):
+            raise TypeError("degrade_ladder must be a sequence of specs, not a string")
+        object.__setattr__(
+            self, "degrade_ladder", tuple(_canonical_spec(s) for s in ladder)
+        )
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {self.shed_policy!r}"
+            )
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ValueError(
+                f"default_timeout must be positive or None, got {self.default_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if self.watchdog_interval < 0:
+            raise ValueError(
+                f"watchdog_interval must be >= 0, got {self.watchdog_interval}"
+            )
+        if self.hang_timeout <= 0:
+            raise ValueError(f"hang_timeout must be > 0, got {self.hang_timeout}")
+        if self.degrade_queue_depth < 0:
+            raise ValueError(
+                f"degrade_queue_depth must be >= 0, got {self.degrade_queue_depth}"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown < 0:
+            raise ValueError(
+                f"breaker_cooldown must be >= 0, got {self.breaker_cooldown}"
+            )
+        if self.degrade_queue_depth > 0 and not self.degrade_ladder:
+            raise ValueError("degrade_queue_depth requires a degrade_ladder")
 
     # ------------------------------------------------------------------
     # Serialization
@@ -106,7 +189,11 @@ class SessionConfig:
         out = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            out[f.name] = copy.deepcopy(value) if f.name == "policy" and value else value
+            if f.name == "policy" and value:
+                value = copy.deepcopy(value)
+            elif f.name == "degrade_ladder":
+                value = list(value)  # JSON has no tuples
+            out[f.name] = value
         return out
 
     @classmethod

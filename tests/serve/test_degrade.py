@@ -1,0 +1,234 @@
+"""Graceful degradation: circuit breaker, ladder routing, replica fidelity."""
+
+import copy
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticLanguage
+from repro.models.gpt import GPT, GPTConfig
+from repro.serve import compile_model, configure_faults
+from repro.serve.degrade import CircuitBreaker, DegradationPolicy
+
+from test_reliability import EchoModel, req
+
+SMALL = GPTConfig(dim=16, num_layers=1, num_heads=2, max_len=64)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    previous = configure_faults(None)
+    yield
+    configure_faults(previous)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker unit behavior (injected clock: no real sleeping)
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(3, 1.0, clock=FakeClock())
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.snapshot()["trips"] == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(2, 1.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken: 1+1, never 2
+
+    def test_half_open_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now = 4.9
+        assert breaker.state == "open"
+        clock.now = 5.0
+        assert breaker.state == "half-open"
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 2.0
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.state == "half-open"
+        breaker.record_failure()
+        assert breaker.state == "open"  # cool-down restarted at t=2
+        clock.now = 2.9
+        assert breaker.state == "open"
+        assert breaker.snapshot()["trips"] == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# DegradationPolicy routing
+# ----------------------------------------------------------------------
+class TestLadderRouting:
+    def make_policy(self, **kwargs):
+        base = compile_model(EchoModel())
+        return DegradationPolicy(base, ("mx6", "mx4"), **kwargs), base
+
+    def test_level_zero_below_trigger(self):
+        policy, base = self.make_policy(queue_trigger=4)
+        compiled, served = policy.select(3)
+        assert compiled is base and served is None
+
+    def test_deeper_backlog_cheaper_format(self):
+        policy, _ = self.make_policy(queue_trigger=4)
+        assert policy.select(4)[1] == "mx6"
+        assert policy.select(8)[1] == "mx4"
+        assert policy.select(800)[1] == "mx4"  # clamped to ladder depth
+
+    def test_open_breaker_forces_at_least_level_one(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 10.0, clock=clock)
+        policy, _ = self.make_policy(queue_trigger=0, breaker=breaker)
+        assert policy.select(0)[1] is None
+        breaker.record_failure()
+        assert policy.select(0)[1] == "mx6"
+        clock.now = 20.0  # half-open: probe at full fidelity
+        assert policy.select(0)[1] is None
+
+    def test_replicas_compiled_once_and_reused(self):
+        policy, base = self.make_policy(queue_trigger=1)
+        first = policy.select(1)[0]
+        assert policy.select(1)[0] is first
+        assert base.replica("mx6") is first
+
+
+# ----------------------------------------------------------------------
+# End-to-end through the session
+# ----------------------------------------------------------------------
+class TestSessionDegradation:
+    def test_overload_serves_tagged_and_recovers(self):
+        compiled = compile_model(EchoModel())
+        with compiled.session(
+            workers=1, max_wait=0.01, max_batch=8,
+            degrade_ladder=("mx4",), degrade_queue_depth=2,
+        ) as session:
+            # the blocker's batch window (10ms) closes before the burst
+            # arrives, so it rides alone and occupies the worker
+            blocker = session.submit(req("blocker", sleep=0.2))
+            time.sleep(0.05)
+            burst = [session.submit(req(i)) for i in range(6)]
+            assert blocker.result(timeout=5) == {"value": "blocker"}
+            results = [f.result(timeout=5) for f in burst]
+            # the backlog was served degraded, and tagged as such
+            assert all(r["served_format"] == "mx4" for r in results)
+            # queue drained: traffic returns to full fidelity, untagged
+            calm = session.submit(req("calm")).result(timeout=5)
+            assert "served_format" not in calm
+            summary = session.summary()
+        assert summary["reliability"]["degraded"] == 6
+        assert summary["errors"] == 0
+
+    def test_breaker_trip_degrades_then_recovers(self):
+        compiled = compile_model(EchoModel())
+        with compiled.session(
+            workers=1, max_wait=0.005,
+            degrade_ladder=("mx4",),
+            breaker_threshold=2, breaker_cooldown=0.2,
+        ) as session:
+            for i in range(2):
+                with pytest.raises(ValueError):
+                    session.submit(req(i, boom="x")).result(timeout=5)
+            assert session.health()["degradation"]["breaker"]["state"] == "open"
+            degraded = session.submit(req("deg")).result(timeout=5)
+            assert degraded["served_format"] == "mx4"
+            time.sleep(0.25)  # cool-down elapses -> half-open probe
+            probe = session.submit(req("probe")).result(timeout=5)
+            assert "served_format" not in probe
+            assert session.health()["degradation"]["breaker"]["state"] == "closed"
+            assert session.health()["state"] == "ok"
+
+    def test_health_reports_degraded_state(self):
+        compiled = compile_model(EchoModel())
+        with compiled.session(
+            workers=1, max_wait=0.01,
+            degrade_ladder=("mx4",), degrade_queue_depth=1,
+        ) as session:
+            session.submit(req("blocker", sleep=0.2))
+            time.sleep(0.05)
+            session.submit(req(1))
+            session.submit(req(2))
+            health = session.health()
+            assert health["state"] == "degraded"
+            assert health["fidelity"] == "mx4"
+            assert health["degradation"]["ladder"] == ["mx4"]
+
+    def test_config_validation(self):
+        from repro.spec.serving import SessionConfig
+
+        with pytest.raises(ValueError, match="degrade_queue_depth"):
+            SessionConfig(degrade_queue_depth=2)
+        with pytest.raises(TypeError, match="not a string"):
+            SessionConfig(degrade_ladder="mx4")
+        config = SessionConfig(degrade_ladder=["mx6", "mx4"], degrade_queue_depth=2)
+        assert config.to_dict()["degrade_ladder"] == ["mx6", "mx4"]
+        assert SessionConfig.from_json(config.to_json()) == config
+
+
+# ----------------------------------------------------------------------
+# Replica fidelity on a real model
+# ----------------------------------------------------------------------
+class TestReplicaFidelity:
+    def test_replica_matches_directly_compiled_model(self):
+        lang = SyntheticLanguage(seed=0)
+        model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+        pristine = copy.deepcopy(model)
+        rng = np.random.default_rng(1)
+        requests = [
+            {
+                "task": "score",
+                "context": lang.sample_sequence(10, rng),
+                "candidates": [lang.sample_sequence(4, rng) for _ in range(2)],
+            }
+            for _ in range(4)
+        ]
+
+        base = compile_model(model, "mx6")
+        via_ladder = base.replica("mx4").run(requests)
+        direct = compile_model(pristine, "mx4").run(requests)
+        assert [r["scores"] for r in via_ladder] == [r["scores"] for r in direct]
+
+    def test_replica_leaves_base_model_untouched(self):
+        lang = SyntheticLanguage(seed=0)
+        model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+        base = compile_model(model, "mx6")
+        rng = np.random.default_rng(2)
+        request = {
+            "task": "score",
+            "context": lang.sample_sequence(8, rng),
+            "candidates": [lang.sample_sequence(3, rng) for _ in range(2)],
+        }
+        before = base.run_one(request)
+        base.replica("mx4")  # compiling the replica must not disturb mx6
+        assert base.check_frozen()
+        assert base.run_one(request) == before

@@ -1,0 +1,220 @@
+"""The fault-injection framework: grammar, determinism, scoping, probes."""
+
+import pytest
+
+from repro.serve.faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    ServingError,
+    SessionClosed,
+    TransientFault,
+    active_faults,
+    configure_faults,
+    ensure_env_faults,
+    fault_point,
+    faults_from_env,
+    inject_faults,
+    is_transient,
+    parse_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    """Every test starts and ends with no active plan."""
+    previous = configure_faults(None)
+    yield
+    configure_faults(previous)
+
+
+class TestTaxonomy:
+    def test_typed_errors_are_serving_errors(self):
+        for cls in (SessionClosed, DeadlineExceeded, InjectedFault, TransientFault):
+            assert issubclass(cls, ServingError)
+            assert issubclass(cls, RuntimeError)
+
+    def test_deadline_is_a_timeout(self):
+        # callers with generic timeout handling catch deadlines for free
+        assert issubclass(DeadlineExceeded, TimeoutError)
+
+    def test_session_closed_matches_legacy_message_contract(self):
+        with pytest.raises(RuntimeError, match="closed"):
+            raise SessionClosed("session is closed")
+
+    def test_is_transient(self):
+        assert is_transient(TransientFault("x"))
+        assert not is_transient(InjectedFault("x"))
+        assert not is_transient(ValueError("x"))
+
+        class AppRetryable(Exception):
+            transient = True
+
+        assert is_transient(AppRetryable())
+
+
+class TestGrammar:
+    def test_parse_basic(self):
+        plan = parse_faults("adapter.run_batch:kind=transient,rate=0.25")
+        assert plan.seed == 0
+        (rule,) = plan.rules
+        assert rule.site == "adapter.run_batch"
+        assert rule.kind == "transient"
+        assert rule.rate == 0.25
+
+    def test_parse_seed_and_multiple_clauses(self):
+        plan = parse_faults("seed=7 worker.batch kernel.quantize:rate=0.5,after=3")
+        assert plan.seed == 7
+        assert [r.site for r in plan.rules] == ["worker.batch", "kernel.quantize"]
+        assert plan.rules[0].kind == "error"  # defaults
+        assert plan.rules[1].after == 3
+
+    def test_parse_semicolon_separator(self):
+        plan = parse_faults("worker.batch;adapter.run_batch")
+        assert len(plan.rules) == 2
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="bad fault option"):
+            parse_faults("worker.batch:frequency=2")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError, match="no rules"):
+            parse_faults("   ")
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultRule(site="x", kind="explode")
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(site="x", rate=1.5)
+        with pytest.raises(ValueError, match="site"):
+            FaultRule(site="")
+
+
+class TestMatching:
+    def test_exact_prefix_and_wildcard(self):
+        assert FaultRule(site="adapter.run_batch").matches("adapter.run_batch")
+        assert FaultRule(site="adapter").matches("adapter.run_batch")
+        assert not FaultRule(site="adapter").matches("adapters.run_batch")
+        assert FaultRule(site="*").matches("anything.at.all")
+
+    def test_watches(self):
+        plan = parse_faults("kernel.quantize:rate=0.1")
+        assert plan.watches("kernel")
+        assert not plan.watches("adapter")
+        assert parse_faults("*").watches("kernel")
+
+
+class TestDeterminism:
+    def _schedule(self, seed, visits=64):
+        plan = parse_faults("worker.batch:kind=transient,rate=0.3", seed=seed)
+        return [plan.decide("worker.batch") is not None for _ in range(visits)]
+
+    def test_same_seed_same_schedule(self):
+        assert self._schedule(11) == self._schedule(11)
+
+    def test_different_seed_different_schedule(self):
+        assert self._schedule(11) != self._schedule(12)
+
+    def test_schedule_independent_of_interleaving(self):
+        # decisions key on the per-rule hit counter, so visits to OTHER
+        # sites never shift the schedule of this one
+        plan_a = parse_faults("worker.batch:rate=0.5", seed=3)
+        plan_b = parse_faults("worker.batch:rate=0.5", seed=3)
+        got_a = [plan_a.decide("worker.batch") is not None for _ in range(32)]
+        got_b = []
+        for _ in range(32):
+            plan_b.decide("worker.stream")  # unmatched traffic in between
+            got_b.append(plan_b.decide("worker.batch") is not None)
+        assert got_a == got_b
+
+    def test_rate_one_always_fires_rate_zero_never(self):
+        always = parse_faults("s:rate=1.0")
+        never = parse_faults("s:rate=0.0")
+        assert all(always.decide("s") for _ in range(10))
+        assert not any(never.decide("s") for _ in range(10))
+
+
+class TestScheduling:
+    def test_after_skips_first_matches(self):
+        plan = parse_faults("s:after=2")
+        assert [plan.decide("s") is not None for _ in range(4)] == [
+            False, False, True, True,
+        ]
+
+    def test_limit_caps_injections(self):
+        plan = parse_faults("s:limit=2")
+        assert [plan.decide("s") is not None for _ in range(4)] == [
+            True, True, False, False,
+        ]
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", kind="transient"), FaultRule(site="s", kind="error")]
+        )
+        assert plan.decide("s").kind == "transient"
+
+    def test_stats(self):
+        plan = parse_faults("s:limit=1")
+        plan.decide("s")
+        plan.decide("s")
+        (stat,) = plan.stats()
+        assert stat == {"site": "s", "kind": "error", "hits": 2, "injected": 1}
+
+
+class TestActivation:
+    def test_fault_point_noop_without_plan(self):
+        fault_point("worker.batch")  # must not raise
+
+    def test_inject_faults_scopes_and_restores(self):
+        assert active_faults() is None
+        with inject_faults("worker.batch:kind=transient"):
+            assert active_faults() is not None
+            with pytest.raises(TransientFault):
+                fault_point("worker.batch")
+        assert active_faults() is None
+        fault_point("worker.batch")
+
+    def test_error_kind_raises_injected_fault(self):
+        with inject_faults("s"):
+            with pytest.raises(InjectedFault) as err:
+                fault_point("s")
+            assert not is_transient(err.value)
+
+    def test_env_parsing(self):
+        assert faults_from_env({}) is None
+        assert faults_from_env({"REPRO_FAULTS": "  "}) is None
+        plan = faults_from_env({"REPRO_FAULTS": "seed=5 worker.batch:rate=0.5"})
+        assert plan.seed == 5
+
+    def test_ensure_env_faults_defers_to_active_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker.batch")
+        with inject_faults("adapter.run_batch") as manual:
+            assert ensure_env_faults() is manual  # programmatic plan wins
+        configure_faults(None)
+        installed = ensure_env_faults()
+        assert installed is not None
+        assert installed.rules[0].site == "worker.batch"
+
+
+class TestKernelProbe:
+    def test_probe_installed_only_while_watching_kernel(self):
+        from repro.core import quantize as Q
+
+        assert Q._FAULT_PROBE is None
+        with inject_faults("kernel.quantize:rate=0.0"):
+            assert Q._FAULT_PROBE is fault_point
+        assert Q._FAULT_PROBE is None
+        with inject_faults("adapter.run_batch"):
+            assert Q._FAULT_PROBE is None  # plan active, but not for kernels
+
+    def test_kernel_site_fires_through_the_engine(self):
+        import numpy as np
+
+        import repro
+
+        with inject_faults("kernel.quantize:kind=transient,limit=1"):
+            with pytest.raises(TransientFault):
+                repro.quantize(np.ones(16, dtype=np.float32), "mx6")
+        # plan gone: the same call succeeds and pays no probe
+        repro.quantize(np.ones(16, dtype=np.float32), "mx6")

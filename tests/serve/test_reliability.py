@@ -1,0 +1,398 @@
+"""Hardened session lifecycle: deadlines, backpressure, retries, bisection,
+watchdog, and shutdown guarantees.
+
+Runs on a deterministic echo model family so every failure is *scripted*
+by the request payload (``sleep`` stalls the worker, ``boom`` raises) or
+by a seeded fault plan — no timing lotteries, no real model cost.
+"""
+
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+import pytest
+
+from repro.nn.layers import Module
+from repro.serve import (
+    DeadlineExceeded,
+    QueueFull,
+    RequestShed,
+    SessionClosed,
+    TaskAdapter,
+    TransientFault,
+    WorkerHung,
+    compile_model,
+    configure_faults,
+    inject_faults,
+    register_adapter,
+)
+
+
+class EchoModel(Module):
+    """A parameterless model family for scripting serving behavior."""
+
+
+class EchoAdapter(TaskAdapter):
+    tasks = ("classify", "generate")
+
+    def __init__(self, model):
+        super().__init__(model)
+        self.calls = 0  # run_batch executions (bisection observability)
+
+    def run_batch(self, requests):
+        self.calls += 1
+        return super().run_batch(requests)
+
+    def classify(self, payloads):
+        out = []
+        for payload in payloads:
+            if payload.get("sleep"):
+                time.sleep(payload["sleep"])
+            if payload.get("boom"):
+                raise ValueError(f"boom: {payload['boom']}")
+            out.append({"value": payload.get("value")})
+        return out
+
+    def generate_stream(self, prompt, max_new_tokens, eos=None):
+        # ``prompt`` is a script dict: n tokens, optional per-token sleep
+        for i in range(int(prompt.get("n", max_new_tokens))):
+            if prompt.get("sleep"):
+                time.sleep(prompt["sleep"])
+            yield i
+
+
+register_adapter(EchoModel, EchoAdapter)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    previous = configure_faults(None)
+    yield
+    configure_faults(previous)
+
+
+def echo_session(**overrides):
+    overrides.setdefault("max_wait", 0.01)
+    return compile_model(EchoModel()).session(**overrides)
+
+
+def req(value, **extra):
+    return {"task": "classify", "value": value, **extra}
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_expired_at_admission(self):
+        with echo_session() as session:
+            with pytest.raises(DeadlineExceeded):
+                session.submit(req(1), timeout=0)
+            assert session.summary()["reliability"]["timeouts"] == 1
+
+    def test_expired_while_queued(self):
+        with echo_session(workers=1) as session:
+            blocker = session.submit(req("blocker", sleep=0.3))
+            time.sleep(0.05)  # blocker is in flight; next job waits behind it
+            doomed = session.submit(req("late"), timeout=0.05)
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=5)
+            assert blocker.result(timeout=5) == {"value": "blocker"}
+            assert session.summary()["reliability"]["timeouts"] == 1
+
+    def test_payload_timeout_key(self):
+        with echo_session(workers=1) as session:
+            session.submit(req("blocker", sleep=0.3))
+            time.sleep(0.05)
+            doomed = session.submit(req("late", timeout=0.05))
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=5)
+
+    def test_config_default_timeout(self):
+        with echo_session(workers=1, default_timeout=0.05) as session:
+            session.submit(req("blocker", sleep=0.3))
+            time.sleep(0.1)
+            doomed = session.submit(req("late"))
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=5)
+
+    def test_explicit_timeout_overrides_default(self):
+        with echo_session(default_timeout=0.0001) as session:
+            future = session.submit(req("ok"), timeout=5.0)
+            assert future.result(timeout=5) == {"value": "ok"}
+
+    def test_no_deadline_by_default(self):
+        with echo_session() as session:
+            assert session.submit(req(7)).result(timeout=5) == {"value": 7}
+            assert session.summary()["reliability"]["timeouts"] == 0
+
+
+# ----------------------------------------------------------------------
+# Backpressure / admission control
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def _fill(self, session, queued):
+        """Occupy the single worker, then queue ``queued`` more jobs."""
+        blocker = session.submit(req("blocker", sleep=0.4))
+        deadline = time.time() + 2
+        while session.health()["queue_depth"] > 0:  # blocker popped?
+            if time.time() > deadline:  # pragma: no cover - diagnostics
+                pytest.fail("worker never picked up the blocker")
+            time.sleep(0.005)
+        return blocker, [session.submit(req(i)) for i in range(queued)]
+
+    def test_reject_when_full(self):
+        with echo_session(workers=1, max_queue=2) as session:
+            blocker, queued = self._fill(session, 2)
+            with pytest.raises(QueueFull):
+                session.submit(req("overflow"))
+            assert [f.result(timeout=5) for f in queued] == [
+                {"value": 0}, {"value": 1},
+            ]
+            assert session.summary()["reliability"]["sheds"] == 1
+
+    def test_drop_oldest_sheds_head_of_queue(self):
+        with echo_session(workers=1, max_queue=2, shed_policy="oldest") as session:
+            blocker, queued = self._fill(session, 2)
+            newest = session.submit(req("newest"))  # sheds queued[0]
+            with pytest.raises(RequestShed):
+                queued[0].result(timeout=5)
+            assert queued[1].result(timeout=5) == {"value": 1}
+            assert newest.result(timeout=5) == {"value": "newest"}
+            assert session.summary()["reliability"]["sheds"] == 1
+
+    def test_unbounded_by_default(self):
+        with echo_session(workers=1) as session:
+            futures = [session.submit(req(i)) for i in range(64)]
+            assert [f.result(timeout=5)["value"] for f in futures] == list(range(64))
+            assert session.summary()["reliability"]["sheds"] == 0
+
+
+# ----------------------------------------------------------------------
+# map() orphaning (satellite: cancel what never started)
+# ----------------------------------------------------------------------
+class TestMapTimeout:
+    def test_map_timeout_cancels_unstarted_jobs(self):
+        with echo_session(workers=1) as session:
+            # the blocker occupies the worker well past the map timeout
+            session.submit(req("blocker", sleep=0.5))
+            time.sleep(0.05)
+            with pytest.raises(FutureTimeoutError):
+                session.map([req(i) for i in range(8)], timeout=0.05)
+            # queued jobs were cancelled, not left to execute pointlessly
+            deadline = time.time() + 5
+            while session.health()["queue_depth"] > 0 and time.time() < deadline:
+                time.sleep(0.01)
+            summary = session.summary()
+            assert summary["reliability"]["cancelled"] == 8
+            # only the blocker was ever served
+            assert summary["requests"] == 1 or summary["requests"] == 0
+
+
+# ----------------------------------------------------------------------
+# Retries and bisection
+# ----------------------------------------------------------------------
+class TestRetries:
+    def test_transient_fault_retried_to_success(self):
+        with inject_faults("worker.batch:kind=transient,limit=2"):
+            with echo_session(max_retries=3, retry_backoff=0.001) as session:
+                assert session.submit(req("ok")).result(timeout=5) == {"value": "ok"}
+                summary = session.summary()
+        assert summary["reliability"]["retries"] == 2
+        assert summary["errors"] == 0
+        assert summary["requests"] == 1
+
+    def test_retries_exhausted_is_terminal(self):
+        with inject_faults("worker.batch:kind=transient"):
+            with echo_session(max_retries=1, retry_backoff=0.001) as session:
+                future = session.submit(req("doomed"))
+                with pytest.raises(TransientFault):
+                    future.result(timeout=5)
+                summary = session.summary()
+        assert summary["reliability"]["retries"] == 1
+        assert summary["errors"] == 1
+
+    def test_no_retries_by_default(self):
+        with inject_faults("worker.batch:kind=transient,limit=1"):
+            with echo_session() as session:
+                with pytest.raises(TransientFault):
+                    session.submit(req("x")).result(timeout=5)
+
+
+class TestBisection:
+    def test_poison_isolated_in_log_executions(self):
+        with echo_session(workers=1, max_batch=8, max_wait=0.2) as session:
+            blocker = session.submit(req("blocker", sleep=0.15))
+            time.sleep(0.03)
+            futures = [
+                session.submit(req(i, boom="poison" if i == 3 else None))
+                for i in range(8)
+            ]
+            with pytest.raises(ValueError, match="poison"):
+                futures[3].result(timeout=5)
+            for i, future in enumerate(futures):
+                if i != 3:
+                    assert future.result(timeout=5) == {"value": i}
+            summary = session.summary()
+            adapter = session.compiled.adapter
+        # 1 blocker + bisection of 8-with-1-poison: exactly 7 executions
+        assert adapter.calls == 8
+        # exactly-once accounting (satellite): 8 served, 1 failed, no
+        # double counting across the bisection levels
+        assert summary["requests"] == 8
+        assert summary["errors"] == 1
+
+    def test_every_job_poisoned_all_fail_co_riders_none(self):
+        with echo_session(workers=1, max_batch=4, max_wait=0.2) as session:
+            session.submit(req("blocker", sleep=0.1)).result(timeout=5)
+            futures = [session.submit(req(i, boom=f"p{i}")) for i in range(4)]
+            for future in futures:
+                with pytest.raises(ValueError):
+                    future.result(timeout=5)
+            assert session.summary()["errors"] == 4
+
+
+# ----------------------------------------------------------------------
+# Close semantics (satellite: nothing abandoned, ever)
+# ----------------------------------------------------------------------
+class TestClose:
+    def test_close_drains_queue_gracefully(self):
+        session = echo_session(workers=1)
+        futures = [session.submit(req(i)) for i in range(8)]
+        session.close()
+        assert [f.result(timeout=1)["value"] for f in futures] == list(range(8))
+
+    def test_forced_close_fails_every_future(self):
+        session = echo_session(workers=1)
+        stuck = session.submit(req("stuck", sleep=1.0))
+        time.sleep(0.05)
+        queued = [session.submit(req(i)) for i in range(4)]
+        session.close(timeout=0.05)  # worker cannot join in time
+        for future in [stuck, *queued]:
+            with pytest.raises(SessionClosed):
+                future.result(timeout=1)
+        assert session.summary()["reliability"]["closed"] == 5
+
+    def test_submit_after_close_raises(self):
+        session = echo_session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit(req(1))
+
+    def test_close_idempotent(self):
+        session = echo_session()
+        session.close()
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# Stream abandonment (satellite: consumer walks away)
+# ----------------------------------------------------------------------
+class TestStreamAbandonment:
+    def test_abandoned_stream_releases_worker_promptly(self):
+        with echo_session(workers=1) as session:
+            stream = session.stream(
+                {"task": "generate", "prompt": {"n": 200, "sleep": 0.01}}
+            )
+            got = [next(stream), next(stream)]
+            stream.close()  # consumer walks away mid-generation
+            # the single worker must come free long before 200 * 10ms
+            start = time.perf_counter()
+            assert session.submit(req("after")).result(timeout=5) == {
+                "value": "after"
+            }
+            assert time.perf_counter() - start < 1.0
+            summary = session.summary()
+        assert got == [0, 1]
+        assert summary["reliability"]["cancelled"] == 1
+        # only the tokens actually produced were recorded
+        assert summary["tokens"] < 200
+
+    def test_exhausted_stream_not_counted_cancelled(self):
+        with echo_session() as session:
+            tokens = list(session.stream({"task": "generate", "prompt": {"n": 5}}))
+            summary = session.summary()
+        assert tokens == [0, 1, 2, 3, 4]
+        assert summary["reliability"]["cancelled"] == 0
+        assert summary["requests"] == 1
+
+    def test_stream_deadline_enforced_between_tokens(self):
+        with echo_session() as session:
+            stream = session.stream(
+                {"task": "generate", "prompt": {"n": 100, "sleep": 0.02}},
+                timeout=0.1,
+            )
+            with pytest.raises(DeadlineExceeded):
+                list(stream)
+            assert session.summary()["reliability"]["timeouts"] == 1
+
+
+# ----------------------------------------------------------------------
+# Watchdog
+# ----------------------------------------------------------------------
+class TestWatchdog:
+    def test_hung_worker_detected_and_replaced(self):
+        with echo_session(
+            workers=1, watchdog_interval=0.05, hang_timeout=0.15
+        ) as session:
+            hung = session.submit(req("hang", sleep=0.6))
+            with pytest.raises(WorkerHung):
+                hung.result(timeout=5)
+            # the replacement worker serves new traffic immediately,
+            # while the hung thread is still sleeping
+            assert session.submit(req("next")).result(timeout=5) == {"value": "next"}
+            health = session.health()
+            summary = session.summary()
+        assert summary["reliability"]["hung"] == 1
+        assert summary["reliability"]["workers_replaced"] == 1
+        assert health["workers"]["replaced"] == 1
+        assert health["workers"]["alive"] == 1
+
+    def test_healthy_workers_not_replaced(self):
+        with echo_session(
+            workers=2, watchdog_interval=0.02, hang_timeout=0.5
+        ) as session:
+            futures = [session.submit(req(i)) for i in range(16)]
+            for future in futures:
+                future.result(timeout=5)
+            time.sleep(0.1)  # several watchdog sweeps over idle workers
+            assert session.summary()["reliability"]["workers_replaced"] == 0
+
+
+# ----------------------------------------------------------------------
+# Health
+# ----------------------------------------------------------------------
+class TestHealth:
+    def test_health_shape_and_ok_state(self):
+        with echo_session(workers=2) as session:
+            session.submit(req(1)).result(timeout=5)
+            health = session.health()
+        assert health["state"] == "ok"
+        assert health["queue_depth"] == 0
+        assert health["workers"]["configured"] == 2
+        assert health["workers"]["alive"] == 2
+        assert health["fidelity"] == "fp32"  # echo model is unquantized
+        assert health["degradation"] is None
+
+    def test_overloaded_state(self):
+        with echo_session(workers=1, max_queue=2) as session:
+            self_blocker = session.submit(req("b", sleep=0.3))
+            time.sleep(0.05)
+            session.submit(req(1))
+            session.submit(req(2))
+            assert session.health()["state"] == "overloaded"
+            self_blocker.result(timeout=5)
+
+    def test_closed_state(self):
+        session = echo_session()
+        session.close()
+        assert session.health()["state"] == "closed"
+
+    def test_summary_reliability_block_complete(self):
+        from repro.serve import RELIABILITY_EVENTS
+
+        with echo_session() as session:
+            session.submit(req(1)).result(timeout=5)
+            reliability = session.summary()["reliability"]
+        assert set(reliability) == {"errors", *RELIABILITY_EVENTS}
+        assert all(v == 0 for v in reliability.values())
