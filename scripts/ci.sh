@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # One-command CI gate: tier-1 tests, perf regression (kernels + serving),
-# CLI smoke including the serving tier, seeded chaos smoke.
+# CLI smoke including the serving tier, seeded chaos smoke, and the
+# invariant static analyzer (docs/ANALYSIS.md).
 #
 # Usage:
 #   scripts/ci.sh                 # full gate
@@ -10,17 +11,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "=== [1/5] tier-1 pytest ==="
+echo "=== [1/6] tier-1 pytest ==="
 python -m pytest -x -q
 
 if [ -z "${SKIP_BENCH:-}" ]; then
-    echo "=== [2/5] perf regression gate (kernels + serving + decode + forward) ==="
+    echo "=== [2/6] perf regression gate (kernels + serving + decode + forward) ==="
     python benchmarks/check_regression.py
 else
-    echo "=== [2/5] perf regression gate (skipped: SKIP_BENCH set) ==="
+    echo "=== [2/6] perf regression gate (skipped: SKIP_BENCH set) ==="
 fi
 
-echo "=== [3/5] spec-layer CLI smoke ==="
+echo "=== [3/6] spec-layer CLI smoke ==="
 python -m repro list > /dev/null
 python -m repro list-formats > /dev/null
 python -m repro describe "bdr(m=4,k1=16,d1=8,k2=2,d2=1,ss=pow2)" > /dev/null
@@ -32,7 +33,7 @@ if python -m repro describe mx7 2> /dev/null; then
     exit 1
 fi
 
-echo "=== [4/5] serving CLI smoke ==="
+echo "=== [4/6] serving CLI smoke ==="
 # tiny model, ~2s budget: exercises compile -> session -> metrics end to end
 python -m repro serve --model gpt-xs --requests 8 --max-batch 4 > /dev/null
 python -m repro bench-serve --quick > /dev/null
@@ -41,7 +42,7 @@ python -m repro bench-forward --quick > /dev/null
 # the pre-residency schedule must stay a working end-to-end configuration
 REPRO_FUSION=0 python -m repro bench-forward --quick > /dev/null
 
-echo "=== [5/5] seeded chaos smoke ==="
+echo "=== [5/6] seeded chaos smoke ==="
 # fixed seed: the same faults inject at the same sites on every CI run.
 # the session must stay available, isolate the failures, retry the
 # transients, and leave zero unresolved futures (asserted by the suite).
@@ -50,5 +51,10 @@ REPRO_FAULTS="seed=11 adapter.run_batch:kind=transient,rate=0.2" \
 # CLI under injected transients: served N/N with retries absorbed
 python -m repro serve --model gpt-xs --requests 16 --max-batch 4 --retries 3 \
     --faults "seed=7 adapter.run_batch:kind=transient,rate=0.3" > /dev/null
+
+echo "=== [6/6] static analysis gate ==="
+# every repo invariant rule (exactness, locks, lifecycle, taxonomy,
+# determinism) must run clean modulo the committed, justified baseline
+python -m repro analyze --baseline
 
 echo "ci: all gates passed"

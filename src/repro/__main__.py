@@ -496,6 +496,65 @@ def _cmd_experiment(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_analyze(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from .analysis import analyze_paths, create_rules, resolve_rules, rule_catalog
+    from .analysis.baseline import load_baseline, write_baseline
+    from .analysis.config import load_config
+    from .analysis.reporting import render_json, render_text
+
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Run the invariant static analyzer (see docs/ANALYSIS.md).",
+    )
+    parser.add_argument("paths", nargs="*", help="files/dirs to analyze "
+                        "(default: the [tool.repro.analysis] paths)")
+    parser.add_argument("--rule", action="append", default=None, metavar="ID",
+                        help="run only this rule id or family (repeatable)")
+    parser.add_argument("--baseline", action="store_true",
+                        help="subtract the committed baseline before judging")
+    parser.add_argument("--write-baseline", metavar="WHY", default=None,
+                        help="accept all current findings into the baseline "
+                        "file with WHY as the shared justification")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable report")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in rule_catalog().items():
+            print(f"{rule_id:24s} [{cls.family}] {cls.description}")
+        return 0
+
+    config = load_config()
+    rules = (
+        resolve_rules(args.rule)
+        if args.rule
+        else create_rules(disable=config.disable)
+    )
+    paths = [Path(p) for p in args.paths] if args.paths else config.resolved_paths()
+    result = analyze_paths(paths, rules=rules, root=config.root)
+
+    baselined, stale = 0, []
+    if args.baseline or args.write_baseline is not None:
+        if args.write_baseline is not None:
+            write_baseline(config.baseline_path, result.findings, args.write_baseline)
+            print(f"wrote {len(result.findings)} entries to {config.baseline_path}")
+            return 0
+        if config.baseline_path.is_file():
+            baseline = load_baseline(config.baseline_path)
+            fresh, matched = baseline.apply(result.findings)
+            baselined = len(result.findings) - len(fresh)
+            stale = baseline.stale(matched)
+            result.findings = fresh
+
+    print(render_json(result, baselined, stale) if args.as_json
+          else render_text(result, baselined, stale))
+    return 0 if result.clean and not result.errors and not stale else 1
+
+
 _COMMANDS = {
     "list-formats": _cmd_list_formats,
     "describe": _cmd_describe,
@@ -504,6 +563,7 @@ _COMMANDS = {
     "bench-serve": _cmd_bench_serve,
     "bench-decode": _cmd_bench_decode,
     "bench-forward": _cmd_bench_forward,
+    "analyze": _cmd_analyze,
 }
 
 

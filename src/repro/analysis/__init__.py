@@ -1,0 +1,33 @@
+"""Invariant-enforcing static analysis for the repro codebase.
+
+``python -m repro analyze`` runs every registered rule over the source
+tree; ``docs/ANALYSIS.md`` documents the rule catalog, the
+``# repro: allow(<rule>): <why>`` suppression syntax, and the committed
+baseline workflow.
+"""
+
+from .baseline import Baseline, load_baseline
+from .core import (
+    UNJUSTIFIED_SUPPRESSION,
+    AnalysisResult,
+    Finding,
+    ModuleContext,
+    Rule,
+    analyze_paths,
+)
+from .registry import create_rules, register_rule, resolve_rules, rule_catalog
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "UNJUSTIFIED_SUPPRESSION",
+    "analyze_paths",
+    "create_rules",
+    "load_baseline",
+    "register_rule",
+    "resolve_rules",
+    "rule_catalog",
+]

@@ -1,0 +1,100 @@
+"""Committed-baseline support: grandfathered findings with justifications.
+
+The baseline file (``scripts/analysis_baseline.json``) lists findings
+that existed before a rule landed and were deliberately accepted rather
+than fixed.  Every entry MUST carry a non-empty ``justification`` —
+loading rejects entries without one, so an accepted finding can never
+lose its written rationale.  Matching uses the line-independent
+:meth:`Finding.fingerprint` so edits elsewhere in a file do not churn
+the baseline; entries that no longer match anything are reported as
+stale so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import Finding
+
+__all__ = ["Baseline", "BaselineError", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file (bad JSON, missing justification, ...)."""
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline: fingerprint -> justification."""
+
+    path: Path | None = None
+    entries: dict[tuple, str] = field(default_factory=dict)
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], list[tuple]]:
+        """Split ``findings`` into (new, matched-fingerprints).
+
+        Returns the findings not covered by the baseline plus the list of
+        baseline fingerprints that matched (for stale-entry detection).
+        """
+        new: list[Finding] = []
+        matched: set[tuple] = set()
+        for finding in findings:
+            fp = finding.fingerprint()
+            if fp in self.entries:
+                matched.add(fp)
+            else:
+                new.append(finding)
+        return new, sorted(matched)
+
+    def stale(self, matched: list[tuple]) -> list[tuple]:
+        """Baseline fingerprints that matched no current finding."""
+        live = set(matched)
+        return sorted(fp for fp in self.entries if fp not in live)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load and validate ``path``; every entry needs a justification."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"{path}: invalid JSON: {error}") from error
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise BaselineError(f"{path}: expected {{'version': {_VERSION}, 'entries': [...]}}")
+    baseline = Baseline(path=Path(path))
+    for i, entry in enumerate(data.get("entries", [])):
+        missing = {"rule", "path", "message", "justification"} - set(entry)
+        if missing:
+            raise BaselineError(f"{path}: entry {i} missing {sorted(missing)}")
+        justification = str(entry["justification"]).strip()
+        if not justification:
+            raise BaselineError(
+                f"{path}: entry {i} ({entry['rule']} in {entry['path']}) has an "
+                "empty justification — every baselined finding must say why"
+            )
+        fp = (entry["rule"], entry["path"], entry.get("symbol", ""), entry["message"])
+        baseline.entries[fp] = justification
+    return baseline
+
+
+def write_baseline(path: Path, findings: list[Finding], justification: str) -> None:
+    """Write ``findings`` as a fresh baseline, all sharing one justification.
+
+    Meant for bootstrapping (``--write-baseline``); per-entry rationales
+    should then be edited in by hand.
+    """
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "symbol": f.symbol,
+            "message": f.message,
+            "justification": justification,
+        }
+        for f in sorted(findings)
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")

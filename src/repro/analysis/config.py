@@ -1,0 +1,61 @@
+"""Declarative analyzer configuration from ``pyproject.toml``.
+
+``[tool.repro.analysis]`` keys:
+
+- ``paths``: directories/files analyzed when the CLI gets no positional
+  paths (default ``["src/repro"]``)
+- ``baseline``: baseline file consulted by ``--baseline``
+  (default ``scripts/analysis_baseline.json``)
+- ``disable``: rule ids or family names never run
+
+The file is located by walking up from the start directory, so the
+gate works from any subdirectory of the repo.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["AnalysisConfig", "load_config"]
+
+
+@dataclass
+class AnalysisConfig:
+    root: Path
+    paths: list[str] = field(default_factory=lambda: ["src/repro"])
+    baseline: str = "scripts/analysis_baseline.json"
+    disable: tuple[str, ...] = ()
+
+    @property
+    def baseline_path(self) -> Path:
+        return self.root / self.baseline
+
+    def resolved_paths(self) -> list[Path]:
+        return [self.root / p for p in self.paths]
+
+
+def load_config(start: Path | None = None) -> AnalysisConfig:
+    """Config from the nearest ``pyproject.toml`` at/above ``start``.
+
+    Falls back to defaults rooted at ``start`` when no file (or no
+    ``[tool.repro.analysis]`` table) is found.
+    """
+    origin = Path(start) if start is not None else Path.cwd()
+    origin = origin.resolve()
+    for candidate in [origin, *origin.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if not pyproject.is_file():
+            continue
+        data = tomllib.loads(pyproject.read_text())
+        table = data.get("tool", {}).get("repro", {}).get("analysis", {})
+        config = AnalysisConfig(root=candidate)
+        if "paths" in table:
+            config.paths = [str(p) for p in table["paths"]]
+        if "baseline" in table:
+            config.baseline = str(table["baseline"])
+        if "disable" in table:
+            config.disable = tuple(str(r) for r in table["disable"])
+        return config
+    return AnalysisConfig(root=origin)

@@ -1,0 +1,291 @@
+"""The invariant-analysis core: findings, rules, per-module context, driver.
+
+The analyzer is a small AST lint framework specialised to this repo's
+invariants (see :mod:`repro.analysis.rules`).  A :class:`Rule` inspects
+one parsed module at a time through a :class:`ModuleContext` (tree,
+parent links, suppression comments) and yields :class:`Finding`\\ s;
+project-wide rules (the lock-acquisition graph) accumulate state across
+modules and emit from :meth:`Rule.finalize`.
+
+Suppression: a ``# repro: allow(<rule>[, <rule>...]): <justification>``
+comment on the finding's line (or the line directly above it) silences
+those rules there.  The justification is mandatory — an allow comment
+without one suppresses the finding but raises an
+``unjustified-suppression`` finding in its place, so a suppression can
+never silently lose its rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "AnalysisResult",
+    "analyze_paths",
+    "iter_python_files",
+    "UNJUSTIFIED_SUPPRESSION",
+]
+
+#: Reserved rule id for allow-comments that carry no justification.
+UNJUSTIFIED_SUPPRESSION = "unjustified-suppression"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([\w\-*]+(?:\s*,\s*[\w\-*]+)*)\s*\)(?::\s*(\S.*))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: posix path relative to the analysis root
+    line: int
+    rule: str
+    message: str
+    symbol: str = ""  #: dotted enclosing ``Class.function`` scope, if any
+    col: int = 0
+
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        """Line-independent identity used for baseline matching.
+
+        Deliberately excludes ``line``/``col`` so unrelated edits above a
+        grandfathered finding do not invalidate its baseline entry.
+        """
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=int(data.get("line", 0)),
+            rule=data["rule"],
+            message=data["message"],
+            symbol=data.get("symbol", ""),
+            col=int(data.get("col", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    rules: frozenset
+    justification: str
+    line: int
+
+
+class ModuleContext:
+    """One parsed module plus the derived facts every rule needs."""
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        self.path = path
+        self.relpath = relpath  # posix, relative to the analysis root
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.suppressions: dict[int, _Suppression] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                rules = frozenset(
+                    token.strip() for token in match.group(1).split(",")
+                )
+                self.suppressions[lineno] = _Suppression(
+                    rules=rules,
+                    justification=(match.group(2) or "").strip(),
+                    line=lineno,
+                )
+
+    # ------------------------------------------------------------------
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Innermost-first chain of parents up to the module node."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_symbol(self, node: ast.AST) -> str:
+        """Dotted ``Class.method`` (or function) scope containing ``node``."""
+        names: list[str] = []
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(ancestor.name)
+        return ".".join(reversed(names))
+
+    def suppression_for(self, line: int, rule: str) -> _Suppression | None:
+        """The allow-comment covering ``rule`` at ``line``, if any.
+
+        An allow comment applies to its own line and to the line directly
+        below it (so long statements can carry the comment above).
+        """
+        for candidate in (line, line - 1):
+            entry = self.suppressions.get(candidate)
+            if entry is not None and (rule in entry.rules or "*" in entry.rules):
+                return entry
+        return None
+
+
+class Rule:
+    """Base class for one analysis rule.
+
+    Subclasses set :attr:`id` (kebab-case, unique), :attr:`family`,
+    :attr:`description`, and optionally :attr:`scope` /
+    :attr:`exempt` — substrings matched against ``"/" + relpath`` to
+    restrict where the rule runs (empty scope = everywhere).  Rules are
+    instantiated fresh per analysis run, so project-wide rules may keep
+    accumulation state on ``self`` and emit from :meth:`finalize`.
+    """
+
+    id: str = ""
+    family: str = ""
+    description: str = ""
+    scope: tuple[str, ...] = ()
+    exempt: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        key = "/" + relpath
+        if any(pattern in key for pattern in self.exempt):
+            return False
+        return not self.scope or any(pattern in key for pattern in self.scope)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Per-module findings (or accumulation for project rules)."""
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        """Project-wide findings emitted after every module was visited."""
+        return ()
+
+    # ------------------------------------------------------------------
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            symbol=ctx.enclosing_symbol(node),
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    duration_s: float = 0.0
+    rules: tuple[str, ...] = ()
+    errors: list[str] = field(default_factory=list)  # unparseable files
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files accepted directly), sorted."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = path.rglob("*.py")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    yield from sorted(collected)
+
+
+def _relpath(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(Path(root).resolve()).as_posix()
+        except ValueError:
+            pass
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix().lstrip("/")
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    rules: Iterable[Rule] | None = None,
+    root: Path | None = None,
+) -> AnalysisResult:
+    """Run ``rules`` (default: every registered rule) over ``paths``.
+
+    ``root`` anchors the relative paths used in findings, suppressions
+    baselines, and rule scoping; it defaults to the current directory.
+    """
+    from .registry import create_rules
+
+    started = time.perf_counter()
+    active = list(rules) if rules is not None else create_rules()
+    result = AnalysisResult(rules=tuple(rule.id for rule in active))
+    contexts: dict[str, ModuleContext] = {}
+
+    def admit(finding: Finding, ctx: ModuleContext | None) -> None:
+        entry = ctx.suppression_for(finding.line, finding.rule) if ctx else None
+        if entry is None:
+            result.findings.append(finding)
+        elif not entry.justification:
+            result.findings.append(
+                Finding(
+                    path=finding.path,
+                    line=entry.line,
+                    rule=UNJUSTIFIED_SUPPRESSION,
+                    message=(
+                        f"allow({finding.rule}) suppresses a finding but "
+                        "carries no justification; append ': <reason>'"
+                    ),
+                    symbol=finding.symbol,
+                )
+            )
+
+    for path in iter_python_files(paths):
+        relpath = _relpath(path, root)
+        try:
+            source = path.read_text()
+            ctx = ModuleContext(path, relpath, source)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            result.errors.append(f"{relpath}: {type(error).__name__}: {error}")
+            continue
+        result.files += 1
+        contexts[relpath] = ctx
+        for rule in active:
+            if rule.applies_to(relpath):
+                for finding in rule.check(ctx):
+                    admit(finding, ctx)
+    for rule in active:
+        for finding in rule.finalize():
+            admit(finding, contexts.get(finding.path))
+    result.findings.sort()
+    result.duration_s = time.perf_counter() - started
+    return result

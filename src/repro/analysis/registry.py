@@ -1,0 +1,66 @@
+"""Rule registry: the analyzer's catalog of invariant checks.
+
+Rules self-register at import time via :func:`register_rule`; importing
+:mod:`repro.analysis.rules` populates the registry.  ``create_rules``
+instantiates a fresh rule set per analysis run so project-wide rules
+(which accumulate cross-module state) never leak between runs.
+"""
+
+from __future__ import annotations
+
+from .core import Rule
+
+__all__ = ["register_rule", "create_rules", "rule_catalog", "resolve_rules"]
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``cls`` to the registry (unique ``id``)."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def _load() -> None:
+    from . import rules  # noqa: F401  (import side effect: registration)
+
+
+def rule_catalog() -> dict[str, type[Rule]]:
+    """Registered rule classes by id, sorted."""
+    _load()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def resolve_rules(names: list[str]) -> list[Rule]:
+    """Instantiate the named rules (or families), erroring on unknowns."""
+    catalog = rule_catalog()
+    selected: list[type[Rule]] = []
+    for name in names:
+        by_family = [cls for cls in catalog.values() if cls.family == name]
+        if name in catalog:
+            selected.append(catalog[name])
+        elif by_family:
+            selected.extend(by_family)
+        else:
+            known = ", ".join(catalog)
+            raise ValueError(f"unknown rule or family {name!r}; known rules: {known}")
+    seen: set[str] = set()
+    out: list[Rule] = []
+    for cls in selected:
+        if cls.id not in seen:
+            seen.add(cls.id)
+            out.append(cls())
+    return out
+
+
+def create_rules(disable: tuple[str, ...] = ()) -> list[Rule]:
+    """One fresh instance of every registered rule, minus ``disable``."""
+    return [
+        cls()
+        for cls in rule_catalog().values()
+        if cls.id not in disable and cls.family not in disable
+    ]

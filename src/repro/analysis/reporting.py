@@ -1,0 +1,65 @@
+"""Text and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+
+from .core import AnalysisResult, Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    result: AnalysisResult,
+    baselined: int = 0,
+    stale: list[tuple] | None = None,
+) -> str:
+    """Human-readable report: one ``path:line: [rule] message`` per finding."""
+    lines: list[str] = []
+    for finding in result.findings:
+        where = f"{finding.path}:{finding.line}"
+        scope = f" ({finding.symbol})" if finding.symbol else ""
+        lines.append(f"{where}: [{finding.rule}] {finding.message}{scope}")
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    for fp in stale or []:
+        rule, path, symbol, _message = fp
+        scope = f" ({symbol})" if symbol else ""
+        lines.append(
+            f"stale baseline entry: [{rule}] {path}{scope} — no longer fires; "
+            "remove it from the baseline"
+        )
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files} file(s) "
+        f"[{result.duration_s:.2f}s]"
+    )
+    if baselined:
+        summary += f"; {baselined} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: AnalysisResult,
+    baselined: int = 0,
+    stale: list[tuple] | None = None,
+) -> str:
+    """Machine-readable report (stable keys; findings sorted)."""
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "files": result.files,
+        "duration_s": round(result.duration_s, 4),
+        "rules": list(result.rules),
+        "errors": list(result.errors),
+        "baselined": baselined,
+        "stale_baseline": [list(fp) for fp in (stale or [])],
+        "clean": result.clean,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def findings_by_rule(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,10 @@
+"""Rule modules; importing this package registers every rule.
+
+Families: exactness (KernelBackend dispatch discipline), locks
+(guarded shared state, predicate loops, acquisition-order graph),
+lifecycle (futures, scratch pairing, no_grad generators), taxonomy
+(typed serving errors, exactly-once reliability events), determinism
+(seeded randomness, monotonic clocks).
+"""
+
+from . import determinism, exactness, lifecycle, locks, taxonomy  # noqa: F401

@@ -1,0 +1,83 @@
+"""Shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "dotted",
+    "call_dotted",
+    "self_attr",
+    "lock_factory",
+    "enclosing_function",
+    "walk_function",
+    "LOCK_FACTORIES",
+    "CONDITION_FACTORIES",
+]
+
+#: threading constructors whose results count as locks for the lock rules.
+LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+CONDITION_FACTORIES = frozenset({"Condition"})
+
+
+def dotted(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, else ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_dotted(node: ast.Call) -> str:
+    return dotted(node.func)
+
+
+def self_attr(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def lock_factory(value: ast.AST, factories: frozenset = LOCK_FACTORIES) -> bool:
+    """True when ``value`` is a call like ``threading.Lock()`` / ``Lock()``."""
+    if not isinstance(value, ast.Call):
+        return False
+    name = call_dotted(value)
+    if not name:
+        return False
+    head, _, tail = name.rpartition(".")
+    return tail in factories and head in ("", "threading")
+
+
+def enclosing_function(
+    ctx, node: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def walk_function(fn: ast.AST, *, into_nested: bool = True) -> Iterator[ast.AST]:
+    """Walk ``fn``'s body, optionally skipping nested function/class defs."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not into_nested and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,84 @@
+"""Determinism family: no unseeded randomness or wall-clock behavior.
+
+Fault injection, retry, and serving behavior must replay exactly under a
+fixed seed (the chaos gate depends on it).  In the serving/kernel/core
+tree, randomness comes only from explicitly seeded generators — the
+``FaultPlan`` pattern is ``random.Random(f"{seed}:{site}:...")`` — and
+time-dependent behavior uses the monotonic clocks
+(``time.monotonic``/``perf_counter``), never the settable wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, ModuleContext, Rule
+from ..registry import register_rule
+from .common import call_dotted
+
+#: np.random members that are fine when given an explicit seed.
+_NP_SEEDABLE = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+_WALL_CLOCK = frozenset({"time.time", "time.time_ns"})
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    id = "unseeded-random"
+    family = "determinism"
+    description = (
+        "serving/kernel/core code must not use unseeded randomness or the "
+        "wall clock — chaos replay depends on seeded determinism"
+    )
+    scope = ("/serve/", "/kernels/", "/core/")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_dotted(node)
+            if not name:
+                continue
+            head, _, tail = name.rpartition(".")
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() is the settable wall clock; use "
+                    "time.monotonic()/perf_counter() so deadlines and "
+                    "retries replay deterministically",
+                )
+            elif head in ("np.random", "numpy.random"):
+                if tail in _NP_SEEDABLE:
+                    if not (node.args or node.keywords):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{name}() without a seed; pass an explicit "
+                            "seed so behavior replays",
+                        )
+                else:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"legacy global-state {name}() is unseeded process "
+                        "randomness; use a seeded np.random.default_rng",
+                    )
+            elif head == "random":
+                if tail == "Random":
+                    if not (node.args or node.keywords):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "random.Random() without a seed; seed it like "
+                            "the FaultPlan pattern "
+                            "random.Random(f'{seed}:{site}')",
+                        )
+                else:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"module-level random.{tail}() draws from the "
+                        "shared unseeded RNG; use a seeded random.Random "
+                        "instance",
+                    )

@@ -1,0 +1,135 @@
+"""Exactness family: quantized math must flow through KernelBackend.
+
+The repo's bit-exactness doctrine: every matmul/reduction on quantized
+payloads goes through the backend dispatch layer (``nn/quantized.py``,
+``nn/tensor.py``, ``kernels/``) so fused and unfused execution stay
+bit-identical.  Ad-hoc numpy products in model or serving code bypass
+the dispatch — and inside a ``supports_fused_projection`` gate,
+order-dependent accumulation breaks the exact-dot-product guarantee the
+gate exists to certify (pow2 scales + deterministic rounding make the
+fused dot product order-independent; a float ``sum`` is not).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, ModuleContext, Rule
+from ..registry import register_rule
+from .common import call_dotted
+
+#: numpy reductions/products that bypass backend dispatch.
+_NUMPY_PRODUCTS = frozenset(
+    {"matmul", "dot", "einsum", "tensordot", "inner", "vdot"}
+)
+_NUMPY_MODULES = ("np", "numpy")
+
+#: order-dependent reductions inside fused-projection gates.
+_ORDER_DEPENDENT = frozenset({"sum", "mean", "cumsum", "nansum", "add.reduce"})
+
+
+def _numpy_product(node: ast.Call) -> str | None:
+    name = call_dotted(node)
+    head, _, tail = name.rpartition(".")
+    if head in _NUMPY_MODULES and tail in _NUMPY_PRODUCTS:
+        return name
+    return None
+
+
+@register_rule
+class DirectMatmulRule(Rule):
+    id = "direct-matmul"
+    family = "exactness"
+    description = (
+        "matrix products in nn/ and serve/ must go through KernelBackend "
+        "dispatch, not the @ operator or np.matmul/dot/einsum on raw arrays"
+    )
+    scope = ("/nn/", "/serve/")
+    # the dispatch layer itself implements the products it mediates
+    exempt = ("/nn/quantized.py", "/nn/tensor.py")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct '@' product bypasses KernelBackend dispatch; use "
+                    "the backend matmul (or justify with an allow comment)",
+                )
+            elif isinstance(node, ast.Call):
+                name = _numpy_product(node)
+                if name:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"direct {name}() bypasses KernelBackend dispatch; use "
+                        "the backend matmul (or justify with an allow comment)",
+                    )
+
+
+def _gates_fused_projection(test: ast.AST) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call):
+            name = call_dotted(node)
+            if name.rpartition(".")[2] == "supports_fused_projection":
+                return True
+    return False
+
+
+@register_rule
+class FusedAccumulationRule(Rule):
+    id = "fused-accumulation"
+    family = "exactness"
+    description = (
+        "code gated on supports_fused_projection() must not use "
+        "order-dependent accumulation (np.sum/mean, builtin sum, += loops)"
+    )
+    scope = ("/nn/", "/serve/")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.If) and _gates_fused_projection(node.test)):
+                continue
+            for stmt in node.body:
+                yield from self._scan(ctx, node, stmt)
+
+    def _scan(
+        self, ctx: ModuleContext, gate: ast.If, root: ast.AST
+    ) -> Iterable[Finding]:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                name = call_dotted(node)
+                head, _, tail = name.rpartition(".")
+                reduction = (
+                    (head in _NUMPY_MODULES and tail in _ORDER_DEPENDENT)
+                    or name == "sum"
+                    or (tail == "sum" and head not in _NUMPY_MODULES and head != "")
+                )
+                if reduction:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"order-dependent {name or 'sum'}() inside a "
+                        "supports_fused_projection gate breaks the "
+                        "order-independence the gate certifies",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                # only loops nested *inside* the gate count — stop the
+                # ancestor scan once it leaves the gated If
+                in_gate_loop = False
+                for ancestor in ctx.ancestors(node):
+                    if ancestor is gate:
+                        break
+                    if isinstance(ancestor, (ast.For, ast.While)):
+                        in_gate_loop = True
+                        break
+                if in_gate_loop:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "loop-carried '+=' accumulation inside a "
+                        "supports_fused_projection gate is order-dependent; "
+                        "use the fused backend reduction",
+                    )

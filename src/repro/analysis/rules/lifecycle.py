@@ -1,0 +1,260 @@
+"""Lifecycle family: futures resolve, scratch returns, no_grad stays local.
+
+Serving correctness depends on resource pairs closing: every future a
+session hands out must reach ``set_result``/``set_exception``/``cancel``
+(a dropped future blocks its consumer forever), every
+``checkout_scratch`` must pair with ``release_scratch`` (the scratch
+pool accounts bytes and a leak is permanent), and a generator must not
+hold the ``no_grad`` context across ``yield`` (grad mode is
+thread-local; the consumer resumes the generator on an arbitrary thread
+with the producer's mode still applied).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, ModuleContext, Rule
+from ..registry import register_rule
+from .common import call_dotted, walk_function
+
+#: calls that resolve a Future.
+_TERMINAL_OPS = frozenset(
+    {"set_result", "set_exception", "cancel", "set_running_or_notify_cancel"}
+)
+#: session helpers that guarantee exactly-once resolution internally.
+_RESOLVER_HELPERS = frozenset(
+    {"_resolve_job", "_fail_job", "_drop_cancelled", "_resolve", "_fail"}
+)
+#: exception types an except-handler may legitimately swallow around
+#: future resolution (the future is already terminal).
+_BENIGN_EXCEPTIONS = frozenset({"InvalidStateError", "CancelledError"})
+
+
+def _is_future_ctor(node: ast.Call) -> bool:
+    name = call_dotted(node)
+    return name.rpartition(".")[2] == "Future"
+
+
+@register_rule
+class DroppedFutureRule(Rule):
+    id = "dropped-future"
+    family = "lifecycle"
+    description = (
+        "a Future created locally must be resolved, cancelled, or handed "
+        "off — a dropped future blocks its consumer forever"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx: ModuleContext, fn) -> Iterable[Finding]:
+        created: dict[str, ast.AST] = {}
+        for node in walk_function(fn, into_nested=False):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _is_future_ctor(node.value) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        created[target.id] = node
+        if not created:
+            return
+        escaped: set[str] = set()
+        for node in walk_function(fn, into_nested=True):
+            # terminal resolution: f.set_result(...) etc.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TERMINAL_OPS
+                and isinstance(node.func.value, ast.Name)
+            ):
+                escaped.add(node.func.value.id)
+            # handed off: passed as an argument, returned/yielded, stored
+            # into an attribute/subscript/container — someone else now
+            # owns resolution
+            elif isinstance(node, ast.Call):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    for leaf in ast.walk(arg):
+                        if isinstance(leaf, ast.Name):
+                            escaped.add(leaf.id)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    for leaf in ast.walk(node.value):
+                        if isinstance(leaf, ast.Name):
+                            escaped.add(leaf.id)
+            elif isinstance(node, ast.Assign):
+                stored_elsewhere = any(
+                    not isinstance(t, ast.Name) for t in node.targets
+                )
+                if stored_elsewhere:
+                    for leaf in ast.walk(node.value):
+                        if isinstance(leaf, ast.Name):
+                            escaped.add(leaf.id)
+                elif not (
+                    isinstance(node.value, ast.Call)
+                    and _is_future_ctor(node.value)
+                ):
+                    # aliasing (g = f) or container literal on the RHS
+                    for leaf in ast.walk(node.value):
+                        if isinstance(leaf, ast.Name):
+                            escaped.add(leaf.id)
+        for name, node in created.items():
+            if name not in escaped:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"future '{name}' is created but never resolved, "
+                    "cancelled, or handed off on any path",
+                )
+
+
+@register_rule
+class SwallowedFutureErrorRule(Rule):
+    id = "swallowed-future-error"
+    family = "lifecycle"
+    description = (
+        "an except handler in future-resolving code must fail/resolve the "
+        "future (or re-raise) — swallowing strands the consumer"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._handles_futures(fn):
+                continue
+            for node in walk_function(fn, into_nested=False):
+                if isinstance(node, ast.ExceptHandler):
+                    if self._benign(node) or self._resolves(node):
+                        continue
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "except handler swallows the error without resolving "
+                        "or failing the in-flight future(s)",
+                    )
+
+    @staticmethod
+    def _handles_futures(fn) -> bool:
+        params = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
+        if params & {"job", "jobs", "batch", "stream_job"}:
+            return True
+        for node in walk_function(fn, into_nested=False):
+            if isinstance(node, ast.Attribute) and node.attr == "future":
+                return True
+        return False
+
+    @staticmethod
+    def _benign(handler: ast.ExceptHandler) -> bool:
+        names: list[str] = []
+        if handler.type is None:
+            return False
+        for leaf in ast.walk(handler.type):
+            if isinstance(leaf, ast.Name):
+                names.append(leaf.id)
+            elif isinstance(leaf, ast.Attribute):
+                names.append(leaf.attr)
+        return bool(names) and all(n in _BENIGN_EXCEPTIONS for n in names)
+
+    @staticmethod
+    def _resolves(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, (ast.Raise, ast.Continue)):
+                return True
+            if isinstance(node, ast.Call):
+                name = call_dotted(node)
+                tail = name.rpartition(".")[2]
+                if tail in _TERMINAL_OPS or tail in _RESOLVER_HELPERS:
+                    return True
+        return False
+
+
+@register_rule
+class UnreleasedScratchRule(Rule):
+    id = "unreleased-scratch"
+    family = "lifecycle"
+    description = (
+        "checkout_scratch/plan.checkout must pair with release in the same "
+        "function (try/finally) — the pool accounts bytes and leaks are "
+        "permanent"
+    )
+    exempt = ("/kernels/plan.py",)  # the pool implementation itself
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            checkouts: list[tuple[str, ast.AST]] = []
+            releases: set[str] = set()
+            for node in walk_function(fn, into_nested=False):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_dotted(node)
+                tail = name.rpartition(".")[2]
+                if tail == "checkout_scratch":
+                    checkouts.append(("checkout_scratch", node))
+                elif tail == "release_scratch":
+                    releases.add("checkout_scratch")
+                elif tail == "checkout":
+                    checkouts.append(("checkout", node))
+                elif tail == "release":
+                    releases.add("checkout")
+            for kind, node in checkouts:
+                if kind not in releases:
+                    pair = (
+                        "release_scratch"
+                        if kind == "checkout_scratch"
+                        else ".release()"
+                    )
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{kind}() without a matching {pair} in this "
+                        "function; release in a finally block",
+                    )
+
+
+@register_rule
+class NoGradAcrossYieldRule(Rule):
+    id = "no-grad-across-yield"
+    family = "lifecycle"
+    description = (
+        "generators must not hold no_grad() across a yield — grad mode is "
+        "thread-local and the consumer resumes on an arbitrary thread"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.With):
+                continue
+            if not any(
+                isinstance(item.context_expr, ast.Call)
+                and call_dotted(item.context_expr).rpartition(".")[2] == "no_grad"
+                for item in node.items
+            ):
+                continue
+            for stmt in node.body:
+                for leaf in self._walk_same_function(stmt):
+                    if isinstance(leaf, (ast.Yield, ast.YieldFrom)):
+                        yield self.finding(
+                            ctx,
+                            leaf,
+                            "yield inside 'with no_grad()': the generator "
+                            "suspends while holding thread-local grad state; "
+                            "scope no_grad per step instead",
+                        )
+
+    @staticmethod
+    def _walk_same_function(root: ast.AST):
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue  # a nested def's yields belong to that def
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,510 @@
+"""Lock-discipline family: guarded shared state, predicate loops, lock order.
+
+The serving tier is hand-rolled thread code: the `InferenceSession`
+condition-variable deque, the `kernels/plan.py` scratch pools behind a
+module lock, per-object locks in SessionMetrics/CircuitBreaker/FaultPlan.
+These rules encode its conventions:
+
+- classes that own a ``threading.Lock/RLock/Condition/Semaphore``
+  attribute must write their ``_``-prefixed instance state only inside
+  ``with self.<lock>`` (``__init__`` and ``*_locked``
+  caller-holds-the-lock helpers are exempt);
+- module-level ``_UPPER`` state guarded by a module lock must be guarded
+  *everywhere* (inconsistent guarding is how the bug class starts);
+- ``Condition.wait`` must sit in a ``while`` predicate loop — a bare
+  ``if`` misses spurious wakeups and stolen predicates;
+- locks are acquired with ``with``, never bare ``.acquire()``;
+- the project-wide lock-acquisition graph must stay acyclic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, ModuleContext, Rule
+from ..registry import register_rule
+from .common import (
+    CONDITION_FACTORIES,
+    LOCK_FACTORIES,
+    lock_factory,
+    self_attr,
+    walk_function,
+)
+
+#: method calls that mutate a container in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "extend",
+        "extendleft",
+        "update",
+        "insert",
+        "setdefault",
+    }
+)
+
+
+def _class_locks(cls: ast.ClassDef, factories=LOCK_FACTORIES) -> set[str]:
+    """Names of ``self.X`` attributes assigned a threading lock in ``cls``."""
+    names: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and lock_factory(node.value, factories):
+            for target in node.targets:
+                attr = self_attr(target)
+                if attr:
+                    names.add(attr)
+    return names
+
+
+def _module_locks(tree: ast.Module, factories=LOCK_FACTORIES) -> set[str]:
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and lock_factory(stmt.value, factories):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _held_self_lock(ctx: ModuleContext, node: ast.AST, locks: set[str]) -> bool:
+    """True when ``node`` sits inside ``with self.<lock>`` for any lock."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                attr = self_attr(item.context_expr)
+                if attr in locks:
+                    return True
+    return False
+
+
+def _held_module_lock(ctx: ModuleContext, node: ast.AST, locks: set[str]) -> bool:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                if isinstance(item.context_expr, ast.Name) and (
+                    item.context_expr.id in locks
+                ):
+                    return True
+    return False
+
+
+def _write_target_attr(node: ast.AST, locks: set[str]) -> tuple[str, ast.AST] | None:
+    """(attr, node) when ``node`` writes ``self._X`` shared state."""
+    targets: list[ast.AST] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        # plain rebinding: self._x = ... / self._x += ...
+        attr = self_attr(target)
+        if attr and attr.startswith("_") and attr not in locks:
+            return attr, node
+        # item store: self._x[k] = ...
+        if isinstance(target, ast.Subscript):
+            attr = self_attr(target.value)
+            if attr and attr.startswith("_") and attr not in locks:
+                return attr, node
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS:
+            attr = self_attr(node.func.value)
+            if attr and attr.startswith("_") and attr not in locks:
+                return attr, node
+    return None
+
+
+@register_rule
+class UnguardedWriteRule(Rule):
+    id = "unguarded-write"
+    family = "locks"
+    description = (
+        "writes to _-prefixed shared state in lock-owning classes/modules "
+        "must happen inside the owning with-lock scope"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        yield from self._check_classes(ctx)
+        yield from self._check_module(ctx)
+
+    # ------------------------------------------------------------------
+    def _check_classes(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _class_locks(cls)
+            if not locks:
+                continue
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__" or method.name.endswith("_locked"):
+                    continue  # construction / caller-holds-the-lock helpers
+                for node in walk_function(method, into_nested=True):
+                    hit = _write_target_attr(node, locks)
+                    if hit is None:
+                        continue
+                    attr, site = hit
+                    if not _held_self_lock(ctx, site, locks):
+                        lock_names = ", ".join(f"self.{n}" for n in sorted(locks))
+                        yield self.finding(
+                            ctx,
+                            site,
+                            f"write to shared 'self.{attr}' outside "
+                            f"'with {lock_names}'",
+                        )
+
+    def _check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        locks = _module_locks(ctx.tree)
+        if not locks:
+            return
+        # collect every write to a module global (declared via `global`)
+        # and split by guarded/unguarded; only inconsistently-guarded
+        # names are flagged, so deliberately lock-free globals stay legal
+        guarded: set[str] = set()
+        writes: list[tuple[str, ast.AST, bool]] = []
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name.endswith("_locked"):
+                continue  # caller-holds-the-lock convention
+            global_names: set[str] = set()
+            for node in walk_function(fn, into_nested=False):
+                if isinstance(node, ast.Global):
+                    global_names.update(node.names)
+            for node in walk_function(fn, into_nested=False):
+                name = self._module_write(node, global_names, locks)
+                if name is None:
+                    continue
+                held = _held_module_lock(ctx, node, locks)
+                if held:
+                    guarded.add(name)
+                writes.append((name, node, held))
+        for name, node, held in writes:
+            if not held and name in guarded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"write to module global '{name}' outside the module "
+                    "lock, but other sites guard it — inconsistent locking",
+                )
+
+    @staticmethod
+    def _module_write(
+        node: ast.AST, global_names: set[str], locks: set[str]
+    ) -> str | None:
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in global_names:
+                if target.id not in locks:
+                    return target.id
+            # item store into a module-level _UPPER container (no `global`
+            # declaration needed to mutate, so match by naming convention)
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                name = target.value.id
+                if name.startswith("_") and name == name.upper() and name not in locks:
+                    return name
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS and isinstance(
+                node.func.value, ast.Name
+            ):
+                name = node.func.value.id
+                if name.startswith("_") and name == name.upper() and name not in locks:
+                    return name
+        return None
+
+
+@register_rule
+class WaitOutsideLoopRule(Rule):
+    id = "wait-outside-loop"
+    family = "locks"
+    description = (
+        "Condition.wait must run inside a while predicate loop (spurious "
+        "wakeups and stolen predicates otherwise slip through)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        cond_attrs: set[str] = set()
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef):
+                cond_attrs |= _class_locks(cls, CONDITION_FACTORIES)
+        cond_names = _module_locks(ctx.tree, CONDITION_FACTORIES)
+        if not cond_attrs and not cond_names:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "wait"
+            ):
+                continue
+            owner = node.func.value
+            is_condition = self_attr(owner) in cond_attrs or (
+                isinstance(owner, ast.Name) and owner.id in cond_names
+            )
+            if not is_condition:
+                continue
+            in_while = False
+            for ancestor in ctx.ancestors(node):
+                if isinstance(ancestor, ast.While):
+                    in_while = True
+                    break
+                if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+            if not in_while:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "Condition.wait() outside a while predicate loop; "
+                    "use 'while not <predicate>: cv.wait(...)'",
+                )
+
+
+@register_rule
+class BareAcquireRule(Rule):
+    id = "bare-acquire"
+    family = "locks"
+    description = (
+        "locks are acquired with 'with', never bare .acquire() — an "
+        "exception between acquire and release leaks the lock"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare .acquire(); use a 'with' block so the lock is "
+                    "released on every path",
+                )
+
+
+@register_rule
+class LockOrderRule(Rule):
+    """Project-wide lock-acquisition graph; flags order inversions.
+
+    Lock identities: ``<path>::<Class>.<attr>`` for instance locks,
+    ``<path>::<NAME>`` for module locks.  Edges come from lexically
+    nested ``with`` acquisitions plus calls resolved by project-unique
+    bare function / method name (with transitive lock sets computed to a
+    fixpoint).  Re-entrant self-edges (RLock/Condition re-entry through
+    helpers) are skipped; any remaining cycle is an inversion.
+    """
+
+    id = "lock-order"
+    family = "locks"
+    description = "the project lock-acquisition graph must stay acyclic"
+    scope = ("/serve/", "/kernels/", "/nn/", "/core/")
+
+    def __init__(self) -> None:
+        # function key -> set of lock ids acquired directly
+        self._direct: dict[str, set[str]] = {}
+        # function key -> called names (for transitive lock sets)
+        self._calls: dict[str, set[str]] = {}
+        # bare name -> function keys defining it (uniqueness filter)
+        self._by_name: dict[str, list[str]] = {}
+        # (held_lock, kind, payload, path, line): kind 'lock' | 'call'
+        self._nested: list[tuple[str, str, str, str, int]] = []
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        module_locks = _module_locks(ctx.tree)
+        class_locks: dict[str, set[str]] = {}
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef):
+                class_locks[cls.name] = _class_locks(cls)
+
+        def lock_id(ctx_expr: ast.AST, owner_class: str | None) -> str | None:
+            if isinstance(ctx_expr, ast.Name) and ctx_expr.id in module_locks:
+                return f"{ctx.relpath}::{ctx_expr.id}"
+            attr = self_attr(ctx_expr)
+            if (
+                attr
+                and owner_class
+                and attr in class_locks.get(owner_class, set())
+            ):
+                return f"{ctx.relpath}::{owner_class}.{attr}"
+            return None
+
+        for fn, owner in self._functions(ctx.tree):
+            key = f"{ctx.relpath}::{owner + '.' if owner else ''}{fn.name}"
+            direct: set[str] = set()
+            calls: set[str] = set()
+            for node in walk_function(fn, into_nested=False):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        lid = lock_id(item.context_expr, owner)
+                        if lid:
+                            direct.add(lid)
+                            self._record_nested(ctx, node, lid, owner, lock_id)
+                elif isinstance(node, ast.Call):
+                    name = self._callee_name(node)
+                    if name:
+                        calls.add(name)
+            self._direct[key] = direct
+            self._calls[key] = calls
+            self._by_name.setdefault(fn.name, []).append(key)
+        return ()
+
+    @staticmethod
+    def _functions(tree: ast.Module):
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt, None
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield sub, stmt.name
+
+    @staticmethod
+    def _callee_name(node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def _record_nested(self, ctx, with_node, held: str, owner, lock_id) -> None:
+        """Nested acquisitions and calls inside one with-block's body."""
+        for stmt in with_node.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        lid = lock_id(item.context_expr, owner)
+                        if lid and lid != held:
+                            self._nested.append(
+                                ("lock", held, lid, ctx.relpath, node.lineno)
+                            )
+                elif isinstance(node, ast.Call):
+                    name = self._callee_name(node)
+                    if name:
+                        self._nested.append(
+                            ("call", held, name, ctx.relpath, node.lineno)
+                        )
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> Iterable[Finding]:
+        # transitive lock set per function, to a fixpoint
+        locksets = {key: set(direct) for key, direct in self._direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, calls in self._calls.items():
+                for name in calls:
+                    defs = self._by_name.get(name, [])
+                    if len(defs) != 1:
+                        continue  # ambiguous name: don't guess
+                    extra = locksets.get(defs[0], set()) - locksets[key]
+                    if extra:
+                        locksets[key].update(extra)
+                        changed = True
+
+        edges: dict[tuple[str, str], tuple[str, int]] = {}
+
+        def add_edge(held: str, inner: str, path: str, line: int) -> None:
+            if held == inner:
+                return  # re-entrant (RLock/Condition) self-edge
+            loc = edges.get((held, inner))
+            if loc is None or (path, line) < loc:
+                edges[(held, inner)] = (path, line)
+
+        for kind, held, payload, path, line in self._nested:
+            if kind == "lock":
+                add_edge(held, payload, path, line)
+            else:
+                defs = self._by_name.get(payload, [])
+                if len(defs) == 1:
+                    for inner in locksets.get(defs[0], set()):
+                        add_edge(held, inner, path, line)
+
+        yield from self._report_cycles(edges)
+
+    def _report_cycles(self, edges) -> Iterable[Finding]:
+        graph: dict[str, set[str]] = {}
+        for held, inner in edges:
+            graph.setdefault(held, set()).add(inner)
+            graph.setdefault(inner, set())
+        # iterative Tarjan SCC
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(graph[root])))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        index[nxt] = low[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(sorted(graph[nxt]))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    sccs.append(scc)
+
+        for node in sorted(graph):
+            if node not in index:
+                strongconnect(node)
+
+        for scc in sccs:
+            if len(scc) < 2:
+                continue
+            members = set(scc)
+            internal = [
+                (loc, pair)
+                for pair, loc in edges.items()
+                if pair[0] in members and pair[1] in members
+            ]
+            (path, line), _pair = min(internal)
+            cycle = " <-> ".join(sorted(members))
+            yield Finding(
+                path=path,
+                line=line,
+                rule=self.id,
+                message=f"lock-order inversion: acquisition cycle {cycle}",
+            )

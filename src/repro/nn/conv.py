@@ -96,6 +96,7 @@ def conv2d(
         w2_q = _quantized_conv_weight(weight, quant)
     else:
         cols_q, w2_q = cols, w2
+    # repro: allow(direct-matmul): im2col product on already-quantized payloads, mirroring quantized_matmul's fused fast path
     out_data = cols_q.reshape(-1, k) @ w2_q  # (B*OH*OW, C_out)
     out_data = out_data.reshape(b, oh, ow, c_out).transpose(0, 3, 1, 2)
     if bias is not None:
@@ -116,9 +117,11 @@ def conv2d(
             g_da, wt = g2, w2.T
             g_dw, cols_t = g2, cols.reshape(-1, k).T
         if x.requires_grad:
+            # repro: allow(direct-matmul): backward-pass product on backward-quantized payloads, mirroring quantized_matmul's backward
             dcols = (g_da @ wt).reshape(b, oh, ow, k)
             x._accumulate(col2im(dcols, x.shape, kh, kw, stride, padding))
         if weight.requires_grad:
+            # repro: allow(direct-matmul): backward-pass product on backward-quantized payloads, mirroring quantized_matmul's backward
             dw = (cols_t @ g_dw).T.reshape(c_out, c_in, kh, kw)
             weight._accumulate(dw)
         if bias is not None and bias.requires_grad:

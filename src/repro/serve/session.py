@@ -415,7 +415,8 @@ class InferenceSession:
                     self._execute_stream(stream_job, depth)
                 elif batch:
                     self._execute_batch(batch, depth)
-            except BaseException as error:  # noqa: BLE001 - worker must survive
+            # repro: allow(broad-except): last-resort worker survival — any escape must fail the batch's futures, not kill the thread
+            except BaseException as error:
                 for job in batch or [stream_job]:
                     self._fail_job(job, error)
             finally:
@@ -476,7 +477,8 @@ class InferenceSession:
                 fault_point("worker.batch")
                 with no_grad():
                     results = adapter.run_batch([job.request for job in batch])
-            except BaseException as error:  # noqa: BLE001
+            # repro: allow(broad-except): adapter code is arbitrary — escapes are classified by is_transient() then retried or routed into futures via bisection
+            except BaseException as error:
                 if is_transient(error) and attempt < self.config.max_retries:
                     attempt += 1
                     self.metrics.record_event("retries")
@@ -541,7 +543,8 @@ class InferenceSession:
                 self.metrics.record_tokens(1, latency=now - last)
                 last = now
                 job.stream.put(token)
-        except BaseException as error:  # noqa: BLE001
+        # repro: allow(broad-except): streaming adapter code is arbitrary — the escape is forwarded into the stream job's future and queue
+        except BaseException as error:
             self._record_outcome(False)
             self._fail_job(job, error)
             return
@@ -629,7 +632,12 @@ class InferenceSession:
                         job.stream.put(_STREAM_END)
         if self._watchdog is not None:
             self._watchdog.join(timeout=self.config.watchdog_interval * 2 + 0.2)
-        self._closed = True
+        # under the cv like every other _closed/_closing transition: a
+        # concurrent close() must observe the flag (the early-return above
+        # reads it under the cv) and submit()'s closed-check must never
+        # race a half-finished shutdown
+        with self._cv:
+            self._closed = True
 
     def __enter__(self) -> "InferenceSession":
         return self

@@ -1,0 +1,52 @@
+"""Seeded exactness violations (parsed by the analyzer, never imported).
+
+``# expect: <rule>`` markers name the finding each line must produce;
+the corpus test asserts exact agreement, so the analyzer has zero false
+negatives AND zero false positives here.
+"""
+
+import numpy as np
+
+
+def direct_operator(a, b):
+    return a @ b  # expect: direct-matmul
+
+
+def direct_matmul(a, b):
+    return np.matmul(a, b)  # expect: direct-matmul
+
+
+def direct_einsum(a, b):
+    return np.einsum("ij,jk->ik", a, b)  # expect: direct-matmul
+
+
+def direct_dot(a, b):
+    return np.dot(a, b)  # expect: direct-matmul
+
+
+def gated_reductions(spec, xs, backend):
+    if supports_fused_projection(spec):
+        total = np.sum(xs)  # expect: fused-accumulation
+        acc = 0.0
+        for x in xs:
+            acc += x  # expect: fused-accumulation
+        return total + acc
+    return backend.matmul(xs, xs)
+
+
+def gated_method_sum(spec, xs):
+    if supports_fused_projection(spec):
+        return xs.sum(axis=0)  # expect: fused-accumulation
+    return None
+
+
+def gated_ok(spec, xs, backend):
+    # the gate's whole point: route through the fused backend reduction
+    if supports_fused_projection(spec):
+        return backend.fused_projection(xs)
+    return None
+
+
+def ungated_sum_ok(xs):
+    # reductions outside a fused-projection gate are the backend's business
+    return np.sum(xs)

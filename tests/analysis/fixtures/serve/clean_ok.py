@@ -1,0 +1,33 @@
+"""Near-miss patterns that must NOT fire any rule (parsed, never imported)."""
+
+import threading
+import time
+
+_LOCK = threading.Lock()
+_TOTALS = {}
+
+
+def tally(key):
+    # consistently guarded module state: never flagged
+    with _LOCK:
+        _TOTALS[key] = _TOTALS.get(key, 0) + 1
+
+
+def snapshot():
+    with _LOCK:
+        return dict(_TOTALS)
+
+
+def monotonic_deadline(budget):
+    # monotonic clocks are the sanctioned time source
+    return time.monotonic() + budget
+
+
+class Unlocked:
+    """No lock attribute, so the unguarded-write rule stays silent."""
+
+    def __init__(self):
+        self._hits = 0
+
+    def bump(self):
+        self._hits += 1

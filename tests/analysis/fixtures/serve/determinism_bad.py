@@ -1,0 +1,38 @@
+"""Seeded determinism violations (parsed, never imported)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def shared_rng():
+    return random.random()  # expect: unseeded-random
+
+
+def argless_rng():
+    return np.random.default_rng()  # expect: unseeded-random
+
+
+def legacy_global():
+    return np.random.rand(3)  # expect: unseeded-random
+
+
+def wall_clock():
+    return time.time()  # expect: unseeded-random
+
+
+def argless_instance():
+    return random.Random()  # expect: unseeded-random
+
+
+def unjustified():
+    return time.time_ns()  # repro: allow(unseeded-random)  # expect: unjustified-suppression
+
+
+def seeded_ok(seed, site):
+    rng = random.Random(f"{seed}:{site}")
+    gen = np.random.default_rng(seed)
+    started = time.monotonic()
+    elapsed = time.perf_counter()
+    return rng, gen, started, elapsed

@@ -1,0 +1,90 @@
+"""Seeded lifecycle violations (parsed, never imported)."""
+
+from concurrent.futures import Future, InvalidStateError
+
+
+def dropped():
+    f = Future()  # expect: dropped-future
+    if f.done():
+        return True
+    return False
+
+
+def resolved_ok():
+    f = Future()
+    f.set_result(1)
+    return True
+
+
+def handed_off_ok(sink):
+    f = Future()
+    sink.append(f)
+    return f
+
+
+def cancelled_ok():
+    f = Future()
+    f.cancel()
+
+
+def swallowed(job):
+    try:
+        job.future.set_result(run(job))
+    except RuntimeError:  # expect: swallowed-future-error
+        pass
+
+
+def failed_ok(job):
+    try:
+        job.future.set_result(run(job))
+    except RuntimeError as error:
+        job.future.set_exception(error)
+
+
+def benign_ok(job):
+    try:
+        job.future.set_result(run(job))
+    except InvalidStateError:
+        pass  # future already resolved by a racing path
+
+
+def leak(shape):
+    buf = checkout_scratch(shape)  # expect: unreleased-scratch
+    buf.fill(0)
+    return buf
+
+
+def paired_ok(shape):
+    buf = checkout_scratch(shape)
+    try:
+        return float(buf[0])
+    finally:
+        release_scratch(buf)
+
+
+def plan_leak(plan, payload):
+    work = plan.checkout()  # expect: unreleased-scratch
+    work[:] = payload
+    return work
+
+
+def plan_paired_ok(plan, payload):
+    work = plan.checkout()
+    try:
+        work[:] = payload
+        return work.copy()
+    finally:
+        plan.release(work)
+
+
+def stream_bad(model, prompts):
+    with no_grad():
+        for prompt in prompts:
+            yield model(prompt)  # expect: no-grad-across-yield
+
+
+def stream_ok(model, prompts):
+    for prompt in prompts:
+        with no_grad():
+            token = model(prompt)
+        yield token

@@ -1,0 +1,72 @@
+"""Seeded lock-discipline violations (parsed, never imported)."""
+
+import threading
+
+_LOCK = threading.Lock()
+_COUNT = 0
+
+_A = threading.Lock()
+_B = threading.Lock()
+
+
+def guarded_bump():
+    global _COUNT
+    with _LOCK:
+        _COUNT += 1
+
+
+def unguarded_bump():
+    global _COUNT
+    _COUNT += 1  # expect: unguarded-write
+
+
+def ab():
+    with _A:
+        with _B:  # expect: lock-order
+            pass
+
+
+def ba():
+    with _B:
+        with _A:
+            pass
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cv = threading.Condition()
+        self._items = []
+        self._count = 0
+        self._ready = False
+
+    def bump_guarded(self):
+        with self._lock:
+            self._count += 1
+
+    def bump_unguarded(self):
+        self._count += 1  # expect: unguarded-write
+
+    def stash_unguarded(self, item):
+        self._items.append(item)  # expect: unguarded-write
+
+    def _drop_locked(self, item):
+        # caller-holds-the-lock helper: exempt by naming convention
+        self._items.remove(item)
+
+    def wait_bad(self):
+        with self._cv:
+            if not self._ready:
+                self._cv.wait()  # expect: wait-outside-loop
+
+    def wait_good(self):
+        with self._cv:
+            while not self._ready:
+                self._cv.wait()
+
+    def manual_acquire(self):
+        self._lock.acquire()  # expect: bare-acquire
+        try:
+            return len(self._items)
+        finally:
+            self._lock.release()

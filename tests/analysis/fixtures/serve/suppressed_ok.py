@@ -1,0 +1,20 @@
+"""Justified suppressions that must silence findings (parsed, never imported)."""
+
+import time
+
+
+def stamp_same_line():
+    return time.time()  # repro: allow(unseeded-random): fixture proving same-line justified suppression works
+
+
+def stamp_line_above():
+    # repro: allow(unseeded-random): fixture proving line-above justified suppression works
+    return time.time()
+
+
+def broad_with_reason():
+    try:
+        return 1
+    # repro: allow(broad-except): fixture proving a justified broad-except suppression works
+    except Exception:
+        return 0

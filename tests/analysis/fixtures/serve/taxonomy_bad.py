@@ -1,0 +1,90 @@
+"""Seeded taxonomy violations (parsed, never imported)."""
+
+
+class ServingError(Exception):
+    pass
+
+
+class Overloaded(ServingError):
+    pass
+
+
+class CustomError(RuntimeError):
+    pass
+
+
+def reject_custom():
+    raise CustomError("outside the taxonomy")  # expect: untyped-serving-raise
+
+
+def reject_builtin():
+    raise RuntimeError("untyped")  # expect: untyped-serving-raise
+
+
+def taxonomy_ok():
+    raise Overloaded("queue full")
+
+
+def validation_ok(n):
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return n
+
+
+def reraise_ok(item):
+    # re-raising a caught/stored exception object is not a Call raise
+    raise item
+
+
+def broad():
+    try:
+        taxonomy_ok()
+    except Exception:  # expect: broad-except
+        pass
+
+
+def bare():
+    try:
+        taxonomy_ok()
+    except:  # expect: broad-except
+        pass
+
+
+def typed_ok():
+    try:
+        taxonomy_ok()
+    except Overloaded:
+        return None
+    return None
+
+
+def double(metrics, items):
+    metrics.record_event("timeouts")
+    total = len(items)
+    metrics.record_event("timeouts", total)  # expect: double-count
+    return total
+
+
+def exclusive_ok(metrics, flag):
+    if flag:
+        metrics.record_event("sheds")
+    else:
+        metrics.record_event("sheds")
+
+
+def try_handler(metrics):
+    try:
+        metrics.record_event("retries")
+        taxonomy_ok()
+    except ValueError:
+        metrics.record_event("retries")  # expect: double-count
+
+
+def errors_twice(metrics, n):
+    metrics.record_error(n)
+    metrics.record_error(1)  # expect: double-count
+
+
+def distinct_events_ok(metrics):
+    metrics.record_event("timeouts")
+    metrics.record_event("cancelled")

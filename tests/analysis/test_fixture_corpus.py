@@ -1,0 +1,65 @@
+"""The analyzer must flag 100% of seeded fixture violations — and nothing else.
+
+Each fixture line carrying a ``# expect: <rule>[, <rule>]`` marker must
+produce exactly those findings at exactly that line; every other fixture
+line must stay silent.  Asserting set equality in both directions gives
+zero false negatives AND zero false positives over the corpus.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, create_rules, rule_catalog
+
+FIXTURES = Path(__file__).parent / "fixtures"
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([\w\-]+(?:\s*,\s*[\w\-]+)*)")
+
+
+def expected_findings() -> set:
+    expected = set()
+    for path in sorted(FIXTURES.rglob("*.py")):
+        relpath = path.relative_to(FIXTURES).as_posix()
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            match = _EXPECT_RE.search(line)
+            if match:
+                for rule in match.group(1).split(","):
+                    expected.add((relpath, lineno, rule.strip()))
+    return expected
+
+
+def actual_findings() -> set:
+    result = analyze_paths([FIXTURES], rules=create_rules(), root=FIXTURES)
+    assert not result.errors, result.errors
+    return {(f.path, f.line, f.rule) for f in result.findings}
+
+
+def test_corpus_is_nonempty_and_covers_every_rule():
+    expected = expected_findings()
+    assert len(expected) >= 20
+    seeded_rules = {rule for _, _, rule in expected}
+    assert seeded_rules == set(rule_catalog()) | {"unjustified-suppression"}, (
+        "every registered rule needs at least one seeded fixture violation"
+    )
+
+
+def test_zero_false_negatives_and_zero_false_positives():
+    expected = expected_findings()
+    actual = actual_findings()
+    missed = expected - actual
+    spurious = actual - expected
+    assert not missed, f"analyzer missed seeded violations: {sorted(missed)}"
+    assert not spurious, f"analyzer flagged unseeded lines: {sorted(spurious)}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(rule_catalog()))
+def test_each_rule_flags_its_seeded_violations(rule_id):
+    """Per-rule zero-false-negative check (the acceptance criterion)."""
+    expected = {e for e in expected_findings() if e[2] == rule_id}
+    if not expected:
+        pytest.skip(f"no seeded violations for {rule_id}")
+    actual = {a for a in actual_findings() if a[2] == rule_id}
+    assert expected <= actual, (
+        f"{rule_id} missed: {sorted(expected - actual)}"
+    )

@@ -1,0 +1,199 @@
+"""Framework-level tests: suppression, baseline, registry, config, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import (
+    UNJUSTIFIED_SUPPRESSION,
+    analyze_paths,
+    create_rules,
+    resolve_rules,
+    rule_catalog,
+)
+from repro.analysis.baseline import BaselineError, load_baseline, write_baseline
+from repro.analysis.config import load_config
+from repro.analysis.reporting import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def analyze_source(tmp_path, source, name="serve/sample.py"):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return analyze_paths([tmp_path], rules=create_rules(), root=tmp_path)
+
+
+# ----------------------------------------------------------------- suppression
+BARE_ACQUIRE = "def f(lock):\n    lock.acquire()\n"
+
+
+def test_finding_without_suppression(tmp_path):
+    result = analyze_source(tmp_path, BARE_ACQUIRE)
+    assert [f.rule for f in result.findings] == ["bare-acquire"]
+
+
+def test_justified_suppression_same_line(tmp_path):
+    src = "def f(lock):\n    lock.acquire()  # repro: allow(bare-acquire): test harness needs the raw handle\n"
+    assert analyze_source(tmp_path, src).findings == []
+
+
+def test_justified_suppression_line_above(tmp_path):
+    src = (
+        "def f(lock):\n"
+        "    # repro: allow(bare-acquire): test harness needs the raw handle\n"
+        "    lock.acquire()\n"
+    )
+    assert analyze_source(tmp_path, src).findings == []
+
+
+def test_unjustified_suppression_is_a_finding(tmp_path):
+    src = "def f(lock):\n    lock.acquire()  # repro: allow(bare-acquire)\n"
+    result = analyze_source(tmp_path, src)
+    assert [f.rule for f in result.findings] == [UNJUSTIFIED_SUPPRESSION]
+
+
+def test_suppression_for_other_rule_does_not_apply(tmp_path):
+    src = "def f(lock):\n    lock.acquire()  # repro: allow(broad-except): wrong rule\n"
+    result = analyze_source(tmp_path, src)
+    assert [f.rule for f in result.findings] == ["bare-acquire"]
+
+
+# -------------------------------------------------------------------- baseline
+def test_baseline_round_trip(tmp_path):
+    result = analyze_source(tmp_path, BARE_ACQUIRE)
+    assert result.findings
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, result.findings, "grandfathered for the test")
+    baseline = load_baseline(baseline_path)
+    fresh, matched = baseline.apply(result.findings)
+    assert fresh == []
+    assert len(matched) == len(baseline.entries)
+    assert baseline.stale(matched) == []
+
+
+def test_baseline_detects_stale_entries(tmp_path):
+    result = analyze_source(tmp_path, BARE_ACQUIRE)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, result.findings, "will go stale")
+    baseline = load_baseline(baseline_path)
+    fresh, matched = baseline.apply([])  # the finding was fixed
+    assert fresh == []
+    assert baseline.stale(matched) == sorted(baseline.entries)
+
+
+def test_baseline_rejects_missing_justification(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "bare-acquire",
+                        "path": "x.py",
+                        "message": "m",
+                        "justification": "   ",
+                    }
+                ],
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="justification"):
+        load_baseline(baseline_path)
+
+
+def test_committed_baseline_is_valid():
+    path = REPO_ROOT / "scripts" / "analysis_baseline.json"
+    baseline = load_baseline(path)  # raises on any unjustified entry
+    assert all(j.strip() for j in baseline.entries.values())
+
+
+# -------------------------------------------------------------------- registry
+def test_rule_catalog_has_all_families():
+    catalog = rule_catalog()
+    families = {cls.family for cls in catalog.values()}
+    assert families == {"exactness", "locks", "lifecycle", "taxonomy", "determinism"}
+    assert len(catalog) >= 12
+
+
+def test_resolve_rules_by_family_and_id():
+    by_family = resolve_rules(["locks"])
+    assert {r.family for r in by_family} == {"locks"}
+    assert len(by_family) >= 3
+    by_id = resolve_rules(["broad-except"])
+    assert [r.id for r in by_id] == ["broad-except"]
+
+
+def test_resolve_rules_unknown_name():
+    with pytest.raises(ValueError, match="unknown rule"):
+        resolve_rules(["no-such-rule"])
+
+
+def test_rules_are_fresh_instances_per_run():
+    a, b = create_rules(), create_rules()
+    assert {r.id for r in a} == {r.id for r in b}
+    assert all(x is not y for x, y in zip(a, b))
+
+
+# ---------------------------------------------------------------------- config
+def test_load_config_from_repo_root():
+    config = load_config(REPO_ROOT)
+    assert config.root == REPO_ROOT
+    assert config.paths == ["src/repro"]
+    assert config.baseline_path == REPO_ROOT / "scripts" / "analysis_baseline.json"
+
+
+def test_load_config_defaults_without_pyproject(tmp_path):
+    config = load_config(tmp_path)
+    assert config.root == tmp_path.resolve()
+    assert config.paths == ["src/repro"]
+
+
+# ------------------------------------------------------------------- reporting
+def test_render_json_shape(tmp_path):
+    result = analyze_source(tmp_path, BARE_ACQUIRE)
+    payload = json.loads(render_json(result, baselined=2))
+    assert payload["clean"] is False
+    assert payload["baselined"] == 2
+    assert payload["findings"][0]["rule"] == "bare-acquire"
+    assert payload["findings"][0]["line"] == 2
+
+
+def test_render_text_mentions_location(tmp_path):
+    result = analyze_source(tmp_path, BARE_ACQUIRE)
+    text = render_text(result)
+    assert "serve/sample.py:2" in text
+    assert "[bare-acquire]" in text
+
+
+# ------------------------------------------------------------------------- CLI
+def test_cli_list_rules(capsys):
+    assert main(["analyze", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "bare-acquire" in out and "[locks]" in out
+
+
+def test_cli_exit_codes(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    bad = tmp_path / "bad.py"
+    bad.write_text(BARE_ACQUIRE)
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["analyze", str(clean)]) == 0
+    assert main(["analyze", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "bare-acquire" in out
+
+
+def test_cli_rule_filter(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    bad = tmp_path / "bad.py"
+    bad.write_text(BARE_ACQUIRE)
+    # a non-lock rule filter must not see the lock violation
+    assert main(["analyze", "--rule", "determinism", str(bad)]) == 0
+    assert main(["analyze", "--rule", "bare-acquire", str(bad)]) == 1
+    capsys.readouterr()

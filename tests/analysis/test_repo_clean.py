@@ -1,0 +1,36 @@
+"""The analyzer must run clean — and fast — on the real source tree.
+
+This is the CI gate's in-suite twin: zero findings over ``src/repro``
+(modulo the committed baseline, which is currently empty) within the
+30-second budget, so the ``scripts/ci.sh`` static-analysis step can
+never fail while tier-1 is green.
+"""
+
+import time
+from pathlib import Path
+
+import repro
+from repro.__main__ import main
+from repro.analysis import analyze_paths, create_rules
+
+SRC = Path(repro.__file__).resolve().parent
+REPO_ROOT = SRC.parents[1]
+
+
+def test_real_tree_is_clean_and_fast():
+    started = time.perf_counter()
+    result = analyze_paths([SRC], rules=create_rules(), root=REPO_ROOT)
+    elapsed = time.perf_counter() - started
+    assert not result.errors, result.errors
+    pretty = "\n".join(
+        f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in result.findings
+    )
+    assert result.findings == [], f"real-tree findings:\n{pretty}"
+    assert result.files > 100  # the whole tree was actually scanned
+    assert elapsed < 30.0, f"analysis took {elapsed:.1f}s (budget 30s)"
+
+
+def test_cli_gate_exits_zero(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["analyze", "--baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
