@@ -40,6 +40,10 @@ SUITES = {
     "kernels": (BENCH_DIR / "test_bench_kernels.py", BENCH_DIR / "BENCH_kernels.json"),
     "serving": (BENCH_DIR / "test_bench_serving.py", BENCH_DIR / "BENCH_serving.json"),
     "decode": (BENCH_DIR / "test_bench_decode.py", BENCH_DIR / "BENCH_decode.json"),
+    "continuous": (
+        BENCH_DIR / "test_bench_continuous.py",
+        BENCH_DIR / "BENCH_continuous.json",
+    ),
     "forward": (BENCH_DIR / "test_bench_forward.py", BENCH_DIR / "BENCH_forward.json"),
 }
 

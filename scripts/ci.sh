@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-command CI gate: tier-1 tests, perf regression (kernels + serving),
-# CLI smoke including the serving tier, seeded chaos smoke, and the
-# invariant static analyzer (docs/ANALYSIS.md).
+# CLI smoke including the serving tier, seeded chaos smoke (classic and
+# continuous-scheduler), and the invariant static analyzer (docs/ANALYSIS.md).
 #
 # Usage:
 #   scripts/ci.sh                 # full gate
@@ -15,7 +15,7 @@ echo "=== [1/6] tier-1 pytest ==="
 python -m pytest -x -q
 
 if [ -z "${SKIP_BENCH:-}" ]; then
-    echo "=== [2/6] perf regression gate (kernels + serving + decode + forward) ==="
+    echo "=== [2/6] perf regression gate (kernels + serving + decode + forward + continuous) ==="
     python benchmarks/check_regression.py
 else
     echo "=== [2/6] perf regression gate (skipped: SKIP_BENCH set) ==="
@@ -37,6 +37,9 @@ echo "=== [4/6] serving CLI smoke ==="
 # tiny model, ~2s budget: exercises compile -> session -> metrics end to end
 python -m repro serve --model gpt-xs --requests 8 --max-batch 4 > /dev/null
 python -m repro bench-serve --quick > /dev/null
+# continuous batching: bit-identity to serial decode is asserted inside
+# the measurement (it refuses to report a speedup on wrong tokens)
+python -m repro bench-serve --continuous --quick > /dev/null
 python -m repro bench-decode --quick > /dev/null
 python -m repro bench-forward --quick > /dev/null
 # the pre-residency schedule must stay a working end-to-end configuration
@@ -48,6 +51,9 @@ echo "=== [5/6] seeded chaos smoke ==="
 # transients, and leave zero unresolved futures (asserted by the suite).
 REPRO_FAULTS="seed=11 adapter.run_batch:kind=transient,rate=0.2" \
     python -m pytest tests/serve/test_chaos.py -q
+# scheduler storm: preemption churn + admit/preempt faults under a tiny
+# page pool; asserts bit-identity and zero leaked pages
+python -m pytest tests/serve/test_sched_chaos.py -q
 # CLI under injected transients: served N/N with retries absorbed
 python -m repro serve --model gpt-xs --requests 16 --max-batch 4 --retries 3 \
     --faults "seed=7 adapter.run_batch:kind=transient,rate=0.3" > /dev/null

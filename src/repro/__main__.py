@@ -286,6 +286,13 @@ def _cmd_bench_serve(argv: list[str]) -> int:
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats; the best (max rps) is reported")
+    parser.add_argument("--continuous", action="store_true",
+                        help="benchmark continuous batching instead: lockstep "
+                        "generate vs the paged-KV scheduler on ragged prompts")
+    parser.add_argument("--streams", type=int, default=64,
+                        help="concurrent decode streams for --continuous")
+    parser.add_argument("--max-new", type=int, default=8,
+                        help="tokens generated per stream for --continuous")
     parser.add_argument("--quick", action="store_true",
                         help="tiny CI smoke: GPT-XS, few requests (~2s budget)")
     parser.add_argument("--json", dest="json_path", default=None,
@@ -294,6 +301,10 @@ def _cmd_bench_serve(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     if args.quick:
         args.model, args.requests, args.repeats = "GPT-XS", 16, 1
+        args.streams = 16
+
+    if args.continuous:
+        return _bench_serve_continuous(args)
 
     model, make_requests = _build_serving_demo(args.model, args.seed)
     requests, _ = make_requests(args.requests)
@@ -319,6 +330,39 @@ def _cmd_bench_serve(argv: list[str]) -> int:
     if taxonomy:
         print("reliability       : "
               + "  ".join(f"{k}={v}" for k, v in sorted(taxonomy.items())))
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _bench_serve_continuous(args) -> int:
+    """The ``bench-serve --continuous`` headline: lockstep vs scheduler."""
+    from .serve.bench import measure_continuous_speedup
+
+    model, _ = _build_serving_demo(args.model, args.seed)
+    payload = measure_continuous_speedup(
+        model, fmt=args.fmt, streams=args.streams,
+        max_new_tokens=args.max_new, repeats=args.repeats, seed=args.seed,
+    )
+    payload["model"] = args.model
+    fallbacks = payload["lockstep_serial_fallbacks"]
+    print(f"lockstep generate : {payload['lockstep_tokens_per_sec']:10.1f} tok/s  "
+          f"({fallbacks} serial fallbacks)")
+    print(f"continuous batch  : {payload['continuous_tokens_per_sec']:10.1f} tok/s  "
+          f"({payload['streams']} streams, {payload['preempted']} preemptions)")
+    print(f"speedup           : {payload['speedup']:10.2f}x")
+    pool = payload["pool"]
+    print(f"page pool         : {pool['pages_total']} pages x {pool['page_size']} "
+          f"positions, high water {pool['high_water']}, "
+          f"churn {pool['checkouts']} checkouts / {pool['releases']} releases")
+    slo = payload["slo"]
+    if slo.get("ttft_ms"):
+        print(f"slo               : ttft p50={slo['ttft_ms']['p50']:.2f}ms "
+              f"p99={slo['ttft_ms']['p99']:.2f}ms  "
+              f"e2e p50={slo['e2e_ms']['p50']:.2f}ms "
+              f"p99={slo['e2e_ms']['p99']:.2f}ms")
     if args.json_path:
         with open(args.json_path, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -372,6 +416,26 @@ def _cmd_bench_decode(argv: list[str]) -> int:
     print(f"[{gpt['family']}] KV-cached      : {gpt['cached_tokens_per_sec']:10.1f} tok/s  "
           f"({gpt['cached_quant_calls_per_token']:.1f} quantize calls/tok)")
     print(f"[{gpt['family']}] speedup        : {gpt['speedup']:10.2f}x")
+
+    # the ragged-prompt observable: mixed-shape generate traffic degrades
+    # the classic micro-batcher to serial singleton decodes; surface the
+    # session counter that tracks it (decode.serial_fallbacks)
+    from .serve import SessionConfig, compile_model
+
+    rng = np.random.default_rng(args.seed)
+    ragged = [
+        {"task": "generate",
+         "prompt": rng.integers(1, model.vocab_size, size=4 + 3 * i).tolist(),
+         "max_new_tokens": 4}
+        for i in range(4)
+    ]
+    cfg = SessionConfig(format=fmt, max_batch=len(ragged), max_wait=0.05)
+    with compile_model(model, config=cfg).session(cfg) as session:
+        session.map(ragged)
+        fallbacks = session.summary().get("decode", {}).get("serial_fallbacks", 0)
+    payloads["ragged"] = {"requests": len(ragged), "serial_fallbacks": fallbacks}
+    print(f"[{gpt['family']}] ragged batch   : {fallbacks} serial fallbacks "
+          f"over {len(ragged)} mixed-shape generate requests")
 
     if not args.no_seq2seq:
         from .models.translation import Seq2SeqTransformer

@@ -4,7 +4,9 @@ Serving correctness depends on resource pairs closing: every future a
 session hands out must reach ``set_result``/``set_exception``/``cancel``
 (a dropped future blocks its consumer forever), every
 ``checkout_scratch`` must pair with ``release_scratch`` (the scratch
-pool accounts bytes and a leak is permanent), and a generator must not
+pool accounts bytes and a leak is permanent), every KV-pool page
+checkout must pair with a release (pages are per-owner accounted and a
+leaked page starves every other stream), and a generator must not
 hold the ``no_grad`` context across ``yield`` (grad mode is
 thread-local; the consumer resumes the generator on an arbitrary thread
 with the producer's mode still applied).
@@ -214,6 +216,47 @@ class UnreleasedScratchRule(Rule):
                         node,
                         f"{kind}() without a matching {pair} in this "
                         "function; release in a finally block",
+                    )
+
+
+@register_rule
+class UnreleasedPageRule(Rule):
+    id = "unreleased-page"
+    family = "lifecycle"
+    description = (
+        "checkout_page(s) must pair with release_page(s)/release_all in the "
+        "same function — KV pool pages are per-owner accounted and a leaked "
+        "page starves every other stream"
+    )
+    #: the pool itself, the paged cache, and the scheduler legitimately
+    #: hold pages across calls (the stream's lifetime owns release)
+    exempt = ("/serve/sched/", "/nn/decode.py")
+
+    _CHECKOUTS = frozenset({"checkout_page", "checkout_pages"})
+    _RELEASES = frozenset({"release_page", "release_pages", "release_all"})
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            checkouts: list[ast.AST] = []
+            released = False
+            for node in walk_function(fn, into_nested=False):
+                if not isinstance(node, ast.Call):
+                    continue
+                tail = call_dotted(node).rpartition(".")[2]
+                if tail in self._CHECKOUTS:
+                    checkouts.append(node)
+                elif tail in self._RELEASES:
+                    released = True
+            if not released:
+                for node in checkouts:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "page checkout without a matching release_page(s)/"
+                        "release_all in this function; release in a finally "
+                        "block or hand the pages to an owner that does",
                     )
 
 

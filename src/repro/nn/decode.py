@@ -45,19 +45,24 @@ from __future__ import annotations
 import numpy as np
 
 from .attention import MultiHeadAttention, causal_mask
-from .quantized import QuantSpec, quantize_partial_block
+from .quantized import QuantSpec, memo_quantize, quantize_partial_block
 from .tensor import Tensor
 
 __all__ = [
     "KVCache",
+    "PagedKVCache",
     "CrossKV",
     "DecoderLayerKV",
     "DecodeState",
     "RecurrentDecodeState",
     "supports_cached_decode",
+    "supports_batched_decode",
     "init_causal_decode_state",
+    "init_paged_decode_state",
     "causal_forward_step",
     "causal_decode_step",
+    "batched_causal_decode_step",
+    "requantize_tails",
 ]
 
 
@@ -149,12 +154,27 @@ class KVCache:
             )
         return self.fmt.quantize(k_new, axis=-1, rounding=self.rounding, rng=self.rng)
 
-    def append(self, k_new: np.ndarray, v_new: np.ndarray, spec=...) -> None:
+    def append(
+        self,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        spec=...,
+        *,
+        k_quantized: bool = False,
+        defer_tail: bool = False,
+    ) -> None:
         """Extend the cache with raw projections of new positions.
 
         ``k_new``/``v_new`` are (B, H, T_new, head_dim) arrays.  K columns
         quantize per position; V seals every completed ``block``-row span
         (frozen until :meth:`reset`) and requantizes only the partial tail.
+
+        ``k_quantized`` marks ``k_new`` as already carrying this cache's
+        K payload quantization (the fused step quantizes every stream's
+        columns in one call — bit-identical because K blocks are
+        position-local).  ``defer_tail`` skips the final partial-tail
+        requantization; the caller owns making :func:`requantize_tails`
+        run before the V payload is next read.
         """
         if spec is not ... and spec is not self.spec:
             raise ValueError(
@@ -168,7 +188,8 @@ class KVCache:
                 f"KV cache overflow: {t0} cached + {t_new} new > "
                 f"capacity {self.capacity}"
             )
-        self.kT[:, :, :, t0 : t0 + t_new] = np.swapaxes(self._quantize_k(k_new), -1, -2)
+        kq = k_new if k_quantized else self._quantize_k(k_new)
+        self.kT[:, :, :, t0 : t0 + t_new] = np.swapaxes(kq, -1, -2)
 
         if self.fmt is None:
             self.v[:, :, t0 : t0 + t_new] = v_new
@@ -222,11 +243,19 @@ class KVCache:
                 )
                 self.sealed += block
         tail_len = self.length - self.sealed
-        if tail_len:
+        if tail_len and not defer_tail:
             self.v[:, :, self.sealed : self.length] = quantize_partial_block(
                 self.v_raw[:, :, :tail_len], self.fmt, axis=-2,
                 rounding=self.rounding, rng=self.rng,
             )
+
+    def _tail_raw(self, tail_len: int) -> np.ndarray:
+        """Raw staged rows of the open tail, ``(B, H, tail_len, head_dim)``."""
+        return self.v_raw[:, :, :tail_len]
+
+    def _tail_store(self, tail_len: int, vq: np.ndarray) -> None:
+        """Write the requantized open tail back into the V payload."""
+        self.v[:, :, self.sealed : self.sealed + tail_len] = vq
 
     # ------------------------------------------------------------------
     def project(self, attn, source) -> tuple[np.ndarray, np.ndarray]:
@@ -241,6 +270,256 @@ class KVCache:
         v = attn._split_heads(attn.v_proj(source))
         self.append(k.data, v.data, spec=attn.quant)
         return self.keys_t, self.values
+
+
+class PagedKVCache:
+    """One sequence's quantized K/V history striped across pool pages.
+
+    Drop-in for :class:`KVCache` (batch 1) except the backing memory
+    belongs to a shared page pool (``repro.serve.sched.PagePool`` shape):
+    each page holds exactly one level-1 V block of one layer, so the
+    sealed/open-tail invariant maps directly onto page granularity —
+    sealed blocks are frozen whole pages, and the single unsealed tail
+    block lives in the last page (its raw rows staged in the page's
+    ``v_raw`` area, requantized through the partial-block entry point
+    exactly as :meth:`KVCache.append` does).  Quantization inputs, call
+    shapes, and engine-call order are identical to the contiguous cache,
+    so the scattered payload is bit-for-bit the same data.
+
+    Pages are checked out atomically *before* any write (growth either
+    succeeds whole or raises ``PoolExhausted`` leaving the cache
+    untouched) and returned only by :meth:`free` — rewind and reset keep
+    the table so a resumed stream reuses its pages.
+    """
+
+    def __init__(self, pool, owner: str, num_heads: int, head_dim: int,
+                 capacity: int, spec: QuantSpec | None):
+        self.spec = spec
+        fmt, rounding, rng = _activation_format(spec)
+        if fmt is not None and (rounding == "stochastic" or fmt.cache_key() is None):
+            raise ValueError(
+                "KV caching requires a stateless activation format with "
+                f"deterministic rounding; got {fmt!r} with rounding "
+                f"{rounding!r} (fall back to full-prefix recompute)"
+            )
+        block = fmt.block_size() if fmt is not None else 1
+        if block is None:
+            raise ValueError(
+                f"paged KV caching needs a known level-1 block size; {fmt!r} "
+                "has none (nothing seals, so pages could never freeze)"
+            )
+        if block > 1 and pool.page_size != block:
+            raise ValueError(
+                f"pool page size {pool.page_size} != format k1 block {block}; "
+                "a page must hold exactly one sealed block"
+            )
+        if (pool.num_heads, pool.head_dim) != (num_heads, head_dim):
+            raise ValueError(
+                f"pool arena is ({pool.num_heads} heads, {pool.head_dim} dim); "
+                f"cache wants ({num_heads}, {head_dim})"
+            )
+        self.fmt = fmt
+        self.rounding = rounding
+        self.rng = rng
+        self.block = block
+        self.head_dim = head_dim
+        self.capacity = capacity
+        self.pool = pool
+        self.owner = owner
+        self.page_size = pool.page_size
+        self._pages: list[int] = []
+        self.length = 0
+        self.sealed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pages(self) -> int:
+        """Pages currently held by this cache."""
+        return len(self._pages)
+
+    def pages_for(self, total: int) -> int:
+        """Pages required to hold ``total`` positions."""
+        return -(-total // self.page_size)
+
+    def reserve(self, total: int) -> None:
+        """Grow the page table to cover ``total`` positions, atomically.
+
+        Either checks out every missing page or raises ``PoolExhausted``
+        having taken none; no cache state changes on failure.
+        """
+        need = self.pages_for(total) - len(self._pages)
+        if need > 0:
+            self._pages.extend(self.pool.checkout_pages(self.owner, need))
+
+    def _spans(self, start: int, stop: int):
+        """Yield (page, offset-in-page, position, count) covering [start, stop)."""
+        pos = start
+        while pos < stop:
+            page = self._pages[pos // self.page_size]
+            off = pos % self.page_size
+            take = min(self.page_size - off, stop - pos)
+            yield page, off, pos, take
+            pos += take
+
+    # ------------------------------------------------------------------
+    @property
+    def keys_t(self) -> np.ndarray:
+        """Quantized ``K^T`` payload, shape (1, H, head_dim, length)."""
+        out = np.empty((1, self.pool.num_heads, self.head_dim, self.length))
+        for page, off, pos, take in self._spans(0, self.length):
+            out[0, :, :, pos : pos + take] = self.pool.kT[page][:, :, off : off + take]
+        return out
+
+    @property
+    def values(self) -> np.ndarray:
+        """Quantized ``V`` payload, shape (1, H, length, head_dim)."""
+        out = np.empty((1, self.pool.num_heads, self.length, self.head_dim))
+        for page, off, pos, take in self._spans(0, self.length):
+            out[0, :, pos : pos + take] = self.pool.v[page][:, off : off + take]
+        return out
+
+    def reset(self) -> None:
+        """Forget the history (pages are kept for the next prefill)."""
+        self.length = 0
+        self.sealed = 0
+
+    def rewind(self) -> None:
+        """Drop the unsealed suffix; the next append recomputes it."""
+        self.length = self.sealed
+
+    def free(self) -> int:
+        """Release every page back to the pool (finish/evict); returns count."""
+        released = len(self._pages)
+        if released:
+            self.pool.release_pages(self.owner, self._pages)
+        self._pages = []
+        self.length = 0
+        self.sealed = 0
+        return released
+
+    # ------------------------------------------------------------------
+    def _quantize_k(self, k_new: np.ndarray) -> np.ndarray:
+        """Per-position quantization along ``head_dim`` (as :class:`KVCache`)."""
+        if self.fmt is None:
+            return k_new
+        if self.block is not None and self.head_dim <= self.block:
+            return quantize_partial_block(
+                k_new, self.fmt, axis=-1, rounding=self.rounding, rng=self.rng
+            )
+        return self.fmt.quantize(k_new, axis=-1, rounding=self.rounding, rng=self.rng)
+
+    def _scatter_k(self, kq_t: np.ndarray, t0: int) -> None:
+        """Write pre-transposed K columns ``[t0, t0 + t_new)`` into pages."""
+        written = 0
+        for page, off, _, take in self._spans(t0, t0 + kq_t.shape[-1]):
+            self.pool.kT[page][:, :, off : off + take] = (
+                kq_t[0, :, :, written : written + take]
+            )
+            written += take
+
+    def _scatter_v(self, vq: np.ndarray, t0: int) -> None:
+        """Write quantized V rows ``[t0, t0 + t_new)`` into pages."""
+        written = 0
+        for page, off, _, take in self._spans(t0, t0 + vq.shape[2]):
+            self.pool.v[page][:, off : off + take] = vq[0, :, written : written + take]
+            written += take
+
+    def append(
+        self,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        spec=...,
+        *,
+        k_quantized: bool = False,
+        defer_tail: bool = False,
+    ) -> None:
+        """Extend the cache with raw projections of new positions.
+
+        Same contract and quantization sequence as :meth:`KVCache.append`
+        (including ``k_quantized``/``defer_tail``); only the destination
+        is paged.  Page growth happens first and is all-or-nothing, so
+        ``PoolExhausted`` never leaves a half-appended cache.
+        """
+        if spec is not ... and spec is not self.spec:
+            raise ValueError(
+                "attention quant spec changed since this PagedKVCache was "
+                "built; create a fresh decode state after re-casting a model"
+            )
+        t_new = k_new.shape[2]
+        t0 = self.length
+        if t0 + t_new > self.capacity:
+            raise ValueError(
+                f"KV cache overflow: {t0} cached + {t_new} new > "
+                f"capacity {self.capacity}"
+            )
+        self.reserve(t0 + t_new)
+        kq = k_new if k_quantized else self._quantize_k(k_new)
+        self._scatter_k(np.swapaxes(kq, -1, -2), t0)
+
+        if self.fmt is None:
+            self._scatter_v(np.asarray(v_new), t0)
+            self.length = self.sealed = t0 + t_new
+            return
+        if self.block == 1:
+            self._scatter_v(
+                self.fmt.quantize(v_new, axis=-2, rounding=self.rounding, rng=self.rng),
+                t0,
+            )
+            self.length = self.sealed = t0 + t_new
+            return
+
+        block = self.block
+        pool = self.pool
+        consumed = 0
+        while consumed < t_new:
+            tail_len = self.length - self.sealed
+            remaining = t_new - consumed
+            if tail_len == 0 and remaining >= block:
+                # whole blocks seal in one aligned quantization, each
+                # landing as one frozen page
+                whole = (remaining // block) * block
+                chunk = v_new[:, :, consumed : consumed + whole]
+                self._scatter_v(
+                    self.fmt.quantize(
+                        chunk, axis=-2, rounding=self.rounding, rng=self.rng
+                    ),
+                    self.sealed,
+                )
+                self.sealed += whole
+                self.length += whole
+                consumed += whole
+                continue
+            take = min(block - tail_len, remaining)
+            page = self._pages[self.sealed // block]
+            pool.v_raw[page][:, tail_len : tail_len + take] = v_new[
+                0, :, consumed : consumed + take
+            ]
+            self.length += take
+            consumed += take
+            tail_len += take
+            if tail_len == block:
+                pool.v[page][:, :block] = quantize_partial_block(
+                    pool.v_raw[page][None], self.fmt, axis=-2,
+                    rounding=self.rounding, rng=self.rng,
+                )[0]
+                self.sealed += block
+        tail_len = self.length - self.sealed
+        if tail_len and not defer_tail:
+            page = self._pages[self.sealed // block]
+            pool.v[page][:, :tail_len] = quantize_partial_block(
+                pool.v_raw[page][None, :, :tail_len], self.fmt, axis=-2,
+                rounding=self.rounding, rng=self.rng,
+            )[0]
+
+    def _tail_raw(self, tail_len: int) -> np.ndarray:
+        """Raw staged rows of the open tail, ``(1, H, tail_len, head_dim)``."""
+        page = self._pages[self.sealed // self.block]
+        return self.pool.v_raw[page][None, :, :tail_len]
+
+    def _tail_store(self, tail_len: int, vq: np.ndarray) -> None:
+        """Write the requantized open tail back into its page."""
+        page = self._pages[self.sealed // self.block]
+        self.pool.v[page][:, :tail_len] = vq[0]
 
 
 class CrossKV:
@@ -442,3 +721,176 @@ def causal_decode_step(model, tokens: np.ndarray, state: DecodeState) -> Tensor:
     tokens = np.asarray(tokens)
     boundary = state.rewind()
     return causal_forward_step(model, tokens[..., boundary:], state)
+
+
+def init_paged_decode_state(model, pool, owner: str) -> DecodeState:
+    """A :class:`DecodeState` whose layer caches live in a shared page pool.
+
+    One ``owner`` key covers every layer's cache, so the pool can reclaim
+    a whole stream with a single ``release_all``.
+    """
+    config = model.config
+    head_dim = config.dim // config.num_heads
+    layers = [
+        PagedKVCache(
+            pool, owner, config.num_heads, head_dim, config.max_len,
+            block.attn.quant,
+        )
+        for block in model.blocks
+    ]
+    return DecodeState(layers, capacity=config.max_len)
+
+
+# ----------------------------------------------------------------------
+# Fused stepping of ragged concurrent streams
+# ----------------------------------------------------------------------
+def supports_batched_decode(model) -> bool:
+    """True when one fused step over ragged streams is bit-identical.
+
+    Stacking streams of different lengths into one padded batch only
+    preserves bits if no operation lets rows influence each other *and*
+    no reduction regroups when the batch shape changes.  Row-local ops
+    (embeddings, LayerNorm, residuals, per-row quantization) satisfy this
+    unconditionally; matmul reductions satisfy it only when every dot
+    product is exact in float64 — the
+    :func:`~repro.nn.residency.supports_fused_projection` condition
+    (pow2-scaled low-mantissa operands), under which accumulation order
+    cannot matter.  Softmax sums are *not* length-stable under padding
+    (NumPy's pairwise blocking regroups), so the fused step keeps the
+    whole attention tail per-row at exactly serial shapes; this gate only
+    has to certify the batched trunk around it.
+    """
+    from .layers import Linear
+    from .residency import supports_epilogue, supports_fused_projection
+    from .transformer import TransformerBlock
+
+    if not supports_cached_decode(model):
+        return False
+    blocks = getattr(model, "blocks", None)
+    if not blocks or not all(isinstance(b, TransformerBlock) for b in blocks):
+        return False
+    if any(getattr(block.drop, "p", 0.0) for block in blocks):
+        return False
+    if not all(hasattr(model, name)
+               for name in ("token_emb", "positions", "ln_f", "head", "config")):
+        return False
+    for _, module in model.named_modules():
+        if isinstance(module, Linear):
+            if module.quant is None or not supports_fused_projection(module.quant):
+                return False
+    return all(supports_epilogue(block.attn.quant) for block in blocks)
+
+
+def requantize_tails(caches) -> None:
+    """Requantize deferred open-tail V blocks, grouped across caches.
+
+    The fused step appends to every stream's cache with ``defer_tail``,
+    then requantizes all the open tails here: caches whose tails have the
+    same length stack into one ``quantize_partial_block`` call instead of
+    one call each.  BDR quantization is block-local and V blocks never
+    span the stacked axis, so the grouped payload is bit-identical to the
+    per-cache calls it replaces (asserted by the decode test suite).
+    """
+    groups: dict[tuple, list] = {}
+    for cache in caches:
+        tail_len = cache.length - cache.sealed
+        if tail_len and cache.fmt is not None and cache.block not in (None, 1):
+            raw = cache._tail_raw(tail_len)
+            groups.setdefault((tail_len, raw.shape), []).append((cache, raw))
+    for (tail_len, _), members in groups.items():
+        head = members[0][0]
+        stacked = quantize_partial_block(
+            np.stack([raw for _, raw in members]), head.fmt, axis=-2,
+            rounding=head.rounding, rng=head.rng,
+        )
+        for (cache, _), vq in zip(members, stacked):
+            cache._tail_store(tail_len, vq)
+
+
+def _batched_block_step(block, x: Tensor, caches, bounds, totals, lens) -> Tensor:
+    """One transformer block over a padded ragged batch, cached.
+
+    The trunk (LayerNorm, fused Q/K/V projection, out_proj, FFN,
+    residuals) runs batched; the attention tail (scores product, scale,
+    mask, softmax, weights quantization, context product) runs per row
+    with exactly the serial shapes ``(1, H, L_i, T_i)`` so every
+    reduction groups identically to :meth:`MultiHeadAttention
+    ._forward_cached` on that stream alone.  Rows beyond a stream's
+    length hold garbage that no real row ever reads.
+
+    Cache quantization is cross-stream batched: K columns for the whole
+    padded batch quantize in one call (position-local, so the padding
+    rows are inert), and the open-tail V requantizations group by tail
+    length through :func:`requantize_tails`.
+    """
+    attn = block.attn
+    normed = block.ln1(x)
+    q, k, v = attn._project_qkv(normed, normed)
+    kq = caches[0]._quantize_k(k.data) if caches else k.data
+    for i, cache in enumerate(caches):
+        cache.append(
+            kq[i : i + 1, :, : lens[i]],
+            v.data[i : i + 1, :, : lens[i]],
+            spec=attn.quant,
+            k_quantized=True,
+            defer_tail=True,
+        )
+    requantize_tails(caches)
+    fmt, rounding, rng = _activation_format(attn.quant)
+    q_q = memo_quantize(q, fmt, -1, rounding=rounding, rng=rng)
+
+    n, padded = x.data.shape[0], x.data.shape[1]
+    ctx = np.zeros((n, padded, attn.num_heads * attn.head_dim))
+    for i, cache in enumerate(caches):
+        li = lens[i]
+        mask = causal_mask(totals[i])[bounds[i] :] if li > 1 else None
+        # repro: allow(direct-matmul): fused fast path on already-quantized payloads; proven bit-exact vs dispatch by the equivalence suite
+        scores = np.matmul(q_q[i : i + 1, :, :li], cache.keys_t)
+        row_ctx = attn._pipeline_tail(scores, mask, lambda c=cache: c.values)
+        ctx[i, :li] = row_ctx.data[0]
+    attended = attn.out_proj(Tensor(ctx))
+    x = x + block.drop(attended)
+    return x + block.drop(block.mlp(block.ln2(x)))
+
+
+def batched_causal_decode_step(model, windows, states) -> np.ndarray:
+    """One fused decode step over ragged concurrent streams.
+
+    ``windows[i]`` is stream *i*'s whole 1-D token window so far and
+    ``states[i]`` its :class:`DecodeState`; streams may sit at different
+    positions.  Each state rewinds to its sealed boundary, the open
+    suffixes are right-padded into one batch, and a single pass over the
+    blocks advances every stream.  Returns the ``(n, vocab)`` next-token
+    logits rows, each bit-identical to what
+    :func:`causal_decode_step` would produce for that stream alone —
+    guaranteed only under :func:`supports_batched_decode`.
+    """
+    n = len(windows)
+    bounds, totals, suffixes = [], [], []
+    for window, state in zip(windows, states):
+        window = np.asarray(window)
+        boundary = state.rewind()
+        total = window.shape[-1]
+        if total > state.capacity:
+            raise ValueError(
+                f"decode position {total} exceeds cache capacity {state.capacity}"
+            )
+        bounds.append(boundary)
+        totals.append(total)
+        suffixes.append(window[boundary:])
+    lens = [suffix.shape[-1] for suffix in suffixes]
+    padded = max(lens)
+    tokens = np.zeros((n, padded), dtype=np.int64)
+    positions = np.zeros((n, padded, model.config.dim))
+    for i, suffix in enumerate(suffixes):
+        tokens[i, : lens[i]] = suffix
+        positions[i, : lens[i]] = model.positions[bounds[i] : totals[i]]
+
+    x = model.token_emb(tokens) + Tensor(positions)
+    for layer_idx, block in enumerate(model.blocks):
+        caches = [state.layers[layer_idx] for state in states]
+        x = _batched_block_step(block, x, caches, bounds, totals, lens)
+    last = x.data[np.arange(n), np.asarray(lens) - 1]
+    for state, total in zip(states, totals):
+        state.position = total
+    return model.head(model.ln_f(Tensor(last))).data

@@ -33,11 +33,15 @@ Layers:
   deterministic seeded fault-injection framework (``REPRO_FAULTS``).
 * :mod:`repro.serve.degrade` — fidelity-ladder graceful degradation and
   the execution circuit breaker.
-* :class:`~repro.spec.serving.SessionConfig` — the declarative (JSON)
+* :mod:`repro.serve.sched` — continuous batching: the paged KV pool
+  (:class:`~repro.serve.sched.PagePool`) and the token-granularity
+  :class:`~repro.serve.sched.ContinuousScheduler` (``docs/SCHEDULER.md``).
+* :class:`~repro.spec.serving.SessionConfig` /
+  :class:`~repro.spec.serving.SchedulerConfig` — the declarative (JSON)
   serving configuration, re-exported from :mod:`repro.spec`.
 """
 
-from ..spec.serving import SessionConfig
+from ..spec.serving import SchedulerConfig, SessionConfig
 from .adapters import Request, TaskAdapter, TASKS, adapter_for, register_adapter
 from .compile import CompiledModel, compile_model
 from .degrade import CircuitBreaker, DegradationPolicy
@@ -59,6 +63,7 @@ from .faults import (
     parse_faults,
 )
 from .metrics import RELIABILITY_EVENTS, SessionMetrics
+from .sched import ContinuousScheduler, PagePool, PoolExhausted
 from .session import InferenceSession
 
 __all__ = [
@@ -71,9 +76,14 @@ __all__ = [
     "compile_model",
     "InferenceSession",
     "SessionConfig",
+    "SchedulerConfig",
     "SessionMetrics",
     "RELIABILITY_EVENTS",
     "serve",
+    # continuous batching
+    "PagePool",
+    "PoolExhausted",
+    "ContinuousScheduler",
     # error taxonomy
     "ServingError",
     "SessionClosed",

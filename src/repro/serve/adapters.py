@@ -30,6 +30,8 @@ one implementation serves both the old per-model API and the
 
 from __future__ import annotations
 
+import threading
+from collections import Counter
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
@@ -79,6 +81,28 @@ class Request:
             payload = {k: v for k, v in obj.items() if k != "task"}
             return Request(task=obj["task"], payload=payload)
         raise TypeError(f"cannot coerce {type(obj).__name__} into a Request")
+
+
+# Ragged generate batches degrade to serial decode (each odd-shaped prompt
+# forms its own group of one); the process-wide counter makes that silent
+# fallback observable — surfaced as ``decode.serial_fallbacks`` in
+# SessionMetrics summaries and by ``bench-decode``.
+_FALLBACK_LOCK = threading.Lock()
+_SERIAL_FALLBACKS = 0
+
+
+def _record_fallbacks(n: int) -> None:
+    global _SERIAL_FALLBACKS
+    if n:
+        with _FALLBACK_LOCK:
+            _SERIAL_FALLBACKS += n
+
+
+def decode_fallback_count() -> int:
+    """Total requests (process-wide) that decoded serially because their
+    prompt shape matched nothing else in their ``generate`` batch."""
+    with _FALLBACK_LOCK:
+        return _SERIAL_FALLBACKS
 
 
 def _run_grouped(items: Sequence, key_fn, run_group) -> list:
@@ -497,15 +521,19 @@ class CausalLMAdapter(TaskAdapter):
             )
             return [{"tokens": row} for row in produced]
 
-        return _run_grouped(
-            items,
-            key_fn=lambda item: (
+        def key_fn(item):
+            return (
                 np.asarray(item["prompt"]).shape,
                 int(item.get("max_new_tokens", 16)),
                 item.get("eos"),
-            ),
-            run_group=run_group,
-        )
+            )
+
+        if len(items) > 1:
+            # every singleton group is a request that decodes serially
+            # while co-riders existed — the ragged-prompt fallback
+            sizes = Counter(key_fn(item) for item in items)
+            _record_fallbacks(sum(1 for count in sizes.values() if count == 1))
+        return _run_grouped(items, key_fn=key_fn, run_group=run_group)
 
 
 # ----------------------------------------------------------------------

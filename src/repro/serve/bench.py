@@ -25,6 +25,7 @@ __all__ = [
     "measure_serving_speedup",
     "measure_decode_speedup",
     "measure_forward_speedup",
+    "measure_continuous_speedup",
 ]
 
 #: requests scored before the timed passes, per path
@@ -302,4 +303,110 @@ def measure_decode_speedup(
         # residency observable alongside the latency numbers
         "full_quant_calls_per_token": full_quant_calls / per_token,
         "cached_quant_calls_per_token": cached_quant_calls / per_token,
+    }
+
+
+def measure_continuous_speedup(
+    model,
+    *,
+    fmt: str = "mx6",
+    streams: int = 64,
+    max_new_tokens: int = 8,
+    prompt_lens: tuple = (4, 88),
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Lockstep ``generate`` vs continuous batching on ragged prompts.
+
+    ``streams`` ragged prompts (lengths uniform over ``prompt_lens``) are
+    drained twice through the same compiled model: once through a classic
+    session (the micro-batcher's equal-shape grouping degrades ragged
+    ``generate`` traffic to serial singleton decodes), once through a
+    session with the continuous scheduler (token-granularity batching over
+    the paged KV pool).  Tokens/sec is the whole-drain wall clock,
+    best-of-``repeats`` per path.
+
+    Both paths are checked **bit-identical** to the serial
+    ``generate_stream`` decode of every prompt before any number is
+    reported, and the page pool must come back empty — an
+    :class:`AssertionError` refuses the measurement otherwise.
+    """
+    from ..spec.serving import SessionConfig
+    from .compile import compile_model
+
+    compiled = compile_model(model, fmt)
+    adapter = compiled.adapter
+    rng = np.random.default_rng(seed)
+    vocab = model.vocab_size
+    lo, hi = prompt_lens
+    prompts = [
+        rng.integers(1, vocab, size=int(n))
+        for n in rng.integers(lo, hi, size=streams)
+    ]
+    requests = [
+        {"task": "generate", "prompt": p.tolist(), "max_new_tokens": max_new_tokens}
+        for p in prompts
+    ]
+
+    truth = [list(adapter.generate_stream(p, max_new_tokens)) for p in prompts]
+    total_tokens = sum(len(t) for t in truth)
+
+    def drain(session) -> list:
+        return [r["tokens"] for r in session.map(requests)]
+
+    lockstep_tps = continuous_tps = 0.0
+    lockstep_cfg = SessionConfig(format=fmt, max_batch=streams, max_wait=0.05)
+    with compiled.session(lockstep_cfg) as session:
+        if drain(session) != truth:  # warm pass doubles as the identity gate
+            raise AssertionError(
+                "lockstep generate diverged from serial decode; "
+                "refusing to report a speedup"
+            )
+        for _ in range(repeats):
+            start = time.perf_counter()
+            drain(session)
+            lockstep_tps = max(
+                lockstep_tps, total_tokens / (time.perf_counter() - start)
+            )
+        lockstep_summary = session.summary()
+
+    continuous_cfg = SessionConfig(format=fmt, scheduler={"max_streams": streams})
+    with compiled.session(continuous_cfg) as session:
+        if drain(session) != truth:
+            raise AssertionError(
+                "continuous batching diverged from serial decode; "
+                "refusing to report a speedup"
+            )
+        for _ in range(repeats):
+            start = time.perf_counter()
+            drain(session)
+            continuous_tps = max(
+                continuous_tps, total_tokens / (time.perf_counter() - start)
+            )
+        summary = session.summary()
+        pool = session._sched.pool
+    leaked = pool.leaked()
+    if leaked:
+        raise AssertionError(f"page pool leaked after the drain: {leaked}")
+
+    sched = summary["sched"]
+    return {
+        "family": type(model).__name__,
+        "format": fmt,
+        "streams": streams,
+        "max_new_tokens": max_new_tokens,
+        "prompt_lens": list(prompt_lens),
+        "repeats": repeats,
+        "tokens_per_pass": total_tokens,
+        "lockstep_tokens_per_sec": lockstep_tps,
+        "continuous_tokens_per_sec": continuous_tps,
+        "speedup": continuous_tps / lockstep_tps if lockstep_tps else float("inf"),
+        # the satellite observable: how often the classic path fell back
+        # to serial decode on this ragged stream
+        "lockstep_serial_fallbacks": lockstep_summary.get("decode", {}).get(
+            "serial_fallbacks", 0
+        ),
+        "pool": sched["pool"],
+        "preempted": sched["preempted"],
+        "slo": sched["slo"],
     }

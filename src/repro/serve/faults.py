@@ -29,6 +29,12 @@ Instrumented sites:
 ``adapter.decode_step``each streamed decode step (causal LM families)
 ``worker.batch``       a session worker about to execute a batch
 ``worker.stream``      a session worker about to execute a stream job
+``sched.admit``        the continuous scheduler admitting a stream (an
+                       injected error fails that request; a transient
+                       leaves it queued for the next tick)
+``sched.preempt``      the continuous scheduler about to preempt a victim
+                       (any injected fault aborts the preemption attempt;
+                       the scheduler retries next tick)
 =====================  ====================================================
 
 Activate a plan programmatically (:func:`configure_faults`, or the

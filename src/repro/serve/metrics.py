@@ -71,6 +71,13 @@ def cache_stats() -> dict:
     }
 
 
+def _decode_fallbacks() -> int:
+    """Process-wide serial-fallback count (lazy import: adapters is heavy)."""
+    from .adapters import decode_fallback_count
+
+    return decode_fallback_count()
+
+
 def percentile(samples: list[float], q: float) -> float:
     """Nearest-rank percentile (q in [0, 100]) of a non-empty sample list."""
     if not samples:
@@ -98,6 +105,15 @@ class SessionMetrics:
         # so concurrent sessions each see every session's calls — the
         # counter is a residency observable, not an accounting ledger
         self._quant_calls_start = quantize_call_count()
+        # same caveat for the ragged-prompt serial-fallback counter
+        self._fallbacks_start = _decode_fallbacks()
+        self._sections: dict = {}
+
+    def register_section(self, name: str, provider) -> None:
+        """Attach a callable whose dict payload appears under ``name`` in
+        :meth:`summary` (e.g. the continuous scheduler's pool/SLO stats)."""
+        with self._lock:
+            self._sections[name] = provider
 
     # ------------------------------------------------------------------
     def record_batch(self, batch_size: int, latencies: list[float]) -> None:
@@ -179,9 +195,11 @@ class SessionMetrics:
             token_latencies = list(self._token_latencies)
             requests, errors, tokens = self._requests, self._errors, self._tokens
             events = dict(self._events)
+            sections = dict(self._sections)
             # clamped: a bench calling reset_quantize_calls() mid-session
             # would otherwise drive the delta negative
             quant_calls = max(0, quantize_call_count() - self._quant_calls_start)
+            fallbacks = max(0, _decode_fallbacks() - self._fallbacks_start)
         out: dict = {
             "requests": requests,
             "errors": errors,
@@ -214,8 +232,8 @@ class SessionMetrics:
             if max_batch:
                 batch["occupancy"] = float(np.mean(batch_sizes)) / max_batch
             out["batch"] = batch
-        if tokens:
-            decode = {"tokens": tokens}
+        if tokens or fallbacks:
+            decode = {"tokens": tokens, "serial_fallbacks": fallbacks}
             if token_latencies:
                 # rate over time actually spent decoding (the sum of
                 # inter-token gaps), not the whole session lifetime — a
@@ -233,4 +251,8 @@ class SessionMetrics:
             else:
                 decode["tokens_per_sec"] = tokens / elapsed
             out["decode"] = decode
+        # registered sections last (called without the lock: providers may
+        # take their own locks, e.g. the scheduler's page pool)
+        for name, provider in sections.items():
+            out[name] = provider()
         return out

@@ -1,0 +1,11 @@
+"""Continuous batching: paged KV memory + token-granularity scheduling.
+
+:class:`PagePool` owns KV memory as fixed-size k1-aligned pages;
+:class:`ContinuousScheduler` runs the join/leave decode loop on top of an
+:class:`~repro.serve.session.InferenceSession`.  See ``docs/SCHEDULER.md``.
+"""
+
+from .pages import PagePool, PoolExhausted
+from .scheduler import ContinuousScheduler
+
+__all__ = ["PagePool", "PoolExhausted", "ContinuousScheduler"]

@@ -133,6 +133,15 @@ class InferenceSession:
             )
         else:
             self._degrade = None
+        if cfg.scheduler is not None:
+            from ..spec.serving import SchedulerConfig
+            from .sched import ContinuousScheduler
+
+            self._sched = ContinuousScheduler(
+                self, SchedulerConfig.from_dict(cfg.scheduler)
+            )
+        else:
+            self._sched = None
         self._worker_states: list[_WorkerState] = [
             _WorkerState(slot) for slot in range(cfg.workers)
         ]
@@ -186,6 +195,24 @@ class InferenceSession:
             enqueued=now,
             deadline=None if timeout is None else now + timeout,
         )
+        if (
+            self._sched is not None
+            and coerced.task == "generate"
+            and self._sched.accepts(coerced.payload)
+        ):
+            # continuous-batching path: the scheduler owns execution, the
+            # session keeps exactly-once accounting via the job registry
+            with self._cv:
+                if self._closing:
+                    raise SessionClosed("session is closed")
+                self._jobs.add(job)
+            try:
+                self._sched.submit(job)
+            # repro: allow(broad-except): registry cleanup only — the error (typed or not) is re-raised to the submitter untouched
+            except BaseException:
+                self._forget(job)
+                raise
+            return job.future
         self._admit(job)
         return job.future
 
@@ -609,6 +636,8 @@ class InferenceSession:
                 return
             self._closing = True
             self._cv.notify_all()
+        if self._sched is not None:
+            self._sched.close(timeout=timeout)
         for state in list(self._worker_states):
             if state.thread is not None:
                 state.thread.join(timeout=timeout)
@@ -680,10 +709,14 @@ class InferenceSession:
         else:
             state = "ok"
         replaced = self.metrics.events().get("workers_replaced", 0)
+        # the kv section reads only the page pool's own lock (never the
+        # session cv), so it stays truthful mid-watchdog-replacement
+        kv = self._sched.kv_snapshot() if self._sched is not None else {"enabled": False}
         return {
             "state": state,
             "queue_depth": depth,
             "in_flight": outstanding - depth,
+            "kv": kv,
             "workers": {
                 "configured": self.config.workers,
                 "alive": len(alive),

@@ -23,7 +23,7 @@ from dataclasses import dataclass, fields
 from .grammar import parse_spec, render_spec
 from .policy import PolicySpec, policy_from_dict
 
-__all__ = ["SessionConfig", "FREEZE_MODES", "SHED_POLICIES"]
+__all__ = ["SessionConfig", "SchedulerConfig", "FREEZE_MODES", "SHED_POLICIES"]
 
 #: How compile freezes quantized weights: ``memo`` keeps FP32 masters and
 #: memoizes quantized payloads on the data-version counter; ``cast``
@@ -55,6 +55,74 @@ def _canonical_policy(value) -> dict | None:
         return policy_from_dict(value).to_dict()
     raise TypeError(
         f"policy must be a PolicySpec or its to_dict payload, got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Continuous-batching scheduler knobs, as plain data.
+
+    Attributes:
+        max_streams: concurrent decode streams stepped together (the
+            token-granularity batch cap).
+        page_budget: total KV pages in the shared pool; 0 derives a
+            budget that lets ``max_streams`` full-length streams coexist
+            (so preemption only triggers when explicitly constrained).
+        page_size: positions per page; 0 derives the compiled format's
+            level-1 block size ``k1`` (pages must hold exactly one sealed
+            block), falling back to 16 for unquantized attention.
+        max_waiting: bound on the scheduler's waiting queue; 0 keeps it
+            unbounded.  The session's ``shed_policy`` decides whether an
+            overflow rejects the newcomer or sheds the oldest waiter.
+        starvation_age_s: FCFS aging threshold — younger requests may
+            jump a waiter blocked on pool headroom only while the waiter
+            is younger than this; once it ages past, admission stalls
+            behind it (starvation-proof head-of-line protection).
+    """
+
+    max_streams: int = 64
+    page_budget: int = 0
+    page_size: int = 0
+    max_waiting: int = 0
+    starvation_age_s: float = 0.5
+
+    def __post_init__(self):
+        if self.max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {self.max_streams}")
+        if self.page_budget < 0:
+            raise ValueError(f"page_budget must be >= 0, got {self.page_budget}")
+        if self.page_size < 0:
+            raise ValueError(f"page_size must be >= 0, got {self.page_size}")
+        if self.max_waiting < 0:
+            raise ValueError(f"max_waiting must be >= 0, got {self.max_waiting}")
+        if self.starvation_age_s < 0:
+            raise ValueError(
+                f"starvation_age_s must be >= 0, got {self.starvation_age_s}"
+            )
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SchedulerConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown SchedulerConfig keys {sorted(unknown)}")
+        return cls(**d)
+
+
+def _canonical_scheduler(value) -> dict | None:
+    """Canonicalize a scheduler spelling to its ``to_dict`` payload."""
+    if value is None:
+        return None
+    if isinstance(value, SchedulerConfig):
+        return value.to_dict()
+    if isinstance(value, dict):
+        return SchedulerConfig.from_dict(value).to_dict()
+    raise TypeError(
+        "scheduler must be a SchedulerConfig or its to_dict payload, "
+        f"got {type(value).__name__}"
     )
 
 
@@ -101,6 +169,10 @@ class SessionConfig:
             circuit breaker; 0 disables the breaker.
         breaker_cooldown: seconds the tripped breaker stays open before
             probing full fidelity again (half-open).
+        scheduler: a :class:`SchedulerConfig` payload dict enabling the
+            continuous-batching decode scheduler (paged KV pool +
+            token-granularity admission); None keeps ``generate``
+            requests on the classic micro-batcher.
     """
 
     format: str | None = None
@@ -122,8 +194,10 @@ class SessionConfig:
     degrade_queue_depth: int = 0
     breaker_threshold: int = 0
     breaker_cooldown: float = 1.0
+    scheduler: object = None
 
     def __post_init__(self):
+        object.__setattr__(self, "scheduler", _canonical_scheduler(self.scheduler))
         object.__setattr__(self, "format", _canonical_spec(self.format))
         object.__setattr__(self, "activation", _canonical_spec(self.activation))
         object.__setattr__(self, "policy", _canonical_policy(self.policy))
@@ -189,7 +263,7 @@ class SessionConfig:
         out = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            if f.name == "policy" and value:
+            if f.name in ("policy", "scheduler") and value:
                 value = copy.deepcopy(value)
             elif f.name == "degrade_ladder":
                 value = list(value)  # JSON has no tuples

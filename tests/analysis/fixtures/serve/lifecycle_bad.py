@@ -77,6 +77,33 @@ def plan_paired_ok(plan, payload):
         plan.release(work)
 
 
+def page_leak(pool, owner):
+    pages = pool.checkout_pages(owner, 4)  # expect: unreleased-page
+    return [pool.kT[p] for p in pages]
+
+
+def page_leak_single(pool, owner):
+    page = pool.checkout_page(owner)  # expect: unreleased-page
+    pool.v[page][:] = 0.0
+    return page
+
+
+def page_paired_ok(pool, owner):
+    pages = pool.checkout_pages(owner, 4)
+    try:
+        return [pool.kT[p].copy() for p in pages]
+    finally:
+        pool.release_pages(owner, pages)
+
+
+def page_release_all_ok(pool, owner):
+    page = pool.checkout_page(owner)
+    try:
+        pool.v[page][:] = 0.0
+    finally:
+        pool.release_all(owner)
+
+
 def stream_bad(model, prompts):
     with no_grad():
         for prompt in prompts:

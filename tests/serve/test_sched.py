@@ -1,0 +1,493 @@
+"""Continuous batching: page pool accounting, paged caches, the scheduler.
+
+The correctness bar for the whole subsystem is *bit-identity*: a stream
+decoded through the paged pool — batched with strangers, preempted,
+resumed — must emit exactly the tokens the serial ``generate`` path
+emits.  Every test here ultimately reduces to that assertion plus page
+accounting (checkouts == releases, zero leaks at close).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticLanguage
+from repro.models.gpt import GPT, GPTConfig
+from repro.nn.decode import (
+    KVCache,
+    PagedKVCache,
+    batched_causal_decode_step,
+    causal_decode_step,
+    init_causal_decode_state,
+    init_paged_decode_state,
+    requantize_tails,
+    supports_batched_decode,
+)
+from repro.nn.tensor import no_grad
+from repro.serve import (
+    DeadlineExceeded,
+    InjectedFault,
+    PagePool,
+    PoolExhausted,
+    QueueFull,
+    SessionConfig,
+    compile_model,
+    configure_faults,
+    inject_faults,
+)
+from repro.spec.serving import SchedulerConfig
+
+SMALL = GPTConfig(dim=16, num_layers=2, num_heads=2, max_len=64)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    previous = configure_faults(None)
+    yield
+    configure_faults(previous)
+
+
+@pytest.fixture(scope="module")
+def lang():
+    return SyntheticLanguage(seed=0)
+
+
+@pytest.fixture(scope="module")
+def compiled(lang):
+    model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+    return compile_model(model, "mx6")
+
+
+def ragged_requests(lang, n, seed=3, max_new=8):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "task": "generate",
+            "prompt": rng.integers(1, lang.vocab_size, size=int(rng.integers(3, 20))).tolist(),
+            "max_new_tokens": max_new,
+        }
+        for _ in range(n)
+    ]
+
+
+def serial_truth(compiled, requests):
+    return [
+        list(
+            compiled.adapter.generate_stream(
+                np.asarray(r["prompt"]), r["max_new_tokens"]
+            )
+        )
+        for r in requests
+    ]
+
+
+# ----------------------------------------------------------------------
+# PagePool accounting
+# ----------------------------------------------------------------------
+class TestPagePool:
+    def test_checkout_release_roundtrip(self):
+        pool = PagePool(num_heads=2, head_dim=4, page_size=16, total_pages=8)
+        pages = pool.checkout_pages("a", 3)
+        assert len(pages) == 3 and len(set(pages)) == 3
+        assert pool.pages_free() == 5
+        assert pool.pages_held("a") == 3
+        pool.release_pages("a", pages[:2])
+        assert pool.pages_free() == 7
+        assert pool.release_all("a") == 1
+        assert pool.pages_free() == 8
+        assert pool.leaked() == {}
+        stats = pool.stats()
+        assert stats["checkouts"] == 3 and stats["releases"] == 3
+        assert stats["high_water"] == 3
+        assert stats["per_stream_high_water"] == 3
+
+    def test_exhaustion_is_atomic(self):
+        pool = PagePool(num_heads=2, head_dim=4, page_size=16, total_pages=4)
+        pool.checkout_pages("a", 3)
+        with pytest.raises(PoolExhausted):
+            pool.checkout_pages("b", 2)  # only 1 free: must take none
+        assert pool.pages_free() == 1
+        assert pool.pages_held("b") == 0
+
+    def test_foreign_release_rejected(self):
+        pool = PagePool(num_heads=2, head_dim=4, page_size=16, total_pages=4)
+        page = pool.checkout_page("a")
+        with pytest.raises(ValueError):
+            pool.release_page("b", page)
+        with pytest.raises(ValueError):
+            pool.release_page("a", page + 1)
+        pool.release_page("a", page)
+        assert pool.leaked() == {}
+
+    def test_leak_detection(self):
+        pool = PagePool(num_heads=2, head_dim=4, page_size=16, total_pages=4)
+        pool.checkout_pages("s0", 2)
+        assert pool.leaked() == {"s0": 2}
+
+
+# ----------------------------------------------------------------------
+# PagedKVCache: drop-in bit-identity with the contiguous KVCache
+# ----------------------------------------------------------------------
+class TestPagedDecode:
+    def test_serial_paged_decode_bit_identical(self, compiled, lang):
+        model = compiled.model
+        pool = PagePool(
+            SMALL.num_heads, SMALL.dim // SMALL.num_heads, 16, total_pages=32
+        )
+        rng = np.random.default_rng(7)
+        prompt = rng.integers(1, lang.vocab_size, size=11)
+        with no_grad():
+            stock = init_causal_decode_state(model)
+            paged = init_paged_decode_state(model, pool, "s0")
+            window = list(prompt)
+            for _ in range(6):
+                tokens = np.asarray(window, dtype=np.int64)[None]
+                a = causal_decode_step(model, tokens, stock).data
+                b = causal_decode_step(model, tokens, paged).data
+                np.testing.assert_array_equal(a, b)
+                window.append(int(np.argmax(a[0, -1])))
+        for kv in paged.layers:
+            kv.free()
+        assert pool.leaked() == {}
+        stats = pool.stats()
+        assert stats["checkouts"] == stats["releases"] > 0
+
+    def test_rewind_then_reappend_bit_identical(self, compiled, lang):
+        """Preemption's rewind/recompute path reproduces the sealed state."""
+        model = compiled.model
+        pool = PagePool(
+            SMALL.num_heads, SMALL.dim // SMALL.num_heads, 16, total_pages=32
+        )
+        rng = np.random.default_rng(11)
+        window = rng.integers(1, lang.vocab_size, size=21)
+        with no_grad():
+            once = init_paged_decode_state(model, pool, "a")
+            a = causal_decode_step(model, window[None], once).data
+            # decode partway, throw the pages away, re-prefill from scratch
+            twice = init_paged_decode_state(model, pool, "b")
+            causal_decode_step(model, window[None, :9], twice).data
+            for kv in twice.layers:
+                kv.free()
+            twice = init_paged_decode_state(model, pool, "b")
+            twice.position = 0
+            b = causal_decode_step(model, window[None], twice).data
+        np.testing.assert_array_equal(a, b)
+        for state in (once, twice):
+            for kv in state.layers:
+                kv.free()
+        assert pool.leaked() == {}
+
+    def test_page_size_must_match_block(self, compiled):
+        pool = PagePool(SMALL.num_heads, SMALL.dim // SMALL.num_heads, 8, 8)
+        block = compiled.model.blocks[0].attn
+        with pytest.raises(ValueError):
+            PagedKVCache(
+                pool, "s0", SMALL.num_heads, SMALL.dim // SMALL.num_heads,
+                capacity=64, spec=block.quant,
+            )
+
+    def test_supports_batched_decode(self, compiled, lang):
+        with no_grad():
+            assert supports_batched_decode(compiled.model)
+        fp32 = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+        with no_grad():
+            assert not supports_batched_decode(fp32)
+
+    def test_batched_ragged_step_bit_identical(self, compiled, lang):
+        model = compiled.model
+        pool = PagePool(
+            SMALL.num_heads, SMALL.dim // SMALL.num_heads, 16, total_pages=64
+        )
+        rng = np.random.default_rng(5)
+        windows = [
+            rng.integers(1, lang.vocab_size, size=int(n))
+            for n in rng.integers(3, 30, size=5)
+        ]
+        with no_grad():
+            serial = []
+            for i, window in enumerate(windows):
+                state = init_paged_decode_state(model, pool, f"serial{i}")
+                serial.append(
+                    causal_decode_step(model, window[None], state).data[0, -1]
+                )
+                for kv in state.layers:
+                    kv.free()
+            states = [
+                init_paged_decode_state(model, pool, f"batched{i}")
+                for i in range(len(windows))
+            ]
+            logits = batched_causal_decode_step(model, windows, states)
+        np.testing.assert_array_equal(logits, np.stack(serial))
+        for state in states:
+            for kv in state.layers:
+                kv.free()
+        assert pool.leaked() == {}
+
+    def test_grouped_tail_requantize_bit_identical(self, compiled, lang):
+        """``requantize_tails`` grouping == one deferred-append + requant each.
+
+        The fused step batches open-tail V requantization across streams;
+        this pins the claim that grouping is invisible in the payload bits.
+        """
+        model = compiled.model
+        head_dim = SMALL.dim // SMALL.num_heads
+        rng = np.random.default_rng(13)
+        lens = [1, 3, 3, 7, 1, 12, 7]
+        with no_grad():
+            solo_pool = PagePool(SMALL.num_heads, head_dim, 16, total_pages=32)
+            grouped_pool = PagePool(SMALL.num_heads, head_dim, 16, total_pages=32)
+            spec = model.blocks[0].attn.quant
+            solo, grouped = [], []
+            for i, n in enumerate(lens):
+                k = rng.normal(size=(1, SMALL.num_heads, n, head_dim))
+                v = rng.normal(size=(1, SMALL.num_heads, n, head_dim))
+                a = PagedKVCache(
+                    solo_pool, f"s{i}", SMALL.num_heads, head_dim, 64, spec
+                )
+                a.append(k, v, spec=spec)
+                solo.append(a)
+                b = PagedKVCache(
+                    grouped_pool, f"s{i}", SMALL.num_heads, head_dim, 64, spec
+                )
+                b.append(k, v, spec=spec, defer_tail=True)
+                grouped.append(b)
+            requantize_tails(grouped)
+            for a, b in zip(solo, grouped):
+                np.testing.assert_array_equal(a.values, b.values)
+                np.testing.assert_array_equal(a.keys_t, b.keys_t)
+                a.free()
+                b.free()
+        assert solo_pool.leaked() == grouped_pool.leaked() == {}
+
+
+# ----------------------------------------------------------------------
+# SchedulerConfig
+# ----------------------------------------------------------------------
+class TestSchedulerConfig:
+    def test_roundtrip(self):
+        cfg = SchedulerConfig(max_streams=8, page_budget=40, max_waiting=4)
+        assert SchedulerConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig.from_dict({"max_streams": 8, "bogus": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_streams=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(starvation_age_s=-1.0)
+
+    def test_session_config_canonicalizes(self):
+        # stored as the canonical to_dict payload (JSON-friendly, like policy)
+        cfg = SessionConfig(scheduler=SchedulerConfig(max_streams=4))
+        assert cfg.scheduler == SchedulerConfig(max_streams=4).to_dict()
+        assert SessionConfig.from_dict(cfg.to_dict()).scheduler == cfg.scheduler
+        assert SessionConfig().scheduler is None
+        with pytest.raises(ValueError):
+            SessionConfig(scheduler={"max_streams": 0})
+
+    def test_page_size_mismatch_rejected(self, compiled):
+        cfg = SessionConfig(format="mx6", scheduler={"page_size": 8})
+        with pytest.raises(ValueError):
+            compiled.session(cfg)
+
+
+# ----------------------------------------------------------------------
+# The scheduler end to end
+# ----------------------------------------------------------------------
+class TestContinuousScheduler:
+    def test_concurrent_streams_bit_identical(self, compiled, lang):
+        requests = ragged_requests(lang, 24)
+        truth = serial_truth(compiled, requests)
+        cfg = SessionConfig(format="mx6", scheduler={"max_streams": 24})
+        with compiled.session(cfg) as session:
+            results = session.map(requests)
+            summary = session.summary()
+            pool = session._sched.pool
+        assert [r["tokens"] for r in results] == truth
+        sched = summary["sched"]
+        assert sched["completed"] == len(requests)
+        assert sched["serial_steps"] == 0  # mx6 certifies the fused step
+        assert sched["slo"]["ttft_ms"]["p50"] >= 0.0
+        assert summary["decode"]["tokens"] == sum(len(t) for t in truth)
+        assert pool.leaked() == {}
+
+    def test_preemption_under_page_pressure_bit_identical(self, compiled, lang):
+        requests = ragged_requests(lang, 16, seed=9)
+        truth = serial_truth(compiled, requests)
+        # 2 layers x up to 4 pages/stream: 12 pages sustain ~2 streams, so
+        # admission + growth must preempt constantly
+        cfg = SessionConfig(
+            format="mx6", scheduler={"max_streams": 8, "page_budget": 12}
+        )
+        with compiled.session(cfg) as session:
+            results = session.map(requests)
+            sched = session.summary()["sched"]
+            pool = session._sched.pool
+        assert [r["tokens"] for r in results] == truth
+        assert sched["preempted"] > 0
+        assert sched["resumed"] > 0
+        assert pool.leaked() == {}
+        assert pool.stats()["pages_used"] == 0
+
+    def test_request_larger_than_pool_fails_terminally(self, compiled, lang):
+        cfg = SessionConfig(
+            format="mx6", scheduler={"max_streams": 4, "page_budget": 2}
+        )
+        request = {
+            "task": "generate",
+            "prompt": list(range(1, 40)),  # needs 3 pages/layer from step 1
+            "max_new_tokens": 4,
+        }
+        with compiled.session(cfg) as session:
+            with pytest.raises(PoolExhausted):
+                session.submit(request).result(timeout=30)
+
+    def test_deadline_enforced_while_waiting(self, compiled, lang):
+        cfg = SessionConfig(format="mx6", scheduler={"max_streams": 4})
+        with inject_faults("sched.admit:kind=transient,rate=1.0"):
+            with compiled.session(cfg) as session:
+                future = session.submit(
+                    {"task": "generate", "prompt": [1, 2, 3], "max_new_tokens": 4},
+                    timeout=0.05,
+                )
+                with pytest.raises(DeadlineExceeded):
+                    future.result(timeout=30)
+                assert session.metrics.events()["timeouts"] >= 1
+
+    def test_queue_cap_rejects(self, compiled, lang):
+        cfg = SessionConfig(
+            format="mx6",
+            shed_policy="reject",
+            scheduler={"max_streams": 4, "max_waiting": 1},
+        )
+        # a permanent transient admit fault pins everything in the queue
+        with inject_faults("sched.admit:kind=transient,rate=1.0"):
+            with compiled.session(cfg) as session:
+                first = session.submit(
+                    {"task": "generate", "prompt": [1, 2], "max_new_tokens": 2}
+                )
+                with pytest.raises(QueueFull):
+                    session.submit(
+                        {"task": "generate", "prompt": [3, 4], "max_new_tokens": 2}
+                    )
+                assert session.metrics.events()["sheds"] >= 1
+                first.cancel()
+
+    def test_admit_fault_fails_only_that_request(self, compiled, lang):
+        requests = ragged_requests(lang, 6, seed=13)
+        truth = serial_truth(compiled, requests)
+        cfg = SessionConfig(format="mx6", scheduler={"max_streams": 2})
+        with inject_faults("sched.admit:kind=error,rate=1.0,limit=1"):
+            with compiled.session(cfg) as session:
+                futures = [session.submit(r) for r in requests]
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append(future.result(timeout=60))
+                    except InjectedFault as error:
+                        outcomes.append(error)
+                sched = session.summary()["sched"]
+        failed = [o for o in outcomes if isinstance(o, InjectedFault)]
+        assert len(failed) == 1
+        assert sched["admit_faults"] == 1
+        for outcome, tokens in zip(outcomes, truth):
+            if not isinstance(outcome, InjectedFault):
+                assert outcome["tokens"] == tokens
+
+    def test_health_kv_during_decode(self, compiled, lang):
+        """health()['kv'] reads only the pool's own lock, so it answers
+        while the decode loop is mid-storm."""
+        requests = ragged_requests(lang, 12, seed=17, max_new=12)
+        cfg = SessionConfig(format="mx6", scheduler={"max_streams": 12})
+        snapshots = []
+        with compiled.session(cfg) as session:
+            futures = [session.submit(r) for r in requests]
+            for _ in range(50):
+                snapshots.append(session.health()["kv"])
+                if all(f.done() for f in futures):
+                    break
+                time.sleep(0.002)
+            for future in futures:
+                future.result(timeout=60)
+            final = session.health()["kv"]
+        assert all(s["enabled"] for s in snapshots)
+        assert any(s["pages_used"] > 0 for s in snapshots)
+        assert final["pages_used"] == 0
+        assert final["high_water"] > 0
+        assert final["per_stream_high_water"] >= 1
+
+    def test_health_kv_disabled_without_scheduler(self, compiled):
+        with compiled.session(SessionConfig(format="mx6")) as session:
+            assert session.health()["kv"] == {"enabled": False}
+
+    def test_non_generate_and_oversized_stay_on_classic_path(self, compiled, lang):
+        cfg = SessionConfig(format="mx6", scheduler={"max_streams": 4})
+        rng = np.random.default_rng(0)
+        with compiled.session(cfg) as session:
+            score = session.submit(
+                {
+                    "task": "score",
+                    "context": lang.sample_sequence(6, rng),
+                    "candidates": [lang.sample_sequence(3, rng)],
+                }
+            ).result(timeout=60)
+            assert "scores" in score
+            # prompt + budget beyond the window: sliding-window fallback
+            long = session.submit(
+                {
+                    "task": "generate",
+                    "prompt": rng.integers(1, lang.vocab_size, size=59).tolist(),
+                    "max_new_tokens": 30,
+                }
+            ).result(timeout=60)
+            sched = session.summary()["sched"]
+        assert len(long["tokens"]) == 30
+        assert sched["completed"] == 0  # neither request rode the scheduler
+
+    def test_close_fails_waiting_streams(self, compiled, lang):
+        from repro.serve import SessionClosed
+
+        cfg = SessionConfig(format="mx6", scheduler={"max_streams": 2})
+        with inject_faults("sched.admit:kind=transient,rate=1.0"):
+            session = compiled.session(cfg)
+            future = session.submit(
+                {"task": "generate", "prompt": [1, 2, 3], "max_new_tokens": 4}
+            )
+            session.close()
+            with pytest.raises(SessionClosed):
+                future.result(timeout=10)
+        assert session._sched.pool.leaked() == {}
+
+
+# ----------------------------------------------------------------------
+# Satellite: ragged-prompt serial fallbacks are counted on the classic path
+# ----------------------------------------------------------------------
+class TestSerialFallbackCounter:
+    def test_ragged_generate_batch_counts_fallbacks(self, compiled, lang):
+        # classic micro-batched path (no scheduler): ragged prompts group
+        # into singletons, each one a serial fallback
+        requests = [
+            {"task": "generate", "prompt": list(range(1, 4 + i)), "max_new_tokens": 2}
+            for i in range(4)
+        ]
+        cfg = SessionConfig(format="mx6", max_batch=4, max_wait=0.05)
+        with compiled.session(cfg) as session:
+            session.map(requests)
+            summary = session.summary()
+        assert summary["decode"]["serial_fallbacks"] >= 4
+
+    def test_equal_shapes_count_no_fallbacks(self, compiled, lang):
+        requests = [
+            {"task": "generate", "prompt": [1, 2, 3, 4], "max_new_tokens": 2}
+            for _ in range(4)
+        ]
+        cfg = SessionConfig(format="mx6", max_batch=4, max_wait=0.05)
+        with compiled.session(cfg) as session:
+            session.map(requests)
+            summary = session.summary()
+        # no fallbacks (and no streamed tokens) => no decode section at all
+        assert summary.get("decode", {}).get("serial_fallbacks", 0) == 0

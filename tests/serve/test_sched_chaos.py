@@ -1,0 +1,173 @@
+"""Seeded chaos over the continuous scheduler: preemption storms, hard bars.
+
+Satellite of the continuous-batching PR: a deterministic fault plan
+hammers ``sched.admit`` / ``sched.preempt`` while a deliberately tiny
+page budget forces constant preemption churn.  Under *any* schedule the
+seed produces, the invariants are absolute:
+
+* every future resolves — a result or a typed error, never a hang;
+* every successful stream's tokens are **bit-identical** to the serial
+  ``generate`` decode of the same prompt (preemption/resume, fused
+  batching, and page churn must all be invisible in the output);
+* the page pool leaks nothing: ``pool.leaked() == {}`` and
+  checkouts == releases once the session closes.
+
+Like ``test_chaos.py``, this file doubles as a CI gate: ``scripts/ci.sh``
+runs it in the chaos step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticLanguage
+from repro.models.gpt import GPT, GPTConfig
+from repro.serve import (
+    InjectedFault,
+    ServingError,
+    SessionConfig,
+    compile_model,
+    configure_faults,
+    inject_faults,
+)
+
+SMALL = GPTConfig(dim=16, num_layers=2, num_heads=2, max_len=64)
+
+#: admission flaps (retriable and terminal) plus aborted preemptions,
+#: all from one seed — combined with a starved page pool below
+STORM = (
+    "seed=2029 "
+    "sched.admit:kind=transient,rate=0.2 "
+    "sched.admit:kind=error,rate=0.05,after=4 "
+    "sched.preempt:kind=error,rate=0.3"
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    previous = configure_faults(None)
+    yield
+    configure_faults(previous)
+
+
+@pytest.fixture(scope="module")
+def lang():
+    return SyntheticLanguage(seed=0)
+
+
+@pytest.fixture(scope="module")
+def compiled(lang):
+    model = GPT(lang.vocab_size, SMALL, rng=np.random.default_rng(0))
+    return compile_model(model, "mx6")
+
+
+def ragged_requests(lang, n, seed, max_new=8):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "task": "generate",
+            "prompt": rng.integers(
+                1, lang.vocab_size, size=int(rng.integers(3, 24))
+            ).tolist(),
+            "max_new_tokens": max_new,
+        }
+        for _ in range(n)
+    ]
+
+
+def run_storm(compiled, requests, *, plan=STORM, **scheduler):
+    """Submit ``requests`` under ``plan``; returns (outcomes, summary, pool)."""
+    cfg = SessionConfig(
+        format="mx6", scheduler={"max_streams": 8, "page_budget": 14, **scheduler}
+    )
+    with inject_faults(plan):
+        with compiled.session(cfg) as session:
+            futures = [session.submit(r) for r in requests]
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result(timeout=120))
+                except ServingError as error:
+                    outcomes.append(error)
+            summary = session.summary()
+            pool = session._sched.pool
+    return outcomes, summary, pool
+
+
+def test_storm_preserves_bit_identity_and_leaks_nothing(compiled, lang):
+    requests = ragged_requests(lang, 24, seed=41)
+    truth = [
+        list(
+            compiled.adapter.generate_stream(
+                np.asarray(r["prompt"]), r["max_new_tokens"]
+            )
+        )
+        for r in requests
+    ]
+    outcomes, summary, pool = run_storm(compiled, requests)
+
+    # every future resolved: nothing hung, nothing silently dropped
+    assert len(outcomes) == len(requests)
+    successes = [o for o in outcomes if not isinstance(o, Exception)]
+    failures = [o for o in outcomes if isinstance(o, Exception)]
+    assert all(isinstance(e, InjectedFault) for e in failures)
+    assert successes, "the storm must not kill every request"
+
+    # bit-identity held through admission flaps and preemption churn
+    for outcome, tokens in zip(outcomes, truth):
+        if not isinstance(outcome, Exception):
+            assert outcome["tokens"] == tokens
+
+    sched = summary["sched"]
+    assert sched["completed"] == len(successes)
+    # the tiny budget plus aborted preemptions exercised both fault sites
+    assert sched["preempted"] > 0
+    assert sched["admit_faults"] > 0
+    assert sched["preempt_faults"] > 0
+
+    # the hard bar: zero leaked pages, checkout/release parity
+    assert pool.leaked() == {}
+    stats = pool.stats()
+    assert stats["pages_used"] == 0
+    assert stats["checkouts"] == stats["releases"] > 0
+
+
+def test_storm_replays_identically(compiled, lang):
+    """Same seed, same requests => the same outcome classes per slot."""
+    requests = ragged_requests(lang, 12, seed=43)
+    first, _, _ = run_storm(compiled, requests)
+    second, _, _ = run_storm(compiled, requests)
+    kinds_a = [type(o).__name__ for o in first]
+    kinds_b = [type(o).__name__ for o in second]
+    assert kinds_a == kinds_b
+    for a, b in zip(first, second):
+        if not isinstance(a, Exception):
+            assert a["tokens"] == b["tokens"]
+
+
+def test_session_survives_storm(compiled, lang):
+    """After the plan clears, the same session serves cleanly."""
+    requests = ragged_requests(lang, 8, seed=47)
+    cfg = SessionConfig(
+        format="mx6", scheduler={"max_streams": 4, "page_budget": 14}
+    )
+    with compiled.session(cfg) as session:
+        with inject_faults(STORM):
+            for future in [session.submit(r) for r in requests]:
+                try:
+                    future.result(timeout=120)
+                except ServingError:
+                    pass
+        # storm over: everything must succeed and match serial decode
+        clean = session.map(requests)
+        truth = [
+            list(
+                compiled.adapter.generate_stream(
+                    np.asarray(r["prompt"]), r["max_new_tokens"]
+                )
+            )
+            for r in requests
+        ]
+        assert [r["tokens"] for r in clean] == truth
+        assert session.health()["kv"]["pages_used"] == 0
+        pool = session._sched.pool
+    assert pool.leaked() == {}
